@@ -1,0 +1,184 @@
+// Command webevo replays the paper's web-evolution experiment (Sections 2
+// and 3) on the synthetic web and prints Table 1 and Figures 2, 4, 5 and
+// 6. By default it runs every artifact at a reduced window size; use
+// -pages 3000 for the paper's full scale.
+//
+// Usage:
+//
+//	webevo [-seed N] [-pages N] [-days N] [-only table1|fig2|fig4|fig5|fig6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webevolve/internal/experiment"
+	"webevolve/internal/report"
+	"webevolve/internal/simweb"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1999, "simulation seed")
+	pages := flag.Int("pages", 300, "pages per site window (paper: 3000)")
+	days := flag.Int("days", experiment.PaperDays, "experiment length in days")
+	only := flag.String("only", "", "run a single artifact: table1, fig2, fig4, fig5 or fig6")
+	flag.Parse()
+
+	if err := run(*seed, *pages, *days, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "webevo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, pages, days int, only string) error {
+	want := func(name string) bool { return only == "" || only == name }
+
+	if want("table1") {
+		if err := table1(seed); err != nil {
+			return err
+		}
+	}
+	if !(want("fig2") || want("fig4") || want("fig5") || want("fig6")) {
+		return nil
+	}
+
+	fmt.Printf("== Monitoring experiment: 270 sites x %d pages, %d daily crawls ==\n\n", pages, days)
+	w, err := simweb.New(simweb.PaperScaleConfig(seed, pages))
+	if err != nil {
+		return err
+	}
+	obs, err := experiment.Monitor(w, experiment.MonitorConfig{Days: days})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pages observed: %d\n\n", obs.NumPages())
+
+	if want("fig2") {
+		fig2(obs)
+	}
+	if want("fig4") {
+		fig4(obs)
+	}
+	if want("fig5") {
+		fig5(obs)
+	}
+	if want("fig6") {
+		if err := fig6(obs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// table1 reproduces the site-selection pipeline of Section 2.2: site-level
+// PageRank over a larger universe, top-400 candidates, 270 consenting.
+func table1(seed int64) error {
+	fmt.Println("== Table 1: sites per domain after PageRank selection ==")
+	// A universe twice the paper's selection, in web-like domain
+	// proportions, from which the top sites are chosen.
+	cfg := simweb.Config{
+		Seed: seed,
+		SitesPerDomain: map[simweb.Domain]int{
+			simweb.Com: 264, simweb.Edu: 156, simweb.NetOrg: 60, simweb.Gov: 60,
+		},
+		PagesPerSite: 40,
+	}
+	w, err := simweb.New(cfg)
+	if err != nil {
+		return err
+	}
+	sel, err := experiment.SelectSites(w, experiment.SelectionConfig{
+		CandidateCount: 400,
+		KeepCount:      270,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{
+		{"com", fmt.Sprint(sel.Table1[simweb.Com]), "132"},
+		{"edu", fmt.Sprint(sel.Table1[simweb.Edu]), "78"},
+		{"netorg", fmt.Sprintf("%d (org: %d, net: %d)", sel.Table1[simweb.NetOrg], sel.SubCounts["org"], sel.SubCounts["net"]), "30 (org: 19, net: 11)"},
+		{"gov", fmt.Sprintf("%d (gov: %d, mil: %d)", sel.Table1[simweb.Gov], sel.SubCounts["gov"], sel.SubCounts["mil"]), "30 (gov: 28, mil: 2)"},
+	}
+	fmt.Println(report.Table([]string{"domain", "selected", "paper"}, rows))
+	return nil
+}
+
+func fig2(obs *experiment.Observations) {
+	fmt.Println("== Figure 2: fraction of pages per average change interval ==")
+	r := obs.Figure2()
+	fmt.Println("(a) over all domains")
+	fmt.Println(report.Bar(r.Overall.Labels, r.Overall.Fractions(), 48))
+	fmt.Println("(b) per domain")
+	vals := make(map[string][]float64)
+	names := make([]string, 0, len(simweb.Domains))
+	for _, d := range simweb.Domains {
+		names = append(names, string(d))
+		vals[string(d)] = r.ByDomain[d].Fractions()
+	}
+	fmt.Println(report.GroupedBar(r.Overall.Labels, names, vals, 40))
+	fmt.Printf("crude overall mean change interval: %.0f days (paper: ~4 months)\n\n", r.MeanIntervalDays)
+}
+
+func fig4(obs *experiment.Observations) {
+	fmt.Println("== Figure 4: visible lifespan of pages ==")
+	r := obs.Figure4()
+	fmt.Println("(a) over all domains")
+	fmt.Println("Method 1 (observed span):")
+	fmt.Println(report.Bar(r.Method1.Labels, r.Method1.Fractions(), 48))
+	fmt.Println("Method 2 (censored spans doubled):")
+	fmt.Println(report.Bar(r.Method2.Labels, r.Method2.Fractions(), 48))
+	fmt.Println("(b) per domain (Method 1)")
+	vals := make(map[string][]float64)
+	names := make([]string, 0, len(simweb.Domains))
+	for _, d := range simweb.Domains {
+		names = append(names, string(d))
+		vals[string(d)] = r.ByDomainM1[d].Fractions()
+	}
+	fmt.Println(report.GroupedBar(r.Method1.Labels, names, vals, 40))
+}
+
+func fig5(obs *experiment.Observations) {
+	fmt.Println("== Figure 5: fraction of pages unchanged (and present) by day ==")
+	r := obs.Figure5()
+	days := make([]float64, len(r.Unchanged))
+	for i := range days {
+		days[i] = float64(i)
+	}
+	series := []report.Series{{Name: "all", X: days, Y: r.Unchanged}}
+	for _, d := range simweb.Domains {
+		series = append(series, report.Series{Name: string(d), X: days, Y: r.ByDomain[d]})
+	}
+	fmt.Println(report.Lines(series, 72, 16))
+	if hl, ok := experiment.HalfLifeDays(r.Unchanged); ok {
+		fmt.Printf("overall 50%% change point: %.1f days (paper: ~50)\n", hl)
+	}
+	for _, d := range simweb.Domains {
+		if hl, ok := experiment.HalfLifeDays(r.ByDomain[d]); ok {
+			fmt.Printf("  %-7s 50%% at %.1f days\n", d, hl)
+		} else {
+			fmt.Printf("  %-7s did not reach 50%% within the experiment\n", d)
+		}
+	}
+	fmt.Println()
+}
+
+func fig6(obs *experiment.Observations) error {
+	fmt.Println("== Figure 6: change intervals vs Poisson prediction (semilog) ==")
+	for _, target := range []float64{10, 20} {
+		r, err := obs.Figure6(target, 0.2)
+		if err != nil {
+			fmt.Printf("  %v-day class: %v\n", target, err)
+			continue
+		}
+		obsSeries := report.SemilogY(report.Series{Name: "observed", X: r.GapDays, Y: r.ObservedFrac})
+		predSeries := report.SemilogY(report.Series{Name: "poisson", X: r.GapDays, Y: r.PredictedFrac})
+		fmt.Printf("(%v-day average change interval, %d gaps)\n", target, r.SampleGaps)
+		fmt.Println(report.Lines([]report.Series{obsSeries, predSeries}, 72, 14))
+		fmt.Printf("fitted decay rate %.4f vs 1/interval %.4f (log-fit R2 %.3f)\n\n",
+			r.FittedRate, 1/target, r.FitR2)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Archive: crawl slow-moving edu/gov sites into a disk-backed repository
+// with a periodic batch + shadowing crawler — the configuration Section 4
+// recommends when the target corpus is static ("if one is building a
+// batch crawler, shadowing is a good option since it is simpler to
+// implement, and in-place updates are not a significant win").
+//
+// The example runs both a batch+shadow crawler and a steady+in-place
+// crawler on the same static web and prints the freshness gap (small, per
+// Table 2) alongside the peak-bandwidth gap (large), then demonstrates
+// crash recovery of the log-structured store.
+//
+// Run with:
+//
+//	go run ./examples/archive
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"webevolve/internal/core"
+	"webevolve/internal/fetch"
+	"webevolve/internal/simweb"
+	"webevolve/internal/store"
+)
+
+func main() {
+	mkWeb := func() *simweb.Web {
+		web, err := simweb.New(simweb.Config{
+			Seed: 11,
+			SitesPerDomain: map[simweb.Domain]int{
+				simweb.Edu: 6, simweb.Gov: 6,
+			},
+			PagesPerSite: 80,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return web
+	}
+
+	const (
+		collection = 500
+		cycleDays  = 30.0
+		batchDays  = 3.0
+		horizon    = 180.0
+	)
+
+	fmt.Println("archival crawl of edu/gov sites: monthly refresh, 500 pages")
+	fmt.Println()
+	type result struct {
+		name         string
+		freshness    float64
+		peakPagesDay float64
+	}
+	var results []result
+	for _, shadow := range []bool{true, false} {
+		web := mkWeb()
+		cfg := core.Config{
+			Seeds:          web.RootURLs(),
+			CollectionSize: collection,
+			PagesPerDay:    collection / cycleDays,
+			CycleDays:      cycleDays,
+			BatchDays:      batchDays,
+			RankEveryDays:  cycleDays,
+			Estimator:      core.EstimatorEB,
+		}
+		name := "steady + in-place"
+		if shadow {
+			cfg.Mode, cfg.Update = core.Batch, core.Shadow
+			name = "batch + shadowing"
+		}
+		crawler, err := core.New(cfg, fetch.NewSimFetcher(web))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev := &core.Evaluator{Web: web}
+		avg, _, err := ev.TimeAveragedFreshness(crawler, horizon, 2*cycleDays, 24, collection)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peak := cfg.PagesPerDay
+		if shadow {
+			peak = float64(collection) / batchDays
+		}
+		results = append(results, result{name, avg, peak})
+	}
+	for _, r := range results {
+		fmt.Printf("  %-18s freshness %.3f   peak load %5.1f pages/day\n",
+			r.name, r.freshness, r.peakPagesDay)
+	}
+	fmt.Println()
+	fmt.Println("on a static corpus the freshness gap is small — the batch+shadow")
+	fmt.Println("crawler trades a little freshness for a much simpler pipeline, at")
+	fmt.Println("the cost of a", fmt.Sprintf("%.0fx", cycleDays/batchDays), "higher peak load (the paper's trade-off).")
+
+	fmt.Println()
+	demoDiskRecovery()
+}
+
+// demoDiskRecovery crawls into the log-structured disk store, then
+// reopens it cold — the incremental crawler must survive restarts, since
+// it never rebuilds from scratch.
+func demoDiskRecovery() {
+	dir, err := os.MkdirTemp("", "webevolve-archive-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	web, err := simweb.New(simweb.SmallConfig(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := 0
+	sh, err := store.NewShadowed(nil, func() (store.Collection, error) {
+		gen++
+		return store.OpenDisk(filepath.Join(dir, fmt.Sprintf("gen-%03d", gen)))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{
+		Seeds:          web.RootURLs(),
+		CollectionSize: 150,
+		PagesPerDay:    100,
+		CycleDays:      7,
+	}
+	crawler, err := core.NewWithStore(cfg, fetch.NewSimFetcher(web), sh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := crawler.RunUntil(10); err != nil {
+		log.Fatal(err)
+	}
+	stored := crawler.Collection().Len()
+
+	// Simulate a restart: reopen the same segment directory cold.
+	liveDir := filepath.Join(dir, fmt.Sprintf("gen-%03d", 1))
+	reopened, err := store.OpenDisk(liveDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	fmt.Printf("disk store: %d pages crawled; %d recovered after reopen\n",
+		stored, reopened.Len())
+	if reopened.Len() != stored {
+		log.Fatalf("recovery lost pages: %d != %d", reopened.Len(), stored)
+	}
+}

@@ -1,0 +1,296 @@
+package webevolve_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"webevolve/internal/core"
+	"webevolve/internal/experiment"
+	"webevolve/internal/fetch"
+	"webevolve/internal/freshness"
+	"webevolve/internal/robots"
+	"webevolve/internal/simweb"
+	"webevolve/internal/store"
+)
+
+// TestCrawlerMatchesClosedFormFreshness is the strongest end-to-end
+// validation in the repository: a real crawl (engine, frontier, store,
+// fetcher, simulator) over a single-rate immortal web must reproduce the
+// Section 4 closed form FBar(lambda*T) for a steady in-place
+// fixed-frequency crawler.
+func TestCrawlerMatchesClosedFormFreshness(t *testing.T) {
+	const (
+		intervalDays = 20.0 // every page changes every 20 days on average
+		cycleDays    = 10.0 // every page revisited every 10 days
+	)
+	w, err := simweb.New(simweb.Config{
+		Seed:           123,
+		SitesPerDomain: map[simweb.Domain]int{simweb.Com: 4},
+		PagesPerSite:   100,
+		Mixtures: map[simweb.Domain]simweb.Mixture{
+			simweb.Com: {{Name: "only", Weight: 1,
+				MinIntervalDays: intervalDays, MaxIntervalDays: intervalDays + 1e-6}},
+		},
+		LifespanMeanDays: map[simweb.Domain]float64{simweb.Com: -1}, // immortal
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := 400
+	cfg := core.Config{
+		Seeds:          w.RootURLs(),
+		CollectionSize: size,
+		PagesPerDay:    float64(size) / cycleDays,
+		CycleDays:      cycleDays,
+		RankEveryDays:  cycleDays,
+		Mode:           core.Steady,
+		Update:         core.InPlace,
+		Freq:           core.FixedFreq,
+		Estimator:      core.EstimatorEP,
+	}
+	c, err := core.New(cfg, fetch.NewSimFetcher(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &core.Evaluator{Web: w}
+	got, _, err := ev.TimeAveragedFreshness(c, 150, 30, 48, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := freshness.SteadyInPlace(1/intervalDays, cycleDays) // FBar(0.5) = 0.787
+	if diff := got - want; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("measured freshness %.4f, closed form %.4f", got, want)
+	}
+}
+
+// TestMonitorRecoversMixtureWeights ties the experiment harness to the
+// simulator's ground truth: the measured daily-change fraction must be
+// close to the configured daily-class weight.
+func TestMonitorRecoversMixtureWeights(t *testing.T) {
+	const dailyWeight = 0.3
+	w, err := simweb.New(simweb.Config{
+		Seed:           9,
+		SitesPerDomain: map[simweb.Domain]int{simweb.Com: 5},
+		PagesPerSite:   120,
+		Mixtures: map[simweb.Domain]simweb.Mixture{
+			simweb.Com: {
+				{Name: "hot", Weight: dailyWeight, MinIntervalDays: 0.02, MaxIntervalDays: 0.05},
+				{Name: "cold", Weight: 1 - dailyWeight, MinIntervalDays: 500, MaxIntervalDays: 1000},
+			},
+		},
+		LifespanMeanDays: map[simweb.Domain]float64{simweb.Com: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := experiment.Monitor(w, experiment.MonitorConfig{Days: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := obs.Figure2().Overall.Fractions()[0]
+	if got < dailyWeight-0.05 || got > dailyWeight+0.05 {
+		t.Fatalf("measured daily fraction %.3f, configured %.3f", got, dailyWeight)
+	}
+}
+
+// TestCrawlerRestartsFromDisk exercises crawl -> crash -> reopen across
+// the engine and the log-structured store.
+func TestCrawlerRestartsFromDisk(t *testing.T) {
+	w, err := simweb.New(simweb.SmallConfig(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	gen := 0
+	newShadow := func() (store.Collection, error) {
+		gen++
+		return store.OpenDisk(filepath.Join(dir, fmt.Sprintf("gen%02d", gen)))
+	}
+	sh, err := store.NewShadowed(nil, newShadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Seeds:          w.RootURLs(),
+		CollectionSize: 100,
+		PagesPerDay:    100,
+		CycleDays:      5,
+	}
+	c, err := core.NewWithStore(cfg, fetch.NewSimFetcher(w), sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntil(4); err != nil {
+		t.Fatal(err)
+	}
+	want := c.Collection().Len()
+	urls := c.Collection().URLs()
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reopen the current generation's directory cold.
+	reopened, err := store.OpenDisk(filepath.Join(dir, "gen01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.Len() != want {
+		t.Fatalf("recovered %d pages, want %d", reopened.Len(), want)
+	}
+	for _, u := range urls {
+		if _, ok, err := reopened.Get(u); err != nil || !ok {
+			t.Fatalf("lost %s across restart (ok=%v err=%v)", u, ok, err)
+		}
+	}
+}
+
+// TestLiveHTTPIncrementalCrawl drives the full engine over a real HTTP
+// server: discovery via link extraction, robots respected, change
+// detection across revisits.
+func TestLiveHTTPIncrementalCrawl(t *testing.T) {
+	var rev atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/robots.txt", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "User-agent: *\nDisallow: /secret")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<html><a href="/news">n</a><a href="/static">s</a><a href="/secret">x</a></html>`)
+	})
+	mux.HandleFunc("/news", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "<html>rev %d</html>", rev.Add(1))
+	})
+	mux.HandleFunc("/static", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<html>immutable</html>")
+	})
+	var secretHits atomic.Int64
+	mux.HandleFunc("/secret", func(w http.ResponseWriter, r *http.Request) {
+		secretHits.Add(1)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	f := &fetch.HTTPFetcher{Politeness: robots.Politeness{}}
+	cfg := core.Config{
+		Seeds:           []string{srv.URL + "/"},
+		CollectionSize:  10,
+		PagesPerDay:     1e6, // virtual pacing; wall time is instant
+		CycleDays:       0.01,
+		MinIntervalDays: 0.001,
+		RankEveryDays:   0.01,
+	}
+	c, err := core.New(cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntil(0.1); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.Fetches < 6 {
+		t.Fatalf("only %d fetches", m.Fetches)
+	}
+	if m.ChangesDetected == 0 {
+		t.Fatal("news page changes not detected across revisits")
+	}
+	if secretHits.Load() != 0 {
+		t.Fatal("robots-disallowed page was fetched")
+	}
+	if _, ok, _ := c.Collection().Get(srv.URL + "/static"); !ok {
+		t.Fatal("static page not collected")
+	}
+}
+
+// TestSelectionFeedsMonitoring chains Table 1 site selection into the
+// monitoring experiment: monitoring only the *selected* sites must still
+// produce the domain orderings.
+func TestSelectionFeedsMonitoring(t *testing.T) {
+	w, err := simweb.New(simweb.Config{
+		Seed: 31,
+		SitesPerDomain: map[simweb.Domain]int{
+			simweb.Com: 20, simweb.Edu: 12, simweb.NetOrg: 5, simweb.Gov: 5,
+		},
+		PagesPerSite: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := experiment.SelectSites(w, experiment.SelectionConfig{
+		CandidateCount: 30, KeepCount: 20, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Selected) != 20 {
+		t.Fatalf("selected %d sites", len(sel.Selected))
+	}
+	// All selected hosts must exist and be monitorable.
+	for _, s := range sel.Selected {
+		if _, ok := w.SiteByHost(s.ID); !ok {
+			t.Fatalf("selected nonexistent site %s", s.ID)
+		}
+	}
+	obs, err := experiment.Monitor(w, experiment.MonitorConfig{Days: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.NumPages() == 0 {
+		t.Fatal("monitoring saw no pages")
+	}
+}
+
+// TestShadowVsInPlaceEndToEndOrdering reruns the Table 2 ordering on the
+// full engine at moderate scale: steady in-place must beat steady shadow
+// by a visible margin, while batch in-place vs batch shadow are close.
+func TestShadowVsInPlaceEndToEndOrdering(t *testing.T) {
+	run := func(mode core.Mode, upd core.UpdateStyle) float64 {
+		w, err := simweb.New(simweb.Config{
+			Seed: 55,
+			SitesPerDomain: map[simweb.Domain]int{
+				simweb.Com: 6, simweb.Edu: 4, simweb.NetOrg: 1, simweb.Gov: 1,
+			},
+			PagesPerSite: 60,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const size = 400
+		cfg := core.Config{
+			Seeds:          w.RootURLs(),
+			CollectionSize: size,
+			PagesPerDay:    size / 10.0,
+			CycleDays:      10,
+			BatchDays:      2,
+			Mode:           mode,
+			Update:         upd,
+		}
+		c, err := core.New(cfg, fetch.NewSimFetcher(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := &core.Evaluator{Web: w}
+		avg, _, err := ev.TimeAveragedFreshness(c, 80, 20, 24, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return avg
+	}
+	steadyIn := run(core.Steady, core.InPlace)
+	steadySh := run(core.Steady, core.Shadow)
+	batchIn := run(core.Batch, core.InPlace)
+	batchSh := run(core.Batch, core.Shadow)
+
+	if steadySh >= steadyIn {
+		t.Fatalf("steady: shadow %.3f >= in-place %.3f", steadySh, steadyIn)
+	}
+	steadyGap := steadyIn - steadySh
+	batchGap := batchIn - batchSh
+	if batchGap > steadyGap {
+		t.Fatalf("shadowing cost batch (%.3f) more than steady (%.3f) — contradicts Section 4",
+			batchGap, steadyGap)
+	}
+}

@@ -1,0 +1,155 @@
+package changefreq
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewBayesValidation(t *testing.T) {
+	if _, err := NewBayes(nil); err == nil {
+		t.Fatal("empty classes accepted")
+	}
+	if _, err := NewBayes([]Class{{Name: "x", Rate: 0}}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewBayes([]Class{{Name: "a", Rate: 1}, {Name: "b", Rate: 1}}); err == nil {
+		t.Fatal("duplicate rates accepted")
+	}
+	if _, err := NewBayes(DefaultClasses); err != nil {
+		t.Fatalf("default classes rejected: %v", err)
+	}
+}
+
+func TestBayesUniformPriorInitially(t *testing.T) {
+	b, err := NewBayes(DefaultClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := b.Posterior()
+	for _, p := range post {
+		if math.Abs(p-1/float64(len(post))) > 1e-12 {
+			t.Fatalf("prior not uniform: %v", post)
+		}
+	}
+}
+
+func TestBayesConvergesToTrueClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, want := range []Class{
+		{Name: "weekly", Rate: 1.0 / 7},
+		{Name: "monthly", Rate: 1.0 / 30},
+	} {
+		b, err := NewBayes(DefaultClasses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Daily accesses for a year with the true class's rate.
+		nextChange := rng.ExpFloat64() / want.Rate
+		_ = b.Record(Observation{Time: 0})
+		for d := 1; d <= 365; d++ {
+			tt := float64(d)
+			changed := false
+			for nextChange <= tt {
+				changed = true
+				nextChange += rng.ExpFloat64() / want.Rate
+			}
+			if err := b.Record(Observation{Time: tt, Changed: changed}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := b.MAP(); got.Name != want.Name {
+			t.Errorf("true class %s: MAP %s (%s)", want.Name, got.Name, b)
+		}
+	}
+}
+
+func TestBayesPaperExample(t *testing.T) {
+	// Section 5.3: "if the UpdateModule learns that page p1 did not
+	// change for one month, it increases P{p1 in CM} and decreases
+	// P{p1 in CW}".
+	classes := []Class{
+		{Name: "CW", Rate: 1.0 / 7},
+		{Name: "CM", Rate: 1.0 / 30},
+	}
+	b, err := NewBayes(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Record(Observation{Time: 0})
+	priorCM := b.Posterior()[1]
+	if err := b.Record(Observation{Time: 30, Changed: false}); err != nil {
+		t.Fatal(err)
+	}
+	// Classes are stored in descending rate order: CW first.
+	post := b.Posterior()
+	if post[1] <= priorCM {
+		t.Fatalf("P(CM) did not rise: %v -> %v", priorCM, post[1])
+	}
+	if post[0] >= post[1] {
+		t.Fatalf("P(CW)=%v not below P(CM)=%v after a changeless month", post[0], post[1])
+	}
+}
+
+func TestBayesPosteriorSumsToOne(t *testing.T) {
+	b, _ := NewBayes(DefaultClasses)
+	_ = b.Record(Observation{Time: 0})
+	rng := rand.New(rand.NewSource(2))
+	for d := 1; d <= 100; d++ {
+		_ = b.Record(Observation{Time: float64(d), Changed: rng.Intn(3) == 0})
+		sum := 0.0
+		for _, p := range b.Posterior() {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("posterior sums to %v on day %d", sum, d)
+		}
+	}
+}
+
+func TestBayesRateIsPosteriorMean(t *testing.T) {
+	b, _ := NewBayes([]Class{{Name: "fast", Rate: 1}, {Name: "slow", Rate: 0.01}})
+	_ = b.Record(Observation{Time: 0})
+	// Changes every day: should move the mean rate toward 1.
+	for d := 1; d <= 30; d++ {
+		_ = b.Record(Observation{Time: float64(d), Changed: true})
+	}
+	if r := b.Rate(); r < 0.9 {
+		t.Fatalf("posterior mean rate %v, want near 1", r)
+	}
+}
+
+func TestBayesRejectsOutOfOrder(t *testing.T) {
+	b, _ := NewBayes(DefaultClasses)
+	_ = b.Record(Observation{Time: 10})
+	if err := b.Record(Observation{Time: 5}); err == nil {
+		t.Fatal("out-of-order accepted")
+	}
+}
+
+func TestBayesAccessesCounter(t *testing.T) {
+	b, _ := NewBayes(DefaultClasses)
+	_ = b.Record(Observation{Time: 0})
+	_ = b.Record(Observation{Time: 1})
+	_ = b.Record(Observation{Time: 2})
+	if b.Accesses() != 2 {
+		t.Fatalf("accesses %d", b.Accesses())
+	}
+}
+
+func TestBayesStringLists(t *testing.T) {
+	b, _ := NewBayes(DefaultClasses)
+	s := b.String()
+	if !strings.Contains(s, "daily") || !strings.Contains(s, "yearly") {
+		t.Fatalf("String() = %s", s)
+	}
+}
+
+func TestBayesClassesSortedByRateDesc(t *testing.T) {
+	b, _ := NewBayes([]Class{{Name: "slow", Rate: 0.001}, {Name: "fast", Rate: 5}})
+	cs := b.Classes()
+	if cs[0].Name != "fast" || cs[1].Name != "slow" {
+		t.Fatalf("classes %v", cs)
+	}
+}

@@ -1,0 +1,298 @@
+// Package changefreq implements the change-frequency estimators the
+// paper's UpdateModule uses to decide revisit frequencies (Section 5.3,
+// [CGM99a]):
+//
+//   - EP, a Poisson-model estimator with a confidence interval, based on
+//     the count of *detected* changes over periodic accesses. Because a
+//     crawler only detects whether a page changed between visits — not
+//     how many times (Figure 1(a)) — the naive count/period ratio
+//     underestimates fast pages; EP corrects the bias.
+//
+//   - EB, a Bayesian estimator that categorizes pages into frequency
+//     classes (e.g. "changes weekly" vs "changes monthly") and maintains
+//     a posterior over classes from the observed change history.
+//
+// Both consume the same observation stream: (access time, changed?).
+package changefreq
+
+import (
+	"errors"
+	"math"
+)
+
+// Observation records one crawler access to a page.
+type Observation struct {
+	// Time is the access instant, in days (or any consistent unit).
+	Time float64
+	// Changed reports whether the page's checksum differed from the
+	// previous access. The first access of a page carries Changed=false.
+	Changed bool
+}
+
+// History accumulates a page's access history in the compact form the
+// estimators need: the number of accesses, the number of accesses at
+// which a change was detected, and the elapsed monitoring span. It also
+// retains per-interval data for the Bayesian estimator.
+type History struct {
+	n        int     // accesses after the first
+	detected int     // accesses that detected a change
+	first    float64 // first access time
+	last     float64 // most recent access time
+	// intervals and changed record, per access after the first, the gap
+	// since the previous access and whether a change was detected.
+	intervals []float64
+	changed   []bool
+	valid     bool // true once the first access is recorded
+}
+
+// Record appends an access. Accesses must be recorded in time order.
+func (h *History) Record(obs Observation) error {
+	if !h.valid {
+		h.first = obs.Time
+		h.last = obs.Time
+		h.valid = true
+		return nil
+	}
+	if obs.Time < h.last {
+		return errors.New("changefreq: observations out of order")
+	}
+	dt := obs.Time - h.last
+	h.last = obs.Time
+	h.n++
+	h.intervals = append(h.intervals, dt)
+	h.changed = append(h.changed, obs.Changed)
+	if obs.Changed {
+		h.detected++
+	}
+	return nil
+}
+
+// Accesses returns the number of inter-access intervals observed.
+func (h *History) Accesses() int { return h.n }
+
+// Detected returns the number of intervals in which a change was
+// detected.
+func (h *History) Detected() int { return h.detected }
+
+// Last returns the most recent access time (zero before any access).
+func (h *History) Last() (float64, bool) { return h.last, h.valid }
+
+// Span returns the elapsed monitoring time.
+func (h *History) Span() float64 {
+	if !h.valid {
+		return 0
+	}
+	return h.last - h.first
+}
+
+// Trim drops history older than the given window before the most recent
+// access, implementing the paper's "changes during, say, the last 6
+// months" sliding statistic. Aggregate counters are recomputed.
+func (h *History) Trim(window float64) {
+	if !h.valid || window <= 0 {
+		return
+	}
+	cutoff := h.last - window
+	// Walk forward accumulating time until we reach the cutoff.
+	t := h.first
+	drop := 0
+	for i, dt := range h.intervals {
+		if t+dt <= cutoff {
+			t += dt
+			drop = i + 1
+			continue
+		}
+		break
+	}
+	if drop == 0 {
+		return
+	}
+	h.first = t
+	h.intervals = append([]float64(nil), h.intervals[drop:]...)
+	h.changed = append([]bool(nil), h.changed[drop:]...)
+	h.n = len(h.intervals)
+	h.detected = 0
+	for _, c := range h.changed {
+		if c {
+			h.detected++
+		}
+	}
+}
+
+// Estimate is a point estimate of a page's change rate with a confidence
+// interval, in changes per unit time.
+type Estimate struct {
+	Rate     float64
+	Lo, Hi   float64 // confidence interval bounds
+	Samples  int     // intervals used
+	Detected int     // changes detected
+}
+
+// Interval returns the estimated mean change interval (1/Rate), or +Inf
+// when no changes were detected.
+func (e Estimate) Interval() float64 {
+	if e.Rate <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / e.Rate
+}
+
+// ErrNoHistory reports an estimate requested before any intervals were
+// observed.
+var ErrNoHistory = errors.New("changefreq: no access intervals recorded")
+
+// Naive estimates the rate as detected/span — the Section 3.1 method
+// ("the page changed 5 times in 50 days: interval 10 days"). It is biased
+// low for pages that change faster than the access frequency, since at
+// most one change per access is detectable.
+func Naive(h *History) (Estimate, error) {
+	if h.n == 0 {
+		return Estimate{}, ErrNoHistory
+	}
+	span := h.Span()
+	if span <= 0 {
+		return Estimate{}, ErrNoHistory
+	}
+	rate := float64(h.detected) / span
+	lo, hi := poissonCountCI(h.detected, span)
+	return Estimate{Rate: rate, Lo: lo, Hi: hi, Samples: h.n, Detected: h.detected}, nil
+}
+
+// EP is the bias-corrected Poisson estimator of [CGM99a] for regular
+// access intervals. With n intervals of mean length I and X detected
+// changes, the detection probability per interval is p = 1 - exp(-r*I),
+// so the MLE is r = -log(1 - X/n)/I; the bias-reduced form used here is
+//
+//	r = -log((n - X + 0.5) / (n + 0.5)) / I,
+//
+// which stays finite when every access detected a change (X = n), the
+// common case for hot com pages visited daily (Figure 2's first bar).
+func EP(h *History) (Estimate, error) {
+	if h.n == 0 {
+		return Estimate{}, ErrNoHistory
+	}
+	span := h.Span()
+	if span <= 0 {
+		return Estimate{}, ErrNoHistory
+	}
+	iMean := span / float64(h.n)
+	n := float64(h.n)
+	x := float64(h.detected)
+	rate := -math.Log((n-x+0.5)/(n+0.5)) / iMean
+	if rate <= 0 {
+		rate = 0 // avoid -0 when no changes were detected
+	}
+	// Confidence interval: Wilson interval on the detection probability
+	// p = X/n, transformed through r = -log(1-p)/I. The transform is
+	// monotone increasing in p.
+	pLo, pHi := wilson(h.detected, h.n, 1.96)
+	lo := -math.Log(1-pLo) / iMean
+	if lo <= 0 {
+		lo = 0
+	}
+	hi := math.Inf(1)
+	if pHi < 1 {
+		hi = -math.Log(1-pHi) / iMean
+	}
+	return Estimate{Rate: rate, Lo: lo, Hi: hi, Samples: h.n, Detected: h.detected}, nil
+}
+
+// EPIrregular generalizes EP to irregular access intervals by maximizing
+// the exact likelihood sum over intervals:
+//
+//	L(r) = sum_{changed i} log(1 - exp(-r*dt_i)) - sum_{unchanged i} r*dt_i.
+//
+// The incremental crawler's variable-frequency revisits produce exactly
+// such irregular histories.
+func EPIrregular(h *History) (Estimate, error) {
+	if h.n == 0 {
+		return Estimate{}, ErrNoHistory
+	}
+	if h.detected == 0 {
+		// MLE is r = 0; report the one-sided interval from Naive.
+		return Naive(h)
+	}
+	allChanged := h.detected == h.n
+	// dL/dr = sum_changed dt*exp(-r dt)/(1-exp(-r dt)) - sum_unchanged dt.
+	deriv := func(r float64) float64 {
+		var d float64
+		for i, dt := range h.intervals {
+			if dt <= 0 {
+				continue
+			}
+			if h.changed[i] {
+				e := math.Exp(-r * dt)
+				d += dt * e / (1 - e)
+			} else {
+				d -= dt
+			}
+		}
+		return d
+	}
+	var rate float64
+	if allChanged {
+		// Likelihood increases without bound; fall back to the
+		// bias-reduced regular-interval form on the mean interval.
+		return EP(h)
+	}
+	lo, hi := 1e-12, 1.0
+	for deriv(hi) > 0 {
+		hi *= 2
+		if hi > 1e15 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if deriv(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	rate = (lo + hi) / 2
+	pLo, pHi := wilson(h.detected, h.n, 1.96)
+	iMean := h.Span() / float64(h.n)
+	ciLo := -math.Log(1-pLo) / iMean
+	ciHi := math.Inf(1)
+	if pHi < 1 {
+		ciHi = -math.Log(1-pHi) / iMean
+	}
+	return Estimate{Rate: rate, Lo: ciLo, Hi: ciHi, Samples: h.n, Detected: h.detected}, nil
+}
+
+// wilson returns the Wilson score interval for k successes in n trials.
+func wilson(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	den := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / den
+	half := z * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn)) / den
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// poissonCountCI returns a normal-approximation interval for a Poisson
+// rate from an event count over a span.
+func poissonCountCI(count int, span float64) (lo, hi float64) {
+	if span <= 0 {
+		return 0, math.Inf(1)
+	}
+	c := float64(count)
+	half := 1.96 * math.Sqrt(c+0.25) // anscombe-ish stabilization
+	lo = (c - half) / span
+	if lo < 0 {
+		lo = 0
+	}
+	hi = (c + half) / span
+	return lo, hi
+}

@@ -1,0 +1,279 @@
+package changefreq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// observe simulates daily accesses to a page with true Poisson change
+// rate for the given number of days, recording detected changes.
+func observe(rng *rand.Rand, h *History, rate float64, days int) {
+	t := 0.0
+	nextChange := rng.ExpFloat64() / rate
+	if err := h.Record(Observation{Time: 0}); err != nil {
+		panic(err)
+	}
+	for d := 1; d <= days; d++ {
+		t = float64(d)
+		changed := false
+		for nextChange <= t {
+			changed = true
+			nextChange += rng.ExpFloat64() / rate
+		}
+		if err := h.Record(Observation{Time: t, Changed: changed}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestHistoryRecordAndCounters(t *testing.T) {
+	h := &History{}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(h.Record(Observation{Time: 0}))
+	must(h.Record(Observation{Time: 1, Changed: true}))
+	must(h.Record(Observation{Time: 2, Changed: false}))
+	must(h.Record(Observation{Time: 4, Changed: true}))
+	if h.Accesses() != 3 || h.Detected() != 2 || h.Span() != 4 {
+		t.Fatalf("n=%d x=%d span=%v", h.Accesses(), h.Detected(), h.Span())
+	}
+}
+
+func TestHistoryRejectsOutOfOrder(t *testing.T) {
+	h := &History{}
+	_ = h.Record(Observation{Time: 5})
+	if err := h.Record(Observation{Time: 4}); err == nil {
+		t.Fatal("out-of-order accepted")
+	}
+}
+
+func TestHistoryTrim(t *testing.T) {
+	h := &History{}
+	for d := 0; d <= 10; d++ {
+		_ = h.Record(Observation{Time: float64(d), Changed: d%2 == 0})
+	}
+	h.Trim(3)
+	if h.Span() > 3.000001 {
+		t.Fatalf("span %v after trim", h.Span())
+	}
+	if h.Accesses() != len(h.intervals) || h.Detected() > h.Accesses() {
+		t.Fatal("counters inconsistent after trim")
+	}
+}
+
+func TestNaiveEstimate(t *testing.T) {
+	h := &History{}
+	_ = h.Record(Observation{Time: 0})
+	for d := 1; d <= 50; d++ {
+		_ = h.Record(Observation{Time: float64(d), Changed: d%10 == 0})
+	}
+	est, err := Naive(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Rate-0.1) > 1e-9 {
+		t.Fatalf("naive rate %v, want 0.1 (5 changes / 50 days)", est.Rate)
+	}
+	if est.Lo > est.Rate || est.Hi < est.Rate {
+		t.Fatalf("CI [%v,%v] excludes point %v", est.Lo, est.Hi, est.Rate)
+	}
+}
+
+func TestEstimateErrorsWithoutHistory(t *testing.T) {
+	h := &History{}
+	if _, err := Naive(h); err != ErrNoHistory {
+		t.Fatalf("naive: %v", err)
+	}
+	if _, err := EP(h); err != ErrNoHistory {
+		t.Fatalf("EP: %v", err)
+	}
+	if _, err := EPIrregular(h); err != ErrNoHistory {
+		t.Fatalf("EPIrregular: %v", err)
+	}
+}
+
+func TestEPFiniteWhenAllChanged(t *testing.T) {
+	// A page that changed on every visit: naive saturates at 1/interval,
+	// EP must stay finite but exceed the naive rate.
+	h := &History{}
+	_ = h.Record(Observation{Time: 0})
+	for d := 1; d <= 30; d++ {
+		_ = h.Record(Observation{Time: float64(d), Changed: true})
+	}
+	est, err := EP(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(est.Rate, 0) || math.IsNaN(est.Rate) {
+		t.Fatalf("EP rate %v", est.Rate)
+	}
+	nv, _ := Naive(h)
+	if est.Rate <= nv.Rate {
+		t.Fatalf("EP %v should exceed naive %v for saturated detection", est.Rate, nv.Rate)
+	}
+}
+
+func TestEPBiasCorrectionBeatsNaive(t *testing.T) {
+	// For a page changing faster than the access interval, the naive
+	// estimator saturates while EP stays closer to the truth.
+	rng := rand.New(rand.NewSource(1))
+	const rate = 1.5 // changes/day, visited daily
+	var epErr, naiveErr float64
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		h := &History{}
+		observe(rng, h, rate, 120)
+		ep, err := EP(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nv, err := Naive(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		epErr += math.Abs(ep.Rate - rate)
+		naiveErr += math.Abs(nv.Rate - rate)
+	}
+	if epErr >= naiveErr {
+		t.Fatalf("EP mean error %v not better than naive %v", epErr/trials, naiveErr/trials)
+	}
+}
+
+func TestEPRecoversModerateRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, rate := range []float64{0.05, 0.1, 0.3} {
+		var sum float64
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			h := &History{}
+			observe(rng, h, rate, 200)
+			est, err := EP(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += est.Rate
+		}
+		mean := sum / trials
+		if math.Abs(mean-rate)/rate > 0.15 {
+			t.Errorf("rate %v: EP mean %v", rate, mean)
+		}
+	}
+}
+
+func TestEPIrregularRecoversWithIrregularVisits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const rate = 0.2
+	var sum float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		h := &History{}
+		_ = h.Record(Observation{Time: 0})
+		tt := 0.0
+		nextChange := rng.ExpFloat64() / rate
+		for tt < 300 {
+			tt += 0.5 + 9.5*rng.Float64() // gaps 0.5..10 days
+			changed := false
+			for nextChange <= tt {
+				changed = true
+				nextChange += rng.ExpFloat64() / rate
+			}
+			_ = h.Record(Observation{Time: tt, Changed: changed})
+		}
+		est, err := EPIrregular(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est.Rate
+	}
+	mean := sum / trials
+	if math.Abs(mean-rate)/rate > 0.15 {
+		t.Fatalf("EPIrregular mean %v, want ~%v", mean, rate)
+	}
+}
+
+func TestEPIrregularNoChangesFallsBack(t *testing.T) {
+	h := &History{}
+	_ = h.Record(Observation{Time: 0})
+	_ = h.Record(Observation{Time: 10})
+	est, err := EPIrregular(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rate != 0 {
+		t.Fatalf("rate %v for changeless history", est.Rate)
+	}
+}
+
+func TestEstimateIntervalHelper(t *testing.T) {
+	if iv := (Estimate{Rate: 0.25}).Interval(); iv != 4 {
+		t.Fatalf("interval %v", iv)
+	}
+	if iv := (Estimate{}).Interval(); !math.IsInf(iv, 1) {
+		t.Fatalf("zero-rate interval %v", iv)
+	}
+}
+
+func TestEPConfidenceIntervalCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const rate = 0.1
+	misses := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		h := &History{}
+		observe(rng, h, rate, 150)
+		est, err := EP(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate < est.Lo || rate > est.Hi {
+			misses++
+		}
+	}
+	// 95% nominal coverage; allow generous slack for discretization.
+	if misses > trials/5 {
+		t.Fatalf("CI missed truth %d/%d times", misses, trials)
+	}
+}
+
+func TestSiteAggregateTightensCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const rate = 0.08
+	var single Estimate
+	agg := &SiteAggregate{}
+	for i := 0; i < 30; i++ {
+		h := &History{}
+		observe(rng, h, rate, 100)
+		agg.Add(h)
+		if i == 0 {
+			var err error
+			single, err = EP(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pooled, err := agg.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.Samples != 30*100 {
+		t.Fatalf("pooled samples %d", pooled.Samples)
+	}
+	if (pooled.Hi - pooled.Lo) >= (single.Hi - single.Lo) {
+		t.Fatalf("pooled CI %v not tighter than single %v",
+			pooled.Hi-pooled.Lo, single.Hi-single.Lo)
+	}
+	if math.Abs(pooled.Rate-rate)/rate > 0.3 {
+		t.Fatalf("pooled rate %v", pooled.Rate)
+	}
+}
+
+func TestSiteAggregateEmpty(t *testing.T) {
+	if _, err := (&SiteAggregate{}).Estimate(); err != ErrNoHistory {
+		t.Fatalf("empty aggregate: %v", err)
+	}
+}

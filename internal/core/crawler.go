@@ -1,0 +1,351 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"webevolve/internal/changefreq"
+	"webevolve/internal/fetch"
+	"webevolve/internal/frontier"
+	"webevolve/internal/scheduler"
+	"webevolve/internal/store"
+	"webevolve/internal/webgraph"
+)
+
+// Metrics counts crawler activity.
+type Metrics struct {
+	Fetches         int64
+	ChangesDetected int64
+	NotFound        int64
+	NewPages        int64
+	Admissions      int64
+	Evictions       int64
+	Swaps           int64
+	RankPasses      int64
+	BytesFetched    int64
+	IdleDays        float64
+}
+
+// Crawler is the incremental crawler engine (and, in batch+shadow+fixed
+// configuration, the periodic-style refresher over a fixed URL set). It
+// is single-threaded over virtual time: each fetch advances the virtual
+// day by the configured bandwidth's reciprocal, which makes experiments
+// deterministic. (The concurrent wall-clock driver lives in driver.go.)
+type Crawler struct {
+	cfg     Config
+	fetcher fetch.Fetcher
+
+	all      *frontier.AllUrls
+	coll     *frontier.CollUrls
+	shadowed *store.Shadowed
+	graph    *webgraph.Graph
+
+	policy  scheduler.Policy
+	optimal *scheduler.Optimal
+
+	est        map[string]*estimator
+	lastSum    map[string]uint64 // last crawled checksum per URL
+	importance map[string]float64
+	siteStats  *siteStats // non-nil when Config.SiteLevelStats is on
+
+	day      float64
+	nextRank float64
+	nextSwap float64
+
+	// Batch-mode resumable state: the remaining crawl list of the
+	// current cycle, its per-fetch virtual cost, and the next cycle
+	// start.
+	batchQueue    []string
+	batchPerFetch float64
+	nextCycle     float64
+
+	metrics Metrics
+}
+
+// New builds a crawler over the given fetcher, with an in-memory
+// collection.
+func New(cfg Config, f fetch.Fetcher) (*Crawler, error) {
+	return NewWithStore(cfg, f, store.NewShadowedMem())
+}
+
+// NewWithStore builds a crawler with a caller-provided collection pair
+// (e.g. disk-backed).
+func NewWithStore(cfg Config, f fetch.Fetcher, sh *store.Shadowed) (*Crawler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if f == nil {
+		return nil, errors.New("core: nil fetcher")
+	}
+	if sh == nil {
+		return nil, errors.New("core: nil store")
+	}
+	policy, opt, err := cfg.policy()
+	if err != nil {
+		return nil, err
+	}
+	c := &Crawler{
+		cfg:        cfg,
+		fetcher:    f,
+		all:        frontier.NewAllUrls(),
+		coll:       frontier.NewCollUrls(),
+		shadowed:   sh,
+		graph:      webgraph.New(),
+		policy:     policy,
+		optimal:    opt,
+		est:        make(map[string]*estimator),
+		lastSum:    make(map[string]uint64),
+		importance: make(map[string]float64),
+		nextRank:   0, // first pass immediately, to seed admissions
+		nextSwap:   cfg.CycleDays,
+	}
+	if cfg.SiteLevelStats {
+		c.siteStats = newSiteStats()
+	}
+	for _, s := range cfg.Seeds {
+		c.all.Add(s, 0)
+		c.admit(s, 0)
+	}
+	return c, nil
+}
+
+// Day returns the current virtual day.
+func (c *Crawler) Day() float64 { return c.day }
+
+// Metrics returns a copy of the activity counters.
+func (c *Crawler) Metrics() Metrics { return c.metrics }
+
+// Collection returns the collection currently visible to users (the
+// "current collection" of Section 4).
+func (c *Crawler) Collection() store.Collection { return c.shadowed.Current() }
+
+// AllUrls exposes the discovered-URL table.
+func (c *Crawler) AllUrls() *frontier.AllUrls { return c.all }
+
+// CollUrls exposes the revisit queue.
+func (c *Crawler) CollUrls() *frontier.CollUrls { return c.coll }
+
+// Graph exposes the link structure captured so far.
+func (c *Crawler) Graph() *webgraph.Graph { return c.graph }
+
+// writeTarget is where freshly crawled pages go.
+func (c *Crawler) writeTarget() store.Collection {
+	if c.cfg.Update == Shadow {
+		return c.shadowed.Shadow()
+	}
+	return c.shadowed.Current()
+}
+
+// RunUntil advances the crawl to the given virtual day.
+func (c *Crawler) RunUntil(until float64) error {
+	if c.cfg.Mode == Batch {
+		return c.runBatch(until)
+	}
+	return c.runSteady(until)
+}
+
+// runSteady is the steady-mode loop: pop the most due URL, crawl it, push
+// it back — continuously.
+func (c *Crawler) runSteady(until float64) error {
+	perFetch := 1 / c.cfg.PagesPerDay
+	for c.day < until {
+		if c.day >= c.nextRank {
+			if err := c.rankingPass(); err != nil {
+				return err
+			}
+			c.nextRank += c.cfg.RankEveryDays
+			continue
+		}
+		if c.cfg.Update == Shadow && c.day >= c.nextSwap {
+			if err := c.swap(); err != nil {
+				return err
+			}
+			c.nextSwap += c.cfg.CycleDays
+			continue
+		}
+		e, ok := c.coll.PopDue(c.day)
+		if !ok {
+			// Idle until the next event: head due, rank, or swap.
+			next := math.Min(c.nextRank, until)
+			if c.cfg.Update == Shadow {
+				next = math.Min(next, c.nextSwap)
+			}
+			if head, hok := c.coll.Peek(); hok {
+				next = math.Min(next, head.Due)
+			}
+			if next <= c.day {
+				next = c.day + perFetch
+			}
+			c.metrics.IdleDays += next - c.day
+			c.day = next
+			continue
+		}
+		if err := c.fetchOne(e.URL); err != nil {
+			return err
+		}
+		c.day += perFetch
+	}
+	return nil
+}
+
+// runBatch is the batch-mode loop: at each cycle start, crawl the whole
+// collection in a burst lasting BatchDays, then idle until the next
+// cycle. The peak speed is pagesPerCycle/BatchDays — higher than the
+// steady crawler's, the paper's peak-load argument.
+//
+// The loop is resumable at any virtual instant: RunUntil may stop it in
+// the middle of a batch crawl (evaluators sample freshness mid-cycle)
+// and the crawl continues exactly where it left off on the next call,
+// with the shadow swap happening only when the crawl truly completes.
+func (c *Crawler) runBatch(until float64) error {
+	for c.day < until {
+		if len(c.batchQueue) == 0 {
+			if c.day < c.nextCycle {
+				// Idle between the end of a crawl and the next cycle.
+				next := math.Min(c.nextCycle, until)
+				c.metrics.IdleDays += next - c.day
+				c.day = next
+				continue
+			}
+			// Start a new cycle: refine, then snapshot the crawl list.
+			if err := c.rankingPass(); err != nil {
+				return err
+			}
+			c.nextCycle = c.day + c.cfg.CycleDays
+			c.batchQueue = c.coll.URLs()
+			if len(c.batchQueue) == 0 {
+				c.day = math.Min(c.nextCycle, until)
+				continue
+			}
+			c.batchPerFetch = c.cfg.BatchDays / float64(len(c.batchQueue))
+			continue
+		}
+		u := c.batchQueue[0]
+		c.batchQueue = c.batchQueue[1:]
+		// Pop to keep queue bookkeeping honest; push-back happens in
+		// fetchOne.
+		c.coll.Remove(u)
+		if err := c.fetchOne(u); err != nil {
+			return err
+		}
+		c.day += c.batchPerFetch
+		if len(c.batchQueue) == 0 && c.cfg.Update == Shadow {
+			if err := c.swap(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fetchOne crawls one URL (Figure 11 steps [3]-[12]) and reschedules it.
+func (c *Crawler) fetchOne(url string) error {
+	res, err := c.fetcher.Fetch(url, c.day)
+	if err != nil {
+		return fmt.Errorf("core: fetching %s: %w", url, err)
+	}
+	c.metrics.Fetches++
+	c.metrics.BytesFetched += int64(res.Size)
+	if res.NotFound {
+		c.metrics.NotFound++
+		c.dropPage(url)
+		return nil
+	}
+
+	prevSum, seen := c.lastSum[url]
+	changed := seen && prevSum != res.Checksum
+	if changed {
+		c.metrics.ChangesDetected++
+	}
+	if !seen {
+		c.metrics.NewPages++
+	}
+	c.lastSum[url] = res.Checksum
+
+	est, ok := c.est[url]
+	if !ok {
+		est, err = newEstimator(c.cfg.Estimator)
+		if err != nil {
+			return err
+		}
+		c.est[url] = est
+	}
+	prevVisit, hadVisit := est.hist.Last()
+	if err := est.record(changefreq.Observation{Time: c.day, Changed: changed}, c.cfg.HistoryWindowDays); err != nil {
+		return fmt.Errorf("core: %s: %w", url, err)
+	}
+	if c.siteStats != nil && hadVisit && c.day > prevVisit {
+		c.siteStats.update(url, c.day, c.day-prevVisit, changed)
+	}
+
+	rec := store.PageRecord{
+		URL:        url,
+		Checksum:   res.Checksum,
+		FetchedAt:  c.day,
+		Version:    res.Version,
+		Links:      res.Links,
+		Importance: c.importance[url],
+	}
+	if c.cfg.StoreContent {
+		rec.Content = res.Content
+	}
+	if err := c.writeTarget().Put(rec); err != nil {
+		return fmt.Errorf("core: storing %s: %w", url, err)
+	}
+	c.all.SetInCollection(url, true)
+
+	// Figure 11 steps [11]-[12]: extract URLs, extend AllUrls; also feed
+	// the link structure the RankingModule scans.
+	c.graph.SetLinks(url, res.Links)
+	for _, l := range res.Links {
+		c.all.AddLink(url, l, c.day)
+	}
+
+	interval := c.policy.Interval(url, c.workingRate(url, est), c.importance[url])
+	interval = scheduler.Clamp(interval, c.cfg.MinIntervalDays, c.cfg.MaxIntervalDays)
+	c.coll.Push(url, c.day+interval, c.importance[url])
+	return nil
+}
+
+// dropPage removes a vanished page from the collection.
+func (c *Crawler) dropPage(url string) {
+	c.coll.Remove(url)
+	_ = c.shadowed.Current().Delete(url)
+	if c.cfg.Update == Shadow {
+		_ = c.shadowed.Shadow().Delete(url)
+	}
+	c.all.SetInCollection(url, false)
+	c.graph.RemovePage(url)
+	delete(c.est, url)
+	delete(c.lastSum, url)
+	if c.siteStats != nil {
+		c.siteStats.forget(url)
+	}
+}
+
+// swap publishes the shadow collection. Pages in the collection that were
+// not re-crawled this cycle are carried forward from the old current
+// collection, so slow-revisit pages do not vanish at swap time.
+func (c *Crawler) swap() error {
+	shadow := c.shadowed.Shadow()
+	cur := c.shadowed.Current()
+	err := cur.Scan(func(rec store.PageRecord) bool {
+		if !c.coll.Contains(rec.URL) {
+			return true // evicted; let it go
+		}
+		if _, ok, gerr := shadow.Get(rec.URL); gerr == nil && !ok {
+			_ = shadow.Put(rec)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := c.shadowed.Swap(); err != nil {
+		return err
+	}
+	c.metrics.Swaps++
+	return nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"webevolve/internal/changefreq"
+	"webevolve/internal/fetch"
+	"webevolve/internal/frontier"
+	"webevolve/internal/scheduler"
+	"webevolve/internal/store"
+)
+
+// UpdatePipeline is the wall-clock, concurrent form of the UpdateModule +
+// CrawlModule pair of Figure 12: one scheduler goroutine pops due URLs
+// from CollUrls and hands them to a pool of CrawlModule workers ("multiple
+// CrawlModules may run in parallel, depending on how fast we need to
+// crawl pages", Section 5.3). The ranking decision is deliberately
+// *absent* here — the paper's architectural point is that the
+// UpdateModule must sustain high page throughput (their example: 100M
+// pages/month needs ~40 pages/second) precisely because it never waits
+// for importance recomputation. BenchmarkUpdateModuleThroughput measures
+// this pipeline.
+type UpdatePipeline struct {
+	Fetcher fetch.Fetcher
+	Coll    *frontier.CollUrls
+	Store   store.Collection
+	Policy  scheduler.Policy
+	// Workers is the number of parallel CrawlModules (default 4).
+	Workers int
+	// MinIntervalDays / MaxIntervalDays clamp revisit intervals.
+	MinIntervalDays, MaxIntervalDays float64
+
+	mu      sync.Mutex
+	est     map[string]*changefreq.History
+	lastSum map[string]uint64
+
+	processed atomic.Int64
+	changed   atomic.Int64
+}
+
+// Run processes up to n due URLs (in virtual-day order) through the
+// worker pool, then returns. now is the virtual fetch day stamped on all
+// requests; the pipeline itself runs at wall speed.
+func (u *UpdatePipeline) Run(now float64, n int) error {
+	if u.Fetcher == nil || u.Coll == nil || u.Store == nil || u.Policy == nil {
+		return errors.New("core: pipeline missing a component")
+	}
+	workers := u.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if u.est == nil {
+		u.est = make(map[string]*changefreq.History)
+		u.lastSum = make(map[string]uint64)
+	}
+	type job struct{ url string }
+	jobs := make(chan job, workers)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := u.processOne(j.url, now); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	dispatched := 0
+	for dispatched < n {
+		e, ok := u.Coll.PopDue(now)
+		if !ok {
+			break
+		}
+		jobs <- job{url: e.URL}
+		dispatched++
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// processOne is one CrawlModule unit of work: fetch, checksum-compare,
+// estimator update, store, reschedule.
+func (u *UpdatePipeline) processOne(url string, now float64) error {
+	res, err := u.Fetcher.Fetch(url, now)
+	if err != nil {
+		return fmt.Errorf("core: pipeline fetch %s: %w", url, err)
+	}
+	u.processed.Add(1)
+	if res.NotFound {
+		_ = u.Store.Delete(url)
+		return nil
+	}
+
+	u.mu.Lock()
+	prev, seen := u.lastSum[url]
+	changed := seen && prev != res.Checksum
+	u.lastSum[url] = res.Checksum
+	h, ok := u.est[url]
+	if !ok {
+		h = &changefreq.History{}
+		u.est[url] = h
+	}
+	err = h.Record(changefreq.Observation{Time: now, Changed: changed})
+	var rate float64
+	if est, eerr := changefreq.EP(h); eerr == nil {
+		rate = est.Rate
+	}
+	u.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if changed {
+		u.changed.Add(1)
+	}
+
+	if err := u.Store.Put(store.PageRecord{
+		URL:       url,
+		Checksum:  res.Checksum,
+		FetchedAt: now,
+		Version:   res.Version,
+		Links:     res.Links,
+	}); err != nil {
+		return err
+	}
+	interval := scheduler.Clamp(u.Policy.Interval(url, rate, 0),
+		u.MinIntervalDays, u.MaxIntervalDays)
+	u.Coll.Push(url, now+interval, 0)
+	return nil
+}
+
+// Processed returns how many pages the pipeline has handled.
+func (u *UpdatePipeline) Processed() int64 { return u.processed.Load() }
+
+// Changed returns how many changes were detected.
+func (u *UpdatePipeline) Changed() int64 { return u.changed.Load() }

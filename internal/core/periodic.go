@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"webevolve/internal/fetch"
+	"webevolve/internal/store"
+)
+
+// Periodic is the paper's periodic-crawler baseline (the right-hand side
+// of Figure 10): batch-mode, shadowing, fixed frequency — and, unlike the
+// incremental crawler refreshing a managed URL set, it rebuilds its
+// collection *from scratch* each cycle: "the crawler builds a brand new
+// collection ... and then replaces the old collection with this brand new
+// one" (Section 1). New pages therefore become visible only at the end of
+// the crawl in which they are first discovered.
+type Periodic struct {
+	cfg     Config
+	fetcher fetch.Fetcher
+
+	shadowed *store.Shadowed
+	day      float64
+	metrics  Metrics
+}
+
+// NewPeriodic builds the baseline crawler. Only Seeds, CollectionSize,
+// CycleDays, BatchDays, PagesPerDay and StoreContent are honoured from
+// cfg; the mode/update/frequency knobs are fixed by definition.
+func NewPeriodic(cfg Config, f fetch.Fetcher) (*Periodic, error) {
+	cfg.Mode = Batch
+	cfg.Update = Shadow
+	cfg.Freq = FixedFreq
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if f == nil {
+		return nil, errors.New("core: nil fetcher")
+	}
+	return &Periodic{
+		cfg:      cfg,
+		fetcher:  f,
+		shadowed: store.NewShadowedMem(),
+	}, nil
+}
+
+// Day returns the current virtual day.
+func (p *Periodic) Day() float64 { return p.day }
+
+// Metrics returns a copy of the counters.
+func (p *Periodic) Metrics() Metrics { return p.metrics }
+
+// Collection returns the collection visible to users.
+func (p *Periodic) Collection() store.Collection { return p.shadowed.Current() }
+
+// RunUntil advances the crawl to the given virtual day.
+func (p *Periodic) RunUntil(until float64) error {
+	for p.day < until {
+		cycleStart := p.day
+		if err := p.crawlCycle(until); err != nil {
+			return err
+		}
+		if _, err := p.shadowed.Swap(); err != nil {
+			return err
+		}
+		p.metrics.Swaps++
+		next := cycleStart + p.cfg.CycleDays
+		if next > p.day {
+			p.metrics.IdleDays += next - p.day
+			p.day = next
+		}
+	}
+	return nil
+}
+
+// crawlCycle performs one from-scratch BFS crawl of up to CollectionSize
+// pages into the shadow collection, paced so the whole crawl spans
+// BatchDays.
+func (p *Periodic) crawlCycle(until float64) error {
+	perFetch := p.cfg.BatchDays / float64(p.cfg.CollectionSize)
+	shadow := p.shadowed.Shadow()
+	queue := append([]string(nil), p.cfg.Seeds...)
+	seen := make(map[string]struct{}, p.cfg.CollectionSize)
+	for _, s := range p.cfg.Seeds {
+		seen[s] = struct{}{}
+	}
+	stored := 0
+	for len(queue) > 0 && stored < p.cfg.CollectionSize && p.day < until {
+		url := queue[0]
+		queue = queue[1:]
+		res, err := p.fetcher.Fetch(url, p.day)
+		if err != nil {
+			return fmt.Errorf("core: periodic fetch %s: %w", url, err)
+		}
+		p.metrics.Fetches++
+		p.metrics.BytesFetched += int64(res.Size)
+		p.day += perFetch
+		if res.NotFound {
+			p.metrics.NotFound++
+			continue
+		}
+		rec := store.PageRecord{
+			URL:       url,
+			Checksum:  res.Checksum,
+			FetchedAt: res.Day,
+			Version:   res.Version,
+			Links:     res.Links,
+		}
+		if p.cfg.StoreContent {
+			rec.Content = res.Content
+		}
+		if err := shadow.Put(rec); err != nil {
+			return err
+		}
+		stored++
+		for _, l := range res.Links {
+			if _, ok := seen[l]; ok {
+				continue
+			}
+			seen[l] = struct{}{}
+			queue = append(queue, l)
+		}
+	}
+	return nil
+}
+
+// PeakPagesPerDay reports the crawl-phase fetch rate, for the peak-load
+// comparison of Section 4: a batch crawler doing a cycle's work in
+// BatchDays runs at CycleDays/BatchDays times the steady rate.
+func (p *Periodic) PeakPagesPerDay() float64 {
+	return float64(p.cfg.CollectionSize) / p.cfg.BatchDays
+}
+
+// SteadyEquivalentPagesPerDay is the average rate over a full cycle.
+func (p *Periodic) SteadyEquivalentPagesPerDay() float64 {
+	return float64(p.cfg.CollectionSize) / p.cfg.CycleDays
+}
+
+// PeakLoadRatio is Peak/SteadyEquivalent (== CycleDays/BatchDays).
+func (p *Periodic) PeakLoadRatio() float64 {
+	return math.Max(1, p.cfg.CycleDays/p.cfg.BatchDays)
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sort"
+
+	"webevolve/internal/frontier"
+	"webevolve/internal/pagerank"
+)
+
+// rankingPass is the RankingModule of Figure 12: recompute importance
+// over the captured link structure, refresh AllUrls scores, rebuild the
+// variable-frequency plan, and make the refinement decision — admit
+// important new pages (at the front of CollUrls, so they are crawled
+// immediately) and discard the least important pages to keep the
+// collection at its target size.
+//
+// The paper stresses that this pass is expensive (PageRank scans the
+// whole collection) and therefore must run on its own cadence, decoupled
+// from the UpdateModule's per-page work; here that cadence is
+// Config.RankEveryDays.
+func (c *Crawler) rankingPass() error {
+	c.metrics.RankPasses++
+	snap := c.graph.Snapshot()
+	ranks, _, err := pagerank.Pages(snap, pagerank.Options{Damping: 0.9})
+	if err != nil {
+		return err
+	}
+	c.importance = ranks
+	for url, r := range ranks {
+		c.all.SetImportance(url, r)
+	}
+
+	if c.optimal != nil {
+		rates := make(map[string]float64, c.coll.Len())
+		prior := 1 / (4 * c.cfg.CycleDays) // the paper's ~4-month mean
+		for _, u := range c.coll.URLs() {
+			r := prior
+			if e, ok := c.est[u]; ok {
+				if er := c.workingRate(u, e); er > 0 {
+					r = er
+				}
+			}
+			rates[u] = r
+		}
+		if len(rates) > 0 {
+			if err := c.optimal.Rebuild(rates); err != nil {
+				return err
+			}
+		}
+	}
+
+	return c.refine(ranks)
+}
+
+// refine implements the refinement decision (Section 5.2): replace
+// less-important collection pages with more-important discovered pages.
+func (c *Crawler) refine(ranks map[string]float64) error {
+	inColl := make(map[string]bool, c.coll.Len())
+	for _, u := range c.coll.URLs() {
+		inColl[u] = true
+	}
+
+	// Candidates: discovered URLs not in the collection, best first.
+	// Importance for never-crawled pages comes from the same PageRank
+	// solve — they are graph nodes via their in-links (footnote 2).
+	type cand struct {
+		url string
+		imp float64
+	}
+	var cands []cand
+	c.all.Scan(func(info frontier.URLInfo) bool {
+		if inColl[info.URL] {
+			return true
+		}
+		imp := ranks[info.URL]
+		if imp == 0 {
+			// Unranked discovery: score by in-link count so fresh URLs
+			// can still enter a non-full collection.
+			imp = 0.1 * float64(info.InLinks)
+		}
+		cands = append(cands, cand{url: info.URL, imp: imp})
+		return len(cands) < c.cfg.MaxCandidates
+	})
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].imp != cands[j].imp {
+			return cands[i].imp > cands[j].imp
+		}
+		return cands[i].url < cands[j].url
+	})
+
+	// Fill free slots first.
+	free := c.cfg.CollectionSize - len(inColl)
+	idx := 0
+	for free > 0 && idx < len(cands) {
+		c.admit(cands[idx].url, cands[idx].imp)
+		idx++
+		free--
+	}
+	if idx >= len(cands) {
+		return nil
+	}
+
+	// Replacement: worst collection members vs best remaining candidates.
+	type member struct {
+		url string
+		imp float64
+	}
+	members := make([]member, 0, len(inColl))
+	for u := range inColl {
+		members = append(members, member{url: u, imp: ranks[u]})
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].imp != members[j].imp {
+			return members[i].imp < members[j].imp
+		}
+		return members[i].url < members[j].url
+	})
+	maxReplace := len(members)/20 + 1 // refine gradually; avoids thrash
+	replaced := 0
+	mi := 0
+	for idx < len(cands) && mi < len(members) && replaced < maxReplace {
+		cd, mb := cands[idx], members[mi]
+		if isSeed(c.cfg.Seeds, mb.url) {
+			mi++ // never evict seeds; they anchor discovery
+			continue
+		}
+		if cd.imp <= mb.imp*(1+c.cfg.EvictionHysteresis) {
+			break // best candidate cannot beat the worst member
+		}
+		c.evict(mb.url)
+		c.admit(cd.url, cd.imp)
+		idx++
+		mi++
+		replaced++
+	}
+	return nil
+}
+
+// admit schedules url for immediate crawling as a (future) collection
+// member: "the URL for this new page is placed on the top of CollUrls, so
+// that the UpdateModule can crawl the page immediately".
+func (c *Crawler) admit(url string, imp float64) {
+	c.metrics.Admissions++
+	c.coll.Push(url, c.day, imp) // due now = front of the queue
+	c.all.SetInCollection(url, true)
+}
+
+// evict discards a page from the collection (Figure 11 steps [7]-[8]).
+func (c *Crawler) evict(url string) {
+	c.metrics.Evictions++
+	c.coll.Remove(url)
+	_ = c.shadowed.Current().Delete(url)
+	if c.cfg.Update == Shadow {
+		_ = c.shadowed.Shadow().Delete(url)
+	}
+	c.all.SetInCollection(url, false)
+	delete(c.est, url)
+	delete(c.lastSum, url)
+	// The page's link structure stays in the graph: AllUrls remembers
+	// everything discovered, and the page may be re-admitted later.
+}
+
+func isSeed(seeds []string, url string) bool {
+	for _, s := range seeds {
+		if s == url {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,368 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"webevolve/internal/simweb"
+)
+
+func testWeb(t *testing.T, seed int64, pages int) *simweb.Web {
+	t.Helper()
+	w, err := simweb.New(simweb.Config{
+		Seed: seed,
+		SitesPerDomain: map[simweb.Domain]int{
+			simweb.Com: 6, simweb.Edu: 4, simweb.NetOrg: 2, simweb.Gov: 2,
+		},
+		PagesPerSite: pages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestMonitorValidation(t *testing.T) {
+	w := testWeb(t, 1, 10)
+	if _, err := Monitor(w, MonitorConfig{Days: 1}); err == nil {
+		t.Fatal("1-day experiment accepted")
+	}
+}
+
+func TestMonitorObservesAllPages(t *testing.T) {
+	w := testWeb(t, 2, 20)
+	obs, err := Monitor(w, MonitorConfig{Days: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least the initial window population must have been observed.
+	if obs.NumPages() < 14*20 {
+		t.Fatalf("observed %d pages, want >= %d", obs.NumPages(), 14*20)
+	}
+	// Root pages exist and span the whole experiment.
+	root := w.Sites()[0].RootURL()
+	tr, err := obs.trackFor(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.firstSeen != 0 || tr.lastSeen != 29 {
+		t.Fatalf("root track %d..%d", tr.firstSeen, tr.lastSeen)
+	}
+	if tr.visibleDays() != 30 || tr.censored(30) != true {
+		t.Fatalf("root lifespan %d censored=%v", tr.visibleDays(), tr.censored(30))
+	}
+}
+
+func TestMonitorDeterministic(t *testing.T) {
+	run := func() (int, []float64) {
+		w := testWeb(t, 3, 15)
+		obs, err := Monitor(w, MonitorConfig{Days: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obs.NumPages(), obs.Figure2().Overall.Fractions()
+	}
+	n1, f1 := run()
+	n2, f2 := run()
+	if n1 != n2 {
+		t.Fatalf("page counts differ: %d vs %d", n1, n2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("figure 2 fractions differ at %d", i)
+		}
+	}
+}
+
+func TestFigure2FractionsSumToOne(t *testing.T) {
+	w := testWeb(t, 4, 25)
+	obs, err := Monitor(w, MonitorConfig{Days: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.Figure2()
+	sum := 0.0
+	for _, f := range r.Overall.Fractions() {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum %v", sum)
+	}
+	if r.MeanIntervalDays <= 0 {
+		t.Fatalf("mean interval %v", r.MeanIntervalDays)
+	}
+	for _, d := range simweb.Domains {
+		if r.ByDomain[d].Total() == 0 {
+			t.Fatalf("domain %s unpopulated", d)
+		}
+	}
+}
+
+func TestFigure2ComFasterThanGov(t *testing.T) {
+	w := testWeb(t, 5, 40)
+	obs, err := Monitor(w, MonitorConfig{Days: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.Figure2()
+	comDaily := r.ByDomain[simweb.Com].Fractions()[0]
+	govDaily := r.ByDomain[simweb.Gov].Fractions()[0]
+	if comDaily <= govDaily {
+		t.Fatalf("com daily %v not above gov %v", comDaily, govDaily)
+	}
+	comStatic := r.ByDomain[simweb.Com].Fractions()[4]
+	govStatic := r.ByDomain[simweb.Gov].Fractions()[4]
+	if govStatic <= comStatic {
+		t.Fatalf("gov static %v not above com %v", govStatic, comStatic)
+	}
+}
+
+func TestFigure4MethodsDiffer(t *testing.T) {
+	w := testWeb(t, 6, 30)
+	obs, err := Monitor(w, MonitorConfig{Days: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.Figure4()
+	if r.Method1.Total() != r.Method2.Total() {
+		t.Fatal("methods saw different page counts")
+	}
+	// Method 2 doubles censored spans, so its top bucket (>4 months)
+	// must hold at least as many pages as Method 1's.
+	m1Top := r.Method1.Fractions()[3]
+	m2Top := r.Method2.Fractions()[3]
+	if m2Top < m1Top {
+		t.Fatalf("method2 top bucket %v below method1 %v", m2Top, m1Top)
+	}
+}
+
+func TestFigure4DomainOrdering(t *testing.T) {
+	w := testWeb(t, 7, 40)
+	obs, err := Monitor(w, MonitorConfig{Days: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.Figure4()
+	// Paper: com pages shortest lived, edu/gov longest (Figure 4(b)).
+	comTop := r.ByDomainM1[simweb.Com].Fractions()[3]
+	eduTop := r.ByDomainM1[simweb.Edu].Fractions()[3]
+	if eduTop <= comTop {
+		t.Fatalf("edu long-lived fraction %v not above com %v", eduTop, comTop)
+	}
+}
+
+func TestFigure5MonotoneAndAnchored(t *testing.T) {
+	w := testWeb(t, 8, 30)
+	obs, err := Monitor(w, MonitorConfig{Days: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.Figure5()
+	if r.CohortSize == 0 {
+		t.Fatal("empty cohort")
+	}
+	if r.Unchanged[0] != 1 {
+		t.Fatalf("day-0 fraction %v, want 1", r.Unchanged[0])
+	}
+	for i := 1; i < len(r.Unchanged); i++ {
+		if r.Unchanged[i] > r.Unchanged[i-1]+1e-12 {
+			t.Fatalf("curve increased at day %d", i)
+		}
+	}
+	for _, d := range simweb.Domains {
+		curve := r.ByDomain[d]
+		if curve[0] != 1 {
+			t.Fatalf("domain %s day-0 %v", d, curve[0])
+		}
+	}
+}
+
+func TestFigure5DomainOrdering(t *testing.T) {
+	w := testWeb(t, 9, 40)
+	obs, err := Monitor(w, MonitorConfig{Days: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.Figure5()
+	day := 30
+	com := r.ByDomain[simweb.Com][day]
+	gov := r.ByDomain[simweb.Gov][day]
+	if com >= gov {
+		t.Fatalf("day %d: com unchanged %v not below gov %v", day, com, gov)
+	}
+}
+
+func TestHalfLifeDays(t *testing.T) {
+	curve := []float64{1, 0.9, 0.7, 0.5, 0.3}
+	hl, ok := HalfLifeDays(curve)
+	if !ok || math.Abs(hl-3) > 1e-9 {
+		t.Fatalf("half-life %v ok=%v", hl, ok)
+	}
+	// Interpolated crossing.
+	curve = []float64{1, 0.6, 0.4}
+	hl, ok = HalfLifeDays(curve)
+	if !ok || math.Abs(hl-1.5) > 1e-9 {
+		t.Fatalf("interpolated half-life %v", hl)
+	}
+	if _, ok := HalfLifeDays([]float64{1, 0.9, 0.8}); ok {
+		t.Fatal("uncrossed curve reported a half-life")
+	}
+	if hl, ok := HalfLifeDays([]float64{0.4, 0.3}); !ok || hl != 0 {
+		t.Fatalf("immediate crossing %v ok=%v", hl, ok)
+	}
+}
+
+func TestFigure6PoissonFit(t *testing.T) {
+	w := testWeb(t, 10, 60)
+	obs, err := Monitor(w, MonitorConfig{Days: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := obs.Figure6(10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SampleGaps < 50 {
+		t.Fatalf("too few gaps pooled: %d", r.SampleGaps)
+	}
+	// Semilog fit must be a good straight line with a decay rate in the
+	// right ballpark (selection bias and truncation push it high).
+	if r.FitR2 < 0.85 {
+		t.Fatalf("semilog fit R2 %v", r.FitR2)
+	}
+	if r.FittedRate < 0.05 || r.FittedRate > 0.25 {
+		t.Fatalf("fitted rate %v for 10-day class", r.FittedRate)
+	}
+	// Observed fractions sum to ~1 and prediction is a proper pmf head.
+	sum := 0.0
+	for _, f := range r.ObservedFrac {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("observed fractions sum %v", sum)
+	}
+}
+
+func TestFigure6Validation(t *testing.T) {
+	w := testWeb(t, 11, 10)
+	obs, err := Monitor(w, MonitorConfig{Days: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.Figure6(0, 0.2); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := obs.Figure6(10, 0); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+	// A target class with no pages must error cleanly.
+	if _, err := obs.Figure6(100000, 0.001); err == nil {
+		t.Fatal("empty class accepted")
+	}
+}
+
+func TestSelectSites(t *testing.T) {
+	w, err := simweb.New(simweb.Config{
+		Seed: 12,
+		SitesPerDomain: map[simweb.Domain]int{
+			simweb.Com: 40, simweb.Edu: 24, simweb.NetOrg: 10, simweb.Gov: 10,
+		},
+		PagesPerSite: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SelectSites(w, SelectionConfig{CandidateCount: 60, KeepCount: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Candidates) != 60 || len(sel.Selected) != 40 {
+		t.Fatalf("candidates %d selected %d", len(sel.Candidates), len(sel.Selected))
+	}
+	total := 0
+	for _, n := range sel.Table1 {
+		total += n
+	}
+	if total != 40 {
+		t.Fatalf("table1 total %d", total)
+	}
+	// Selected sites must be ranked descending.
+	for i := 1; i < len(sel.Selected); i++ {
+		if sel.Selected[i].Score > sel.Selected[i-1].Score {
+			t.Fatal("selected not sorted by rank")
+		}
+	}
+	// Candidates must be the top of the universe: their minimum score
+	// should be >= any non-candidate's score. Spot-check determinism too.
+	sel2, err := SelectSites(w, SelectionConfig{CandidateCount: 60, KeepCount: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sel.Selected {
+		if sel.Selected[i].ID != sel2.Selected[i].ID {
+			t.Fatal("consent lottery not deterministic")
+		}
+	}
+}
+
+func TestSelectSitesPopularityCorrelates(t *testing.T) {
+	// Sites selected by PageRank should skew toward intrinsically
+	// popular sites (low popularity rank in the generator).
+	w, err := simweb.New(simweb.Config{
+		Seed: 13,
+		SitesPerDomain: map[simweb.Domain]int{
+			simweb.Com: 60, simweb.Edu: 30, simweb.NetOrg: 15, simweb.Gov: 15,
+		},
+		PagesPerSite:   15,
+		PopularitySkew: 1.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SelectSites(w, SelectionConfig{CandidateCount: 30, KeepCount: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumRank float64
+	for _, s := range sel.Selected {
+		site, ok := w.SiteByHost(s.ID)
+		if !ok {
+			t.Fatalf("selected unknown site %s", s.ID)
+		}
+		sumRank += float64(site.PopularityRank())
+	}
+	meanRank := sumRank / float64(len(sel.Selected))
+	// Random selection would average (120-1)/2 = 59.5; PageRank selection
+	// must do much better.
+	if meanRank > 45 {
+		t.Fatalf("mean popularity rank of selected sites %v — selection is not popularity-driven", meanRank)
+	}
+}
+
+func TestSelectSitesValidation(t *testing.T) {
+	w := testWeb(t, 14, 10)
+	if _, err := SelectSites(w, SelectionConfig{CandidateCount: 0, KeepCount: 0}); err == nil {
+		t.Fatal("zero counts accepted")
+	}
+	if _, err := SelectSites(w, SelectionConfig{CandidateCount: 5, KeepCount: 10}); err == nil {
+		t.Fatal("keep > candidates accepted")
+	}
+}
+
+func TestAvgChangeIntervalEstimate(t *testing.T) {
+	tr := &pageTrack{firstSeen: 0, lastSeen: 50, changes: 5}
+	iv, ok := tr.avgChangeIntervalDays()
+	if !ok || iv != 10 {
+		t.Fatalf("interval %v ok=%v, want the paper's 50/5=10", iv, ok)
+	}
+	// No changes: no estimate.
+	tr = &pageTrack{firstSeen: 0, lastSeen: 50}
+	if _, ok := tr.avgChangeIntervalDays(); ok {
+		t.Fatal("changeless page produced an estimate")
+	}
+	// Single observation: no estimate.
+	tr = &pageTrack{firstSeen: 3, lastSeen: 3, changes: 1}
+	if _, ok := tr.avgChangeIntervalDays(); ok {
+		t.Fatal("single-day page produced an estimate")
+	}
+}

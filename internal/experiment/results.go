@@ -1,0 +1,264 @@
+package experiment
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"webevolve/internal/simweb"
+	"webevolve/internal/stats"
+)
+
+// Figure2Result is the change-interval distribution of Figure 2: the
+// fraction of pages whose average change interval falls in each paper
+// bucket, overall and per domain. Pages with no detected change over the
+// whole experiment land in the ">4months" bucket, as in the paper.
+type Figure2Result struct {
+	Overall  *stats.Histogram
+	ByDomain map[simweb.Domain]*stats.Histogram
+	// MeanIntervalDays is the crude overall mean of Section 3.1: pages in
+	// the first bucket counted as changing daily, pages in the last as
+	// changing yearly. The paper reports ~4 months.
+	MeanIntervalDays float64
+}
+
+// Figure2 computes the change-interval distributions.
+func (o *Observations) Figure2() *Figure2Result {
+	res := &Figure2Result{
+		Overall:  stats.NewPaperIntervalHistogram(),
+		ByDomain: make(map[simweb.Domain]*stats.Histogram),
+	}
+	for _, d := range simweb.Domains {
+		res.ByDomain[d] = stats.NewPaperIntervalHistogram()
+	}
+	bigInterval := float64(o.Days) * 10 // lands in the overflow bucket
+	for _, t := range o.tracks {
+		iv, ok := t.avgChangeIntervalDays()
+		if !ok {
+			iv = bigInterval
+		}
+		res.Overall.Add(iv)
+		if h, ok2 := res.ByDomain[t.domain]; ok2 {
+			h.Add(iv)
+		}
+	}
+	// Crude overall mean, Section 3.1's approximation: first bucket =
+	// 1 day, middle buckets = midpoints, overflow = 1 year.
+	fr := res.Overall.Fractions()
+	assumed := []float64{1, (1 + 7) / 2.0, (7 + 30) / 2.0, (30 + 120) / 2.0, 365}
+	for i, f := range fr {
+		res.MeanIntervalDays += f * assumed[i]
+	}
+	return res
+}
+
+// Figure4Result is the visible-lifespan distribution of Figure 4 under
+// both censoring corrections of Section 3.2.
+type Figure4Result struct {
+	Method1 *stats.Histogram
+	Method2 *stats.Histogram
+	// ByDomainM1 gives the Method 1 histogram per domain (the paper's
+	// Figure 4(b) shows Method 1 only).
+	ByDomainM1 map[simweb.Domain]*stats.Histogram
+}
+
+// Figure4 computes lifespan histograms. Method 1 uses the observed
+// in-window span s directly; Method 2 doubles s for pages censored by
+// the experiment boundary (cases (a), (c), (d) of Figure 3).
+func (o *Observations) Figure4() *Figure4Result {
+	res := &Figure4Result{
+		Method1:    stats.NewPaperLifespanHistogram(),
+		Method2:    stats.NewPaperLifespanHistogram(),
+		ByDomainM1: make(map[simweb.Domain]*stats.Histogram),
+	}
+	for _, d := range simweb.Domains {
+		res.ByDomainM1[d] = stats.NewPaperLifespanHistogram()
+	}
+	for _, t := range o.tracks {
+		s := float64(t.visibleDays())
+		res.Method1.Add(s)
+		if h, ok := res.ByDomainM1[t.domain]; ok {
+			h.Add(s)
+		}
+		if t.censored(o.Days) {
+			res.Method2.Add(2 * s)
+		} else {
+			res.Method2.Add(s)
+		}
+	}
+	return res
+}
+
+// Figure5Result is the "fraction unchanged by day" study of Figure 5,
+// over the cohort of pages present on day 0: for each day, the fraction
+// of cohort pages that had neither changed nor disappeared.
+type Figure5Result struct {
+	// Unchanged[t] is the overall fraction at day t (index 0..Days-1).
+	Unchanged []float64
+	ByDomain  map[simweb.Domain][]float64
+	// CohortSize is the number of day-0 pages.
+	CohortSize int
+}
+
+// Figure5 computes the unchanged-fraction curves.
+func (o *Observations) Figure5() *Figure5Result {
+	res := &Figure5Result{
+		Unchanged: make([]float64, o.Days),
+		ByDomain:  make(map[simweb.Domain][]float64),
+	}
+	counts := make([]int, o.Days)
+	domCounts := make(map[simweb.Domain][]int)
+	domTotal := make(map[simweb.Domain]int)
+	for _, d := range simweb.Domains {
+		domCounts[d] = make([]int, o.Days)
+		res.ByDomain[d] = make([]float64, o.Days)
+	}
+	for _, t := range o.tracks {
+		if !t.firstIsFull {
+			continue // not in the day-0 cohort
+		}
+		res.CohortSize++
+		domTotal[t.domain]++
+		// Day the page stopped being pristine: first change or first
+		// absence, whichever came first; o.Days when neither happened.
+		event := o.Days
+		if t.firstChange >= 0 {
+			event = t.firstChange
+		}
+		if t.lastSeen < o.Days-1 && t.lastSeen+1 < event {
+			event = t.lastSeen + 1
+		}
+		for day := 0; day < event && day < o.Days; day++ {
+			counts[day]++
+			if dc, ok := domCounts[t.domain]; ok {
+				dc[day]++
+			}
+		}
+	}
+	for day := 0; day < o.Days; day++ {
+		if res.CohortSize > 0 {
+			res.Unchanged[day] = float64(counts[day]) / float64(res.CohortSize)
+		}
+		for _, d := range simweb.Domains {
+			if domTotal[d] > 0 {
+				res.ByDomain[d][day] = float64(domCounts[d][day]) / float64(domTotal[d])
+			}
+		}
+	}
+	return res
+}
+
+// HalfLifeDays returns the first day at which the given unchanged-curve
+// falls to 0.5 or below, with linear interpolation between days; ok is
+// false when the curve never reaches 0.5 within the experiment (the
+// paper's gov domain barely does in 4 months).
+func HalfLifeDays(curve []float64) (float64, bool) {
+	for i, f := range curve {
+		if f <= 0.5 {
+			if i == 0 {
+				return 0, true
+			}
+			prev := curve[i-1]
+			if prev == f {
+				return float64(i), true
+			}
+			// Interpolate between day i-1 (prev > 0.5) and day i (f).
+			frac := (prev - 0.5) / (prev - f)
+			return float64(i-1) + frac, true
+		}
+	}
+	return 0, false
+}
+
+// Figure6Result compares the observed change-interval distribution of
+// pages with a given average change interval against the Poisson
+// prediction (Figure 6's semilog plots).
+type Figure6Result struct {
+	// TargetIntervalDays is the selected page class (10 or 20 in the
+	// paper).
+	TargetIntervalDays float64
+	// GapDays[i] / ObservedFrac[i] is the observed fraction of detected
+	// change gaps equal to GapDays[i].
+	GapDays      []float64
+	ObservedFrac []float64
+	// PredictedFrac is the Poisson-process prediction for the same gaps,
+	// accounting for the daily sampling granularity: gaps are geometric
+	// with p = 1 - exp(-lambda), the discretized exponential.
+	PredictedFrac []float64
+	// FittedRate is the exponential decay rate fitted to the observed
+	// fractions on the semilog scale; under the Poisson hypothesis it
+	// should be close to 1/TargetIntervalDays.
+	FittedRate float64
+	// FitR2 is the goodness of the log-linear fit (straight line on the
+	// semilog plot).
+	FitR2 float64
+	// KSStat / KSPValue report a Kolmogorov-Smirnov test of the pooled
+	// gaps against the exponential distribution with rate 1/target; a
+	// large p-value means the Poisson hypothesis survives. The daily
+	// sampling granularity discretizes the gaps, so KS is conservative
+	// here (it sees step functions); the paper's Figure 6 makes the same
+	// comparison visually.
+	KSStat   float64
+	KSPValue float64
+	// SampleGaps is the number of change gaps pooled.
+	SampleGaps int
+}
+
+// Figure6 pools change gaps from pages whose estimated average change
+// interval lies within tolerance of target (relative), and compares their
+// distribution with the Poisson prediction.
+func (o *Observations) Figure6(targetIntervalDays, tolerance float64) (*Figure6Result, error) {
+	if targetIntervalDays <= 0 || tolerance <= 0 {
+		return nil, errors.New("experiment: bad figure 6 parameters")
+	}
+	lo := targetIntervalDays * (1 - tolerance)
+	hi := targetIntervalDays * (1 + tolerance)
+	gapCount := make(map[int]int)
+	total := 0
+	for _, t := range o.tracks {
+		iv, ok := t.avgChangeIntervalDays()
+		if !ok || iv < lo || iv > hi {
+			continue
+		}
+		for _, g := range t.changeGaps {
+			if g >= 1 {
+				gapCount[g]++
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return nil, errors.New("experiment: no pages in the target interval class")
+	}
+	gaps := make([]int, 0, len(gapCount))
+	for g := range gapCount {
+		gaps = append(gaps, g)
+	}
+	sort.Ints(gaps)
+	res := &Figure6Result{TargetIntervalDays: targetIntervalDays, SampleGaps: total}
+	lambda := 1 / targetIntervalDays
+	p := 1 - math.Exp(-lambda)
+	for _, g := range gaps {
+		res.GapDays = append(res.GapDays, float64(g))
+		res.ObservedFrac = append(res.ObservedFrac, float64(gapCount[g])/float64(total))
+		res.PredictedFrac = append(res.PredictedFrac, math.Pow(1-p, float64(g-1))*p)
+	}
+	fit, err := stats.FitExponential(res.GapDays, res.ObservedFrac)
+	if err == nil {
+		res.FittedRate = fit.Rate
+		res.FitR2 = fit.R2
+	}
+	var pooled []float64
+	for g, n := range gapCount {
+		for i := 0; i < n; i++ {
+			// Jitter integer gaps to the interval midpoint: a detected
+			// gap of g days corresponds to a true gap in (g-1, g].
+			pooled = append(pooled, float64(g)-0.5)
+		}
+	}
+	if d, pv, kerr := stats.KSExponential(pooled, lambda); kerr == nil {
+		res.KSStat = d
+		res.KSPValue = pv
+	}
+	return res, nil
+}

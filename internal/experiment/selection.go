@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"errors"
+	"sort"
+
+	"webevolve/internal/pagerank"
+	"webevolve/internal/simweb"
+	"webevolve/internal/webgraph"
+)
+
+// Site selection (Section 2.2, Table 1): from a snapshot of the web,
+// compute the modified (site-level) PageRank over the hypergraph whose
+// nodes are sites, take the top candidateCount sites as candidates, and
+// keep those whose webmasters consent — the paper contacted 400 and kept
+// 270.
+
+// SelectionConfig parameterizes site selection.
+type SelectionConfig struct {
+	// CandidateCount is how many top-ranked sites to shortlist (400 in
+	// the paper).
+	CandidateCount int
+	// KeepCount is how many sites remain after the consent step (270 in
+	// the paper). Consent is simulated deterministically from Seed.
+	KeepCount int
+	// Seed drives the consent lottery.
+	Seed int64
+	// Damping is the PageRank damping factor (the paper used 0.9).
+	Damping float64
+	// SnapshotDay is when the link snapshot is taken.
+	SnapshotDay float64
+}
+
+// SelectionResult is the outcome of the site-selection pipeline.
+type SelectionResult struct {
+	// Candidates are the shortlisted sites, most popular first.
+	Candidates []pagerank.Ranked
+	// Selected are the consenting sites, most popular first.
+	Selected []pagerank.Ranked
+	// Table1 counts selected sites per domain group, and SubCounts per
+	// concrete TLD (org/net within netorg; gov/mil within gov).
+	Table1    map[simweb.Domain]int
+	SubCounts map[string]int
+}
+
+// SelectSites runs the pipeline on a simulated web snapshot.
+func SelectSites(w *simweb.Web, cfg SelectionConfig) (*SelectionResult, error) {
+	if cfg.CandidateCount <= 0 || cfg.KeepCount <= 0 || cfg.KeepCount > cfg.CandidateCount {
+		return nil, errors.New("experiment: bad selection counts")
+	}
+	if cfg.Damping == 0 {
+		cfg.Damping = 0.9
+	}
+	sg := w.SiteGraph(cfg.SnapshotDay)
+	scores, _, err := pagerank.Sites(sg, pagerank.Options{Damping: cfg.Damping})
+	if err != nil {
+		return nil, err
+	}
+	candidates := pagerank.TopK(scores, cfg.CandidateCount)
+
+	// Consent lottery: deterministic per-site coin with acceptance
+	// probability KeepCount/CandidateCount; a second pass tops up from
+	// the decliners (in rank order) if the lottery undershoots, so the
+	// final count is exact.
+	accept := float64(cfg.KeepCount) / float64(cfg.CandidateCount)
+	rnd := consentRNGFrom(cfg.Seed)
+	var selected, declined []pagerank.Ranked
+	for _, c := range candidates {
+		if rnd.float64() <= accept && len(selected) < cfg.KeepCount {
+			selected = append(selected, c)
+		} else {
+			declined = append(declined, c)
+		}
+	}
+	for _, c := range declined {
+		if len(selected) >= cfg.KeepCount {
+			break
+		}
+		selected = append(selected, c)
+	}
+	sort.Slice(selected, func(i, j int) bool {
+		if selected[i].Score != selected[j].Score {
+			return selected[i].Score > selected[j].Score
+		}
+		return selected[i].ID < selected[j].ID
+	})
+
+	res := &SelectionResult{
+		Candidates: candidates,
+		Selected:   selected,
+		Table1:     make(map[simweb.Domain]int),
+		SubCounts:  make(map[string]int),
+	}
+	for _, s := range selected {
+		host := s.ID
+		switch dom := webgraph.DomainOf(host); dom {
+		case "com":
+			res.Table1[simweb.Com]++
+			res.SubCounts["com"]++
+		case "edu":
+			res.Table1[simweb.Edu]++
+			res.SubCounts["edu"]++
+		case "netorg":
+			res.Table1[simweb.NetOrg]++
+			res.SubCounts[tld(host)]++
+		case "gov":
+			res.Table1[simweb.Gov]++
+			res.SubCounts[tld(host)]++
+		}
+	}
+	return res, nil
+}
+
+func tld(host string) string {
+	for i := len(host) - 1; i >= 0; i-- {
+		if host[i] == '.' {
+			return host[i+1:]
+		}
+	}
+	return host
+}
+
+// consentRNG is a tiny deterministic generator for the consent lottery.
+type consentRNG struct{ state uint64 }
+
+func newConsentRNG(seed int64) consentRNG {
+	return consentRNG{state: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+func consentRNGFrom(seed int64) *consentRNG { r := newConsentRNG(seed); return &r }
+
+func (r *consentRNG) float64() float64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

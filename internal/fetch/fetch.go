@@ -1,0 +1,115 @@
+// Package fetch abstracts page retrieval behind one interface with two
+// implementations: SimFetcher reads the deterministic synthetic web
+// (every experiment in this repository runs on it), and HTTPFetcher is a
+// real polite HTTP client so the same crawler code can run against live
+// sites. The CrawlModule of Figure 12 is a consumer of this package.
+package fetch
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"webevolve/internal/simweb"
+)
+
+// Result is the outcome of one fetch.
+type Result struct {
+	URL string
+	// Day is the fetch time in days since the crawl epoch.
+	Day float64
+	// NotFound reports a 404/410 or a vanished simulated page; the other
+	// fields are zero when set. A missing page is a normal crawl outcome,
+	// not an error.
+	NotFound bool
+	// Checksum is the content checksum used for change detection.
+	Checksum uint64
+	// Version is the content version for simulated pages (oracle-free
+	// crawlers ignore it; tests use it).
+	Version int
+	// Links are the absolute out-link URLs extracted from the content.
+	Links []string
+	// Content is the page body when content fetching is enabled.
+	Content []byte
+	// Size is the content size in bytes (set even when Content is nil).
+	Size int
+}
+
+// Fetcher retrieves pages. Implementations must be safe for concurrent
+// use: the paper notes "multiple CrawlModules may run in parallel".
+type Fetcher interface {
+	// Fetch retrieves url at the given crawl-time (days since epoch).
+	// Simulated fetchers use day as the virtual instant; live fetchers
+	// may ignore it.
+	Fetch(url string, day float64) (Result, error)
+}
+
+// Checksum64 hashes content for change detection.
+func Checksum64(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}
+
+// SimFetcher serves fetches from a simulated web.
+type SimFetcher struct {
+	web *simweb.Web
+	// WithContent controls whether HTML bodies are rendered; experiments
+	// that need only checksums leave it false for speed.
+	WithContent bool
+
+	fetches  atomic.Int64
+	notFound atomic.Int64
+
+	// mu guards the underlying web: simweb advances page state lazily on
+	// fetch, which is not concurrency-safe by itself.
+	mu sync.Mutex
+}
+
+// NewSimFetcher wraps a simulated web.
+func NewSimFetcher(w *simweb.Web) *SimFetcher {
+	return &SimFetcher{web: w}
+}
+
+// Fetch implements Fetcher.
+func (f *SimFetcher) Fetch(url string, day float64) (Result, error) {
+	f.mu.Lock()
+	var snap simweb.Snapshot
+	var err error
+	if f.WithContent {
+		snap, err = f.web.Fetch(url, day)
+	} else {
+		snap, err = f.web.FetchMeta(url, day)
+	}
+	f.mu.Unlock()
+	f.fetches.Add(1)
+	if err != nil {
+		if errors.Is(err, simweb.ErrNotFound) {
+			f.notFound.Add(1)
+			return Result{URL: url, Day: day, NotFound: true}, nil
+		}
+		return Result{}, err
+	}
+	res := Result{
+		URL:      url,
+		Day:      day,
+		Checksum: snap.Checksum,
+		Version:  snap.Version,
+		Links:    snap.Links,
+		Size:     snap.Size,
+	}
+	if f.WithContent {
+		res.Content = []byte(snap.HTML)
+	}
+	return res, nil
+}
+
+// Fetches returns the total fetch count (including not-found).
+func (f *SimFetcher) Fetches() int64 { return f.fetches.Load() }
+
+// NotFoundCount returns how many fetches hit missing pages.
+func (f *SimFetcher) NotFoundCount() int64 { return f.notFound.Load() }
+
+// Web exposes the underlying simulated web (oracle access for tests).
+func (f *SimFetcher) Web() *simweb.Web { return f.web }

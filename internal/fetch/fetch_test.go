@@ -1,0 +1,270 @@
+package fetch
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webevolve/internal/clock"
+	"webevolve/internal/robots"
+	"webevolve/internal/simweb"
+)
+
+func simFetcher(t *testing.T) *SimFetcher {
+	t.Helper()
+	w, err := simweb.New(simweb.SmallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSimFetcher(w)
+}
+
+func TestSimFetcherFetch(t *testing.T) {
+	f := simFetcher(t)
+	root := f.Web().Sites()[0].RootURL()
+	res, err := f.Fetch(root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NotFound || res.Checksum == 0 || len(res.Links) == 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	if res.Content != nil {
+		t.Fatal("content returned without WithContent")
+	}
+	if res.Size <= 0 {
+		t.Fatal("size not approximated")
+	}
+	if f.Fetches() != 1 {
+		t.Fatalf("fetch count %d", f.Fetches())
+	}
+}
+
+func TestSimFetcherWithContent(t *testing.T) {
+	f := simFetcher(t)
+	f.WithContent = true
+	root := f.Web().Sites()[0].RootURL()
+	res, err := f.Fetch(root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Content) == 0 || res.Size != len(res.Content) {
+		t.Fatalf("content missing: size=%d len=%d", res.Size, len(res.Content))
+	}
+	if !strings.Contains(string(res.Content), "<html>") {
+		t.Fatal("content not HTML")
+	}
+}
+
+func TestSimFetcherNotFound(t *testing.T) {
+	f := simFetcher(t)
+	res, err := f.Fetch("http://site000.com/p99999", 0)
+	if err != nil {
+		t.Fatalf("missing page should not error: %v", err)
+	}
+	if !res.NotFound {
+		t.Fatal("missing page not flagged")
+	}
+	if f.NotFoundCount() != 1 {
+		t.Fatalf("not-found count %d", f.NotFoundCount())
+	}
+}
+
+func TestChecksum64Distinguishes(t *testing.T) {
+	a := Checksum64([]byte("hello"))
+	b := Checksum64([]byte("hello!"))
+	if a == b {
+		t.Fatal("checksum collision on trivially different inputs")
+	}
+	if a != Checksum64([]byte("hello")) {
+		t.Fatal("checksum not deterministic")
+	}
+}
+
+// --- HTTPFetcher tests against httptest servers ---
+
+func TestHTTPFetcherBasic(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/robots.txt" {
+			w.WriteHeader(404)
+			return
+		}
+		hits.Add(1)
+		w.Header().Set("Content-Type", "text/html")
+		_, _ = w.Write([]byte(`<html><a href="/next">n</a></html>`))
+	}))
+	defer srv.Close()
+
+	f := &HTTPFetcher{Politeness: robots.Politeness{}}
+	res, err := f.Fetch(srv.URL+"/page", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NotFound || res.Checksum == 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if len(res.Links) != 1 || res.Links[0] != srv.URL+"/next" {
+		t.Fatalf("links %v", res.Links)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hits %d", hits.Load())
+	}
+}
+
+func TestHTTPFetcherNotFound(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(404)
+	}))
+	defer srv.Close()
+	f := &HTTPFetcher{SkipRobots: true}
+	res, err := f.Fetch(srv.URL+"/gone", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NotFound {
+		t.Fatal("404 not flagged")
+	}
+}
+
+func TestHTTPFetcherServerErrorIsError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(500)
+	}))
+	defer srv.Close()
+	f := &HTTPFetcher{SkipRobots: true}
+	if _, err := f.Fetch(srv.URL+"/boom", 0); err == nil {
+		t.Fatal("500 did not error")
+	}
+}
+
+func TestHTTPFetcherHonoursRobots(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/robots.txt":
+			_, _ = w.Write([]byte("User-agent: *\nDisallow: /private\n"))
+		default:
+			_, _ = w.Write([]byte("content"))
+		}
+	}))
+	defer srv.Close()
+	f := &HTTPFetcher{}
+	res, err := f.Fetch(srv.URL+"/private/x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NotFound {
+		t.Fatal("disallowed path fetched")
+	}
+	res, err = f.Fetch(srv.URL+"/public", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NotFound {
+		t.Fatal("allowed path blocked")
+	}
+}
+
+func TestHTTPFetcherPolitenessSpacing(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("x"))
+	}))
+	defer srv.Close()
+	vc := clock.NewVirtual(time.Date(1999, 3, 1, 22, 0, 0, 0, time.UTC))
+	f := &HTTPFetcher{
+		SkipRobots: true,
+		Clock:      vc,
+		Politeness: robots.Politeness{MinDelay: 10 * time.Second},
+		Epoch:      vc.Now(),
+	}
+	if _, err := f.Fetch(srv.URL+"/1", 0); err != nil {
+		t.Fatal(err)
+	}
+	before := vc.Now()
+	if _, err := f.Fetch(srv.URL+"/2", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := vc.Now().Sub(before); got < 10*time.Second {
+		t.Fatalf("second request spaced only %v", got)
+	}
+}
+
+func TestHTTPFetcherDayAnchoredToEpoch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("x"))
+	}))
+	defer srv.Close()
+	epoch := time.Date(1999, 2, 17, 0, 0, 0, 0, time.UTC)
+	vc := clock.NewVirtual(epoch.Add(48 * time.Hour))
+	f := &HTTPFetcher{SkipRobots: true, Clock: vc, Epoch: epoch}
+	res, err := f.Fetch(srv.URL+"/x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Day < 1.99 || res.Day > 2.01 {
+		t.Fatalf("day %v, want ~2", res.Day)
+	}
+}
+
+func TestHTTPFetcherBodyLimit(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(make([]byte, 1<<20))
+	}))
+	defer srv.Close()
+	f := &HTTPFetcher{SkipRobots: true, MaxBodyBytes: 1024}
+	res, err := f.Fetch(srv.URL+"/big", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 1024 {
+		t.Fatalf("size %d, want capped 1024", res.Size)
+	}
+}
+
+func TestHTTPFetcherBadURL(t *testing.T) {
+	f := &HTTPFetcher{SkipRobots: true}
+	if _, err := f.Fetch("http://bad url with spaces/", 0); err == nil {
+		t.Fatal("bad URL accepted")
+	}
+}
+
+func TestHTTPFetcherRobotsCached(t *testing.T) {
+	var robotHits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/robots.txt" {
+			robotHits.Add(1)
+			_, _ = w.Write([]byte(""))
+			return
+		}
+		_, _ = w.Write([]byte("x"))
+	}))
+	defer srv.Close()
+	f := &HTTPFetcher{}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Fetch(srv.URL+"/p", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if robotHits.Load() != 1 {
+		t.Fatalf("robots.txt fetched %d times", robotHits.Load())
+	}
+}
+
+func TestHTTPFetcherSkipsLinkExtractionForNonHTML(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/pdf")
+		_, _ = w.Write([]byte(`<a href="http://x.com/">x</a>`))
+	}))
+	defer srv.Close()
+	f := &HTTPFetcher{SkipRobots: true}
+	res, err := f.Fetch(srv.URL+"/doc.pdf", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Links) != 0 {
+		t.Fatalf("links extracted from PDF: %v", res.Links)
+	}
+}

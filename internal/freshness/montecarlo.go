@@ -1,0 +1,171 @@
+package freshness
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Monte-Carlo cross-validation of the closed forms: simulate page change
+// processes and sync schedules directly and measure freshness empirically.
+// The analytic results in this package were derived by hand (the paper
+// omits the derivations, citing space); these simulators are the
+// independent check that the algebra is right.
+
+// SyncSchedule yields, for page i, the times at which the crawler syncs
+// the page, and the times at which each synced copy becomes visible to
+// users (equal for in-place updates; delayed to the swap time under
+// shadowing). Both slices are sorted and have equal length.
+type SyncSchedule func(i int) (syncs, visible []float64)
+
+// SimulateAvgFreshness estimates the time-average freshness of the
+// current collection over [warmup, horizon) for pages with the given
+// change rates under the given schedule, probing freshness at the given
+// number of evenly spaced sample instants.
+//
+// At a sample instant t, page i is fresh if its most recent *visible*
+// copy was synced at some s <= t and the page has not changed in (s, t].
+func SimulateAvgFreshness(rng *rand.Rand, rates []float64, sched SyncSchedule, warmup, horizon float64, samples int) (float64, error) {
+	if len(rates) == 0 {
+		return 0, errors.New("freshness: no pages")
+	}
+	if samples < 1 || horizon <= warmup {
+		return 0, errors.New("freshness: bad sampling window")
+	}
+	var totalFresh, totalProbes float64
+	for i, rate := range rates {
+		syncs, visible := sched(i)
+		if len(syncs) != len(visible) {
+			return 0, errors.New("freshness: schedule length mismatch")
+		}
+		changes := poissonTimes(rng, rate, horizon)
+		for k := 0; k < samples; k++ {
+			t := warmup + (horizon-warmup)*float64(k)/float64(samples)
+			// Most recent copy visible at t: the largest j with
+			// visible[j] <= t (inclusive — a swap at exactly t counts).
+			j := sort.SearchFloat64s(visible, math.Nextafter(t, math.Inf(1))) - 1
+			totalProbes++
+			if j < 0 {
+				continue // nothing visible yet: stale (absent)
+			}
+			s := syncs[j]
+			// Among visible copies, a later-synced copy may become
+			// visible earlier under odd schedules; take the freshest
+			// visible copy.
+			for m := j - 1; m >= 0; m-- {
+				if visible[m] <= t && syncs[m] > s {
+					s = syncs[m]
+				}
+			}
+			if !changedIn(changes, s, t) {
+				totalFresh++
+			}
+		}
+	}
+	return totalFresh / totalProbes, nil
+}
+
+// poissonTimes samples the change times of a rate-lambda Poisson process
+// on [0, horizon).
+func poissonTimes(rng *rand.Rand, rate, horizon float64) []float64 {
+	if rate <= 0 {
+		return nil
+	}
+	var out []float64
+	t := rng.ExpFloat64() / rate
+	for t < horizon {
+		out = append(out, t)
+		t += rng.ExpFloat64() / rate
+	}
+	return out
+}
+
+// changedIn reports whether any change time falls in (from, to].
+func changedIn(changes []float64, from, to float64) bool {
+	i := sort.SearchFloat64s(changes, from)
+	for i < len(changes) && changes[i] <= from {
+		i++
+	}
+	return i < len(changes) && changes[i] <= to
+}
+
+// ScheduleSteadyInPlace builds the steady in-place schedule: page i is
+// synced every cycle at a fixed per-page phase spread uniformly across
+// the cycle, and copies are visible immediately.
+func ScheduleSteadyInPlace(n int, cycle, horizon float64) SyncSchedule {
+	return func(i int) (syncs, visible []float64) {
+		phase := cycle * float64(i) / float64(n)
+		for t := phase; t < horizon; t += cycle {
+			syncs = append(syncs, t)
+		}
+		return syncs, syncs
+	}
+}
+
+// ScheduleBatchInPlace builds the batch in-place schedule: page i is
+// synced once per cycle at a phase spread uniformly across the crawl
+// window [0, crawlDur), visible immediately.
+func ScheduleBatchInPlace(n int, cycle, crawlDur, horizon float64) SyncSchedule {
+	return func(i int) (syncs, visible []float64) {
+		phase := crawlDur * float64(i) / float64(n)
+		for t := phase; t < horizon; t += cycle {
+			syncs = append(syncs, t)
+		}
+		return syncs, syncs
+	}
+}
+
+// ScheduleSteadyShadow builds the steady shadowing schedule: page i is
+// crawled into the shadow at a per-page phase spread across the cycle,
+// but becomes visible only at the next cycle boundary (the swap).
+func ScheduleSteadyShadow(n int, cycle, horizon float64) SyncSchedule {
+	return func(i int) (syncs, visible []float64) {
+		phase := cycle * float64(i) / float64(n)
+		for k := 0; ; k++ {
+			s := float64(k)*cycle + phase
+			if s >= horizon {
+				break
+			}
+			syncs = append(syncs, s)
+			visible = append(visible, float64(k+1)*cycle)
+		}
+		return syncs, visible
+	}
+}
+
+// ScheduleBatchShadow builds the batch shadowing schedule: page i is
+// crawled during [0, crawlDur) of each cycle and becomes visible when the
+// crawl completes (at phase crawlDur).
+func ScheduleBatchShadow(n int, cycle, crawlDur, horizon float64) SyncSchedule {
+	return func(i int) (syncs, visible []float64) {
+		phase := crawlDur * float64(i) / float64(n)
+		for k := 0; ; k++ {
+			s := float64(k)*cycle + phase
+			if s >= horizon {
+				break
+			}
+			syncs = append(syncs, s)
+			visible = append(visible, float64(k)*cycle+crawlDur)
+		}
+		return syncs, visible
+	}
+}
+
+// ScheduleVariableInPlace builds a steady in-place schedule with per-page
+// frequencies: page i is synced every 1/freqs[i], with phases staggered
+// deterministically. Pages with zero frequency are never synced.
+func ScheduleVariableInPlace(freqs []float64, horizon float64) SyncSchedule {
+	return func(i int) (syncs, visible []float64) {
+		f := freqs[i]
+		if f <= 0 {
+			return nil, nil
+		}
+		interval := 1 / f
+		phase := interval * float64(i%97) / 97
+		for t := phase; t < horizon; t += interval {
+			syncs = append(syncs, t)
+		}
+		return syncs, syncs
+	}
+}

@@ -1,0 +1,161 @@
+package freshness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMonteCarloMatchesClosedForms is the package's central
+// cross-validation: the four design points of Table 2 computed two
+// independent ways.
+func TestMonteCarloMatchesClosedForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const (
+		n       = 2000
+		cycle   = 1.0
+		week    = 7.0 / 30
+		lambda  = 0.25
+		horizon = 24.0
+		warm    = 4.0
+	)
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = lambda
+	}
+	cases := []struct {
+		name  string
+		sched SyncSchedule
+		want  float64
+	}{
+		{"steady/in-place", ScheduleSteadyInPlace(n, cycle, horizon), SteadyInPlace(lambda, cycle)},
+		{"batch/in-place", ScheduleBatchInPlace(n, cycle, week, horizon), BatchInPlace(lambda, cycle)},
+		{"steady/shadow", ScheduleSteadyShadow(n, cycle, horizon), SteadyShadow(lambda, cycle)},
+		{"batch/shadow", ScheduleBatchShadow(n, cycle, week, horizon), BatchShadow(lambda, cycle, week)},
+	}
+	for _, c := range cases {
+		got, err := SimulateAvgFreshness(rng, rates, c.sched, warm, horizon, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 0.02 {
+			t.Errorf("%s: simulated %.4f, analytic %.4f", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := SimulateAvgFreshness(rng, nil, nil, 0, 1, 10); err == nil {
+		t.Fatal("no pages accepted")
+	}
+	if _, err := SimulateAvgFreshness(rng, []float64{1},
+		ScheduleSteadyInPlace(1, 1, 10), 5, 5, 10); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := SimulateAvgFreshness(rng, []float64{1},
+		ScheduleSteadyInPlace(1, 1, 10), 0, 10, 0); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	// Mismatched schedule lengths are rejected.
+	bad := func(int) (s, v []float64) { return []float64{1}, nil }
+	if _, err := SimulateAvgFreshness(rng, []float64{1}, bad, 0, 10, 5); err == nil {
+		t.Fatal("mismatched schedule accepted")
+	}
+}
+
+func TestImmutablePagesAlwaysFreshOnceCrawled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rates := []float64{0, 0, 0}
+	got, err := SimulateAvgFreshness(rng, rates,
+		ScheduleSteadyInPlace(3, 1, 100), 10, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("immutable freshness %v", got)
+	}
+}
+
+func TestNeverCrawledPagesAlwaysStale(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	none := func(int) (s, v []float64) { return nil, nil }
+	got, err := SimulateAvgFreshness(rng, []float64{1, 1}, none, 10, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("uncrawled freshness %v", got)
+	}
+}
+
+func TestShadowScheduleDelaysVisibility(t *testing.T) {
+	// A single page crawled at t=0.5 under steady shadow with cycle 1 is
+	// invisible until t=1.
+	sched := ScheduleSteadyShadow(2, 1, 10)
+	syncs, visible := sched(1) // page 1 of 2: phase 0.5
+	if len(syncs) == 0 || syncs[0] != 0.5 || visible[0] != 1 {
+		t.Fatalf("syncs %v visible %v", syncs, visible)
+	}
+	for i := range syncs {
+		if visible[i] < syncs[i] {
+			t.Fatal("visibility precedes sync")
+		}
+	}
+}
+
+func TestBatchScheduleConfinesSyncsToWindow(t *testing.T) {
+	const n, cycle, w, horizon = 10, 1.0, 0.25, 5.0
+	sched := ScheduleBatchInPlace(n, cycle, w, horizon)
+	for i := 0; i < n; i++ {
+		syncs, _ := sched(i)
+		for _, s := range syncs {
+			phase := math.Mod(s, cycle)
+			if phase >= w {
+				t.Fatalf("page %d synced at phase %v outside window", i, phase)
+			}
+		}
+	}
+}
+
+func TestVariableScheduleRespectsFrequencies(t *testing.T) {
+	sched := ScheduleVariableInPlace([]float64{2, 0}, 10)
+	syncs, _ := sched(0)
+	if len(syncs) < 19 || len(syncs) > 21 {
+		t.Fatalf("f=2 over 10 time units: %d syncs", len(syncs))
+	}
+	if syncs, _ := sched(1); syncs != nil {
+		t.Fatalf("f=0 page synced %v", syncs)
+	}
+}
+
+func TestPoissonTimesRespectHorizonAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	times := poissonTimes(rng, 3, 50)
+	prev := 0.0
+	for _, x := range times {
+		if x < prev || x >= 50 {
+			t.Fatalf("bad change time %v", x)
+		}
+		prev = x
+	}
+	if poissonTimes(rng, 0, 50) != nil {
+		t.Fatal("zero rate produced changes")
+	}
+}
+
+func TestChangedIn(t *testing.T) {
+	changes := []float64{1, 3, 5}
+	cases := []struct {
+		from, to float64
+		want     bool
+	}{
+		{0, 0.5, false}, {0, 1, true}, {1, 3, true}, {3, 4.9, false},
+		{5, 10, false}, {4, 5, true},
+	}
+	for _, c := range cases {
+		if got := changedIn(changes, c.from, c.to); got != c.want {
+			t.Errorf("changedIn(%v,%v) = %v", c.from, c.to, got)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package freshness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOptimalAllocationMeetsBudget(t *testing.T) {
+	rates := []float64{0.01, 0.1, 0.5, 2, 10}
+	const budget = 3.0
+	fs, err := OptimalAllocation(rates, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, f := range fs {
+		if f < 0 {
+			t.Fatalf("negative frequency %v", f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-budget) > 1e-6*budget {
+		t.Fatalf("allocated %v, budget %v", sum, budget)
+	}
+}
+
+func TestOptimalAllocationValidation(t *testing.T) {
+	if _, err := OptimalAllocation(nil, 1); err == nil {
+		t.Fatal("empty rates accepted")
+	}
+	if _, err := OptimalAllocation([]float64{1}, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := OptimalAllocation([]float64{math.NaN()}, 1); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+	if _, err := OptimalAllocation([]float64{-1}, 1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestOptimalAllocationAllImmutable(t *testing.T) {
+	fs, err := OptimalAllocation([]float64{0, 0, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if math.Abs(f-1) > 1e-9 {
+			t.Fatalf("immutable fallback %v", fs)
+		}
+	}
+}
+
+func TestFigure9ShapeUnimodal(t *testing.T) {
+	// The optimal frequency as a function of change rate must rise, peak
+	// and then fall — Figure 9's defining shape.
+	var rates []float64
+	r := 0.01
+	for i := 0; i < 200; i++ {
+		rates = append(rates, r)
+		r *= 1.05
+	}
+	pts, err := Figure9Curve(rates, float64(len(rates)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for i, p := range pts {
+		if p.F > pts[peak].F {
+			peak = i
+		}
+	}
+	if peak == 0 || peak == len(pts)-1 {
+		t.Fatalf("no interior peak (peak index %d of %d)", peak, len(pts))
+	}
+	// Rising before the peak, falling after (allow tiny numeric jitter).
+	for i := 1; i <= peak; i++ {
+		if pts[i].F < pts[i-1].F-1e-6 {
+			t.Fatalf("not rising at %d: %v -> %v", i, pts[i-1].F, pts[i].F)
+		}
+	}
+	for i := peak + 1; i < len(pts); i++ {
+		if pts[i].F > pts[i-1].F+1e-6 {
+			t.Fatalf("not falling at %d: %v -> %v", i, pts[i-1].F, pts[i].F)
+		}
+	}
+}
+
+func TestVeryFastPagesGetZero(t *testing.T) {
+	// The paper's p1/p2 example: with one visit/day of budget for two
+	// pages, a page changing every second should be abandoned in favour
+	// of the daily-changing page.
+	rates := []float64{1, 86400} // changes/day: daily vs every second
+	fs, err := OptimalAllocation(rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs[1] != 0 {
+		t.Fatalf("hopeless page got frequency %v", fs[1])
+	}
+	if math.Abs(fs[0]-1) > 1e-6 {
+		t.Fatalf("keepable page got %v, want the whole budget", fs[0])
+	}
+}
+
+func TestOptimalBeatsUniformAndProportional(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rates := make([]float64, 500)
+	for i := range rates {
+		// Log-uniform rates across 4 decades.
+		rates[i] = math.Pow(10, -2+4*rng.Float64())
+	}
+	const budget = 500.0
+	opt, err := OptimalAllocation(rates, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := UniformAllocation(len(rates), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := ProportionalAllocation(rates, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fOpt, _ := ExpectedFreshness(rates, opt)
+	fUni, _ := ExpectedFreshness(rates, uni)
+	fProp, _ := ExpectedFreshness(rates, prop)
+	if fOpt < fUni {
+		t.Fatalf("optimal %v below uniform %v", fOpt, fUni)
+	}
+	if fOpt < fProp {
+		t.Fatalf("optimal %v below proportional %v", fOpt, fProp)
+	}
+	// The paper's deeper point: proportional is WORSE than uniform on
+	// skewed workloads (it chases hopeless pages).
+	if fProp >= fUni {
+		t.Fatalf("proportional %v should trail uniform %v on a skewed workload", fProp, fUni)
+	}
+}
+
+func TestAllocationGainPositive(t *testing.T) {
+	rates := []float64{0.01, 0.02, 0.1, 1, 5, 20}
+	opt, uni, gain, err := AllocationGain(rates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt < uni || gain <= 0 {
+		t.Fatalf("opt %v uni %v gain %v", opt, uni, gain)
+	}
+}
+
+func TestUniformAllocation(t *testing.T) {
+	fs, err := UniformAllocation(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f != 0.5 {
+			t.Fatalf("uniform %v", fs)
+		}
+	}
+	if _, err := UniformAllocation(0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := UniformAllocation(1, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestProportionalAllocation(t *testing.T) {
+	fs, err := ProportionalAllocation([]float64{1, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fs[0]-1) > 1e-12 || math.Abs(fs[1]-3) > 1e-12 {
+		t.Fatalf("proportional %v", fs)
+	}
+	// All-zero rates fall back to uniform.
+	fs, err = ProportionalAllocation([]float64{0, 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs[0] != 2 || fs[1] != 2 {
+		t.Fatalf("zero-rate fallback %v", fs)
+	}
+	if _, err := ProportionalAllocation([]float64{-1}, 1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestExpectedFreshnessEdgeCases(t *testing.T) {
+	// Immutable page with no visits is always fresh; changing page with
+	// no visits is eventually always stale.
+	got, err := ExpectedFreshness([]float64{0, 1}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("edge freshness %v", got)
+	}
+	if _, err := ExpectedFreshness([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ExpectedFreshness(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestMarginalDecreasingInF(t *testing.T) {
+	const l = 0.5
+	prev := math.Inf(1)
+	for _, f := range []float64{0.01, 0.1, 1, 10, 100} {
+		m := marginal(l, f)
+		if m > prev {
+			t.Fatalf("marginal not decreasing at f=%v", f)
+		}
+		prev = m
+	}
+	if marginal(0, 1) != 0 {
+		t.Fatal("immutable marginal must be 0")
+	}
+}
+
+func TestOptimalAllocationMatchesSimulatedFreshness(t *testing.T) {
+	// End-to-end: the analytic objective value matches a Monte-Carlo
+	// simulation of the allocated schedule.
+	rates := []float64{0.05, 0.2, 1}
+	fs, err := OptimalAllocation(rates, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExpectedFreshness(rates, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	// Use many page replicas per rate for variance reduction.
+	const reps = 400
+	var simRates []float64
+	var simFreqs []float64
+	for i := range rates {
+		for r := 0; r < reps; r++ {
+			simRates = append(simRates, rates[i])
+			simFreqs = append(simFreqs, fs[i])
+		}
+	}
+	got, err := SimulateAvgFreshness(rng, simRates,
+		ScheduleVariableInPlace(simFreqs, 400), 50, 400, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("simulated %v, analytic %v", got, want)
+	}
+}

@@ -1,0 +1,334 @@
+// Package frontier implements the two URL data structures of the paper's
+// incremental-crawler architecture (Figure 12):
+//
+//   - AllUrls: the set of every URL the crawler has ever discovered, with
+//     the metadata the RankingModule scans (estimated importance, where
+//     the URL was seen, whether it is in the collection).
+//
+//   - CollUrls: the set of URLs that are (or will be) in the Collection,
+//     implemented as a priority queue "where the URLs to be crawled early
+//     are placed in the front". The UpdateModule pops the head, crawls
+//     it, and pushes it back with its next scheduled visit time; the
+//     RankingModule pushes brand-new URLs at the very front so they are
+//     crawled immediately.
+package frontier
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+	"sync"
+)
+
+// URLInfo is the AllUrls record for one discovered URL.
+type URLInfo struct {
+	URL string
+	// FirstSeen is the discovery time (days).
+	FirstSeen float64
+	// InLinks counts distinct discovered pages linking here; a cheap
+	// importance proxy refreshed by the ranking module.
+	InLinks int
+	// Importance is the most recent importance score assigned by the
+	// RankingModule (PageRank in the paper's example).
+	Importance float64
+	// InCollection reports whether the URL is currently in CollUrls.
+	InCollection bool
+}
+
+// AllUrls records every URL discovered, with metadata. Safe for
+// concurrent use: CrawlModules add URLs while the RankingModule scans.
+type AllUrls struct {
+	mu sync.RWMutex
+	m  map[string]*URLInfo
+	// inlinkFrom deduplicates in-link counting: source -> set of targets
+	// it has reported.
+	inlinkFrom map[string]map[string]struct{}
+}
+
+// NewAllUrls returns an empty URL table.
+func NewAllUrls() *AllUrls {
+	return &AllUrls{
+		m:          make(map[string]*URLInfo),
+		inlinkFrom: make(map[string]map[string]struct{}),
+	}
+}
+
+// Add records a URL discovered at time now. It returns true when the URL
+// is new.
+func (a *AllUrls) Add(url string, now float64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.m[url]; ok {
+		return false
+	}
+	a.m[url] = &URLInfo{URL: url, FirstSeen: now}
+	return true
+}
+
+// AddLink records that page from links to page to, discovered at time
+// now. The target is added if new, and its in-link count incremented the
+// first time this (from, to) pair is seen.
+func (a *AllUrls) AddLink(from, to string, now float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	info, ok := a.m[to]
+	if !ok {
+		info = &URLInfo{URL: to, FirstSeen: now}
+		a.m[to] = info
+	}
+	seen, ok := a.inlinkFrom[from]
+	if !ok {
+		seen = make(map[string]struct{})
+		a.inlinkFrom[from] = seen
+	}
+	if _, dup := seen[to]; !dup {
+		seen[to] = struct{}{}
+		info.InLinks++
+	}
+}
+
+// Get returns a copy of the record for url.
+func (a *AllUrls) Get(url string) (URLInfo, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	info, ok := a.m[url]
+	if !ok {
+		return URLInfo{}, false
+	}
+	return *info, true
+}
+
+// Len returns the number of discovered URLs.
+func (a *AllUrls) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.m)
+}
+
+// SetImportance stores an importance score for url, creating the record
+// if needed (the ranking module can score URLs it has only seen links
+// to — footnote 2 of the paper).
+func (a *AllUrls) SetImportance(url string, imp float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	info, ok := a.m[url]
+	if !ok {
+		info = &URLInfo{URL: url}
+		a.m[url] = info
+	}
+	info.Importance = imp
+}
+
+// SetInCollection flags whether url is in the collection.
+func (a *AllUrls) SetInCollection(url string, in bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if info, ok := a.m[url]; ok {
+		info.InCollection = in
+	}
+}
+
+// Scan calls fn for every record (copy) in sorted URL order, stopping if
+// fn returns false. The RankingModule "constantly scans through AllUrls".
+func (a *AllUrls) Scan(fn func(URLInfo) bool) {
+	a.mu.RLock()
+	urls := make([]string, 0, len(a.m))
+	for u := range a.m {
+		urls = append(urls, u)
+	}
+	a.mu.RUnlock()
+	sort.Strings(urls)
+	for _, u := range urls {
+		a.mu.RLock()
+		info, ok := a.m[u]
+		var cp URLInfo
+		if ok {
+			cp = *info
+		}
+		a.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if !fn(cp) {
+			return
+		}
+	}
+}
+
+// Candidates returns the non-collection URLs with the highest importance,
+// up to k, sorted by importance descending (ties by URL). The
+// RankingModule uses this to find replacement candidates.
+func (a *AllUrls) Candidates(k int) []URLInfo {
+	a.mu.RLock()
+	out := make([]URLInfo, 0, 64)
+	for _, info := range a.m {
+		if !info.InCollection {
+			out = append(out, *info)
+		}
+	}
+	a.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Importance != out[j].Importance {
+			return out[i].Importance > out[j].Importance
+		}
+		return out[i].URL < out[j].URL
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Entry is one CollUrls element.
+type Entry struct {
+	URL string
+	// Due is the scheduled visit time; the queue pops the earliest Due
+	// first. The RankingModule schedules new pages with Due = -Inf
+	// semantics by using a very early time.
+	Due float64
+	// Priority breaks Due ties: higher first (importance).
+	Priority float64
+	index    int
+}
+
+// ErrEmpty reports a pop from an empty queue.
+var ErrEmpty = errors.New("frontier: queue empty")
+
+// CollUrls is the revisit priority queue of Figure 12. Safe for
+// concurrent use.
+type CollUrls struct {
+	mu    sync.Mutex
+	h     entryHeap
+	byURL map[string]*Entry
+}
+
+// NewCollUrls returns an empty queue.
+func NewCollUrls() *CollUrls {
+	return &CollUrls{byURL: make(map[string]*Entry)}
+}
+
+// Len returns the queue size.
+func (c *CollUrls) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.h)
+}
+
+// Contains reports whether url is queued.
+func (c *CollUrls) Contains(url string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.byURL[url]
+	return ok
+}
+
+// Push inserts or reschedules url. "The position of the crawled URL
+// within CollUrls is determined by the page's estimated change frequency"
+// — callers encode that in due.
+func (c *CollUrls) Push(url string, due, priority float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byURL[url]; ok {
+		e.Due = due
+		e.Priority = priority
+		heap.Fix(&c.h, e.index)
+		return
+	}
+	e := &Entry{URL: url, Due: due, Priority: priority}
+	heap.Push(&c.h, e)
+	c.byURL[url] = e
+}
+
+// Pop removes and returns the entry with the earliest due time.
+func (c *CollUrls) Pop() (Entry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.h) == 0 {
+		return Entry{}, ErrEmpty
+	}
+	e := heap.Pop(&c.h).(*Entry)
+	delete(c.byURL, e.URL)
+	return *e, nil
+}
+
+// PopDue removes and returns the head entry only if it is due at or
+// before now; ok is false when the queue is empty or the head is in the
+// future.
+func (c *CollUrls) PopDue(now float64) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.h) == 0 || c.h[0].Due > now {
+		return Entry{}, false
+	}
+	e := heap.Pop(&c.h).(*Entry)
+	delete(c.byURL, e.URL)
+	return *e, true
+}
+
+// Peek returns the head entry without removing it.
+func (c *CollUrls) Peek() (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.h) == 0 {
+		return Entry{}, false
+	}
+	return *c.h[0], true
+}
+
+// Remove deletes url from the queue (the RankingModule discards a page).
+// It reports whether the URL was present.
+func (c *CollUrls) Remove(url string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byURL[url]
+	if !ok {
+		return false
+	}
+	heap.Remove(&c.h, e.index)
+	delete(c.byURL, url)
+	return true
+}
+
+// URLs returns all queued URLs (unordered snapshot).
+func (c *CollUrls) URLs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.byURL))
+	for u := range c.byURL {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// entryHeap orders by Due ascending, then Priority descending, then URL.
+type entryHeap []*Entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].Due != h[j].Due {
+		return h[i].Due < h[j].Due
+	}
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].URL < h[j].URL
+}
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *entryHeap) Push(x any) {
+	e := x.(*Entry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,221 @@
+package frontier
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllUrlsAdd(t *testing.T) {
+	a := NewAllUrls()
+	if !a.Add("http://x.com/", 1) {
+		t.Fatal("first add not new")
+	}
+	if a.Add("http://x.com/", 2) {
+		t.Fatal("second add reported new")
+	}
+	info, ok := a.Get("http://x.com/")
+	if !ok || info.FirstSeen != 1 {
+		t.Fatalf("info %+v ok=%v", info, ok)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("len %d", a.Len())
+	}
+}
+
+func TestAllUrlsAddLinkCountsDistinctSources(t *testing.T) {
+	a := NewAllUrls()
+	a.AddLink("http://s1.com/", "http://t.com/", 0)
+	a.AddLink("http://s1.com/", "http://t.com/", 1) // duplicate pair
+	a.AddLink("http://s2.com/", "http://t.com/", 2)
+	info, ok := a.Get("http://t.com/")
+	if !ok || info.InLinks != 2 {
+		t.Fatalf("in-links %d, want 2", info.InLinks)
+	}
+	if info.FirstSeen != 0 {
+		t.Fatalf("first seen %v", info.FirstSeen)
+	}
+}
+
+func TestAllUrlsImportanceAndMembership(t *testing.T) {
+	a := NewAllUrls()
+	a.SetImportance("http://new.com/", 0.7) // creates the record
+	info, ok := a.Get("http://new.com/")
+	if !ok || info.Importance != 0.7 {
+		t.Fatalf("importance %+v", info)
+	}
+	a.SetInCollection("http://new.com/", true)
+	info, _ = a.Get("http://new.com/")
+	if !info.InCollection {
+		t.Fatal("membership flag lost")
+	}
+}
+
+func TestAllUrlsScanSortedAndStoppable(t *testing.T) {
+	a := NewAllUrls()
+	for _, u := range []string{"http://c.com/", "http://a.com/", "http://b.com/"} {
+		a.Add(u, 0)
+	}
+	var seen []string
+	a.Scan(func(i URLInfo) bool {
+		seen = append(seen, i.URL)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != "http://a.com/" || seen[1] != "http://b.com/" {
+		t.Fatalf("scan %v", seen)
+	}
+}
+
+func TestCandidatesExcludesCollectionAndSorts(t *testing.T) {
+	a := NewAllUrls()
+	a.Add("http://in.com/", 0)
+	a.SetInCollection("http://in.com/", true)
+	a.SetImportance("http://in.com/", 99)
+	a.SetImportance("http://hi.com/", 3)
+	a.SetImportance("http://lo.com/", 1)
+	a.SetImportance("http://mid.com/", 2)
+	c := a.Candidates(2)
+	if len(c) != 2 || c[0].URL != "http://hi.com/" || c[1].URL != "http://mid.com/" {
+		t.Fatalf("candidates %v", c)
+	}
+}
+
+func TestCollUrlsPopOrder(t *testing.T) {
+	q := NewCollUrls()
+	q.Push("http://b.com/", 5, 0)
+	q.Push("http://a.com/", 1, 0)
+	q.Push("http://c.com/", 3, 0)
+	var order []string
+	for q.Len() > 0 {
+		e, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, e.URL)
+	}
+	want := []string{"http://a.com/", "http://c.com/", "http://b.com/"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestCollUrlsTieBreaks(t *testing.T) {
+	q := NewCollUrls()
+	q.Push("http://low.com/", 1, 0.1)
+	q.Push("http://high.com/", 1, 0.9)
+	e, _ := q.Pop()
+	if e.URL != "http://high.com/" {
+		t.Fatalf("priority tie-break failed: %v", e.URL)
+	}
+	// Equal due and priority: lexicographic.
+	q = NewCollUrls()
+	q.Push("http://b.com/", 2, 0)
+	q.Push("http://a.com/", 2, 0)
+	e, _ = q.Pop()
+	if e.URL != "http://a.com/" {
+		t.Fatalf("URL tie-break failed: %v", e.URL)
+	}
+}
+
+func TestCollUrlsPushReschedules(t *testing.T) {
+	q := NewCollUrls()
+	q.Push("http://x.com/", 10, 0)
+	q.Push("http://x.com/", 1, 0.5) // reschedule earlier
+	if q.Len() != 1 {
+		t.Fatalf("len %d after reschedule", q.Len())
+	}
+	e, _ := q.Pop()
+	if e.Due != 1 || e.Priority != 0.5 {
+		t.Fatalf("entry %+v", e)
+	}
+}
+
+func TestCollUrlsPopDue(t *testing.T) {
+	q := NewCollUrls()
+	q.Push("http://later.com/", 10, 0)
+	if _, ok := q.PopDue(5); ok {
+		t.Fatal("future entry popped")
+	}
+	q.Push("http://now.com/", 2, 0)
+	e, ok := q.PopDue(5)
+	if !ok || e.URL != "http://now.com/" {
+		t.Fatalf("due pop %+v ok=%v", e, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len %d", q.Len())
+	}
+}
+
+func TestCollUrlsPeekAndRemove(t *testing.T) {
+	q := NewCollUrls()
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+	q.Push("http://a.com/", 1, 0)
+	q.Push("http://b.com/", 2, 0)
+	e, ok := q.Peek()
+	if !ok || e.URL != "http://a.com/" || q.Len() != 2 {
+		t.Fatalf("peek %+v", e)
+	}
+	if !q.Remove("http://a.com/") {
+		t.Fatal("remove failed")
+	}
+	if q.Remove("http://a.com/") {
+		t.Fatal("double remove succeeded")
+	}
+	if q.Contains("http://a.com/") {
+		t.Fatal("removed URL still contained")
+	}
+	e, _ = q.Pop()
+	if e.URL != "http://b.com/" {
+		t.Fatalf("heap broken after remove: %+v", e)
+	}
+}
+
+func TestCollUrlsPopEmpty(t *testing.T) {
+	q := NewCollUrls()
+	if _, err := q.Pop(); err != ErrEmpty {
+		t.Fatalf("pop empty: %v", err)
+	}
+}
+
+func TestCollUrlsURLsSorted(t *testing.T) {
+	q := NewCollUrls()
+	q.Push("http://z.com/", 1, 0)
+	q.Push("http://a.com/", 9, 0)
+	urls := q.URLs()
+	if len(urls) != 2 || urls[0] != "http://a.com/" {
+		t.Fatalf("URLs %v", urls)
+	}
+}
+
+// TestHeapProperty: random pushes pop in nondecreasing due order.
+func TestHeapProperty(t *testing.T) {
+	if err := quick.Check(func(dues []float64) bool {
+		q := NewCollUrls()
+		for i, d := range dues {
+			if math.IsNaN(d) {
+				d = 0
+			}
+			q.Push(urlFor(i), d, 0)
+		}
+		var popped []float64
+		for q.Len() > 0 {
+			e, err := q.Pop()
+			if err != nil {
+				return false
+			}
+			popped = append(popped, e.Due)
+		}
+		return sort.Float64sAreSorted(popped)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func urlFor(i int) string {
+	return "http://site.com/p" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}

@@ -1,0 +1,194 @@
+// Package poisson implements the Poisson-process machinery the paper relies
+// on throughout: exponential interarrival sampling for the synthetic web,
+// the density of Theorem 1 (Section 3.4), and rate estimation helpers.
+//
+// A Poisson process with rate lambda generates events whose interarrival
+// times T are exponentially distributed with density
+//
+//	f(t) = lambda * exp(-lambda*t), t > 0.
+//
+// The paper verifies empirically (Figure 6) that web-page changes follow
+// this model, and all of Section 4's freshness analytics assume it.
+package poisson
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadRate reports a non-positive or non-finite rate parameter.
+var ErrBadRate = errors.New("poisson: rate must be positive and finite")
+
+// Process is a homogeneous Poisson process with a fixed rate, measured in
+// events per unit time (the unit is the caller's choice; experiments use
+// days).
+type Process struct {
+	rate float64
+	rng  *rand.Rand
+	// next is the absolute time of the next event, maintained so that a
+	// Process can be queried incrementally by a simulator.
+	next float64
+}
+
+// NewProcess returns a Poisson process with the given rate, drawing
+// randomness from rng. A rate of zero is permitted and yields a process
+// that never fires (used for pages that never change).
+func NewProcess(rate float64, rng *rand.Rand) (*Process, error) {
+	if rate < 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
+		return nil, ErrBadRate
+	}
+	p := &Process{rate: rate, rng: rng}
+	p.next = p.sampleNext(0)
+	return p, nil
+}
+
+// Rate returns the process rate.
+func (p *Process) Rate() float64 { return p.rate }
+
+// sampleNext draws the next event time strictly after from.
+func (p *Process) sampleNext(from float64) float64 {
+	if p.rate == 0 {
+		return math.Inf(1)
+	}
+	return from + Exp(p.rng, p.rate)
+}
+
+// NextEvent returns the absolute time of the next event at or after t,
+// advancing the internal state past any events that occur before t.
+// Successive calls with non-decreasing t enumerate the event stream.
+func (p *Process) NextEvent(t float64) float64 {
+	for p.next < t {
+		p.next = p.sampleNext(p.next)
+	}
+	return p.next
+}
+
+// EventsIn returns the times of all events in the half-open interval
+// [from, to), advancing internal state past them.
+func (p *Process) EventsIn(from, to float64) []float64 {
+	if p.rate == 0 || to <= from {
+		return nil
+	}
+	var out []float64
+	t := p.NextEvent(from)
+	for t < to {
+		out = append(out, t)
+		p.next = p.sampleNext(t)
+		t = p.next
+	}
+	return out
+}
+
+// CountIn returns the number of events in [from, to), advancing state.
+func (p *Process) CountIn(from, to float64) int {
+	n := 0
+	if p.rate == 0 || to <= from {
+		return 0
+	}
+	t := p.NextEvent(from)
+	for t < to {
+		n++
+		p.next = p.sampleNext(t)
+		t = p.next
+	}
+	return n
+}
+
+// Exp draws an exponential variate with the given rate from rng.
+func Exp(rng *rand.Rand, rate float64) float64 {
+	// rand.ExpFloat64 has mean 1; scale by 1/rate.
+	return rng.ExpFloat64() / rate
+}
+
+// Density is the interarrival density of Theorem 1:
+// f(t) = rate*exp(-rate*t) for t > 0, else 0.
+func Density(rate, t float64) float64 {
+	if t <= 0 || rate <= 0 {
+		return 0
+	}
+	return rate * math.Exp(-rate*t)
+}
+
+// CDF is the interarrival distribution function
+// P(T <= t) = 1 - exp(-rate*t).
+func CDF(rate, t float64) float64 {
+	if t <= 0 || rate <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-rate*t)
+}
+
+// Survival is P(T > t) = exp(-rate*t), the probability that a page is
+// still unchanged t time units after a sync. Section 4's freshness curves
+// decay exponentially for exactly this reason.
+func Survival(rate, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if rate <= 0 {
+		return 1
+	}
+	return math.Exp(-rate * t)
+}
+
+// PMF is the Poisson counting probability P(N(t) = k) for a process of the
+// given rate observed for duration t.
+func PMF(rate, t float64, k int) float64 {
+	if k < 0 || t < 0 || rate < 0 {
+		return 0
+	}
+	mu := rate * t
+	if mu == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	// Compute in log space to avoid overflow for large k.
+	lp := float64(k)*math.Log(mu) - mu - logFactorial(k)
+	return math.Exp(lp)
+}
+
+func logFactorial(k int) float64 {
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return lg
+}
+
+// FitRateFromIntervals returns the maximum-likelihood rate estimate for a
+// set of observed complete interarrival intervals: rate = n / sum(T_i).
+func FitRateFromIntervals(intervals []float64) (float64, error) {
+	if len(intervals) == 0 {
+		return 0, errors.New("poisson: no intervals")
+	}
+	var sum float64
+	for _, iv := range intervals {
+		if iv <= 0 {
+			return 0, errors.New("poisson: non-positive interval")
+		}
+		sum += iv
+	}
+	return float64(len(intervals)) / sum, nil
+}
+
+// Quantile returns the q-quantile of the exponential interarrival
+// distribution: t such that CDF(rate, t) = q.
+func Quantile(rate, q float64) float64 {
+	if rate <= 0 || q <= 0 || q >= 1 {
+		return math.NaN()
+	}
+	return -math.Log(1-q) / rate
+}
+
+// MergedEventTimes merges several event streams into one sorted slice.
+// The superposition of independent Poisson processes is itself Poisson
+// with the summed rate; tests use this property.
+func MergedEventTimes(streams ...[]float64) []float64 {
+	var all []float64
+	for _, s := range streams {
+		all = append(all, s...)
+	}
+	sort.Float64s(all)
+	return all
+}

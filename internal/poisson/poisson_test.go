@@ -1,0 +1,262 @@
+package poisson
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewProcessRejectsBadRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range []float64{-1, math.Inf(1), math.NaN()} {
+		if _, err := NewProcess(r, rng); err == nil {
+			t.Errorf("NewProcess(%v) accepted", r)
+		}
+	}
+}
+
+func TestZeroRateNeverFires(t *testing.T) {
+	p, err := NewProcess(0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := p.CountIn(0, 1e6); n != 0 {
+		t.Fatalf("zero-rate process fired %d times", n)
+	}
+	if ev := p.EventsIn(0, 1e6); ev != nil {
+		t.Fatalf("zero-rate process produced events %v", ev)
+	}
+}
+
+func TestCountMatchesRate(t *testing.T) {
+	// Over a long horizon the event count concentrates near rate*T.
+	rng := rand.New(rand.NewSource(42))
+	for _, rate := range []float64{0.1, 1, 5} {
+		p, err := NewProcess(rate, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const horizon = 20000.0
+		n := float64(p.CountIn(0, horizon))
+		mean := rate * horizon
+		sd := math.Sqrt(mean)
+		if math.Abs(n-mean) > 6*sd {
+			t.Errorf("rate %v: count %v, want %v +- %v", rate, n, mean, 6*sd)
+		}
+	}
+}
+
+func TestEventsAreOrderedAndInRange(t *testing.T) {
+	p, err := NewProcess(2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := p.EventsIn(10, 50)
+	prev := 10.0
+	for _, e := range ev {
+		if e < prev || e >= 50 {
+			t.Fatalf("event %v out of order/range (prev %v)", e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestEventsInSuccessiveWindowsDisjoint(t *testing.T) {
+	p, err := NewProcess(3, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.EventsIn(0, 10)
+	b := p.EventsIn(10, 20)
+	for _, e := range a {
+		if e >= 10 {
+			t.Fatalf("first window leaked event %v", e)
+		}
+	}
+	for _, e := range b {
+		if e < 10 || e >= 20 {
+			t.Fatalf("second window has event %v", e)
+		}
+	}
+}
+
+func TestDensityIntegratesToOne(t *testing.T) {
+	// Trapezoid integral of the Theorem 1 density should be ~1.
+	const rate = 0.5
+	sum := 0.0
+	dt := 0.001
+	for x := 0.0; x < 40; x += dt {
+		sum += Density(rate, x+dt/2) * dt
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("density integrates to %v", sum)
+	}
+}
+
+func TestDensityCDFDerivativeRelation(t *testing.T) {
+	const rate, x, h = 1.3, 0.7, 1e-6
+	dCDF := (CDF(rate, x+h) - CDF(rate, x-h)) / (2 * h)
+	if math.Abs(dCDF-Density(rate, x)) > 1e-5 {
+		t.Fatalf("dCDF/dx = %v, density = %v", dCDF, Density(rate, x))
+	}
+}
+
+func TestSurvivalPlusCDFIsOne(t *testing.T) {
+	if err := quick.Check(func(rate, x float64) bool {
+		rate = math.Abs(math.Mod(rate, 10)) + 0.01
+		x = math.Abs(math.Mod(x, 100))
+		s := Survival(rate, x) + CDF(rate, x)
+		return math.Abs(s-1) < 1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurvivalEdgeCases(t *testing.T) {
+	if Survival(1, 0) != 1 || Survival(1, -5) != 1 {
+		t.Fatal("survival at t<=0 must be 1")
+	}
+	if Survival(0, 100) != 1 {
+		t.Fatal("zero-rate survival must be 1")
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	const rate, horizon = 2.0, 3.0
+	sum := 0.0
+	for k := 0; k < 200; k++ {
+		sum += PMF(rate, horizon, k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %v", sum)
+	}
+}
+
+func TestPMFZeroCases(t *testing.T) {
+	if PMF(1, 1, -1) != 0 {
+		t.Fatal("negative k must have zero probability")
+	}
+	if PMF(0, 5, 0) != 1 {
+		t.Fatal("zero rate: P(N=0) must be 1")
+	}
+	if PMF(0, 5, 3) != 0 {
+		t.Fatal("zero rate: P(N=3) must be 0")
+	}
+}
+
+func TestPMFMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const rate, horizon, trials = 1.5, 2.0, 20000
+	counts := make(map[int]int)
+	for i := 0; i < trials; i++ {
+		p, err := NewProcess(rate, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.CountIn(0, horizon)]++
+	}
+	for k := 0; k <= 6; k++ {
+		want := PMF(rate, horizon, k)
+		got := float64(counts[k]) / trials
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("P(N=%d): simulated %.4f, theoretical %.4f", k, got, want)
+		}
+	}
+}
+
+func TestFitRateFromIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const rate = 0.25
+	var intervals []float64
+	for i := 0; i < 50000; i++ {
+		intervals = append(intervals, Exp(rng, rate))
+	}
+	got, err := FitRateFromIntervals(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-rate)/rate > 0.03 {
+		t.Fatalf("fitted rate %v, want ~%v", got, rate)
+	}
+}
+
+func TestFitRateErrors(t *testing.T) {
+	if _, err := FitRateFromIntervals(nil); err == nil {
+		t.Fatal("empty intervals accepted")
+	}
+	if _, err := FitRateFromIntervals([]float64{1, -2}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	// Median of Exp(rate) is ln2/rate.
+	const rate = 2.0
+	want := math.Ln2 / rate
+	if got := Quantile(rate, 0.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("median %v, want %v", got, want)
+	}
+	if !math.IsNaN(Quantile(0, 0.5)) || !math.IsNaN(Quantile(1, 0)) || !math.IsNaN(Quantile(1, 1)) {
+		t.Fatal("invalid quantile arguments must return NaN")
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	if err := quick.Check(func(r, q float64) bool {
+		r = math.Abs(math.Mod(r, 5)) + 0.1
+		q = math.Mod(math.Abs(q), 0.98) + 0.01
+		x := Quantile(r, q)
+		return math.Abs(CDF(r, x)-q) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const rate = 4.0
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += Exp(rng, rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("exp mean %v, want %v", mean, 1/rate)
+	}
+}
+
+func TestSuperpositionIsPoisson(t *testing.T) {
+	// Merging two independent streams yields a process whose count over a
+	// horizon matches the summed rate.
+	rng := rand.New(rand.NewSource(13))
+	p1, _ := NewProcess(1, rng)
+	p2, _ := NewProcess(2, rng)
+	const horizon = 5000.0
+	merged := MergedEventTimes(p1.EventsIn(0, horizon), p2.EventsIn(0, horizon))
+	mean := 3 * horizon
+	if math.Abs(float64(len(merged))-mean) > 6*math.Sqrt(mean) {
+		t.Fatalf("merged count %d, want ~%v", len(merged), mean)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i] < merged[i-1] {
+			t.Fatal("merged events not sorted")
+		}
+	}
+}
+
+func TestNextEventMonotone(t *testing.T) {
+	p, _ := NewProcess(1, rand.New(rand.NewSource(17)))
+	prev := 0.0
+	for tt := 0.0; tt < 100; tt += 7 {
+		next := p.NextEvent(tt)
+		if next < tt {
+			t.Fatalf("NextEvent(%v) = %v in the past", tt, next)
+		}
+		if next < prev && prev <= tt {
+			t.Fatalf("NextEvent went backwards: %v after %v", next, prev)
+		}
+		prev = next
+	}
+}

@@ -1,0 +1,194 @@
+// Package robots implements robots.txt parsing and the politeness rules
+// the paper's experiment operated under (Section 2.3): a minimum delay
+// between requests to one site (the paper waited at least 10 seconds) and
+// an optional operating window (the paper crawled only 9PM–6AM PST so as
+// not to load sites during the day).
+package robots
+
+import (
+	"bufio"
+	"strings"
+	"time"
+)
+
+// Rules holds the directives applicable to one user agent.
+type Rules struct {
+	disallow []string
+	allow    []string
+	// CrawlDelay is the site-requested minimum delay; zero when absent.
+	CrawlDelay time.Duration
+}
+
+// Parse extracts the rules for the given user agent (case-insensitive)
+// from robots.txt content, falling back to the "*" group. An empty file
+// allows everything.
+func Parse(content, userAgent string) *Rules {
+	ua := strings.ToLower(userAgent)
+	star := &Rules{}
+	specific := &Rules{}
+	haveSpecific := false
+
+	var currentAgents []string
+	inGroup := false
+	appliesTo := func() (toStar, toUA bool) {
+		for _, a := range currentAgents {
+			if a == "*" {
+				toStar = true
+			}
+			if a != "*" && strings.Contains(ua, a) {
+				toUA = true
+			}
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(content))
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		field := strings.ToLower(strings.TrimSpace(line[:colon]))
+		value := strings.TrimSpace(line[colon+1:])
+		switch field {
+		case "user-agent":
+			if inGroup {
+				currentAgents = nil
+				inGroup = false
+			}
+			currentAgents = append(currentAgents, strings.ToLower(value))
+		case "disallow", "allow", "crawl-delay":
+			inGroup = true
+			toStar, toUA := appliesTo()
+			apply := func(r *Rules) {
+				switch field {
+				case "disallow":
+					if value != "" {
+						r.disallow = append(r.disallow, value)
+					}
+				case "allow":
+					if value != "" {
+						r.allow = append(r.allow, value)
+					}
+				case "crawl-delay":
+					if d, err := time.ParseDuration(value + "s"); err == nil && d > 0 {
+						r.CrawlDelay = d
+					}
+				}
+			}
+			if toStar {
+				apply(star)
+			}
+			if toUA {
+				apply(specific)
+				haveSpecific = true
+			}
+		}
+	}
+	if haveSpecific {
+		return specific
+	}
+	return star
+}
+
+// Allowed reports whether the given URL path may be fetched. The longest
+// matching rule wins; Allow beats Disallow at equal length, matching the
+// de-facto standard.
+func (r *Rules) Allowed(path string) bool {
+	if path == "" {
+		path = "/"
+	}
+	bestLen := -1
+	allowed := true
+	for _, p := range r.disallow {
+		if strings.HasPrefix(path, p) && len(p) > bestLen {
+			bestLen = len(p)
+			allowed = false
+		}
+	}
+	for _, p := range r.allow {
+		if strings.HasPrefix(path, p) && len(p) >= bestLen {
+			bestLen = len(p)
+			allowed = true
+		}
+	}
+	return allowed
+}
+
+// Politeness is the per-site access policy of Section 2.3.
+type Politeness struct {
+	// MinDelay is the minimum spacing between requests to one site.
+	// The paper used 10 seconds.
+	MinDelay time.Duration
+	// NightOnly restricts crawling to the window [NightStart, NightEnd)
+	// hours (local time of the clock in use). The paper used 21..6.
+	NightOnly  bool
+	NightStart int // hour 0-23
+	NightEnd   int // hour 0-23
+}
+
+// PaperPoliteness returns the experiment's policy: 10 s between requests,
+// crawling 9PM–6AM only.
+func PaperPoliteness() Politeness {
+	return Politeness{MinDelay: 10 * time.Second, NightOnly: true, NightStart: 21, NightEnd: 6}
+}
+
+// InWindow reports whether t falls inside the allowed operating window.
+func (p Politeness) InWindow(t time.Time) bool {
+	if !p.NightOnly {
+		return true
+	}
+	h := t.Hour()
+	if p.NightStart <= p.NightEnd {
+		return h >= p.NightStart && h < p.NightEnd
+	}
+	// Window wraps midnight (e.g. 21..6).
+	return h >= p.NightStart || h < p.NightEnd
+}
+
+// NextAllowed returns the earliest instant not before t at which a
+// request is permitted, given the last request time to the same site.
+func (p Politeness) NextAllowed(t, lastRequest time.Time) time.Time {
+	earliest := t
+	if !lastRequest.IsZero() {
+		if next := lastRequest.Add(p.MinDelay); next.After(earliest) {
+			earliest = next
+		}
+	}
+	if p.InWindow(earliest) {
+		return earliest
+	}
+	// Advance to the next window start.
+	next := time.Date(earliest.Year(), earliest.Month(), earliest.Day(),
+		p.NightStart, 0, 0, 0, earliest.Location())
+	if !next.After(earliest) {
+		next = next.Add(24 * time.Hour)
+	}
+	return next
+}
+
+// MaxPagesPerNight returns how many pages one site can yield per night
+// under this policy — the arithmetic behind the paper's 3,000-page
+// window: 9 hours at one request per 10 seconds is 3,240 pages.
+func (p Politeness) MaxPagesPerNight() int {
+	if p.MinDelay <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	hours := 24
+	if p.NightOnly {
+		if p.NightStart <= p.NightEnd {
+			hours = p.NightEnd - p.NightStart
+		} else {
+			hours = 24 - p.NightStart + p.NightEnd
+		}
+	}
+	return int(time.Duration(hours) * time.Hour / p.MinDelay)
+}

@@ -1,0 +1,184 @@
+package robots
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseEmptyAllowsAll(t *testing.T) {
+	r := Parse("", "webevolve")
+	if !r.Allowed("/anything") {
+		t.Fatal("empty robots.txt disallowed a path")
+	}
+}
+
+func TestParseStarGroup(t *testing.T) {
+	r := Parse(`
+User-agent: *
+Disallow: /private
+`, "webevolve")
+	if r.Allowed("/private/x") {
+		t.Fatal("disallowed path allowed")
+	}
+	if !r.Allowed("/public") {
+		t.Fatal("public path disallowed")
+	}
+}
+
+func TestParseSpecificAgentWins(t *testing.T) {
+	content := `
+User-agent: *
+Disallow: /
+
+User-agent: webevolve
+Disallow: /secret
+`
+	r := Parse(content, "webevolve-crawler/1.0")
+	if !r.Allowed("/open") {
+		t.Fatal("specific group should allow /open")
+	}
+	if r.Allowed("/secret/page") {
+		t.Fatal("specific group should block /secret")
+	}
+	other := Parse(content, "googlebot")
+	if other.Allowed("/anything") {
+		t.Fatal("star group should block everything for other agents")
+	}
+}
+
+func TestAllowOverridesDisallowAtEqualOrLongerLength(t *testing.T) {
+	r := Parse(`
+User-agent: *
+Disallow: /dir
+Allow: /dir/ok
+`, "x")
+	if r.Allowed("/dir/no") {
+		t.Fatal("/dir/no should be blocked")
+	}
+	if !r.Allowed("/dir/ok/page") {
+		t.Fatal("/dir/ok should be allowed")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	r := Parse(`
+# this is a comment
+User-agent: * # trailing comment
+
+Disallow: /x
+`, "any")
+	if r.Allowed("/x/1") {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestCrawlDelay(t *testing.T) {
+	r := Parse(`
+User-agent: *
+Crawl-delay: 15
+`, "any")
+	if r.CrawlDelay != 15*time.Second {
+		t.Fatalf("crawl delay %v", r.CrawlDelay)
+	}
+}
+
+func TestEmptyDisallowMeansAllowAll(t *testing.T) {
+	r := Parse(`
+User-agent: *
+Disallow:
+`, "any")
+	if !r.Allowed("/everything") {
+		t.Fatal("empty Disallow must allow all")
+	}
+}
+
+func TestMultipleAgentsOneGroup(t *testing.T) {
+	r := Parse(`
+User-agent: alpha
+User-agent: beta
+Disallow: /x
+`, "beta-bot")
+	if r.Allowed("/x/y") {
+		t.Fatal("group with multiple agents not applied")
+	}
+}
+
+func TestAllowedEmptyPathIsRoot(t *testing.T) {
+	r := Parse("User-agent: *\nDisallow: /", "a")
+	if r.Allowed("") {
+		t.Fatal("empty path should normalize to / and be blocked")
+	}
+}
+
+func TestPolitenessWindowWrapsMidnight(t *testing.T) {
+	p := PaperPoliteness() // 21..6
+	cases := []struct {
+		hour int
+		want bool
+	}{
+		{20, false}, {21, true}, {23, true}, {0, true}, {5, true}, {6, false}, {12, false},
+	}
+	for _, c := range cases {
+		tt := time.Date(1999, 3, 1, c.hour, 0, 0, 0, time.UTC)
+		if got := p.InWindow(tt); got != c.want {
+			t.Errorf("hour %d: InWindow = %v, want %v", c.hour, got, c.want)
+		}
+	}
+}
+
+func TestPolitenessNonWrappedWindow(t *testing.T) {
+	p := Politeness{NightOnly: true, NightStart: 9, NightEnd: 17}
+	if !p.InWindow(time.Date(2000, 1, 1, 12, 0, 0, 0, time.UTC)) {
+		t.Fatal("noon should be in 9-17 window")
+	}
+	if p.InWindow(time.Date(2000, 1, 1, 8, 0, 0, 0, time.UTC)) {
+		t.Fatal("8am should be outside 9-17 window")
+	}
+}
+
+func TestNextAllowedEnforcesMinDelay(t *testing.T) {
+	p := Politeness{MinDelay: 10 * time.Second}
+	base := time.Date(1999, 3, 1, 22, 0, 0, 0, time.UTC)
+	got := p.NextAllowed(base, base.Add(-3*time.Second))
+	want := base.Add(7 * time.Second)
+	if !got.Equal(want) {
+		t.Fatalf("NextAllowed = %v, want %v", got, want)
+	}
+	// No previous request: immediate.
+	if got := p.NextAllowed(base, time.Time{}); !got.Equal(base) {
+		t.Fatalf("first request delayed to %v", got)
+	}
+}
+
+func TestNextAllowedDefersToNightWindow(t *testing.T) {
+	p := PaperPoliteness()
+	day := time.Date(1999, 3, 1, 12, 0, 0, 0, time.UTC) // noon
+	got := p.NextAllowed(day, time.Time{})
+	if got.Hour() != 21 || got.Day() != 1 {
+		t.Fatalf("deferred to %v, want same-day 21:00", got)
+	}
+	lateNight := time.Date(1999, 3, 1, 23, 0, 0, 0, time.UTC)
+	if got := p.NextAllowed(lateNight, time.Time{}); !got.Equal(lateNight) {
+		t.Fatalf("in-window request deferred to %v", got)
+	}
+}
+
+func TestMaxPagesPerNightMatchesPaperWindow(t *testing.T) {
+	// 9 hours at >= 10s spacing: 3,240 requests — the arithmetic behind
+	// the paper's 3,000-page site window.
+	p := PaperPoliteness()
+	got := p.MaxPagesPerNight()
+	if got != 3240 {
+		t.Fatalf("MaxPagesPerNight = %d, want 3240", got)
+	}
+	if got < 3000 {
+		t.Fatal("paper window of 3000 pages would not fit a night")
+	}
+}
+
+func TestMaxPagesPerNightUnlimited(t *testing.T) {
+	p := Politeness{MinDelay: 0}
+	if got := p.MaxPagesPerNight(); got <= 0 {
+		t.Fatalf("unlimited policy returned %d", got)
+	}
+}

@@ -1,0 +1,211 @@
+// Package scheduler implements the revisit-frequency policies of
+// Section 4, design question 3: fixed frequency (every page revisited at
+// the same interval — the batch crawler's natural policy), naive
+// proportional (revisit faster-changing pages proportionally more often —
+// the intuition the paper shows is wrong), and the optimal
+// variable-frequency policy of Figure 9, which allocates a global revisit
+// budget across pages to maximize expected freshness.
+//
+// Policies consume change-rate estimates (from package changefreq) and
+// produce per-page revisit intervals; the crawler's UpdateModule turns
+// those into CollUrls due-times.
+package scheduler
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+
+	"webevolve/internal/freshness"
+)
+
+// Policy maps a page's estimated change rate (and importance) to a
+// revisit interval in days. Implementations are safe for concurrent use.
+type Policy interface {
+	// Interval returns the revisit interval for a page. rate is the
+	// estimated change rate in changes/day (0 when unknown or immutable);
+	// importance is the ranking module's score (0 when unknown).
+	Interval(url string, rate, importance float64) float64
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Clamp bounds an interval to [min, max]; non-positive or NaN intervals
+// become max.
+func Clamp(interval, min, max float64) float64 {
+	if math.IsNaN(interval) || interval <= 0 {
+		return max
+	}
+	if interval < min {
+		return min
+	}
+	if interval > max {
+		return max
+	}
+	return interval
+}
+
+// Fixed revisits every page at the same interval.
+type Fixed struct {
+	// Every is the revisit interval in days.
+	Every float64
+}
+
+// Interval implements Policy.
+func (f Fixed) Interval(string, float64, float64) float64 { return f.Every }
+
+// Name implements Policy.
+func (Fixed) Name() string { return "fixed" }
+
+// Proportional revisits a page at k visits per change: interval =
+// 1/(K*rate), clamped to [MinDays, MaxDays]. This is the intuitive policy
+// Section 4 warns about: it over-spends budget on pages that change too
+// fast to keep fresh.
+type Proportional struct {
+	// K is visits per change (default 1 when zero).
+	K float64
+	// MinDays and MaxDays clamp the interval.
+	MinDays, MaxDays float64
+}
+
+// Interval implements Policy.
+func (p Proportional) Interval(_ string, rate, _ float64) float64 {
+	k := p.K
+	if k == 0 {
+		k = 1
+	}
+	if rate <= 0 {
+		return p.MaxDays
+	}
+	return Clamp(1/(k*rate), p.MinDays, p.MaxDays)
+}
+
+// Name implements Policy.
+func (Proportional) Name() string { return "proportional" }
+
+// Optimal allocates a global budget of visits/day across the collection
+// with the Figure 9 optimization, then serves per-page intervals from the
+// resulting plan. Rebuild must be called (typically by the ranking/
+// planning cadence of the crawler) whenever rate estimates have moved
+// materially; between rebuilds, unknown pages fall back to DefaultDays.
+type Optimal struct {
+	// BudgetPerDay is the total revisit frequency to allocate.
+	BudgetPerDay float64
+	// MinDays, MaxDays clamp per-page intervals; pages the optimizer
+	// would never visit get MaxDays rather than infinity, so the crawler
+	// still notices deletions (a practical deviation from the pure
+	// optimum, noted in DESIGN.md).
+	MinDays, MaxDays float64
+	// DefaultDays is used for pages absent from the current plan.
+	DefaultDays float64
+
+	mu   sync.RWMutex
+	plan map[string]float64 // url -> interval (days)
+}
+
+// NewOptimal builds an Optimal policy.
+func NewOptimal(budgetPerDay, minDays, maxDays, defaultDays float64) (*Optimal, error) {
+	if budgetPerDay <= 0 {
+		return nil, errors.New("scheduler: budget must be positive")
+	}
+	if minDays <= 0 || maxDays < minDays || defaultDays <= 0 {
+		return nil, errors.New("scheduler: bad interval bounds")
+	}
+	return &Optimal{
+		BudgetPerDay: budgetPerDay,
+		MinDays:      minDays,
+		MaxDays:      maxDays,
+		DefaultDays:  defaultDays,
+		plan:         make(map[string]float64),
+	}, nil
+}
+
+// Rebuild recomputes the allocation for the given per-page rate
+// estimates. URLs map to estimated change rates in changes/day.
+func (o *Optimal) Rebuild(rates map[string]float64) error {
+	if len(rates) == 0 {
+		o.mu.Lock()
+		o.plan = make(map[string]float64)
+		o.mu.Unlock()
+		return nil
+	}
+	urls := make([]string, 0, len(rates))
+	for u := range rates {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	rs := make([]float64, len(urls))
+	for i, u := range urls {
+		r := rates[u]
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			r = 0
+		}
+		rs[i] = r
+	}
+	fs, err := freshness.OptimalAllocation(rs, o.BudgetPerDay)
+	if err != nil {
+		return err
+	}
+	plan := make(map[string]float64, len(urls))
+	for i, u := range urls {
+		f := fs[i]
+		var iv float64
+		if f <= 0 {
+			iv = o.MaxDays
+		} else {
+			iv = Clamp(1/f, o.MinDays, o.MaxDays)
+		}
+		plan[u] = iv
+	}
+	o.mu.Lock()
+	o.plan = plan
+	o.mu.Unlock()
+	return nil
+}
+
+// Interval implements Policy.
+func (o *Optimal) Interval(url string, rate, _ float64) float64 {
+	o.mu.RLock()
+	iv, ok := o.plan[url]
+	o.mu.RUnlock()
+	if ok {
+		return iv
+	}
+	if rate > 0 {
+		return Clamp(1/rate, o.MinDays, o.MaxDays)
+	}
+	return o.DefaultDays
+}
+
+// Name implements Policy.
+func (*Optimal) Name() string { return "optimal" }
+
+// PlanSize returns the number of pages in the current plan.
+func (o *Optimal) PlanSize() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.plan)
+}
+
+// ImportanceBoosted wraps a policy and shortens intervals for highly
+// important pages (Section 5.3: "if a certain page is highly important
+// ... the UpdateModule may revisit the page much more often"). The
+// interval is divided by (1 + Weight*importance), then clamped.
+type ImportanceBoosted struct {
+	Base             Policy
+	Weight           float64
+	MinDays, MaxDays float64
+}
+
+// Interval implements Policy.
+func (b ImportanceBoosted) Interval(url string, rate, importance float64) float64 {
+	iv := b.Base.Interval(url, rate, importance)
+	if importance > 0 && b.Weight > 0 {
+		iv /= 1 + b.Weight*importance
+	}
+	return Clamp(iv, b.MinDays, b.MaxDays)
+}
+
+// Name implements Policy.
+func (b ImportanceBoosted) Name() string { return b.Base.Name() + "+importance" }

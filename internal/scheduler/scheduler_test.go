@@ -1,0 +1,184 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ in, min, max, want float64 }{
+		{5, 1, 10, 5},
+		{0.5, 1, 10, 1},
+		{20, 1, 10, 10},
+		{-3, 1, 10, 10},         // non-positive -> max
+		{math.NaN(), 1, 10, 10}, // NaN -> max
+		{0, 1, 10, 10},          // zero -> max
+	}
+	for _, c := range cases {
+		if got := Clamp(c.in, c.min, c.max); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFixed(t *testing.T) {
+	p := Fixed{Every: 30}
+	if p.Interval("u", 99, 99) != 30 {
+		t.Fatal("fixed interval not fixed")
+	}
+	if p.Name() != "fixed" {
+		t.Fatal(p.Name())
+	}
+}
+
+func TestProportional(t *testing.T) {
+	p := Proportional{K: 2, MinDays: 0.5, MaxDays: 100}
+	// rate 0.1/day, 2 visits per change -> 5 days.
+	if got := p.Interval("u", 0.1, 0); got != 5 {
+		t.Fatalf("interval %v", got)
+	}
+	// Unknown rate -> max.
+	if got := p.Interval("u", 0, 0); got != 100 {
+		t.Fatalf("zero-rate interval %v", got)
+	}
+	// Very fast -> clamped to min.
+	if got := p.Interval("u", 1000, 0); got != 0.5 {
+		t.Fatalf("fast interval %v", got)
+	}
+	// K defaults to 1.
+	p0 := Proportional{MinDays: 0.1, MaxDays: 100}
+	if got := p0.Interval("u", 0.5, 0); got != 2 {
+		t.Fatalf("default-K interval %v", got)
+	}
+	if p.Name() != "proportional" {
+		t.Fatal(p.Name())
+	}
+}
+
+func TestNewOptimalValidation(t *testing.T) {
+	if _, err := NewOptimal(0, 1, 10, 5); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := NewOptimal(1, 0, 10, 5); err == nil {
+		t.Fatal("zero min accepted")
+	}
+	if _, err := NewOptimal(1, 10, 5, 5); err == nil {
+		t.Fatal("max < min accepted")
+	}
+	if _, err := NewOptimal(1, 1, 10, 0); err == nil {
+		t.Fatal("zero default accepted")
+	}
+}
+
+func TestOptimalRebuildAndInterval(t *testing.T) {
+	o, err := NewOptimal(10, 0.1, 1000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{}
+	for i := 0; i < 20; i++ {
+		rates[fmt.Sprintf("http://s.com/p%02d", i)] = 0.05 * float64(i+1)
+	}
+	if err := o.Rebuild(rates); err != nil {
+		t.Fatal(err)
+	}
+	if o.PlanSize() != 20 {
+		t.Fatalf("plan size %d", o.PlanSize())
+	}
+	// Planned intervals must be within clamps.
+	for u := range rates {
+		iv := o.Interval(u, rates[u], 0)
+		if iv < 0.1 || iv > 1000 {
+			t.Fatalf("interval %v out of bounds", iv)
+		}
+	}
+	// Unknown page with a rate estimate: 1/rate clamped.
+	if got := o.Interval("http://unknown.com/", 0.5, 0); got != 2 {
+		t.Fatalf("unknown-page interval %v", got)
+	}
+	// Unknown page without rate: default.
+	if got := o.Interval("http://unknown2.com/", 0, 0); got != 30 {
+		t.Fatalf("default interval %v", got)
+	}
+	if o.Name() != "optimal" {
+		t.Fatal(o.Name())
+	}
+}
+
+func TestOptimalRebuildEmpty(t *testing.T) {
+	o, err := NewOptimal(10, 0.1, 1000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Rebuild(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.PlanSize() != 0 {
+		t.Fatal("empty rebuild left a plan")
+	}
+}
+
+func TestOptimalSanitizesBadRates(t *testing.T) {
+	o, err := NewOptimal(5, 0.1, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Rebuild(map[string]float64{
+		"http://a.com/": math.NaN(),
+		"http://b.com/": math.Inf(1),
+		"http://c.com/": -3,
+		"http://d.com/": 0.2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if o.PlanSize() != 4 {
+		t.Fatalf("plan size %d", o.PlanSize())
+	}
+}
+
+func TestOptimalBudgetReflectedInIntervals(t *testing.T) {
+	// With equal rates, the optimal plan must revisit everyone at about
+	// n/budget days.
+	o, err := NewOptimal(10, 0.01, 10000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{}
+	for i := 0; i < 100; i++ {
+		rates[fmt.Sprintf("http://e.com/p%03d", i)] = 0.1
+	}
+	if err := o.Rebuild(rates); err != nil {
+		t.Fatal(err)
+	}
+	for u := range rates {
+		iv := o.Interval(u, 0.1, 0)
+		if math.Abs(iv-10) > 0.5 { // 100 pages / 10 visits/day
+			t.Fatalf("interval %v, want ~10", iv)
+		}
+	}
+}
+
+func TestImportanceBoosted(t *testing.T) {
+	b := ImportanceBoosted{
+		Base:    Fixed{Every: 30},
+		Weight:  1,
+		MinDays: 1, MaxDays: 100,
+	}
+	// importance 2 -> interval / 3.
+	if got := b.Interval("u", 0, 2); got != 10 {
+		t.Fatalf("boosted interval %v", got)
+	}
+	// Zero importance: unchanged.
+	if got := b.Interval("u", 0, 0); got != 30 {
+		t.Fatalf("unboosted interval %v", got)
+	}
+	// Clamped below.
+	b.Weight = 1000
+	if got := b.Interval("u", 0, 10); got != 1 {
+		t.Fatalf("clamped interval %v", got)
+	}
+	if b.Name() != "fixed+importance" {
+		t.Fatal(b.Name())
+	}
+}

@@ -1,0 +1,153 @@
+package simweb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+)
+
+// Page is one simulated web page. Its content version advances according
+// to a Poisson process with the page's change rate; the page is visible in
+// its site's window from BornDay until DeathDay.
+type Page struct {
+	url  string
+	site *Site
+	slot int // structural position within the site window
+	uid  int // per-site unique id; distinguishes slot generations
+
+	rateClass    string  // mixture class name, for diagnostics
+	ratePerDay   float64 // Poisson change rate (changes/day)
+	bornDay      float64
+	deathDay     float64 // +Inf for immortal pages (site roots)
+	lifespanDays float64 // deathDay - bornDay (Inf for roots)
+
+	// Poisson change state, advanced lazily and monotonically.
+	version    int
+	advancedTo float64
+	nextChange float64
+	lastChange float64 // day of the most recent change, or bornDay
+
+	// extraIntra are additional random same-site slots this page links to
+	// (beyond the spanning-tree children that keep the window connected).
+	extraIntra []int
+	// crossSites are indexes of other sites whose roots this page links to.
+	crossSites []int
+
+	rnd rng
+}
+
+// URL returns the page's URL.
+func (p *Page) URL() string { return p.url }
+
+// Site returns the owning site.
+func (p *Page) Site() *Site { return p.site }
+
+// Rate returns the page's true change rate in changes per day. Oracle
+// access for estimator evaluation; a real crawler never sees this.
+func (p *Page) Rate() float64 { return p.ratePerDay }
+
+// RateClass returns the mixture class the rate was drawn from.
+func (p *Page) RateClass() string { return p.rateClass }
+
+// BornDay returns the day the page entered the window.
+func (p *Page) BornDay() float64 { return p.bornDay }
+
+// DeathDay returns the day the page leaves the window (+Inf for roots).
+func (p *Page) DeathDay() float64 { return p.deathDay }
+
+// aliveAt reports whether the page is visible at the given day.
+func (p *Page) aliveAt(day float64) bool {
+	return day >= p.bornDay && day < p.deathDay
+}
+
+// advanceTo moves the Poisson change state forward to the given day.
+// Calls must be monotone in day, which holds because the web advances
+// time monotonically.
+func (p *Page) advanceTo(day float64) {
+	if day <= p.advancedTo {
+		return
+	}
+	limit := math.Min(day, p.deathDay)
+	for p.nextChange <= limit {
+		p.version++
+		p.lastChange = p.nextChange
+		p.nextChange += p.rnd.exp(p.ratePerDay)
+	}
+	p.advancedTo = day
+}
+
+// Snapshot is the observable state of a page at a fetch instant: what a
+// crawler sees.
+type Snapshot struct {
+	URL      string
+	Day      float64 // fetch day
+	Version  int     // number of content changes since birth
+	Checksum uint64  // content checksum; changes iff Version changes
+	Links    []string
+	HTML     string // synthetic HTML embedding Links as anchors
+	Size     int    // length of HTML in bytes
+}
+
+// snapshot captures the page's state at the given day. The caller must
+// have advanced the page (and processed site deaths) first.
+func (p *Page) snapshot(day float64, withHTML bool) Snapshot {
+	links := p.site.linksOf(p)
+	s := Snapshot{
+		URL:      p.url,
+		Day:      day,
+		Version:  p.version,
+		Checksum: pageChecksum(p.url, p.version),
+		Links:    links,
+	}
+	if withHTML {
+		s.HTML = renderHTML(p.url, p.version, links)
+	} else {
+		s.HTML = ""
+	}
+	s.Size = len(s.HTML)
+	if !withHTML {
+		// Approximate the size a rendered page would have, so bandwidth
+		// accounting works even when callers skip HTML generation.
+		s.Size = 256 + 64*len(links)
+	}
+	return s
+}
+
+// pageChecksum derives the content checksum from the page identity and
+// version. Deliberately independent of link URLs: a neighbouring page
+// being replaced rewrites this page's anchor list but must not register as
+// a content change, or the calibrated change statistics would be
+// contaminated (see DESIGN.md; the real experiment's checksums hash page
+// bodies, whose navigation chrome is similarly stable).
+func pageChecksum(url string, version int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(url))
+	_, _ = h.Write([]byte{'#'})
+	_, _ = fmt.Fprintf(h, "%d", version)
+	return h.Sum64()
+}
+
+// renderHTML produces deterministic pseudo-content for a page version,
+// with all links as anchors. The crawler's HTML parser extracts exactly
+// Links back out of it.
+func renderHTML(url string, version int, links []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s v%d</title></head><body>\n", url, version)
+	fmt.Fprintf(&b, "<h1>Synthetic page %s</h1>\n", url)
+	fmt.Fprintf(&b, "<p>revision %d; checksum %016x</p>\n", version, pageChecksum(url, version))
+	// A block of version-dependent filler so page size varies with
+	// content, as real pages do.
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(url))
+	para := int(h.Sum32()%5) + 1
+	for i := 0; i < para; i++ {
+		fmt.Fprintf(&b, "<p>section %d of revision %d</p>\n", i, version)
+	}
+	b.WriteString("<ul>\n")
+	for _, l := range links {
+		fmt.Fprintf(&b, "  <li><a href=\"%s\">%s</a></li>\n", l, l)
+	}
+	b.WriteString("</ul>\n</body></html>\n")
+	return b.String()
+}

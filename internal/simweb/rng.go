@@ -1,0 +1,73 @@
+package simweb
+
+import "math"
+
+// rng is a tiny splitmix64 PRNG. Every page owns one, seeded from the web
+// seed and the page's identity, so the evolution of each page is
+// deterministic regardless of the order in which pages are queried, and
+// the per-page state is only 8 bytes (a math/rand.Rand would cost ~5 KiB
+// per page, prohibitive at the paper's 810,000-page scale).
+type rng struct{ state uint64 }
+
+// newRNG builds a generator from a seed and a stream of salts.
+func newRNG(seed int64, salts ...uint64) rng {
+	s := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, salt := range salts {
+		s ^= mix64(salt + 0x9e3779b97f4a7c15)
+		s = mix64(s)
+	}
+	return rng{state: s}
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next returns the next raw 64-bit value.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// float64 returns a uniform variate in (0, 1].
+func (r *rng) float64() float64 {
+	// 53 random bits; add 1 so the result is never 0 (log-safe).
+	return (float64(r.next()>>11) + 1) / (1 << 53)
+}
+
+// exp returns an exponential variate with the given rate (mean 1/rate).
+// A non-positive rate yields +Inf, i.e. the event never happens.
+func (r *rng) exp(rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log(r.float64()) / rate
+}
+
+// intn returns a uniform integer in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// logUniform returns a variate drawn log-uniformly from [lo, hi].
+func (r *rng) logUniform(lo, hi float64) float64 {
+	if lo == hi {
+		return lo
+	}
+	u := r.float64()
+	return lo * math.Exp(u*math.Log(hi/lo))
+}
+
+// pick samples an index according to the given cumulative weights
+// (cum[len-1] must be the total weight).
+func (r *rng) pick(cum []float64) int {
+	u := r.float64() * cum[len(cum)-1]
+	for i, c := range cum {
+		if u <= c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}

@@ -1,0 +1,25 @@
+package simweb
+
+// ScanWindow visits every page currently in the site's window at the
+// given day, in BFS (slot) order, calling fn with the page's URL and
+// content checksum. It is the daily-monitoring fast path: no link lists
+// or HTML are materialized, so replaying the paper's 104 million
+// page-visits (720,000 pages x 128 days) stays cheap.
+func (s *Site) ScanWindow(day float64, fn func(url string, checksum uint64)) {
+	s.advanceTo(day)
+	for _, p := range s.pages {
+		if !p.aliveAt(day) {
+			continue
+		}
+		p.advanceTo(day)
+		fn(p.url, pageChecksum(p.url, p.version))
+	}
+}
+
+// ScanAll runs ScanWindow over every site at the given day.
+func (w *Web) ScanAll(day float64, fn func(site *Site, url string, checksum uint64)) {
+	for _, s := range w.sites {
+		site := s
+		s.ScanWindow(day, func(url string, sum uint64) { fn(site, url, sum) })
+	}
+}

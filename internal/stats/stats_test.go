@@ -1,0 +1,327 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if math.Abs(s.Var-2.5) > 1e-12 {
+		t.Fatalf("variance %v, want 2.5", s.Var)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if q := Quantile(xs, 0.25); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("q25 = %v", q)
+	}
+	if q := Quantile(xs, 0); q != 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 10 {
+		t.Fatalf("q1 = %v", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 7, 30, 120}, PaperIntervalLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0.5, 0}, {1, 0}, {1.0001, 1}, {7, 1}, {8, 2}, {30, 2},
+		{31, 3}, {120, 3}, {121, 4}, {100000, 4},
+	}
+	for _, c := range cases {
+		h2 := *h
+		h2.Counts = make([]int, len(h.Counts))
+		h2.Add(c.x)
+		for i, n := range h2.Counts {
+			if (i == c.want) != (n == 1) {
+				t.Errorf("Add(%v): counts %v, want bucket %d", c.x, h2.Counts, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestHistogramFractionsSumToOne(t *testing.T) {
+	h := NewPaperIntervalHistogram()
+	vals := []float64{0.5, 3, 15, 60, 400, 1, 7}
+	for _, v := range vals {
+		h.Add(v)
+	}
+	if h.Total() != len(vals) {
+		t.Fatalf("total %d", h.Total())
+	}
+	sum := 0.0
+	for _, f := range h.Fractions() {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil, nil); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{5, 3}, nil); err == nil {
+		t.Fatal("decreasing bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 2}, []string{"only-one"}); err == nil {
+		t.Fatal("wrong label count accepted")
+	}
+}
+
+func TestPaperHistogramsHaveFiveAndFourBuckets(t *testing.T) {
+	if got := len(NewPaperIntervalHistogram().Counts); got != 5 {
+		t.Fatalf("interval histogram has %d buckets", got)
+	}
+	if got := len(NewPaperLifespanHistogram().Counts); got != 4 {
+		t.Fatalf("lifespan histogram has %d buckets", got)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {3, 0.75}, {4, 1}, {5, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Fatalf("N = %d", e.N())
+	}
+}
+
+func TestECDFInverse(t *testing.T) {
+	e, _ := NewECDF([]float64{10, 20, 30, 40})
+	if v := e.InverseAt(0.5); v != 20 {
+		t.Fatalf("InverseAt(0.5) = %v", v)
+	}
+	if v := e.InverseAt(0); v != 10 {
+		t.Fatalf("InverseAt(0) = %v", v)
+	}
+	if v := e.InverseAt(1); v != 40 {
+		t.Fatalf("InverseAt(1) = %v", v)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e, err := NewECDF(raw)
+		if err != nil {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return e.At(a) <= e.At(b)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 5
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-5) > 1e-12 || f.R2 < 0.999999 {
+		t.Fatalf("fit %+v", f)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitLine([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestFitExponentialRecovers(t *testing.T) {
+	const rate, scale = 0.35, 2.0
+	var xs, ys []float64
+	for x := 0.0; x < 20; x++ {
+		xs = append(xs, x)
+		ys = append(ys, scale*math.Exp(-rate*x))
+	}
+	f, err := FitExponential(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Rate-rate) > 1e-9 || math.Abs(f.Scale-scale) > 1e-9 || f.R2 < 0.999999 {
+		t.Fatalf("fit %+v", f)
+	}
+}
+
+func TestFitExponentialSkipsNonPositive(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 0, math.Exp(-2), -1} // two valid points
+	if _, err := FitExponential(xs, ys); err != nil {
+		t.Fatalf("fit with skips failed: %v", err)
+	}
+}
+
+func TestMeanCICoversTrueMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	misses := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 50)
+		for j := range xs {
+			xs[j] = rng.NormFloat64() + 10
+		}
+		lo, hi, err := MeanCI(xs, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo > 10 || hi < 10 {
+			misses++
+		}
+	}
+	// ~5% misses expected; allow generous slack.
+	if misses > trials/8 {
+		t.Fatalf("95%% CI missed %d/%d times", misses, trials)
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	lo, hi, err := ProportionCI(50, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("CI [%v, %v] excludes p=0.5", lo, hi)
+	}
+	if lo < 0.38 || hi > 0.62 {
+		t.Fatalf("CI [%v, %v] too wide", lo, hi)
+	}
+	// Extremes stay in [0,1].
+	lo, hi, err = ProportionCI(0, 20, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi <= 0 || hi > 1 {
+		t.Fatalf("extreme CI [%v, %v]", lo, hi)
+	}
+	if _, _, err := ProportionCI(5, 0, 0.95); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, _, err := ProportionCI(10, 5, 0.95); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestKSExponentialAcceptsExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const rate = 0.5
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() / rate
+	}
+	d, p, err := KSExponential(xs, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Fatalf("KS rejected true exponential: D=%v p=%v", d, p)
+	}
+}
+
+func TestKSExponentialRejectsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.Float64() // uniform [0,1)
+	}
+	_, p, err := KSExponential(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.01 {
+		t.Fatalf("KS failed to reject uniform: p=%v", p)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, _, err := KSExponential(nil, 1); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, _, err := KSExponential([]float64{1}, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]float64{1, 3}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("weighted mean %v", got)
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero total weight accepted")
+	}
+}
+
+func TestHistogramFractionsEmptyIsZeros(t *testing.T) {
+	h := NewPaperLifespanHistogram()
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Fatal("empty histogram has nonzero fraction")
+		}
+	}
+}

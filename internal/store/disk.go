@@ -1,0 +1,479 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Disk is a log-structured on-disk Collection: records are appended to
+// segment files with CRC-protected framing, an in-memory index maps URL
+// to (segment, offset), deletes append tombstones, and a compactor
+// rewrites live records when the garbage ratio grows. Opening a directory
+// replays the segments to rebuild the index, so a crawl survives a
+// restart — a property the paper's in-place incremental crawler needs,
+// since it never gets a "start from scratch" moment.
+//
+// Frame layout (little endian):
+//
+//	crc32(keyLen ++ valLen ++ key ++ val) uint32
+//	keyLen uint32 | valLen uint32 (valLen == tombstoneLen means delete)
+//	key bytes | val bytes (JSON-encoded PageRecord)
+type Disk struct {
+	mu      sync.Mutex
+	dir     string
+	seg     *os.File // active segment, append-only
+	segID   int
+	segOff  int64
+	w       *bufio.Writer
+	index   map[string]diskPos
+	live    int   // live records
+	garbage int   // superseded/tombstone frames
+	written int64 // bytes in active segment
+	closed  bool
+
+	// MaxSegmentBytes bounds a segment before rolling to a new one.
+	maxSegmentBytes int64
+}
+
+type diskPos struct {
+	seg int
+	off int64
+}
+
+const tombstoneLen = ^uint32(0)
+
+// OpenDisk opens (or creates) a disk collection in dir.
+func OpenDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d := &Disk{
+		dir:             dir,
+		index:           make(map[string]diskPos),
+		maxSegmentBytes: 64 << 20,
+	}
+	ids, err := segmentIDs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if err := d.replay(id); err != nil {
+			return nil, err
+		}
+	}
+	nextID := 1
+	if len(ids) > 0 {
+		nextID = ids[len(ids)-1] + 1
+	}
+	if err := d.openSegment(nextID); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func segmentPath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("segment-%06d.log", id))
+}
+
+func segmentIDs(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var ids []int
+	for _, e := range entries {
+		var id int
+		if n, _ := fmt.Sscanf(e.Name(), "segment-%06d.log", &id); n == 1 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+func (d *Disk) openSegment(id int) error {
+	f, err := os.OpenFile(segmentPath(d.dir, id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	d.seg = f
+	d.segID = id
+	d.segOff = st.Size()
+	d.written = st.Size()
+	d.w = bufio.NewWriter(f)
+	return nil
+}
+
+// replay scans one segment, updating the index. A truncated final frame
+// (torn write from a crash) stops the replay of that segment cleanly.
+func (d *Disk) replay(id int) error {
+	f, err := os.Open(segmentPath(d.dir, id))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var off int64
+	for {
+		key, val, frameLen, err := readFrame(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if errors.Is(err, errTornFrame) {
+				return nil // trailing partial write; ignore
+			}
+			return fmt.Errorf("store: segment %d offset %d: %w", id, off, err)
+		}
+		if val == nil { // tombstone
+			if _, ok := d.index[key]; ok {
+				delete(d.index, key)
+				d.live--
+				d.garbage++ // the superseded record
+			}
+			d.garbage++ // the tombstone itself
+		} else {
+			if _, ok := d.index[key]; ok {
+				d.garbage++
+			} else {
+				d.live++
+			}
+			d.index[key] = diskPos{seg: id, off: off}
+		}
+		off += frameLen
+	}
+}
+
+var errTornFrame = errors.New("store: torn frame")
+
+func readFrame(r *bufio.Reader) (key string, val []byte, frameLen int64, err error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return "", nil, 0, io.EOF
+		}
+		return "", nil, 0, errTornFrame
+	}
+	crc := binary.LittleEndian.Uint32(hdr[0:4])
+	keyLen := binary.LittleEndian.Uint32(hdr[4:8])
+	valLen := binary.LittleEndian.Uint32(hdr[8:12])
+	if keyLen > 1<<20 {
+		return "", nil, 0, errors.New("store: absurd key length (corrupt frame)")
+	}
+	kb := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, kb); err != nil {
+		return "", nil, 0, errTornFrame
+	}
+	var vb []byte
+	tomb := valLen == tombstoneLen
+	if !tomb {
+		if valLen > 1<<30 {
+			return "", nil, 0, errors.New("store: absurd value length (corrupt frame)")
+		}
+		vb = make([]byte, valLen)
+		if _, err := io.ReadFull(r, vb); err != nil {
+			return "", nil, 0, errTornFrame
+		}
+	}
+	h := crc32.NewIEEE()
+	_, _ = h.Write(hdr[4:12])
+	_, _ = h.Write(kb)
+	_, _ = h.Write(vb)
+	if h.Sum32() != crc {
+		return "", nil, 0, errors.New("store: checksum mismatch (corrupt frame)")
+	}
+	fl := int64(12) + int64(keyLen)
+	if !tomb {
+		fl += int64(valLen)
+	}
+	return string(kb), vb, fl, nil
+}
+
+func appendFrame(w io.Writer, key string, val []byte, tomb bool) (int64, error) {
+	var hdr [12]byte
+	valLen := uint32(len(val))
+	if tomb {
+		valLen = tombstoneLen
+	}
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[8:12], valLen)
+	h := crc32.NewIEEE()
+	_, _ = h.Write(hdr[4:12])
+	_, _ = h.Write([]byte(key))
+	if !tomb {
+		_, _ = h.Write(val)
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], h.Sum32())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write([]byte(key)); err != nil {
+		return 0, err
+	}
+	n := int64(12 + len(key))
+	if !tomb {
+		if _, err := w.Write(val); err != nil {
+			return 0, err
+		}
+		n += int64(len(val))
+	}
+	return n, nil
+}
+
+// Put implements Collection.
+func (d *Disk) Put(rec PageRecord) error {
+	if rec.URL == "" {
+		return errors.New("store: empty URL")
+	}
+	val, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	off := d.segOff
+	n, err := appendFrame(d.w, rec.URL, val, false)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := d.w.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, ok := d.index[rec.URL]; ok {
+		d.garbage++
+	} else {
+		d.live++
+	}
+	d.index[rec.URL] = diskPos{seg: d.segID, off: off}
+	d.segOff += n
+	d.written += n
+	return d.maybeRollLocked()
+}
+
+// Get implements Collection.
+func (d *Disk) Get(url string) (PageRecord, bool, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return PageRecord{}, false, ErrClosed
+	}
+	pos, ok := d.index[url]
+	d.mu.Unlock()
+	if !ok {
+		return PageRecord{}, false, nil
+	}
+	return d.readAt(pos)
+}
+
+func (d *Disk) readAt(pos diskPos) (PageRecord, bool, error) {
+	f, err := os.Open(segmentPath(d.dir, pos.seg))
+	if err != nil {
+		return PageRecord{}, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(pos.off, io.SeekStart); err != nil {
+		return PageRecord{}, false, fmt.Errorf("store: %w", err)
+	}
+	_, val, _, err := readFrame(bufio.NewReader(f))
+	if err != nil {
+		return PageRecord{}, false, fmt.Errorf("store: %w", err)
+	}
+	var rec PageRecord
+	if err := json.Unmarshal(val, &rec); err != nil {
+		return PageRecord{}, false, fmt.Errorf("store: %w", err)
+	}
+	return rec, true, nil
+}
+
+// Delete implements Collection.
+func (d *Disk) Delete(url string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if _, ok := d.index[url]; !ok {
+		return nil
+	}
+	n, err := appendFrame(d.w, url, nil, true)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := d.w.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	delete(d.index, url)
+	d.live--
+	d.garbage += 2 // superseded record + tombstone
+	d.segOff += n
+	d.written += n
+	return d.maybeRollLocked()
+}
+
+// maybeRollLocked starts a new segment when the active one is large, and
+// compacts when garbage dominates.
+func (d *Disk) maybeRollLocked() error {
+	if d.segOff >= d.maxSegmentBytes {
+		if err := d.w.Flush(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := d.seg.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := d.openSegment(d.segID + 1); err != nil {
+			return err
+		}
+	}
+	if d.garbage > 4*(d.live+1) && d.live >= 0 {
+		return d.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites all live records into a fresh segment and
+// removes the old ones.
+func (d *Disk) compactLocked() error {
+	if err := d.w.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	oldIDs, err := segmentIDs(d.dir)
+	if err != nil {
+		return err
+	}
+	newID := d.segID + 1
+	if err := d.seg.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := d.openSegment(newID); err != nil {
+		return err
+	}
+	urls := make([]string, 0, len(d.index))
+	for u := range d.index {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	newIndex := make(map[string]diskPos, len(urls))
+	for _, u := range urls {
+		rec, ok, err := d.readAt(d.index[u])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		val, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		off := d.segOff
+		n, err := appendFrame(d.w, u, val, false)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		d.segOff += n
+		newIndex[u] = diskPos{seg: newID, off: off}
+	}
+	if err := d.w.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	d.index = newIndex
+	d.live = len(newIndex)
+	d.garbage = 0
+	for _, id := range oldIDs {
+		if id == newID {
+			continue
+		}
+		if err := os.Remove(segmentPath(d.dir, id)); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+// Len implements Collection.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.live
+}
+
+// URLs implements Collection.
+func (d *Disk) URLs() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.index))
+	for u := range d.index {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scan implements Collection.
+func (d *Disk) Scan(fn func(PageRecord) bool) error {
+	for _, u := range d.URLs() {
+		rec, ok, err := d.Get(u)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Compact forces a compaction pass.
+func (d *Disk) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.compactLocked()
+}
+
+// GarbageRatio reports garbage frames per live record, for tests.
+func (d *Disk) GarbageRatio() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.live == 0 {
+		return float64(d.garbage)
+	}
+	return float64(d.garbage) / float64(d.live)
+}
+
+// Close implements Collection.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if err := d.w.Flush(); err != nil {
+		d.seg.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	return d.seg.Close()
+}

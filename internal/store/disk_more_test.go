@@ -1,0 +1,107 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDiskSegmentRolling forces segment rotation by shrinking the
+// segment cap and verifies reads span multiple segments and reopening
+// replays them all.
+func TestDiskSegmentRolling(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.maxSegmentBytes = 2048 // force frequent rolls
+	big := strings.Repeat("x", 512)
+	const n = 40
+	for i := 0; i < n; i++ {
+		rec := PageRecord{
+			URL:     fmt.Sprintf("http://s.com/p%03d", i),
+			Content: []byte(big),
+		}
+		if err := d.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := segmentIDs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) < 3 {
+		t.Fatalf("expected multiple segments, got %v", ids)
+	}
+	// Random access across segments.
+	for i := 0; i < n; i++ {
+		url := fmt.Sprintf("http://s.com/p%03d", i)
+		got, ok, err := d.Get(url)
+		if err != nil || !ok || len(got.Content) != 512 {
+			t.Fatalf("read %s across segments: ok=%v err=%v", url, ok, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != n {
+		t.Fatalf("replayed %d records across segments, want %d", d2.Len(), n)
+	}
+}
+
+// TestDiskCorruptMiddleFrameFailsLoudly flips a byte inside the first
+// frame: reopening must NOT silently succeed with the corrupt record
+// counted as live.
+func TestDiskCorruptMiddleFrameFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(PageRecord{URL: "http://a.com/", Checksum: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(PageRecord{URL: "http://b.com/", Checksum: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a payload byte of the first record (offset inside value).
+	seg := segmentPath(dir, 1)
+	data, err := readFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xFF
+	if err := writeFile(seg, data); err != nil {
+		t.Fatal(err)
+	}
+	// The CRC catches it; replay stops at the corrupt frame (treating the
+	// rest as lost) rather than serving garbage.
+	d2, err := OpenDisk(dir)
+	if err != nil {
+		// Also acceptable: a hard error. Either way, no garbage reads.
+		return
+	}
+	defer d2.Close()
+	if _, ok, _ := d2.Get("http://a.com/"); ok {
+		rec, _, _ := d2.Get("http://a.com/")
+		if rec.Checksum != 1 {
+			t.Fatal("corrupt record served with wrong content")
+		}
+	}
+}
+
+func readFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

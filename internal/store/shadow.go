@@ -1,0 +1,109 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// Shadowed wraps two collections to implement the shadowing update
+// discipline of Section 4 ([MJLF84]-style): the crawler writes into a
+// separate shadow collection while readers see the current collection
+// unchanged; Swap atomically publishes the shadow as the new current
+// collection and provides a fresh, empty shadow.
+//
+// The wrapper makes the freshness trade-off of Figure 8 concrete in code:
+// between swaps, newly crawled pages are invisible to readers.
+type Shadowed struct {
+	mu      sync.RWMutex
+	current Collection
+	shadow  Collection
+	// newShadow constructs the next shadow after a swap.
+	newShadow func() (Collection, error)
+	swaps     int
+}
+
+// NewShadowed builds a shadowed collection pair. current may be nil, in
+// which case an empty collection from newShadow serves as the initial
+// current collection.
+func NewShadowed(current Collection, newShadow func() (Collection, error)) (*Shadowed, error) {
+	if newShadow == nil {
+		return nil, errors.New("store: nil shadow constructor")
+	}
+	if current == nil {
+		c, err := newShadow()
+		if err != nil {
+			return nil, err
+		}
+		current = c
+	}
+	sh, err := newShadow()
+	if err != nil {
+		return nil, err
+	}
+	return &Shadowed{current: current, shadow: sh, newShadow: newShadow}, nil
+}
+
+// NewShadowedMem returns a Shadowed pair backed by in-memory collections.
+func NewShadowedMem() *Shadowed {
+	s, err := NewShadowed(NewMem(), func() (Collection, error) { return NewMem(), nil })
+	if err != nil {
+		panic(err) // mem constructor cannot fail
+	}
+	return s
+}
+
+// Current returns the collection visible to readers.
+func (s *Shadowed) Current() Collection {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.current
+}
+
+// Shadow returns the crawler's collection: where writes go before the
+// next swap.
+func (s *Shadowed) Shadow() Collection {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shadow
+}
+
+// Swap publishes the shadow as the current collection, closes the old
+// current collection, and installs a fresh shadow. It returns the number
+// of pages in the newly published collection.
+func (s *Shadowed) Swap() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.current
+	s.current = s.shadow
+	fresh, err := s.newShadow()
+	if err != nil {
+		// Roll back: keep serving the old collection.
+		s.current = old
+		return 0, err
+	}
+	s.shadow = fresh
+	s.swaps++
+	if err := old.Close(); err != nil {
+		return s.current.Len(), err
+	}
+	return s.current.Len(), nil
+}
+
+// Swaps returns how many swaps have occurred.
+func (s *Shadowed) Swaps() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.swaps
+}
+
+// Close closes both collections.
+func (s *Shadowed) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err1 := s.current.Close()
+	err2 := s.shadow.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

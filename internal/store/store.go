@@ -1,0 +1,151 @@
+// Package store implements the crawler's Collection (Figure 12): the
+// repository of crawled pages. Two backends share one interface — an
+// in-memory store for simulations and a log-structured disk store in the
+// WebBase spirit ("a system designed to create and maintain large web
+// repositories") — plus a Shadowed wrapper implementing the
+// shadow-collection update discipline of Section 4: writes go to a
+// separate crawler's collection which atomically replaces the current
+// collection at swap time.
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// PageRecord is one stored page.
+type PageRecord struct {
+	URL string
+	// Checksum is the content checksum used for change detection
+	// (Section 5.3: "the UpdateModule records the checksum of the page
+	// from the last crawl and compares").
+	Checksum uint64
+	// FetchedAt is when the copy was crawled (days).
+	FetchedAt float64
+	// Version is the fetcher-reported content version when available
+	// (simulated webs); 0 otherwise.
+	Version int
+	// Links are the out-links extracted from the content.
+	Links []string
+	// Content is the page body; may be nil when the crawler stores only
+	// metadata.
+	Content []byte
+	// Importance is the score assigned by the ranking module at save
+	// time.
+	Importance float64
+}
+
+// ErrClosed reports use of a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Collection is the storage interface shared by all backends. All
+// implementations are safe for concurrent use.
+type Collection interface {
+	// Put inserts or replaces the record for rec.URL.
+	Put(rec PageRecord) error
+	// Get returns the record for url; ok is false when absent.
+	Get(url string) (rec PageRecord, ok bool, err error)
+	// Delete removes url; deleting an absent URL is a no-op.
+	Delete(url string) error
+	// Len returns the number of stored pages.
+	Len() int
+	// URLs returns all stored URLs in sorted order.
+	URLs() []string
+	// Scan calls fn for each record in sorted URL order until fn returns
+	// false.
+	Scan(fn func(PageRecord) bool) error
+	// Close releases resources. The collection is unusable afterwards.
+	Close() error
+}
+
+// Mem is the in-memory Collection.
+type Mem struct {
+	mu     sync.RWMutex
+	m      map[string]PageRecord
+	closed bool
+}
+
+// NewMem returns an empty in-memory collection.
+func NewMem() *Mem { return &Mem{m: make(map[string]PageRecord)} }
+
+// Put implements Collection.
+func (s *Mem) Put(rec PageRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if rec.URL == "" {
+		return errors.New("store: empty URL")
+	}
+	s.m[rec.URL] = rec
+	return nil
+}
+
+// Get implements Collection.
+func (s *Mem) Get(url string) (PageRecord, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return PageRecord{}, false, ErrClosed
+	}
+	rec, ok := s.m[url]
+	return rec, ok, nil
+}
+
+// Delete implements Collection.
+func (s *Mem) Delete(url string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	delete(s.m, url)
+	return nil
+}
+
+// Len implements Collection.
+func (s *Mem) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// URLs implements Collection.
+func (s *Mem) URLs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.m))
+	for u := range s.m {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scan implements Collection.
+func (s *Mem) Scan(fn func(PageRecord) bool) error {
+	for _, u := range s.URLs() {
+		rec, ok, err := s.Get(u)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Close implements Collection.
+func (s *Mem) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.m = nil
+	return nil
+}

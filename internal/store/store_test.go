@@ -1,0 +1,435 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// backends returns each Collection implementation under a fresh state.
+func backends(t *testing.T) map[string]Collection {
+	t.Helper()
+	disk, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Collection{
+		"mem":  NewMem(),
+		"disk": disk,
+	}
+}
+
+func rec(url string, sum uint64) PageRecord {
+	return PageRecord{
+		URL: url, Checksum: sum, FetchedAt: 1.5,
+		Links: []string{"http://x.com/a", "http://x.com/b"},
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for name, c := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer c.Close()
+			want := rec("http://s.com/p1", 42)
+			want.Content = []byte("<html>hi</html>")
+			want.Version = 7
+			want.Importance = 0.9
+			if err := c.Put(want); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := c.Get(want.URL)
+			if err != nil || !ok {
+				t.Fatalf("get: %v ok=%v", err, ok)
+			}
+			if got.URL != want.URL || got.Checksum != want.Checksum ||
+				got.Version != want.Version || got.Importance != want.Importance ||
+				string(got.Content) != string(want.Content) ||
+				fmt.Sprint(got.Links) != fmt.Sprint(want.Links) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	for name, c := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer c.Close()
+			_, ok, err := c.Get("http://nope.com/")
+			if err != nil || ok {
+				t.Fatalf("missing get: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	for name, c := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer c.Close()
+			url := "http://s.com/p"
+			if err := c.Put(rec(url, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put(rec(url, 2)); err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := c.Get(url)
+			if err != nil || got.Checksum != 2 {
+				t.Fatalf("overwrite lost: %+v err=%v", got, err)
+			}
+			if c.Len() != 1 {
+				t.Fatalf("len %d after overwrite", c.Len())
+			}
+		})
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for name, c := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer c.Close()
+			if err := c.Put(rec("http://s.com/p", 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Delete("http://s.com/p"); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := c.Get("http://s.com/p"); ok {
+				t.Fatal("deleted record still readable")
+			}
+			if c.Len() != 0 {
+				t.Fatalf("len %d", c.Len())
+			}
+			// Deleting absent keys is a no-op.
+			if err := c.Delete("http://never.com/"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEmptyURLRejected(t *testing.T) {
+	for name, c := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer c.Close()
+			if err := c.Put(PageRecord{}); err == nil {
+				t.Fatal("empty URL accepted")
+			}
+		})
+	}
+}
+
+func TestURLsSortedAndScanOrder(t *testing.T) {
+	for name, c := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer c.Close()
+			for _, u := range []string{"http://c.com/", "http://a.com/", "http://b.com/"} {
+				if err := c.Put(rec(u, 1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			urls := c.URLs()
+			if fmt.Sprint(urls) != "[http://a.com/ http://b.com/ http://c.com/]" {
+				t.Fatalf("URLs %v", urls)
+			}
+			var seen []string
+			if err := c.Scan(func(r PageRecord) bool {
+				seen = append(seen, r.URL)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(seen) != fmt.Sprint(urls) {
+				t.Fatalf("scan order %v", seen)
+			}
+		})
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	for name, c := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer c.Close()
+			for i := 0; i < 5; i++ {
+				if err := c.Put(rec(fmt.Sprintf("http://s.com/p%d", i), 1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			n := 0
+			if err := c.Scan(func(PageRecord) bool { n++; return n < 2 }); err != nil {
+				t.Fatal(err)
+			}
+			if n != 2 {
+				t.Fatalf("visited %d records", n)
+			}
+		})
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	m := NewMem()
+	m.Close()
+	if err := m.Put(rec("http://a.com/", 1)); err != ErrClosed {
+		t.Fatalf("put on closed: %v", err)
+	}
+	if _, _, err := m.Get("x"); err != ErrClosed {
+		t.Fatalf("get on closed: %v", err)
+	}
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if err := d.Put(rec("http://a.com/", 1)); err != ErrClosed {
+		t.Fatalf("disk put on closed: %v", err)
+	}
+}
+
+func TestDiskReopenReplays(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := d.Put(rec(fmt.Sprintf("http://s.com/p%02d", i), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Delete("http://s.com/p05"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(rec("http://s.com/p07", 777)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 19 {
+		t.Fatalf("replayed len %d, want 19", d2.Len())
+	}
+	if _, ok, _ := d2.Get("http://s.com/p05"); ok {
+		t.Fatal("tombstone not replayed")
+	}
+	got, ok, err := d2.Get("http://s.com/p07")
+	if err != nil || !ok || got.Checksum != 777 {
+		t.Fatalf("overwrite not replayed: %+v ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestDiskTornFinalFrameIgnored(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(rec("http://s.com/good", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: add garbage half-frame bytes.
+	seg := filepath.Join(dir, "segment-000001.log")
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != 1 {
+		t.Fatalf("len %d after torn frame", d2.Len())
+	}
+	if _, ok, _ := d2.Get("http://s.com/good"); !ok {
+		t.Fatal("good record lost")
+	}
+	// The store must still accept writes after recovery.
+	if err := d2.Put(rec("http://s.com/new", 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskCompaction(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Generate lots of garbage: repeated overwrites of few keys.
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 5; i++ {
+			if err := d.Put(rec(fmt.Sprintf("http://s.com/p%d", i), uint64(round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if d.GarbageRatio() != 0 {
+		t.Fatalf("garbage ratio %v after compaction", d.GarbageRatio())
+	}
+	if d.Len() != 5 {
+		t.Fatalf("len %d after compaction", d.Len())
+	}
+	for i := 0; i < 5; i++ {
+		got, ok, err := d.Get(fmt.Sprintf("http://s.com/p%d", i))
+		if err != nil || !ok || got.Checksum != 29 {
+			t.Fatalf("post-compaction read p%d: %+v ok=%v err=%v", i, got, ok, err)
+		}
+	}
+}
+
+func TestDiskAutoCompactionTriggers(t *testing.T) {
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for round := 0; round < 100; round++ {
+		if err := d.Put(rec("http://s.com/only", uint64(round))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.GarbageRatio() > 10 {
+		t.Fatalf("auto-compaction never ran: ratio %v", d.GarbageRatio())
+	}
+}
+
+// TestDiskModelCheck drives the disk store with random operations and
+// compares against a plain map after every step.
+func TestDiskModelCheck(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Sum    uint64
+		Delete bool
+	}
+	if err := quick.Check(func(ops []op) bool {
+		d, err := OpenDisk(t.TempDir())
+		if err != nil {
+			return false
+		}
+		defer d.Close()
+		model := make(map[string]uint64)
+		for _, o := range ops {
+			url := fmt.Sprintf("http://m.com/p%d", o.Key%8)
+			if o.Delete {
+				if err := d.Delete(url); err != nil {
+					return false
+				}
+				delete(model, url)
+			} else {
+				if err := d.Put(rec(url, o.Sum)); err != nil {
+					return false
+				}
+				model[url] = o.Sum
+			}
+		}
+		if d.Len() != len(model) {
+			return false
+		}
+		for u, sum := range model {
+			got, ok, err := d.Get(u)
+			if err != nil || !ok || got.Checksum != sum {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShadowedSwapPublishesShadow(t *testing.T) {
+	s := NewShadowedMem()
+	defer s.Close()
+	if err := s.Shadow().Put(rec("http://a.com/", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Invisible before swap.
+	if _, ok, _ := s.Current().Get("http://a.com/"); ok {
+		t.Fatal("shadow write visible before swap")
+	}
+	n, err := s.Swap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("swap published %d pages", n)
+	}
+	if _, ok, _ := s.Current().Get("http://a.com/"); !ok {
+		t.Fatal("swap did not publish")
+	}
+	// New shadow is empty.
+	if s.Shadow().Len() != 0 {
+		t.Fatal("fresh shadow not empty")
+	}
+	if s.Swaps() != 1 {
+		t.Fatalf("swaps %d", s.Swaps())
+	}
+}
+
+func TestShadowedOldCurrentClosedOnSwap(t *testing.T) {
+	s := NewShadowedMem()
+	old := s.Current()
+	if _, err := s.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Put(rec("http://x.com/", 1)); err != ErrClosed {
+		t.Fatalf("old current not closed: %v", err)
+	}
+}
+
+func TestNewShadowedValidation(t *testing.T) {
+	if _, err := NewShadowed(nil, nil); err == nil {
+		t.Fatal("nil constructor accepted")
+	}
+	sh, err := NewShadowed(nil, func() (Collection, error) { return NewMem(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Current() == nil || sh.Shadow() == nil {
+		t.Fatal("nil collections")
+	}
+}
+
+func TestShadowedWithDiskBackend(t *testing.T) {
+	dir := t.TempDir()
+	gen := 0
+	newShadow := func() (Collection, error) {
+		gen++
+		return OpenDisk(filepath.Join(dir, fmt.Sprintf("gen%d", gen)))
+	}
+	s, err := NewShadowed(nil, newShadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Shadow().Put(rec("http://d.com/", 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Current().Get("http://d.com/")
+	if err != nil || !ok || got.Checksum != 9 {
+		t.Fatalf("disk shadow swap: %+v ok=%v err=%v", got, ok, err)
+	}
+}

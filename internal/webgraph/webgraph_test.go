@@ -1,0 +1,230 @@
+package webgraph
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddLinkCreatesNodes(t *testing.T) {
+	g := New()
+	g.AddLink("a", "b")
+	if !g.HasPage("a") || !g.HasPage("b") {
+		t.Fatal("AddLink did not create nodes")
+	}
+	if g.NumPages() != 2 || g.NumLinks() != 1 {
+		t.Fatalf("pages=%d links=%d", g.NumPages(), g.NumLinks())
+	}
+}
+
+func TestOutInLinksConsistent(t *testing.T) {
+	g := New()
+	g.AddLink("a", "b")
+	g.AddLink("a", "c")
+	g.AddLink("b", "c")
+	if got := g.OutLinks("a"); len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("OutLinks(a) = %v", got)
+	}
+	if got := g.InLinks("c"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("InLinks(c) = %v", got)
+	}
+	if g.OutDegree("a") != 2 || g.InDegree("c") != 2 {
+		t.Fatal("degree mismatch")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetLinksReplaces(t *testing.T) {
+	g := New()
+	g.AddLink("p", "old1")
+	g.AddLink("p", "old2")
+	g.SetLinks("p", []string{"new1", "old2"})
+	out := g.OutLinks("p")
+	if len(out) != 2 || out[0] != "new1" || out[1] != "old2" {
+		t.Fatalf("OutLinks = %v", out)
+	}
+	if got := g.InLinks("old1"); len(got) != 0 {
+		t.Fatalf("old1 still has in-links %v", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemovePage(t *testing.T) {
+	g := New()
+	g.AddLink("a", "b")
+	g.AddLink("b", "c")
+	g.AddLink("c", "a")
+	g.RemovePage("b")
+	if g.HasPage("b") {
+		t.Fatal("b still present")
+	}
+	if got := g.OutLinks("a"); len(got) != 0 {
+		t.Fatalf("a still links to %v", got)
+	}
+	if got := g.InLinks("c"); len(got) != 0 {
+		t.Fatalf("c still linked from %v", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateLinksCountOnce(t *testing.T) {
+	g := New()
+	g.AddLink("a", "b")
+	g.AddLink("a", "b")
+	if g.NumLinks() != 1 {
+		t.Fatalf("links = %d", g.NumLinks())
+	}
+}
+
+func TestSnapshotSkipsSelfLinks(t *testing.T) {
+	g := New()
+	g.AddLink("a", "a")
+	g.AddLink("a", "b")
+	snap := g.Snapshot()
+	ai := snap.Index["a"]
+	if len(snap.Out[ai]) != 1 {
+		t.Fatalf("snapshot out of a = %v", snap.Out[ai])
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Snapshot {
+		g := New()
+		g.AddLink("z", "a")
+		g.AddLink("m", "z")
+		g.AddLink("a", "m")
+		return g.Snapshot()
+	}
+	a, b := build(), build()
+	if fmt.Sprint(a.IDs) != fmt.Sprint(b.IDs) || fmt.Sprint(a.Out) != fmt.Sprint(b.Out) {
+		t.Fatal("snapshots differ across identical builds")
+	}
+	if a.IDs[0] != "a" { // sorted order
+		t.Fatalf("IDs not sorted: %v", a.IDs)
+	}
+}
+
+func TestBFSWindowOrderAndLimit(t *testing.T) {
+	g := New()
+	// root -> b, c ; b -> d ; c -> e
+	g.AddLink("root", "b")
+	g.AddLink("root", "c")
+	g.AddLink("b", "d")
+	g.AddLink("c", "e")
+	got := g.BFSWindow("root", 10)
+	want := []string{"root", "b", "c", "d", "e"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("BFS order %v, want %v", got, want)
+	}
+	if got := g.BFSWindow("root", 3); len(got) != 3 {
+		t.Fatalf("limited window %v", got)
+	}
+	if got := g.BFSWindow("missing", 3); got != nil {
+		t.Fatalf("missing root yields %v", got)
+	}
+	if got := g.BFSWindow("root", 0); got != nil {
+		t.Fatalf("zero limit yields %v", got)
+	}
+}
+
+func TestBFSWindowHandlesCycles(t *testing.T) {
+	g := New()
+	g.AddLink("a", "b")
+	g.AddLink("b", "a")
+	got := g.BFSWindow("a", 10)
+	if len(got) != 2 {
+		t.Fatalf("cycle window %v", got)
+	}
+}
+
+func TestSiteOf(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"http://example.com/page", "example.com"},
+		{"https://a.edu/", "a.edu"},
+		{"bare.org/path", "bare.org"},
+		{"justhost.net", "justhost.net"},
+	}
+	for _, c := range cases {
+		if got := SiteOf(c.in); got != c.want {
+			t.Errorf("SiteOf(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDomainOf(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"yahoo.com", "com"},
+		{"www.stanford.edu", "edu"},
+		{"apache.org", "netorg"},
+		{"isp.net", "netorg"},
+		{"nasa.gov", "gov"},
+		{"army.mil", "gov"},
+		{"foo.io", "other"},
+		{"COM", "com"}, // case-insensitive
+	}
+	for _, c := range cases {
+		if got := DomainOf(c.in); got != c.want {
+			t.Errorf("DomainOf(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestProjectSites(t *testing.T) {
+	g := New()
+	g.AddLink("http://a.com/1", "http://a.com/2") // intra: excluded
+	g.AddLink("http://a.com/1", "http://b.edu/")
+	g.AddLink("http://b.edu/x", "http://c.gov/")
+	sg := ProjectSites(g)
+	if len(sg.Sites) != 3 {
+		t.Fatalf("sites = %v", sg.Sites)
+	}
+	ai := sg.Index["a.com"]
+	bi := sg.Index["b.edu"]
+	ci := sg.Index["c.gov"]
+	if len(sg.Out[ai]) != 1 || sg.Out[ai][0] != int32(bi) {
+		t.Fatalf("a.com out = %v", sg.Out[ai])
+	}
+	if len(sg.Out[bi]) != 1 || sg.Out[bi][0] != int32(ci) {
+		t.Fatalf("b.edu out = %v", sg.Out[bi])
+	}
+	if len(sg.Out[ci]) != 0 {
+		t.Fatalf("c.gov out = %v", sg.Out[ci])
+	}
+}
+
+func TestGraphInvariantProperty(t *testing.T) {
+	// Random link insertions/removals keep in/out edge sets mirror images.
+	type op struct{ From, To uint8 }
+	if err := quick.Check(func(ops []op) bool {
+		g := New()
+		name := func(b uint8) string { return fmt.Sprintf("n%d", b%16) }
+		for i, o := range ops {
+			switch i % 3 {
+			case 0, 1:
+				g.AddLink(name(o.From), name(o.To))
+			case 2:
+				g.RemovePage(name(o.From))
+			}
+		}
+		return g.Validate() == nil
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagesSorted(t *testing.T) {
+	g := New()
+	for _, p := range []string{"c", "a", "b"} {
+		g.AddPage(p)
+	}
+	got := g.Pages()
+	if fmt.Sprint(got) != "[a b c]" {
+		t.Fatalf("Pages() = %v", got)
+	}
+}
