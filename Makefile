@@ -1,0 +1,31 @@
+# Local mirror of the CI pipeline (.github/workflows/ci.yml):
+# `make ci` runs exactly what a pull request must pass.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a compile-and-run smoke pass, not a
+# measurement. Use `go test -bench . ./...` for real numbers.
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt race bench

@@ -275,7 +275,7 @@ func BenchmarkFigure9OptimalRevisit(b *testing.B) {
 func BenchmarkUpdateModuleThroughput(b *testing.B) {
 	w := benchWeb(b, 30)
 	f := fetch.NewSimFetcher(w)
-	coll := frontier.NewCollUrls()
+	coll := frontier.NewSharded(16)
 	for _, s := range w.Sites() {
 		for _, u := range s.WindowURLs(0) {
 			coll.Push(u, 0, 0)

@@ -27,24 +27,39 @@ func main() {
 	size := flag.Int("size", 2000, "collection size (pages)")
 	matrix := flag.Bool("matrix", false, "run the full steady/batch x in-place/shadow x fixed/variable matrix")
 	curves := flag.Bool("curves", false, "plot measured freshness-over-time curves (engine-measured Figure 7/8 analog)")
+	workers := flag.Int("workers", 4, "concurrent crawl workers (results are identical at any count)")
+	shards := flag.Int("shards", 16, "per-site frontier shards")
 	flag.Parse()
+	eng := engine{workers: *workers, shards: *shards}
 	if *curves {
-		if err := runCurves(*seed, *days, *size); err != nil {
+		if err := runCurves(*seed, *days, *size, eng); err != nil {
 			fmt.Fprintln(os.Stderr, "crawlsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*seed, *days, *size, *matrix); err != nil {
+	if err := run(*seed, *days, *size, *matrix, eng); err != nil {
 		fmt.Fprintln(os.Stderr, "crawlsim:", err)
 		os.Exit(1)
 	}
 }
 
+// engine carries the crawl-engine concurrency knobs into every
+// contender's config.
+type engine struct {
+	workers, shards int
+}
+
+func (e engine) apply(cfg core.Config) core.Config {
+	cfg.Workers = e.workers
+	cfg.Shards = e.shards
+	return cfg
+}
+
 // runCurves measures freshness over time from the live engine for the
 // four Section 4 design points — the engine-measured counterpart of the
 // analytic Figures 7 and 8.
-func runCurves(seed int64, days float64, size int) error {
+func runCurves(seed int64, days float64, size int, eng engine) error {
 	cycle := 10.0
 	fmt.Printf("== Measured freshness evolution (%d pages, %.0f-day cycle) ==\n\n", size, cycle)
 	var series []report.Series
@@ -62,7 +77,7 @@ func runCurves(seed int64, days float64, size int) error {
 		if err != nil {
 			return err
 		}
-		cfg := core.Config{
+		cfg := eng.apply(core.Config{
 			Seeds:          w.RootURLs(),
 			CollectionSize: size,
 			PagesPerDay:    float64(size) / cycle,
@@ -70,7 +85,7 @@ func runCurves(seed int64, days float64, size int) error {
 			BatchDays:      cycle / 4,
 			Mode:           d.mode,
 			Update:         d.upd,
-		}
+		})
 		c, err := core.New(cfg, fetch.NewSimFetcher(w))
 		if err != nil {
 			return err
@@ -109,13 +124,13 @@ type contender struct {
 	run  func(w *simweb.Web) (core.Runner, error)
 }
 
-func run(seed int64, days float64, size int, matrix bool) error {
+func run(seed int64, days float64, size int, matrix bool, eng engine) error {
 	// Bandwidth: revisit the whole collection every ~10 days on average.
 	cycle := 10.0
 	bandwidth := float64(size) / cycle
 
 	base := func(w *simweb.Web) core.Config {
-		return core.Config{
+		return eng.apply(core.Config{
 			Seeds:          w.RootURLs(),
 			CollectionSize: size,
 			PagesPerDay:    bandwidth,
@@ -123,7 +138,7 @@ func run(seed int64, days float64, size int, matrix bool) error {
 			BatchDays:      cycle / 4,
 			RankEveryDays:  cycle,
 			Estimator:      core.EstimatorEP,
-		}
+		})
 	}
 
 	contenders := []contender{

@@ -9,11 +9,16 @@
 // Usage:
 //
 //	webcrawl -seeds https://example.com/ -dir ./crawl -pages 50
-//	webcrawl -seeds https://a.com/,https://b.org/ -delay 10s -night
+//	webcrawl -seeds https://a.com/,https://b.org/ -delay 10s -night -workers 8
 //
 // The crawler runs one pass over all due URLs and exits; re-running
 // continues incrementally from the stored state (compare timestamps and
 // checksums across runs to watch change detection at work).
+//
+// The frontier is sharded per site: each worker claims a shard
+// exclusively while it fetches from it, so concurrent workers never hit
+// one host at once, and the politeness delay is enforced per shard (the
+// HTTP fetcher enforces it per host again, as a backstop).
 package main
 
 import (
@@ -22,8 +27,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"webevolve/internal/changefreq"
@@ -43,6 +51,8 @@ func main() {
 	night := flag.Bool("night", false, "crawl only 9PM-6AM local time (the paper's window)")
 	sameSite := flag.Bool("samesite", true, "follow links only within seed hosts")
 	agent := flag.String("agent", "", "override User-Agent")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent fetch workers")
+	shards := flag.Int("shards", 16, "per-site frontier shards")
 	flag.Parse()
 
 	if *seeds == "" {
@@ -50,10 +60,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(strings.Split(*seeds, ","), *dir, *maxPages, *delay, *night, *sameSite, *agent); err != nil {
+	if err := run(crawlOpts{
+		seeds:    strings.Split(*seeds, ","),
+		dir:      *dir,
+		maxPages: *maxPages,
+		delay:    *delay,
+		night:    *night,
+		sameSite: *sameSite,
+		agent:    *agent,
+		workers:  *workers,
+		shards:   *shards,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "webcrawl:", err)
 		os.Exit(1)
 	}
+}
+
+type crawlOpts struct {
+	seeds    []string
+	dir      string
+	maxPages int
+	delay    time.Duration
+	night    bool
+	sameSite bool
+	agent    string
+	workers  int
+	shards   int
 }
 
 // state is the persisted frontier/estimator sidecar next to the page
@@ -72,102 +104,220 @@ type obs struct {
 	Changed bool    `json:"changed"`
 }
 
-func run(seeds []string, dir string, maxPages int, delay time.Duration, night, sameSite bool, agent string) error {
-	coll, err := store.OpenDisk(filepath.Join(dir, "pages"))
+func run(o crawlOpts) error {
+	coll, err := store.OpenDisk(filepath.Join(o.dir, "pages"))
 	if err != nil {
 		return err
 	}
 	defer coll.Close()
-	st, err := loadState(filepath.Join(dir, "state.json"))
+	st, err := loadState(filepath.Join(o.dir, "state.json"))
 	if err != nil {
 		return err
 	}
 
-	pol := robots.Politeness{MinDelay: delay}
-	if night {
+	pol := robots.Politeness{MinDelay: o.delay}
+	if o.night {
 		pol.NightOnly, pol.NightStart, pol.NightEnd = true, 21, 6
 	}
-	f := &fetch.HTTPFetcher{Politeness: pol, Epoch: st.Epoch, UserAgent: agent}
+	f := &fetch.HTTPFetcher{Politeness: pol, Epoch: st.Epoch, UserAgent: o.agent}
 
 	// Rebuild the revisit queue: stored pages at their due times, seeds
-	// and never-crawled discoveries immediately.
-	q := frontier.NewCollUrls()
+	// and never-crawled discoveries immediately. Shards carry the
+	// politeness delay, so claims from one site are spaced even before
+	// the HTTP fetcher's own per-host gate.
+	if o.shards < 1 {
+		o.shards = 1
+	}
+	if o.workers < 1 {
+		o.workers = 1
+	}
+	q := frontier.NewShardedPolite(o.shards, clock.Days(o.delay))
 	nowDay := clock.Days(time.Since(st.Epoch))
 	for url, due := range st.Due {
 		q.Push(url, due, 0)
 	}
-	for _, s := range seeds {
+	for _, s := range o.seeds {
 		s = htmlparse.Normalize(strings.TrimSpace(s))
 		if !q.Contains(s) {
 			q.Push(s, nowDay, 1)
+			if _, ok := st.Due[s]; !ok {
+				// Record seeds in the due table too, so link discovery
+				// never mistakes a queued (or in-flight) seed for new.
+				st.Due[s] = nowDay
+			}
 		}
 	}
 
 	seedHosts := make(map[string]bool)
-	for _, s := range seeds {
+	for _, s := range o.seeds {
 		if u := htmlparse.Normalize(strings.TrimSpace(s)); u != "" {
 			seedHosts[hostOf(u)] = true
 		}
 	}
 
-	fetched := 0
-	for fetched < maxPages {
-		e, ok := q.PopDue(clock.Days(time.Since(st.Epoch)))
+	c := &crawl{
+		opts: o, coll: coll, st: st, q: q, f: f, seedHosts: seedHosts,
+	}
+	c.loop()
+	fmt.Printf("fetched %d pages; collection holds %d\n", c.fetched.Load(), coll.Len())
+	if c.err != nil {
+		return c.err
+	}
+	return saveState(filepath.Join(o.dir, "state.json"), st)
+}
+
+// crawl is one webcrawl run: a dispatcher claiming due shards and a pool
+// of workers fetching them.
+type crawl struct {
+	opts      crawlOpts
+	coll      *store.Disk
+	st        *state
+	q         *frontier.Sharded
+	f         *fetch.HTTPFetcher
+	seedHosts map[string]bool
+
+	mu       sync.Mutex // guards st maps, first error, and stdout
+	err      error
+	fetched  atomic.Int64
+	inflight atomic.Int64
+	stop     atomic.Bool
+}
+
+func (c *crawl) nowDay() float64 { return clock.Days(time.Since(c.st.Epoch)) }
+
+func (c *crawl) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.stop.Store(true)
+}
+
+// loop dispatches due URLs to the worker pool until the fetch budget is
+// spent or nothing more is due. Each dispatched job holds its shard's
+// claim, so one site is never fetched by two workers at once.
+func (c *crawl) loop() {
+	type job struct {
+		url   string
+		shard int
+	}
+	jobs := make(chan job, c.opts.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < c.opts.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if !c.stop.Load() {
+					c.crawlOne(j.url)
+				}
+				c.q.Release(j.shard, c.nowDay()+clock.Days(c.opts.delay))
+				c.inflight.Add(-1)
+			}
+		}()
+	}
+	for !c.stop.Load() {
+		if int(c.fetched.Load()+c.inflight.Load()) >= c.opts.maxPages {
+			if c.inflight.Load() == 0 {
+				break
+			}
+			time.Sleep(10 * time.Millisecond) // an errored fetch refunds budget
+			continue
+		}
+		now := c.nowDay()
+		e, sid, ok := c.q.ClaimDue(now)
 		if !ok {
-			break
-		}
-		res, err := f.Fetch(e.URL, 0)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "  error %s: %v\n", e.URL, err)
-			continue
-		}
-		fetched++
-		if res.NotFound {
-			fmt.Printf("  gone    %s\n", e.URL)
-			_ = coll.Delete(e.URL)
-			delete(st.Due, e.URL)
-			delete(st.Histories, e.URL)
-			continue
-		}
-		prev, had, err := coll.Get(e.URL)
-		if err != nil {
-			return err
-		}
-		changed := had && prev.Checksum != res.Checksum
-		st.Histories[e.URL] = append(st.Histories[e.URL], obs{Day: res.Day, Changed: changed})
-
-		if err := coll.Put(store.PageRecord{
-			URL: e.URL, Checksum: res.Checksum, FetchedAt: res.Day, Links: res.Links,
-		}); err != nil {
-			return err
-		}
-		status := "new    "
-		if had && changed {
-			status = "changed"
-		} else if had {
-			status = "same   "
-		}
-		fmt.Printf("  %s %s (%d links)\n", status, e.URL, len(res.Links))
-
-		// Reschedule by the EP estimate: unknown pages weekly, known
-		// pages at half their estimated change interval, clamped.
-		interval := reviseInterval(st.Histories[e.URL])
-		st.Due[e.URL] = res.Day + interval
-		q.Push(e.URL, st.Due[e.URL], 0)
-
-		for _, l := range res.Links {
-			l = htmlparse.Normalize(l)
-			if sameSite && !seedHosts[hostOf(l)] {
+			if c.inflight.Load() > 0 {
+				time.Sleep(10 * time.Millisecond)
 				continue
 			}
-			if _, ok := st.Due[l]; !ok && !q.Contains(l) {
-				q.Push(l, res.Day, 0)
-				st.Due[l] = res.Day
+			// Entries can be due but politeness-blocked; wait that out.
+			// With nothing due at all, the pass is over.
+			head, hok := c.q.Peek()
+			if !hok || head.Due > now {
+				break
 			}
+			if ev, eok := c.q.NextEvent(); eok && ev > now {
+				time.Sleep(clock.FromDays(ev - now))
+				continue
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		c.inflight.Add(1)
+		jobs <- job{url: e.URL, shard: sid}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// crawlOne fetches one URL and folds the result into the store, the
+// change histories, and the frontier.
+func (c *crawl) crawlOne(url string) {
+	res, err := c.f.Fetch(url, 0)
+	if err != nil {
+		c.mu.Lock()
+		fmt.Fprintf(os.Stderr, "  error %s: %v\n", url, err)
+		c.mu.Unlock()
+		return
+	}
+	c.fetched.Add(1)
+	if res.NotFound {
+		_ = c.coll.Delete(url)
+		c.mu.Lock()
+		fmt.Printf("  gone    %s\n", url)
+		delete(c.st.Due, url)
+		delete(c.st.Histories, url)
+		c.mu.Unlock()
+		return
+	}
+	prev, had, err := c.coll.Get(url)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	changed := had && prev.Checksum != res.Checksum
+	if err := c.coll.Put(store.PageRecord{
+		URL: url, Checksum: res.Checksum, FetchedAt: res.Day, Links: res.Links,
+	}); err != nil {
+		c.fail(err)
+		return
+	}
+
+	c.mu.Lock()
+	c.st.Histories[url] = append(c.st.Histories[url], obs{Day: res.Day, Changed: changed})
+	// Reschedule by the EP estimate: unknown pages weekly, known pages
+	// at half their estimated change interval, clamped.
+	interval := reviseInterval(c.st.Histories[url])
+	due := res.Day + interval
+	c.st.Due[url] = due
+
+	status := "new    "
+	if had && changed {
+		status = "changed"
+	} else if had {
+		status = "same   "
+	}
+	fmt.Printf("  %s %s (%d links)\n", status, url, len(res.Links))
+
+	var discovered []string
+	for _, l := range res.Links {
+		l = htmlparse.Normalize(l)
+		if c.opts.sameSite && !c.seedHosts[hostOf(l)] {
+			continue
+		}
+		if _, ok := c.st.Due[l]; !ok && !c.q.Contains(l) {
+			c.st.Due[l] = res.Day
+			discovered = append(discovered, l)
 		}
 	}
-	fmt.Printf("fetched %d pages; collection holds %d\n", fetched, coll.Len())
-	return saveState(filepath.Join(dir, "state.json"), st)
+	c.mu.Unlock()
+
+	c.q.Push(url, due, 0)
+	for _, l := range discovered {
+		c.q.Push(l, res.Day, 0)
+	}
 }
 
 // reviseInterval estimates a revisit interval (days) from a visit

@@ -1,0 +1,3 @@
+module webevolve
+
+go 1.24

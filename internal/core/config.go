@@ -163,6 +163,27 @@ type Config struct {
 	// MaxCandidates bounds how many replacement candidates one ranking
 	// pass considers.
 	MaxCandidates int
+	// Workers is the number of concurrent CrawlModule workers the
+	// engine dispatches fetch batches to (Section 5.3: "multiple
+	// CrawlModules may run in parallel, depending on how fast we need
+	// to crawl pages"). Jobs are grouped by frontier shard before
+	// dispatch, so same-site fetches stay ordered; on the deterministic
+	// simulator every worker count produces identical results. Default
+	// 1.
+	Workers int
+	// Shards is the number of per-site frontier shards the revisit
+	// queue is partitioned into (default 16). All pages of one host
+	// hash to the same shard.
+	Shards int
+	// DispatchBatch caps how many due URLs one dispatch round hands to
+	// the worker pool; it also sizes the batched store writes and
+	// change-frequency updates. Default 4*Workers (at least 8).
+	DispatchBatch int
+	// ShardPolitenessDays spaces consecutive fetches from one shard by
+	// this many virtual days. Zero (the default) disables the gap:
+	// per-page revisit intervals already space same-site revisits in
+	// simulation; wall-clock crawls layer HTTP politeness on top.
+	ShardPolitenessDays float64
 	// StoreContent keeps page bodies in the collection (off for large
 	// simulations).
 	StoreContent bool
@@ -204,6 +225,18 @@ func (c Config) withDefaults() Config {
 	if c.SiteStatsMinSamples == 0 {
 		c.SiteStatsMinSamples = 5
 	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	if c.DispatchBatch == 0 {
+		c.DispatchBatch = 4 * c.Workers
+		if c.DispatchBatch < 8 {
+			c.DispatchBatch = 8
+		}
+	}
 	return c
 }
 
@@ -230,6 +263,18 @@ func (c Config) Validate() error {
 	}
 	if c.EvictionHysteresis < 0 {
 		return errors.New("core: negative hysteresis")
+	}
+	if c.Workers < 1 {
+		return errors.New("core: workers must be >= 1")
+	}
+	if c.Shards < 1 {
+		return errors.New("core: shards must be >= 1")
+	}
+	if c.DispatchBatch < 1 {
+		return errors.New("core: dispatch batch must be >= 1")
+	}
+	if c.ShardPolitenessDays < 0 {
+		return errors.New("core: negative shard politeness")
 	}
 	return nil
 }

@@ -2,10 +2,8 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
-	"webevolve/internal/changefreq"
 	"webevolve/internal/fetch"
 	"webevolve/internal/frontier"
 	"webevolve/internal/scheduler"
@@ -29,15 +27,19 @@ type Metrics struct {
 
 // Crawler is the incremental crawler engine (and, in batch+shadow+fixed
 // configuration, the periodic-style refresher over a fixed URL set). It
-// is single-threaded over virtual time: each fetch advances the virtual
-// day by the configured bandwidth's reciprocal, which makes experiments
-// deterministic. (The concurrent wall-clock driver lives in driver.go.)
+// runs over virtual time: each fetch advances the virtual day by the
+// configured bandwidth's reciprocal, which makes experiments
+// deterministic. Fetches are dispatched in batches to Config.Workers
+// concurrent CrawlModule workers over the sharded frontier (engine.go);
+// results are applied in pop order, so any worker count produces the
+// schedule — and, on the deterministic simulator, the results — of the
+// sequential crawler. (The wall-clock pipeline lives in driver.go.)
 type Crawler struct {
 	cfg     Config
 	fetcher fetch.Fetcher
 
 	all      *frontier.AllUrls
-	coll     *frontier.CollUrls
+	coll     *frontier.Sharded
 	shadowed *store.Shadowed
 	graph    *webgraph.Graph
 
@@ -90,7 +92,7 @@ func NewWithStore(cfg Config, f fetch.Fetcher, sh *store.Shadowed) (*Crawler, er
 		cfg:        cfg,
 		fetcher:    f,
 		all:        frontier.NewAllUrls(),
-		coll:       frontier.NewCollUrls(),
+		coll:       frontier.NewShardedPolite(cfg.Shards, cfg.ShardPolitenessDays),
 		shadowed:   sh,
 		graph:      webgraph.New(),
 		policy:     policy,
@@ -124,8 +126,9 @@ func (c *Crawler) Collection() store.Collection { return c.shadowed.Current() }
 // AllUrls exposes the discovered-URL table.
 func (c *Crawler) AllUrls() *frontier.AllUrls { return c.all }
 
-// CollUrls exposes the revisit queue.
-func (c *Crawler) CollUrls() *frontier.CollUrls { return c.coll }
+// CollUrls exposes the revisit queue: the sharded frontier the workers
+// drain.
+func (c *Crawler) CollUrls() *frontier.Sharded { return c.coll }
 
 // Graph exposes the link structure captured so far.
 func (c *Crawler) Graph() *webgraph.Graph { return c.graph }
@@ -146,8 +149,8 @@ func (c *Crawler) RunUntil(until float64) error {
 	return c.runSteady(until)
 }
 
-// runSteady is the steady-mode loop: pop the most due URL, crawl it, push
-// it back — continuously.
+// runSteady is the steady-mode loop: pop a batch of due URLs, crawl them
+// through the worker pool, fold the results back in — continuously.
 func (c *Crawler) runSteady(until float64) error {
 	perFetch := 1 / c.cfg.PagesPerDay
 	for c.day < until {
@@ -165,27 +168,26 @@ func (c *Crawler) runSteady(until float64) error {
 			c.nextSwap += c.cfg.CycleDays
 			continue
 		}
-		e, ok := c.coll.PopDue(c.day)
-		if !ok {
-			// Idle until the next event: head due, rank, or swap.
+		dispatched, err := c.crawlRound(c.steadyHorizon(until), perFetch)
+		if err != nil {
+			return err
+		}
+		if !dispatched {
+			// Idle until the next event: head due (politeness-adjusted),
+			// rank, or swap.
 			next := math.Min(c.nextRank, until)
 			if c.cfg.Update == Shadow {
 				next = math.Min(next, c.nextSwap)
 			}
-			if head, hok := c.coll.Peek(); hok {
-				next = math.Min(next, head.Due)
+			if ev, ok := c.coll.NextEvent(); ok {
+				next = math.Min(next, ev)
 			}
 			if next <= c.day {
 				next = c.day + perFetch
 			}
 			c.metrics.IdleDays += next - c.day
 			c.day = next
-			continue
 		}
-		if err := c.fetchOne(e.URL); err != nil {
-			return err
-		}
-		c.day += perFetch
 	}
 	return nil
 }
@@ -222,90 +224,34 @@ func (c *Crawler) runBatch(until float64) error {
 			c.batchPerFetch = c.cfg.BatchDays / float64(len(c.batchQueue))
 			continue
 		}
-		u := c.batchQueue[0]
-		c.batchQueue = c.batchQueue[1:]
-		// Pop to keep queue bookkeeping honest; push-back happens in
-		// fetchOne.
-		c.coll.Remove(u)
-		if err := c.fetchOne(u); err != nil {
+		// Drain a chunk of the cycle's crawl list through the workers.
+		// The snapshot is a set, so no URL repeats within a chunk and
+		// the chunked pop sequence matches the sequential one.
+		jobs := make([]crawlJob, 0, c.cfg.DispatchBatch)
+		d := c.day
+		for len(jobs) < c.cfg.DispatchBatch && len(c.batchQueue) > 0 && d < until {
+			u := c.batchQueue[0]
+			c.batchQueue = c.batchQueue[1:]
+			// Pop to keep queue bookkeeping honest; push-back happens in
+			// applyBatch.
+			c.coll.Remove(u)
+			jobs = append(jobs, crawlJob{idx: len(jobs), url: u, day: d, shard: c.coll.ShardOf(u)})
+			d += c.batchPerFetch
+		}
+		results, err := c.fetchBatch(jobs)
+		if err != nil {
 			return err
 		}
-		c.day += c.batchPerFetch
+		if err := c.applyBatch(jobs, results); err != nil {
+			return err
+		}
+		c.day = d
 		if len(c.batchQueue) == 0 && c.cfg.Update == Shadow {
 			if err := c.swap(); err != nil {
 				return err
 			}
 		}
 	}
-	return nil
-}
-
-// fetchOne crawls one URL (Figure 11 steps [3]-[12]) and reschedules it.
-func (c *Crawler) fetchOne(url string) error {
-	res, err := c.fetcher.Fetch(url, c.day)
-	if err != nil {
-		return fmt.Errorf("core: fetching %s: %w", url, err)
-	}
-	c.metrics.Fetches++
-	c.metrics.BytesFetched += int64(res.Size)
-	if res.NotFound {
-		c.metrics.NotFound++
-		c.dropPage(url)
-		return nil
-	}
-
-	prevSum, seen := c.lastSum[url]
-	changed := seen && prevSum != res.Checksum
-	if changed {
-		c.metrics.ChangesDetected++
-	}
-	if !seen {
-		c.metrics.NewPages++
-	}
-	c.lastSum[url] = res.Checksum
-
-	est, ok := c.est[url]
-	if !ok {
-		est, err = newEstimator(c.cfg.Estimator)
-		if err != nil {
-			return err
-		}
-		c.est[url] = est
-	}
-	prevVisit, hadVisit := est.hist.Last()
-	if err := est.record(changefreq.Observation{Time: c.day, Changed: changed}, c.cfg.HistoryWindowDays); err != nil {
-		return fmt.Errorf("core: %s: %w", url, err)
-	}
-	if c.siteStats != nil && hadVisit && c.day > prevVisit {
-		c.siteStats.update(url, c.day, c.day-prevVisit, changed)
-	}
-
-	rec := store.PageRecord{
-		URL:        url,
-		Checksum:   res.Checksum,
-		FetchedAt:  c.day,
-		Version:    res.Version,
-		Links:      res.Links,
-		Importance: c.importance[url],
-	}
-	if c.cfg.StoreContent {
-		rec.Content = res.Content
-	}
-	if err := c.writeTarget().Put(rec); err != nil {
-		return fmt.Errorf("core: storing %s: %w", url, err)
-	}
-	c.all.SetInCollection(url, true)
-
-	// Figure 11 steps [11]-[12]: extract URLs, extend AllUrls; also feed
-	// the link structure the RankingModule scans.
-	c.graph.SetLinks(url, res.Links)
-	for _, l := range res.Links {
-		c.all.AddLink(url, l, c.day)
-	}
-
-	interval := c.policy.Interval(url, c.workingRate(url, est), c.importance[url])
-	interval = scheduler.Clamp(interval, c.cfg.MinIntervalDays, c.cfg.MaxIntervalDays)
-	c.coll.Push(url, c.day+interval, c.importance[url])
 	return nil
 }
 

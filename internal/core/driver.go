@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"webevolve/internal/changefreq"
 	"webevolve/internal/fetch"
@@ -14,22 +16,29 @@ import (
 )
 
 // UpdatePipeline is the wall-clock, concurrent form of the UpdateModule +
-// CrawlModule pair of Figure 12: one scheduler goroutine pops due URLs
-// from CollUrls and hands them to a pool of CrawlModule workers ("multiple
-// CrawlModules may run in parallel, depending on how fast we need to
-// crawl pages", Section 5.3). The ranking decision is deliberately
-// *absent* here — the paper's architectural point is that the
-// UpdateModule must sustain high page throughput (their example: 100M
-// pages/month needs ~40 pages/second) precisely because it never waits
-// for importance recomputation. BenchmarkUpdateModuleThroughput measures
-// this pipeline.
+// CrawlModule pair of Figure 12: a dispatcher claims due shards from the
+// sharded frontier and hands their head URLs to a pool of CrawlModule
+// workers ("multiple CrawlModules may run in parallel, depending on how
+// fast we need to crawl pages", Section 5.3). A claimed shard is owned by
+// one worker until it releases it, so no two workers ever fetch from the
+// same site concurrently, and per-shard politeness deadlines are honored
+// by the frontier itself. Store writes are batched per worker. The
+// ranking decision is deliberately *absent* here — the paper's
+// architectural point is that the UpdateModule must sustain high page
+// throughput (their example: 100M pages/month needs ~40 pages/second)
+// precisely because it never waits for importance recomputation.
+// BenchmarkUpdateModuleThroughput measures this pipeline.
 type UpdatePipeline struct {
 	Fetcher fetch.Fetcher
-	Coll    *frontier.CollUrls
+	Coll    *frontier.Sharded
 	Store   store.Collection
 	Policy  scheduler.Policy
 	// Workers is the number of parallel CrawlModules (default 4).
 	Workers int
+	// FlushEvery batches store writes: each worker accumulates this many
+	// records before a PutBatch (default 16). Buffers always flush
+	// before Run returns.
+	FlushEvery int
 	// MinIntervalDays / MaxIntervalDays clamp revisit intervals.
 	MinIntervalDays, MaxIntervalDays float64
 
@@ -52,59 +61,122 @@ func (u *UpdatePipeline) Run(now float64, n int) error {
 	if workers <= 0 {
 		workers = 4
 	}
+	flushEvery := u.FlushEvery
+	if flushEvery <= 0 {
+		flushEvery = 16
+	}
 	if u.est == nil {
 		u.est = make(map[string]*changefreq.History)
 		u.lastSum = make(map[string]uint64)
 	}
-	type job struct{ url string }
+
+	type job struct {
+		url   string
+		shard int
+	}
 	jobs := make(chan job, workers)
-	errs := make(chan error, workers)
+	var (
+		inflight atomic.Int64
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				if err := u.processOne(j.url, now); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
+			buf := make([]store.PageRecord, 0, flushEvery)
+			flush := func() {
+				if len(buf) == 0 {
 					return
 				}
+				if err := u.Store.PutBatch(buf); err != nil {
+					fail(err)
+				}
+				buf = buf[:0]
 			}
+			for j := range jobs {
+				if !stop.Load() {
+					rec, keep, err := u.processOne(j.url, now)
+					switch {
+					case err != nil:
+						fail(err)
+					case keep:
+						buf = append(buf, rec)
+						if len(buf) >= flushEvery {
+							flush()
+						}
+					}
+				}
+				// Release before decrementing: once inflight hits zero the
+				// dispatcher trusts the frontier to be fully visible.
+				u.Coll.Release(j.shard, now)
+				inflight.Add(-1)
+			}
+			flush()
 		}()
 	}
+
 	dispatched := 0
-	for dispatched < n {
-		e, ok := u.Coll.PopDue(now)
+	idleScans := 0
+	for dispatched < n && !stop.Load() {
+		e, sid, ok := u.Coll.ClaimDue(now)
 		if !ok {
-			break
+			if inflight.Load() == 0 {
+				// All workers idle and their reschedules visible; one
+				// last claim settles whether the frontier is drained.
+				if e, sid, ok = u.Coll.ClaimDue(now); !ok {
+					break
+				}
+			} else {
+				// Workers are mid-fetch and hold the due shards. Yield
+				// first (fetches against a simulator return in
+				// microseconds); against slow real fetches, back off to
+				// brief sleeps instead of spinning a core on shard
+				// scans.
+				if idleScans++; idleScans < 64 {
+					runtime.Gosched()
+				} else {
+					time.Sleep(500 * time.Microsecond)
+				}
+				continue
+			}
 		}
-		jobs <- job{url: e.URL}
+		idleScans = 0
+		inflight.Add(1)
+		jobs <- job{url: e.URL, shard: sid}
 		dispatched++
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
-	}
+	return firstErr
 }
 
 // processOne is one CrawlModule unit of work: fetch, checksum-compare,
-// estimator update, store, reschedule.
-func (u *UpdatePipeline) processOne(url string, now float64) error {
+// estimator update, reschedule. The store write is returned to the
+// caller for batching; keep is false when there is nothing to store
+// (vanished page).
+func (u *UpdatePipeline) processOne(url string, now float64) (rec store.PageRecord, keep bool, err error) {
 	res, err := u.Fetcher.Fetch(url, now)
 	if err != nil {
-		return fmt.Errorf("core: pipeline fetch %s: %w", url, err)
+		return store.PageRecord{}, false, fmt.Errorf("core: pipeline fetch %s: %w", url, err)
 	}
 	u.processed.Add(1)
 	if res.NotFound {
-		_ = u.Store.Delete(url)
-		return nil
+		if err := u.Store.Delete(url); err != nil {
+			return store.PageRecord{}, false, err
+		}
+		return store.PageRecord{}, false, nil
 	}
 
 	u.mu.Lock()
@@ -123,25 +195,22 @@ func (u *UpdatePipeline) processOne(url string, now float64) error {
 	}
 	u.mu.Unlock()
 	if err != nil {
-		return err
+		return store.PageRecord{}, false, err
 	}
 	if changed {
 		u.changed.Add(1)
 	}
 
-	if err := u.Store.Put(store.PageRecord{
+	interval := scheduler.Clamp(u.Policy.Interval(url, rate, 0),
+		u.MinIntervalDays, u.MaxIntervalDays)
+	u.Coll.Push(url, now+interval, 0)
+	return store.PageRecord{
 		URL:       url,
 		Checksum:  res.Checksum,
 		FetchedAt: now,
 		Version:   res.Version,
 		Links:     res.Links,
-	}); err != nil {
-		return err
-	}
-	interval := scheduler.Clamp(u.Policy.Interval(url, rate, 0),
-		u.MinIntervalDays, u.MaxIntervalDays)
-	u.Coll.Push(url, now+interval, 0)
-	return nil
+	}, true, nil
 }
 
 // Processed returns how many pages the pipeline has handled.

@@ -12,7 +12,7 @@ import (
 func newPipeline(t *testing.T, workers int) (*UpdatePipeline, *fetch.SimFetcher) {
 	t.Helper()
 	w, f := testWeb(t, 30)
-	coll := frontier.NewCollUrls()
+	coll := frontier.NewSharded(8)
 	for _, s := range w.Sites() {
 		for _, u := range s.WindowURLs(0) {
 			coll.Push(u, 0, 0)

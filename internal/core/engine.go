@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"webevolve/internal/changefreq"
+	"webevolve/internal/fetch"
+	"webevolve/internal/scheduler"
+	"webevolve/internal/store"
+)
+
+// This file is the concurrent dispatch core of the crawl engine: the
+// UpdateModule pops *batches* of due URLs from the sharded frontier,
+// hands them to a pool of CrawlModule workers over a channel, and then
+// applies the results in pop order with batched store writes and batched
+// change-frequency updates.
+//
+// Determinism is preserved by construction, so the simulated experiments
+// are reproducible at any worker count:
+//
+//   - popBatch assigns each job its virtual fetch day while popping in
+//     global (due, priority, URL) order — exactly the schedule the
+//     sequential loop would have produced;
+//
+//   - fetchBatch groups jobs by frontier shard and dispatches whole
+//     groups, so all fetches of one site run on one worker in virtual-day
+//     order (the simulated web advances per site and requires monotone
+//     fetch days within a site);
+//
+//   - applyBatch mutates crawler state sequentially in pop order, so
+//     change detection, link discovery, and scheduling decisions are
+//     independent of worker interleaving.
+
+// crawlJob is one unit of CrawlModule work: a URL with its assigned
+// virtual fetch day and its frontier shard.
+type crawlJob struct {
+	idx   int // batch position; applyBatch replays results in this order
+	url   string
+	day   float64
+	shard int
+}
+
+// popSteadyBatch pops the next dispatch round of due URLs for the
+// steady-mode loop, stamping each with the virtual day the sequential
+// crawler would have fetched it at. No job is scheduled at or past
+// horizon (the next rank/swap/stop event), and the batch never spans
+// more than MinIntervalDays of virtual time, so a URL rescheduled by
+// this batch can never have been due within it — which makes the pop
+// sequence identical to the sequential loop's.
+func (c *Crawler) popSteadyBatch(horizon, perFetch float64) []crawlJob {
+	maxJobs := c.cfg.DispatchBatch
+	if w := int(c.cfg.MinIntervalDays / perFetch); w < maxJobs {
+		maxJobs = w
+	}
+	if maxJobs < 1 {
+		maxJobs = 1
+	}
+	var jobs []crawlJob
+	d := c.day
+	for len(jobs) < maxJobs && d < horizon {
+		e, ok := c.coll.PopDue(d)
+		if !ok {
+			break
+		}
+		jobs = append(jobs, crawlJob{idx: len(jobs), url: e.URL, day: d, shard: c.coll.ShardOf(e.URL)})
+		d += perFetch
+	}
+	return jobs
+}
+
+// fetchBatch runs the jobs through the worker pool and returns their
+// results indexed like jobs. Jobs are grouped by shard and each group is
+// dispatched as a unit, preserving per-site fetch order.
+func (c *Crawler) fetchBatch(jobs []crawlJob) ([]fetch.Result, error) {
+	results := make([]fetch.Result, len(jobs))
+	if c.cfg.Workers <= 1 || len(jobs) <= 1 {
+		for _, j := range jobs {
+			res, err := c.fetcher.Fetch(j.url, j.day)
+			if err != nil {
+				return nil, fmt.Errorf("core: fetching %s: %w", j.url, err)
+			}
+			results[j.idx] = res
+		}
+		return results, nil
+	}
+
+	// Group by shard, keeping each group's jobs in day order.
+	order := make([]int, 0, len(jobs))
+	groups := make(map[int][]crawlJob, len(jobs))
+	for _, j := range jobs {
+		if _, ok := groups[j.shard]; !ok {
+			order = append(order, j.shard)
+		}
+		groups[j.shard] = append(groups[j.shard], j)
+	}
+	work := make(chan []crawlJob, len(order))
+	for _, sid := range order {
+		work <- groups[sid]
+	}
+	close(work)
+
+	workers := c.cfg.Workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for group := range work {
+				for _, j := range group {
+					// The whole batch is discarded on error; stop paying
+					// fetch latency for it as soon as any worker fails.
+					if failed.Load() {
+						return
+					}
+					res, err := c.fetcher.Fetch(j.url, j.day)
+					if err != nil {
+						err := fmt.Errorf("core: fetching %s: %w", j.url, err)
+						errOnce.Do(func() { firstErr = err })
+						failed.Store(true)
+						return
+					}
+					results[j.idx] = res
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// applyBatch folds a dispatch round's results into the crawler, in pop
+// order (Figure 11 steps [3]-[12], batched). Three passes:
+//
+//  1. change detection, metrics, link extraction and drops — everything
+//     that feeds AllUrls and the web graph, in pop order;
+//  2. one batched write of all crawled records to the collection;
+//  3. batched change-frequency updates and rescheduling.
+func (c *Crawler) applyBatch(jobs []crawlJob, results []fetch.Result) error {
+	type outcome struct {
+		job     crawlJob
+		changed bool
+	}
+	live := make([]outcome, 0, len(jobs))
+	recs := make([]store.PageRecord, 0, len(jobs))
+
+	for i := range jobs {
+		j := jobs[i]
+		res := &results[i]
+		c.metrics.Fetches++
+		c.metrics.BytesFetched += int64(res.Size)
+		if res.NotFound {
+			c.metrics.NotFound++
+			c.dropPage(j.url)
+			continue
+		}
+		prevSum, seen := c.lastSum[j.url]
+		changed := seen && prevSum != res.Checksum
+		if changed {
+			c.metrics.ChangesDetected++
+		}
+		if !seen {
+			c.metrics.NewPages++
+		}
+		c.lastSum[j.url] = res.Checksum
+
+		rec := store.PageRecord{
+			URL:        j.url,
+			Checksum:   res.Checksum,
+			FetchedAt:  j.day,
+			Version:    res.Version,
+			Links:      res.Links,
+			Importance: c.importance[j.url],
+		}
+		if c.cfg.StoreContent {
+			rec.Content = res.Content
+		}
+		recs = append(recs, rec)
+		c.all.SetInCollection(j.url, true)
+
+		// Figure 11 steps [11]-[12]: extract URLs, extend AllUrls; also
+		// feed the link structure the RankingModule scans.
+		c.graph.SetLinks(j.url, res.Links)
+		for _, l := range res.Links {
+			c.all.AddLink(j.url, l, j.day)
+		}
+		live = append(live, outcome{job: j, changed: changed})
+	}
+
+	if len(recs) > 0 {
+		if err := c.writeTarget().PutBatch(recs); err != nil {
+			return fmt.Errorf("core: storing batch: %w", err)
+		}
+	}
+
+	for _, o := range live {
+		j := o.job
+		est, ok := c.est[j.url]
+		if !ok {
+			var err error
+			est, err = newEstimator(c.cfg.Estimator)
+			if err != nil {
+				return err
+			}
+			c.est[j.url] = est
+		}
+		prevVisit, hadVisit := est.hist.Last()
+		if err := est.record(changefreq.Observation{Time: j.day, Changed: o.changed}, c.cfg.HistoryWindowDays); err != nil {
+			return fmt.Errorf("core: %s: %w", j.url, err)
+		}
+		if c.siteStats != nil && hadVisit && j.day > prevVisit {
+			c.siteStats.update(j.url, j.day, j.day-prevVisit, o.changed)
+		}
+		interval := c.policy.Interval(j.url, c.workingRate(j.url, est), c.importance[j.url])
+		interval = scheduler.Clamp(interval, c.cfg.MinIntervalDays, c.cfg.MaxIntervalDays)
+		c.coll.Push(j.url, j.day+interval, c.importance[j.url])
+	}
+	return nil
+}
+
+// crawlRound pops, fetches, and applies one dispatch round of the
+// steady loop, advancing virtual time past the last fetch. It reports
+// whether any job was dispatched.
+func (c *Crawler) crawlRound(horizon, perFetch float64) (bool, error) {
+	jobs := c.popSteadyBatch(horizon, perFetch)
+	if len(jobs) == 0 {
+		return false, nil
+	}
+	results, err := c.fetchBatch(jobs)
+	if err != nil {
+		return true, err
+	}
+	if err := c.applyBatch(jobs, results); err != nil {
+		return true, err
+	}
+	c.day = jobs[len(jobs)-1].day + perFetch
+	return true, nil
+}
+
+// steadyHorizon is the virtual instant the steady loop must pause
+// dispatching at: the run limit, the next ranking pass, or (under
+// shadowing) the next swap.
+func (c *Crawler) steadyHorizon(until float64) float64 {
+	horizon := math.Min(until, c.nextRank)
+	if c.cfg.Update == Shadow {
+		horizon = math.Min(horizon, c.nextSwap)
+	}
+	return horizon
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"webevolve/internal/fetch"
+	"webevolve/internal/simweb"
+)
+
+// benchmarkEngineWorkers measures end-to-end crawl throughput of the
+// sharded engine at a given worker count, against a simulated web served
+// through a fixed per-fetch latency (the regime where parallel
+// CrawlModules pay off — real crawls are network-bound). Reported
+// pages/s should scale with workers until the latency is fully hidden.
+func benchmarkEngineWorkers(b *testing.B, workers int, delay time.Duration) {
+	b.Helper()
+	var pages int64
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		w, err := simweb.New(simweb.Config{
+			Seed: 42,
+			SitesPerDomain: map[simweb.Domain]int{
+				simweb.Com: 8, simweb.Edu: 4, simweb.NetOrg: 2, simweb.Gov: 2,
+			},
+			PagesPerSite: 60,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := Config{
+			Seeds:          w.RootURLs(),
+			CollectionSize: 600,
+			PagesPerDay:    600,
+			CycleDays:      5,
+			RankEveryDays:  1,
+			Freq:           VariableFreq,
+			Estimator:      EstimatorEP,
+			Workers:        workers,
+			Shards:         32,
+			DispatchBatch:  8 * workers,
+		}
+		c, err := New(cfg, fetch.Delayed{Base: fetch.NewSimFetcher(w), Delay: delay})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if err := c.RunUntil(4); err != nil {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(start)
+		pages += c.Metrics().Fetches
+	}
+	b.ReportMetric(float64(pages)/elapsed.Seconds(), "pages/s")
+	b.ReportMetric(float64(pages)/float64(b.N), "fetches/run")
+}
+
+// BenchmarkCrawlEngineWorkers compares 1-worker vs N-worker crawls over
+// the same simulated web at a 200µs simulated fetch latency.
+func BenchmarkCrawlEngineWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchmarkEngineWorkers(b, workers, 200*time.Microsecond)
+		})
+	}
+}
+
+// BenchmarkCrawlEngineZeroLatency pins down the dispatch overhead: with
+// a free fetcher there is nothing to hide, so multi-worker throughput
+// should stay within a small factor of single-worker throughput.
+func BenchmarkCrawlEngineZeroLatency(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchmarkEngineWorkers(b, workers, 0)
+		})
+	}
+}

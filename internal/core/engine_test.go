@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"webevolve/internal/fetch"
+)
+
+// TestWorkerCountInvariance is the engine's core contract: because jobs
+// are popped in global due-order, grouped per site shard, and applied in
+// pop order, the crawl over the deterministic simulator must produce
+// byte-identical state for any worker/shard/batch configuration.
+func TestWorkerCountInvariance(t *testing.T) {
+	type outcome struct {
+		m    Metrics
+		urls []string
+		all  int
+	}
+	run := func(workers, shards, batch int) outcome {
+		w, f := testWeb(t, 21)
+		cfg := baseConfig(w)
+		cfg.Workers = workers
+		cfg.Shards = shards
+		cfg.DispatchBatch = batch
+		c, err := New(cfg, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunUntil(15); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{m: c.Metrics(), urls: c.Collection().URLs(), all: c.AllUrls().Len()}
+	}
+	ref := run(1, 1, 1)
+	for _, v := range []struct{ workers, shards, batch int }{
+		{1, 16, 8},
+		{4, 8, 16},
+		{8, 32, 64},
+	} {
+		got := run(v.workers, v.shards, v.batch)
+		if got.m != ref.m {
+			t.Fatalf("workers=%d shards=%d batch=%d: metrics diverge\n%+v\n%+v",
+				v.workers, v.shards, v.batch, got.m, ref.m)
+		}
+		if got.all != ref.all {
+			t.Fatalf("workers=%d: AllUrls %d vs %d", v.workers, got.all, ref.all)
+		}
+		if len(got.urls) != len(ref.urls) {
+			t.Fatalf("workers=%d: collection %d vs %d", v.workers, len(got.urls), len(ref.urls))
+		}
+		for i := range got.urls {
+			if got.urls[i] != ref.urls[i] {
+				t.Fatalf("workers=%d: collection diverges at %d: %s vs %s",
+					v.workers, i, got.urls[i], ref.urls[i])
+			}
+		}
+	}
+}
+
+// TestWorkerCountInvarianceBatchMode repeats the invariance check for
+// the batch-mode loop (chunked drain of the cycle snapshot).
+func TestWorkerCountInvarianceBatchMode(t *testing.T) {
+	run := func(workers int) (Metrics, []string) {
+		w, f := testWeb(t, 22)
+		cfg := baseConfig(w)
+		cfg.Mode = Batch
+		cfg.Update = Shadow
+		cfg.Workers = workers
+		cfg.Shards = 8
+		c, err := New(cfg, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunUntil(14); err != nil {
+			t.Fatal(err)
+		}
+		return c.Metrics(), c.Collection().URLs()
+	}
+	m1, u1 := run(1)
+	m8, u8 := run(8)
+	if m1 != m8 {
+		t.Fatalf("batch-mode metrics diverge:\n%+v\n%+v", m1, m8)
+	}
+	if len(u1) != len(u8) {
+		t.Fatalf("batch-mode collections diverge: %d vs %d", len(u1), len(u8))
+	}
+	for i := range u1 {
+		if u1[i] != u8[i] {
+			t.Fatalf("batch-mode collection diverges at %d", i)
+		}
+	}
+}
+
+// TestCrawlerConcurrentWorkersRace exists for the race detector: a
+// multi-worker crawl with a latency fetcher keeps several CrawlModules
+// genuinely in flight at once.
+func TestCrawlerConcurrentWorkersRace(t *testing.T) {
+	w, f := testWeb(t, 23)
+	cfg := baseConfig(w)
+	cfg.Workers = 8
+	cfg.Shards = 8
+	cfg.DispatchBatch = 32
+	c, err := New(cfg, fetch.Delayed{Base: f, Delay: 20 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics().Fetches == 0 {
+		t.Fatal("no fetches")
+	}
+}
+
+// TestShardPolitenessThrottlesCrawl checks the per-shard politeness gap
+// reaches the engine: with a gap wider than the fetch spacing and all
+// pages on few shards, the crawler must spend time idle waiting out
+// politeness deadlines.
+func TestShardPolitenessThrottlesCrawl(t *testing.T) {
+	run := func(gap float64) Metrics {
+		w, f := testWeb(t, 24)
+		cfg := baseConfig(w)
+		cfg.Shards = 2
+		cfg.ShardPolitenessDays = gap
+		c, err := New(cfg, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunUntil(8); err != nil {
+			t.Fatal(err)
+		}
+		return c.Metrics()
+	}
+	free := run(0)
+	polite := run(0.05) // 3x the per-fetch spacing of 1/60 day
+	if polite.Fetches >= free.Fetches {
+		t.Fatalf("politeness did not throttle: %d fetches vs %d unthrottled",
+			polite.Fetches, free.Fetches)
+	}
+	if polite.IdleDays <= free.IdleDays {
+		t.Fatalf("politeness did not add idle time: %v vs %v",
+			polite.IdleDays, free.IdleDays)
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	w, _ := testWeb(t, 25)
+	for i, mutate := range []func(*Config){
+		func(c *Config) { c.Workers = -1 },
+		func(c *Config) { c.Shards = -2 },
+		func(c *Config) { c.DispatchBatch = -1 },
+		func(c *Config) { c.ShardPolitenessDays = -0.5 },
+	} {
+		cfg := baseConfig(w)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad engine config %d accepted", i)
+		}
+	}
+}

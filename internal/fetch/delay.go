@@ -1,0 +1,26 @@
+package fetch
+
+import "time"
+
+// Delayed wraps a Fetcher with a fixed per-request latency, emulating
+// the network round-trip that dominates real crawls. Simulated-web
+// fetches complete in microseconds, which hides the benefit of parallel
+// CrawlModules; a Delayed fetcher restores the latency-bound regime the
+// paper's throughput argument lives in (their example: sustaining 40
+// pages/second against multi-second page latencies), so worker-scaling
+// benchmarks measure something representative.
+//
+// The delay is served outside any lock, so concurrent fetches overlap
+// their waits exactly like concurrent HTTP requests do.
+type Delayed struct {
+	Base  Fetcher
+	Delay time.Duration
+}
+
+// Fetch implements Fetcher.
+func (d Delayed) Fetch(url string, day float64) (Result, error) {
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	return d.Base.Fetch(url, day)
+}

@@ -1,0 +1,315 @@
+package frontier
+
+import (
+	"container/heap"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"webevolve/internal/webgraph"
+)
+
+// Sharded is CollUrls partitioned into per-site shards: every URL is
+// assigned to a shard by a hash of its host, so all pages of one site
+// live in one shard. The partitioning serves the concurrent crawl
+// engine two ways:
+//
+//   - Politeness is enforced per shard: consecutive pops from one shard
+//     are spaced by the configured minimum gap, and a worker can claim a
+//     shard exclusively while it fetches from it, so no two workers ever
+//     hit the same site at once.
+//
+//   - Pop order stays globally deterministic: PopDue and Pop always
+//     return the earliest-due entry across all ready shards, using the
+//     same (due, priority, URL) order as CollUrls. With a zero politeness
+//     gap the pop sequence is identical to a single CollUrls regardless
+//     of the shard count, which keeps simulated experiments reproducible.
+//
+// All methods are safe for concurrent use.
+type Sharded struct {
+	shards []*shard
+	// minGap is the per-shard politeness gap between consecutive pops,
+	// in the caller's time unit (virtual or wall-clock days).
+	minGap float64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	h     entryHeap
+	byURL map[string]*Entry
+	// nextReady is the earliest time another entry may be popped from
+	// this shard (politeness).
+	nextReady float64
+	// claimed marks the shard as exclusively held by a worker; claimed
+	// shards are skipped by ClaimDue until released.
+	claimed bool
+}
+
+// NewSharded returns a sharded queue with n shards (n < 1 is treated as
+// 1) and no politeness gap.
+func NewSharded(n int) *Sharded {
+	return NewShardedPolite(n, 0)
+}
+
+// NewShardedPolite returns a sharded queue whose shards refuse to yield
+// two entries less than minGap time units apart.
+func NewShardedPolite(n int, minGap float64) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	if minGap < 0 {
+		minGap = 0
+	}
+	s := &Sharded{shards: make([]*shard, n), minGap: minGap}
+	for i := range s.shards {
+		s.shards[i] = &shard{byURL: make(map[string]*Entry)}
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (q *Sharded) NumShards() int { return len(q.shards) }
+
+// ShardOf returns the shard index url hashes to. All URLs of one host
+// map to the same shard.
+func (q *Sharded) ShardOf(url string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(webgraph.SiteOf(url)))
+	return int(h.Sum32() % uint32(len(q.shards)))
+}
+
+func (q *Sharded) shardFor(url string) *shard { return q.shards[q.ShardOf(url)] }
+
+// Push inserts or reschedules url in its shard.
+func (q *Sharded) Push(url string, due, priority float64) {
+	s := q.shardFor(url)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.byURL[url]; ok {
+		e.Due = due
+		e.Priority = priority
+		heap.Fix(&s.h, e.index)
+		return
+	}
+	e := &Entry{URL: url, Due: due, Priority: priority}
+	heap.Push(&s.h, e)
+	s.byURL[url] = e
+}
+
+// entryBefore reports whether a pops before b, mirroring entryHeap's
+// order.
+func entryBefore(a, b Entry) bool {
+	if a.Due != b.Due {
+		return a.Due < b.Due
+	}
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.URL < b.URL
+}
+
+// popLocked removes and returns the shard's head. Caller holds s.mu.
+func (s *shard) popLocked() Entry {
+	e := heap.Pop(&s.h).(*Entry)
+	delete(s.byURL, e.URL)
+	return *e
+}
+
+// headDue reports the shard's head entry when it is poppable at now:
+// unclaimed (when skipClaimed), politeness-ready, and due.
+func (s *shard) headDue(now float64, skipClaimed bool) (Entry, bool) {
+	if (skipClaimed && s.claimed) || s.nextReady > now || len(s.h) == 0 || s.h[0].Due > now {
+		return Entry{}, false
+	}
+	return *s.h[0], true
+}
+
+// popDue removes and returns the globally earliest due entry among
+// ready shards; claim additionally claims the winning shard. The shard
+// index of the popped entry is returned for Release.
+func (q *Sharded) popDue(now float64, claim bool) (Entry, int, bool) {
+	for {
+		best := -1
+		var bestE Entry
+		for i, s := range q.shards {
+			s.mu.Lock()
+			if e, ok := s.headDue(now, claim); ok && (best < 0 || entryBefore(e, bestE)) {
+				best, bestE = i, e
+			}
+			s.mu.Unlock()
+		}
+		if best < 0 {
+			return Entry{}, -1, false
+		}
+		s := q.shards[best]
+		s.mu.Lock()
+		// Re-validate under the lock: another goroutine may have raced
+		// us to this shard's head. If so, rescan.
+		if e, ok := s.headDue(now, claim); ok && e.URL == bestE.URL {
+			got := s.popLocked()
+			s.nextReady = now + q.minGap
+			if claim {
+				s.claimed = true
+			}
+			s.mu.Unlock()
+			return got, best, true
+		}
+		s.mu.Unlock()
+	}
+}
+
+// PopDue removes and returns the earliest entry due at or before now
+// across all politeness-ready shards; ok is false when nothing is
+// poppable.
+func (q *Sharded) PopDue(now float64) (Entry, bool) {
+	e, _, ok := q.popDue(now, false)
+	return e, ok
+}
+
+// ClaimDue is PopDue for worker pools: it additionally claims the
+// winning shard exclusively, so no other worker can pop from it until
+// Release. The returned shard index must be passed to Release.
+func (q *Sharded) ClaimDue(now float64) (Entry, int, bool) {
+	return q.popDue(now, true)
+}
+
+// Release returns a claimed shard to the pool and sets its politeness
+// deadline: no entry will be popped from it before nextReady.
+func (q *Sharded) Release(shard int, nextReady float64) {
+	s := q.shards[shard]
+	s.mu.Lock()
+	s.claimed = false
+	if nextReady > s.nextReady {
+		s.nextReady = nextReady
+	}
+	s.mu.Unlock()
+}
+
+// Pop removes and returns the globally earliest entry regardless of due
+// time, politeness, or claims.
+func (q *Sharded) Pop() (Entry, error) {
+	for {
+		best := -1
+		var bestE Entry
+		for i, s := range q.shards {
+			s.mu.Lock()
+			if len(s.h) > 0 {
+				if e := *s.h[0]; best < 0 || entryBefore(e, bestE) {
+					best, bestE = i, e
+				}
+			}
+			s.mu.Unlock()
+		}
+		if best < 0 {
+			return Entry{}, ErrEmpty
+		}
+		s := q.shards[best]
+		s.mu.Lock()
+		if len(s.h) > 0 && s.h[0].URL == bestE.URL {
+			got := s.popLocked()
+			s.mu.Unlock()
+			return got, nil
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Peek returns the globally earliest entry without removing it,
+// ignoring politeness and claims.
+func (q *Sharded) Peek() (Entry, bool) {
+	found := false
+	var bestE Entry
+	for _, s := range q.shards {
+		s.mu.Lock()
+		if len(s.h) > 0 {
+			if e := *s.h[0]; !found || entryBefore(e, bestE) {
+				found, bestE = true, e
+			}
+		}
+		s.mu.Unlock()
+	}
+	return bestE, found
+}
+
+// NextEvent returns the earliest time any entry becomes poppable,
+// accounting for per-shard politeness deadlines: the minimum over
+// shards of max(head due, shard ready time). ok is false when the queue
+// is empty.
+func (q *Sharded) NextEvent() (float64, bool) {
+	found := false
+	var next float64
+	for _, s := range q.shards {
+		s.mu.Lock()
+		if len(s.h) > 0 {
+			t := s.h[0].Due
+			if s.nextReady > t {
+				t = s.nextReady
+			}
+			if !found || t < next {
+				found, next = true, t
+			}
+		}
+		s.mu.Unlock()
+	}
+	return next, found
+}
+
+// Remove deletes url from its shard, reporting whether it was present.
+func (q *Sharded) Remove(url string) bool {
+	s := q.shardFor(url)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byURL[url]
+	if !ok {
+		return false
+	}
+	heap.Remove(&s.h, e.index)
+	delete(s.byURL, url)
+	return true
+}
+
+// Contains reports whether url is queued.
+func (q *Sharded) Contains(url string) bool {
+	s := q.shardFor(url)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.byURL[url]
+	return ok
+}
+
+// Len returns the total number of queued entries.
+func (q *Sharded) Len() int {
+	n := 0
+	for _, s := range q.shards {
+		s.mu.Lock()
+		n += len(s.h)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// URLs returns all queued URLs in sorted order.
+func (q *Sharded) URLs() []string {
+	var out []string
+	for _, s := range q.shards {
+		s.mu.Lock()
+		for u := range s.byURL {
+			out = append(out, u)
+		}
+		s.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ShardLens returns the entry count of every shard (observability and
+// balance tests).
+func (q *Sharded) ShardLens() []int {
+	out := make([]int, len(q.shards))
+	for i, s := range q.shards {
+		s.mu.Lock()
+		out[i] = len(s.h)
+		s.mu.Unlock()
+	}
+	return out
+}

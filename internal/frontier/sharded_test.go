@@ -1,0 +1,256 @@
+package frontier
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// urlOn builds a URL on one of nHosts distinct hosts.
+func urlOn(host, page int) string {
+	return fmt.Sprintf("http://site%03d.com/p%05d", host, page)
+}
+
+func TestShardedSameHostSameShard(t *testing.T) {
+	q := NewSharded(16)
+	for h := 0; h < 20; h++ {
+		want := q.ShardOf(urlOn(h, 0))
+		for p := 1; p < 10; p++ {
+			if got := q.ShardOf(urlOn(h, p)); got != want {
+				t.Fatalf("host %d page %d on shard %d, root on %d", h, p, got, want)
+			}
+		}
+	}
+}
+
+func TestShardedSpreadsHosts(t *testing.T) {
+	q := NewSharded(8)
+	for h := 0; h < 64; h++ {
+		q.Push(urlOn(h, 0), 0, 0)
+	}
+	nonEmpty := 0
+	for _, n := range q.ShardLens() {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 4 {
+		t.Fatalf("64 hosts landed on only %d of 8 shards", nonEmpty)
+	}
+}
+
+// TestShardedMatchesCollUrls drives a Sharded queue and a CollUrls queue
+// with the same random operations and demands identical pop sequences:
+// sharding must not change the crawl schedule.
+func TestShardedMatchesCollUrls(t *testing.T) {
+	for _, shards := range []int{1, 3, 16} {
+		q := NewSharded(shards)
+		ref := NewCollUrls()
+		rng := rand.New(rand.NewSource(int64(shards)))
+		for i := 0; i < 500; i++ {
+			u := urlOn(rng.Intn(12), rng.Intn(40))
+			due := float64(rng.Intn(50))
+			pri := float64(rng.Intn(3))
+			q.Push(u, due, pri)
+			ref.Push(u, due, pri)
+		}
+		for now := 0.0; now <= 50; now++ {
+			for {
+				want, wok := ref.PopDue(now)
+				got, gok := q.PopDue(now)
+				if wok != gok {
+					t.Fatalf("shards=%d now=%v: ok %v vs %v", shards, now, gok, wok)
+				}
+				if !wok {
+					break
+				}
+				if got.URL != want.URL || got.Due != want.Due || got.Priority != want.Priority {
+					t.Fatalf("shards=%d now=%v: popped %+v, want %+v", shards, now, got, want)
+				}
+			}
+		}
+		if q.Len() != ref.Len() {
+			t.Fatalf("shards=%d: %d left vs %d", shards, q.Len(), ref.Len())
+		}
+	}
+}
+
+func TestShardedBasicOps(t *testing.T) {
+	q := NewSharded(4)
+	if _, err := q.Pop(); err == nil {
+		t.Fatal("pop from empty queue succeeded")
+	}
+	q.Push(urlOn(1, 1), 5, 0)
+	q.Push(urlOn(2, 1), 3, 0)
+	q.Push(urlOn(3, 1), 4, 0)
+	if !q.Contains(urlOn(2, 1)) {
+		t.Fatal("pushed URL not contained")
+	}
+	if head, ok := q.Peek(); !ok || head.URL != urlOn(2, 1) {
+		t.Fatalf("peek %+v, want earliest", head)
+	}
+	if got := q.Len(); got != 3 {
+		t.Fatalf("len %d, want 3", got)
+	}
+	urls := q.URLs()
+	if len(urls) != 3 || !sort.StringsAreSorted(urls) {
+		t.Fatalf("URLs %v not sorted snapshot", urls)
+	}
+	if !q.Remove(urlOn(3, 1)) || q.Remove(urlOn(3, 1)) {
+		t.Fatal("remove semantics wrong")
+	}
+	e, err := q.Pop()
+	if err != nil || e.URL != urlOn(2, 1) {
+		t.Fatalf("pop %+v, %v", e, err)
+	}
+	// Reschedule moves an entry.
+	q.Push(urlOn(1, 1), 1, 0)
+	if e, ok := q.PopDue(2); !ok || e.Due != 1 {
+		t.Fatalf("rescheduled entry not due: %+v ok=%v", e, ok)
+	}
+}
+
+func TestShardedPoliteness(t *testing.T) {
+	q := NewShardedPolite(4, 2.0)
+	host := 7
+	q.Push(urlOn(host, 1), 0, 0)
+	q.Push(urlOn(host, 2), 0, 0)
+	if _, ok := q.PopDue(0); !ok {
+		t.Fatal("first pop refused")
+	}
+	if e, ok := q.PopDue(1.9); ok {
+		t.Fatalf("second same-site pop allowed inside politeness gap: %+v", e)
+	}
+	if ev, ok := q.NextEvent(); !ok || ev != 2.0 {
+		t.Fatalf("next event %v ok=%v, want politeness deadline 2", ev, ok)
+	}
+	if _, ok := q.PopDue(2.0); !ok {
+		t.Fatal("pop refused after politeness gap elapsed")
+	}
+	// A different site is not throttled by host 7's gap.
+	other := host + 1
+	for q.ShardOf(urlOn(other, 1)) == q.ShardOf(urlOn(host, 1)) {
+		other++
+	}
+	q.Push(urlOn(host, 3), 0, 0)
+	q.Push(urlOn(other, 1), 0, 0)
+	if e, ok := q.PopDue(2.5); !ok || e.URL != urlOn(other, 1) {
+		t.Fatalf("cross-shard pop got %+v ok=%v", e, ok)
+	}
+}
+
+func TestShardedClaimRelease(t *testing.T) {
+	q := NewSharded(4)
+	host := 3
+	q.Push(urlOn(host, 1), 0, 0)
+	q.Push(urlOn(host, 2), 1, 0)
+	e, sid, ok := q.ClaimDue(5)
+	if !ok || e.URL != urlOn(host, 1) {
+		t.Fatalf("claim got %+v ok=%v", e, ok)
+	}
+	if e2, _, ok := q.ClaimDue(5); ok {
+		t.Fatalf("claimed shard yielded %+v", e2)
+	}
+	q.Release(sid, 10)
+	if _, _, ok := q.ClaimDue(9); ok {
+		t.Fatal("release deadline ignored")
+	}
+	if e3, _, ok := q.ClaimDue(10); !ok || e3.URL != urlOn(host, 2) {
+		t.Fatalf("post-release claim got %+v ok=%v", e3, ok)
+	}
+}
+
+// TestShardedConcurrentStress hammers one queue from many goroutines;
+// the race detector (go test -race) is the real assertion, plus a
+// conservation check: every pushed URL is either popped once or still
+// queued.
+func TestShardedConcurrentStress(t *testing.T) {
+	q := NewSharded(8)
+	const (
+		goroutines = 16
+		perG       = 300
+	)
+	var popped sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				u := fmt.Sprintf("http://site%03d.com/g%02d-i%04d", rng.Intn(40), g, i)
+				q.Push(u, float64(rng.Intn(10)), 0)
+				switch rng.Intn(4) {
+				case 0:
+					if e, ok := q.PopDue(float64(rng.Intn(12))); ok {
+						if _, dup := popped.LoadOrStore(e.URL, true); dup {
+							t.Errorf("URL %s popped twice", e.URL)
+						}
+					}
+				case 1:
+					if e, sid, ok := q.ClaimDue(float64(rng.Intn(12))); ok {
+						if _, dup := popped.LoadOrStore(e.URL, true); dup {
+							t.Errorf("URL %s popped twice", e.URL)
+						}
+						q.Release(sid, 0)
+					}
+				case 2:
+					q.Contains(u)
+					q.Len()
+				case 3:
+					q.Peek()
+					q.NextEvent()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Conservation: pushed = popped + remaining (removals never raced
+	// pops here because each URL is unique per goroutine).
+	remaining := q.Len()
+	poppedN := 0
+	popped.Range(func(_, _ any) bool { poppedN++; return true })
+	if total := goroutines * perG; poppedN+remaining != total {
+		t.Fatalf("conservation broken: %d popped + %d remaining != %d pushed",
+			poppedN, remaining, total)
+	}
+}
+
+// TestShardedConcurrentDrain has workers drain a prefilled queue through
+// ClaimDue/Release and verifies nothing is lost or duplicated.
+func TestShardedConcurrentDrain(t *testing.T) {
+	q := NewSharded(8)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		q.Push(urlOn(i%50, i), float64(i%7), 0)
+	}
+	var got sync.Map
+	var count int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				e, sid, ok := q.ClaimDue(100)
+				if !ok {
+					return
+				}
+				if _, dup := got.LoadOrStore(e.URL, true); dup {
+					t.Errorf("URL %s drained twice", e.URL)
+				}
+				mu.Lock()
+				count++
+				mu.Unlock()
+				q.Release(sid, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if count != n || q.Len() != 0 {
+		t.Fatalf("drained %d of %d, %d left", count, n, q.Len())
+	}
+}

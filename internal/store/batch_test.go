@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func batchOf(n, version int) []PageRecord {
+	recs := make([]PageRecord, n)
+	for i := range recs {
+		recs[i] = PageRecord{
+			URL:      fmt.Sprintf("http://site%02d.com/p%03d", i%5, i),
+			Checksum: uint64(version*1000 + i),
+			Version:  version,
+		}
+	}
+	return recs
+}
+
+func testPutBatch(t *testing.T, c Collection) {
+	t.Helper()
+	if err := c.PutBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	recs := batchOf(40, 1)
+	if err := c.PutBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 40 {
+		t.Fatalf("len %d after batch, want 40", got)
+	}
+	for _, want := range recs {
+		got, ok, err := c.Get(want.URL)
+		if err != nil || !ok {
+			t.Fatalf("get %s: ok=%v err=%v", want.URL, ok, err)
+		}
+		if got.Checksum != want.Checksum {
+			t.Fatalf("%s checksum %d, want %d", want.URL, got.Checksum, want.Checksum)
+		}
+	}
+	// A second batch overwrites in slice order.
+	if err := c.PutBatch(batchOf(40, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 40 {
+		t.Fatalf("len %d after overwrite batch, want 40", got)
+	}
+	got, _, err := c.Get(recs[7].URL)
+	if err != nil || got.Version != 2 {
+		t.Fatalf("overwrite lost: version %d err %v", got.Version, err)
+	}
+	if err := c.PutBatch([]PageRecord{{URL: ""}}); err == nil {
+		t.Fatal("batch with empty URL accepted")
+	}
+}
+
+func TestMemPutBatch(t *testing.T) {
+	c := NewMem()
+	testPutBatch(t, c)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutBatch(batchOf(1, 3)); err != ErrClosed {
+		t.Fatalf("closed batch put: %v", err)
+	}
+}
+
+func TestDiskPutBatch(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testPutBatch(t, c)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Batched frames replay like individual ones.
+	re, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != 40 {
+		t.Fatalf("reopened len %d, want 40", got)
+	}
+	rec, ok, err := re.Get(batchOf(40, 2)[13].URL)
+	if err != nil || !ok || rec.Version != 2 {
+		t.Fatalf("reopened get: %+v ok=%v err=%v", rec, ok, err)
+	}
+	if err := re.PutBatch(batchOf(1, 9)); err != nil {
+		t.Fatal(err)
+	}
+}

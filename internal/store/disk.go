@@ -236,34 +236,52 @@ func appendFrame(w io.Writer, key string, val []byte, tomb bool) (int64, error) 
 
 // Put implements Collection.
 func (d *Disk) Put(rec PageRecord) error {
-	if rec.URL == "" {
-		return errors.New("store: empty URL")
+	return d.PutBatch([]PageRecord{rec})
+}
+
+// PutBatch implements Collection: all records are framed under one lock
+// acquisition and flushed to the segment once, so a crawl engine writing
+// page batches pays one fsync-sized flush per batch instead of per page.
+// Segment rolling and compaction are evaluated once after the batch, so
+// the active segment may briefly overshoot its size bound by one batch.
+func (d *Disk) PutBatch(recs []PageRecord) error {
+	if len(recs) == 0 {
+		return nil
 	}
-	val, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
+	vals := make([][]byte, len(recs))
+	for i, rec := range recs {
+		if rec.URL == "" {
+			return errors.New("store: empty URL")
+		}
+		val, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		vals[i] = val
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
-	off := d.segOff
-	n, err := appendFrame(d.w, rec.URL, val, false)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
+	for i, rec := range recs {
+		off := d.segOff
+		n, err := appendFrame(d.w, rec.URL, vals[i], false)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, ok := d.index[rec.URL]; ok {
+			d.garbage++
+		} else {
+			d.live++
+		}
+		d.index[rec.URL] = diskPos{seg: d.segID, off: off}
+		d.segOff += n
+		d.written += n
 	}
 	if err := d.w.Flush(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if _, ok := d.index[rec.URL]; ok {
-		d.garbage++
-	} else {
-		d.live++
-	}
-	d.index[rec.URL] = diskPos{seg: d.segID, off: off}
-	d.segOff += n
-	d.written += n
 	return d.maybeRollLocked()
 }
 

@@ -44,6 +44,10 @@ var ErrClosed = errors.New("store: closed")
 type Collection interface {
 	// Put inserts or replaces the record for rec.URL.
 	Put(rec PageRecord) error
+	// PutBatch inserts or replaces many records in one call, applying
+	// them in slice order. Backends amortize per-call overhead (one
+	// lock acquisition, one flush) across the batch.
+	PutBatch(recs []PageRecord) error
 	// Get returns the record for url; ok is false when absent.
 	Get(url string) (rec PageRecord, ok bool, err error)
 	// Delete removes url; deleting an absent URL is a no-op.
@@ -71,15 +75,24 @@ func NewMem() *Mem { return &Mem{m: make(map[string]PageRecord)} }
 
 // Put implements Collection.
 func (s *Mem) Put(rec PageRecord) error {
+	return s.PutBatch([]PageRecord{rec})
+}
+
+// PutBatch implements Collection.
+func (s *Mem) PutBatch(recs []PageRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	if rec.URL == "" {
-		return errors.New("store: empty URL")
+	for _, rec := range recs {
+		if rec.URL == "" {
+			return errors.New("store: empty URL")
+		}
 	}
-	s.m[rec.URL] = rec
+	for _, rec := range recs {
+		s.m[rec.URL] = rec
+	}
 	return nil
 }
 
