@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci
+.PHONY: build test race bench fmt vet smoke-cluster ci
 
 build:
 	$(GO) build ./...
@@ -28,4 +28,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt race bench
+# Multi-process smoke: two shardd daemons on loopback, then a crawl
+# with -shard-servers whose output must be byte-identical to the local
+# run.
+smoke-cluster:
+	./scripts/cluster_smoke.sh
+
+ci: build vet fmt race bench smoke-cluster

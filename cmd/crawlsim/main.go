@@ -8,13 +8,16 @@
 // Usage:
 //
 //	crawlsim [-seed N] [-days N] [-size N] [-matrix]
+//	crawlsim -shard-servers 127.0.0.1:7070,127.0.0.1:7071   # frontier on shardd daemons
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"webevolve/internal/cluster"
 	"webevolve/internal/core"
 	"webevolve/internal/fetch"
 	"webevolve/internal/report"
@@ -29,37 +32,75 @@ func main() {
 	curves := flag.Bool("curves", false, "plot measured freshness-over-time curves (engine-measured Figure 7/8 analog)")
 	workers := flag.Int("workers", 4, "concurrent crawl workers (results are identical at any count)")
 	shards := flag.Int("shards", 16, "per-site frontier shards")
+	shardServers := flag.String("shard-servers", "", "comma-separated shardd endpoints hosting the frontier (results are identical to local shards)")
 	flag.Parse()
 	eng := engine{workers: *workers, shards: *shards}
+	if *shardServers != "" {
+		eng.shardServers = strings.Split(*shardServers, ",")
+	}
 	if *curves {
-		if err := runCurves(*seed, *days, *size, eng); err != nil {
+		if err := runCurves(*seed, *days, *size, &eng); err != nil {
 			fmt.Fprintln(os.Stderr, "crawlsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*seed, *days, *size, *matrix, eng); err != nil {
+	if err := run(*seed, *days, *size, *matrix, &eng); err != nil {
 		fmt.Fprintln(os.Stderr, "crawlsim:", err)
 		os.Exit(1)
 	}
 }
 
 // engine carries the crawl-engine concurrency knobs into every
-// contender's config.
+// contender's config — and, with -shard-servers, the remote frontier
+// cluster every contender mounts in turn.
 type engine struct {
 	workers, shards int
+	shardServers    []string
+
+	active *cluster.RemoteShards // the contender currently holding the cluster
 }
 
-func (e engine) apply(cfg core.Config) core.Config {
+func (e *engine) apply(cfg core.Config) (core.Config, error) {
 	cfg.Workers = e.workers
 	cfg.Shards = e.shards
-	return cfg
+	if len(e.shardServers) > 0 {
+		rs, err := cluster.DialTCP(e.shardServers, cluster.Options{
+			PolitenessDays: cfg.ShardPolitenessDays,
+		})
+		if err != nil {
+			return cfg, fmt.Errorf("dialing shard servers: %w", err)
+		}
+		// Contenders run sequentially over one cluster; start each from
+		// a clean frontier.
+		if err := rs.Reset(); err != nil {
+			return cfg, err
+		}
+		e.active = rs
+		cfg.Frontier = rs
+	}
+	return cfg, nil
+}
+
+// finish releases the cluster after a contender's run and surfaces any
+// transport error its frontier swallowed.
+func (e *engine) finish() error {
+	if e.active == nil {
+		return nil
+	}
+	err := e.active.Err()
+	e.active.Close()
+	e.active = nil
+	if err != nil {
+		return fmt.Errorf("shard cluster: %w", err)
+	}
+	return nil
 }
 
 // runCurves measures freshness over time from the live engine for the
 // four Section 4 design points — the engine-measured counterpart of the
 // analytic Figures 7 and 8.
-func runCurves(seed int64, days float64, size int, eng engine) error {
+func runCurves(seed int64, days float64, size int, eng *engine) error {
 	cycle := 10.0
 	fmt.Printf("== Measured freshness evolution (%d pages, %.0f-day cycle) ==\n\n", size, cycle)
 	var series []report.Series
@@ -77,7 +118,7 @@ func runCurves(seed int64, days float64, size int, eng engine) error {
 		if err != nil {
 			return err
 		}
-		cfg := eng.apply(core.Config{
+		cfg, err := eng.apply(core.Config{
 			Seeds:          w.RootURLs(),
 			CollectionSize: size,
 			PagesPerDay:    float64(size) / cycle,
@@ -86,6 +127,9 @@ func runCurves(seed int64, days float64, size int, eng engine) error {
 			Mode:           d.mode,
 			Update:         d.upd,
 		})
+		if err != nil {
+			return err
+		}
 		c, err := core.New(cfg, fetch.NewSimFetcher(w))
 		if err != nil {
 			return err
@@ -93,6 +137,9 @@ func runCurves(seed int64, days float64, size int, eng engine) error {
 		ev := &core.Evaluator{Web: w}
 		_, samples, err := ev.TimeAveragedFreshness(c, days, 2*cycle, 96, size)
 		if err != nil {
+			return err
+		}
+		if err := eng.finish(); err != nil {
 			return err
 		}
 		sr := report.Series{Name: d.name}
@@ -124,13 +171,13 @@ type contender struct {
 	run  func(w *simweb.Web) (core.Runner, error)
 }
 
-func run(seed int64, days float64, size int, matrix bool, eng engine) error {
+func run(seed int64, days float64, size int, matrix bool, eng *engine) error {
 	// Bandwidth: revisit the whole collection every ~10 days on average.
 	cycle := 10.0
 	bandwidth := float64(size) / cycle
 
-	base := func(w *simweb.Web) core.Config {
-		return eng.apply(core.Config{
+	baseCfg := func(w *simweb.Web) core.Config {
+		cfg := core.Config{
 			Seeds:          w.RootURLs(),
 			CollectionSize: size,
 			PagesPerDay:    bandwidth,
@@ -138,17 +185,28 @@ func run(seed int64, days float64, size int, matrix bool, eng engine) error {
 			BatchDays:      cycle / 4,
 			RankEveryDays:  cycle,
 			Estimator:      core.EstimatorEP,
-		})
+		}
+		cfg.Workers = eng.workers
+		cfg.Shards = eng.shards
+		return cfg
+	}
+	base := func(w *simweb.Web) (core.Config, error) {
+		return eng.apply(baseCfg(w))
 	}
 
 	contenders := []contender{
 		{"incremental (steady, in-place, variable)", func(w *simweb.Web) (core.Runner, error) {
-			cfg := base(w)
+			cfg, err := base(w)
+			if err != nil {
+				return nil, err
+			}
 			cfg.Mode, cfg.Update, cfg.Freq = core.Steady, core.InPlace, core.VariableFreq
 			return core.New(cfg, fetch.NewSimFetcher(w))
 		}},
 		{"periodic (batch, shadowing, fixed, from scratch)", func(w *simweb.Web) (core.Runner, error) {
-			return core.NewPeriodic(base(w), fetch.NewSimFetcher(w))
+			// The periodic baseline has no frontier, so never mount the
+			// remote cluster for it (baseCfg, not base).
+			return core.NewPeriodic(baseCfg(w), fetch.NewSimFetcher(w))
 		}},
 	}
 	if matrix {
@@ -158,7 +216,10 @@ func run(seed int64, days float64, size int, matrix bool, eng engine) error {
 					mode, upd, fr := mode, upd, fr
 					name := fmt.Sprintf("%s, %s, %s", mode, upd, fr)
 					contenders = append(contenders, contender{name, func(w *simweb.Web) (core.Runner, error) {
-						cfg := base(w)
+						cfg, err := base(w)
+						if err != nil {
+							return nil, err
+						}
 						cfg.Mode, cfg.Update, cfg.Freq = mode, upd, fr
 						return core.New(cfg, fetch.NewSimFetcher(w))
 					}})
@@ -187,6 +248,9 @@ func run(seed int64, days float64, size int, matrix bool, eng engine) error {
 		}
 		q, err := ev.Quality(r.Collection(), r.Day())
 		if err != nil {
+			return err
+		}
+		if err := eng.finish(); err != nil {
 			return err
 		}
 		rows = append(rows, []string{c.name, fmt.Sprintf("%.3f", avg), fmt.Sprintf("%.3f", q)})

@@ -1,0 +1,83 @@
+// Command shardd is the frontier shard server daemon: it hosts a set
+// of per-site frontier shards behind the cluster wire protocol, so
+// crawl engines on other machines mount them with -shard-servers (or
+// core.Config.ShardServers) and run unchanged. Several shardd
+// processes form a frontier cluster; every client must list them in
+// the same order, because the order is the URL routing.
+//
+// Usage:
+//
+//	shardd -listen 127.0.0.1:7070 -shards 16
+//	crawlsim -shard-servers 127.0.0.1:7070,127.0.0.1:7071
+//
+// With -listen :0 the kernel assigns a port; the bound address is
+// printed on stdout and, with -addr-file, written to a file that
+// orchestration scripts can wait on (the CI cluster smoke job does).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"webevolve/internal/cluster"
+	"webevolve/internal/frontier"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "host:port to serve on (:0 for an assigned port)")
+	shards := flag.Int("shards", 16, "per-site frontier shards hosted by this server")
+	politeness := flag.Float64("politeness", 0, "default per-shard politeness gap in days (clients usually override at connect)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	statsEvery := flag.Duration("stats-every", 0, "log queue stats at this interval (0 disables)")
+	flag.Parse()
+
+	if err := run(*listen, *shards, *politeness, *addrFile, *statsEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "shardd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, shards int, politeness float64, addrFile string, statsEvery time.Duration) error {
+	q := frontier.NewShardedPolite(shards, politeness)
+	srv := cluster.NewShardServer(q)
+	if err := srv.Listen(listen); err != nil {
+		return err
+	}
+	addr := srv.Addr().String()
+	fmt.Printf("shardd: serving %d shards on %s\n", shards, addr)
+	if addrFile != "" {
+		// Write-then-rename so waiters never read a partial address.
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, addrFile); err != nil {
+			return err
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("shardd: %v, shutting down (%d entries queued)\n", s, q.Len())
+		srv.Close()
+	}()
+
+	if statsEvery > 0 {
+		go func() {
+			for range time.Tick(statsEvery) {
+				fmt.Printf("shardd: %d entries across %d shards\n", q.Len(), q.NumShards())
+			}
+		}()
+	}
+
+	if err := srv.Serve(); err != cluster.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -36,6 +36,7 @@ import (
 
 	"webevolve/internal/changefreq"
 	"webevolve/internal/clock"
+	"webevolve/internal/cluster"
 	"webevolve/internal/fetch"
 	"webevolve/internal/frontier"
 	"webevolve/internal/htmlparse"
@@ -53,6 +54,7 @@ func main() {
 	agent := flag.String("agent", "", "override User-Agent")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent fetch workers")
 	shards := flag.Int("shards", 16, "per-site frontier shards")
+	shardServers := flag.String("shard-servers", "", "comma-separated shardd endpoints hosting the frontier (replaces in-process shards)")
 	flag.Parse()
 
 	if *seeds == "" {
@@ -60,7 +62,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(crawlOpts{
+	o := crawlOpts{
 		seeds:    strings.Split(*seeds, ","),
 		dir:      *dir,
 		maxPages: *maxPages,
@@ -70,7 +72,11 @@ func main() {
 		agent:    *agent,
 		workers:  *workers,
 		shards:   *shards,
-	}); err != nil {
+	}
+	if *shardServers != "" {
+		o.shardServers = strings.Split(*shardServers, ",")
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "webcrawl:", err)
 		os.Exit(1)
 	}
@@ -86,6 +92,13 @@ type crawlOpts struct {
 	agent    string
 	workers  int
 	shards   int
+	// shardServers, when set, mounts the frontier from shardd daemons
+	// instead of in-process shards. One webcrawl process owns the
+	// cluster at a time: state.json and the page store are still
+	// per-process, so sharing a cluster between concurrent crawlers
+	// would split histories and overwrite schedules (multi-crawler
+	// state is a ROADMAP item).
+	shardServers []string
 }
 
 // state is the persisted frontier/estimator sidecar next to the page
@@ -131,7 +144,20 @@ func run(o crawlOpts) error {
 	if o.workers < 1 {
 		o.workers = 1
 	}
-	q := frontier.NewShardedPolite(o.shards, clock.Days(o.delay))
+	var q frontier.ShardSet
+	var remote *cluster.RemoteShards
+	if len(o.shardServers) > 0 {
+		remote, err = cluster.DialTCP(o.shardServers, cluster.Options{
+			PolitenessDays: clock.Days(o.delay),
+		})
+		if err != nil {
+			return fmt.Errorf("dialing shard servers: %w", err)
+		}
+		defer remote.Close()
+		q = remote
+	} else {
+		q = frontier.NewShardedPolite(o.shards, clock.Days(o.delay))
+	}
 	nowDay := clock.Days(time.Since(st.Epoch))
 	for url, due := range st.Due {
 		q.Push(url, due, 0)
@@ -157,11 +183,17 @@ func run(o crawlOpts) error {
 
 	c := &crawl{
 		opts: o, coll: coll, st: st, q: q, f: f, seedHosts: seedHosts,
+		pending: make(map[string]uint64),
 	}
 	c.loop()
 	fmt.Printf("fetched %d pages; collection holds %d\n", c.fetched.Load(), coll.Len())
 	if c.err != nil {
 		return c.err
+	}
+	if remote != nil {
+		if err := remote.Err(); err != nil {
+			return fmt.Errorf("shard cluster: %w", err)
+		}
 	}
 	return saveState(filepath.Join(o.dir, "state.json"), st)
 }
@@ -172,15 +204,66 @@ type crawl struct {
 	opts      crawlOpts
 	coll      *store.Disk
 	st        *state
-	q         *frontier.Sharded
+	q         frontier.ShardSet
 	f         *fetch.HTTPFetcher
 	seedHosts map[string]bool
 
-	mu       sync.Mutex // guards st maps, first error, and stdout
+	mu       sync.Mutex // guards st maps, batch, pending, first error, and stdout
 	err      error
 	fetched  atomic.Int64
 	inflight atomic.Int64
 	stop     atomic.Bool
+
+	// batch buffers crawled records for one PutBatch write (like the
+	// sim engine's applyBatch), instead of paying a store flush per
+	// page; pending keeps the buffered checksums visible to change
+	// detection until the batch lands on disk.
+	batch   []store.PageRecord
+	pending map[string]uint64
+}
+
+// flushEvery is the store write batch size.
+const flushEvery = 16
+
+// prevChecksum returns the last stored checksum for url, consulting
+// buffered-but-unflushed records before the collection.
+func (c *crawl) prevChecksum(url string) (uint64, bool, error) {
+	c.mu.Lock()
+	sum, ok := c.pending[url]
+	c.mu.Unlock()
+	if ok {
+		return sum, true, nil
+	}
+	prev, had, err := c.coll.Get(url)
+	if err != nil {
+		return 0, false, err
+	}
+	return prev.Checksum, had, nil
+}
+
+// flush writes the buffered records in one PutBatch. Safe from any
+// worker; each call drains whatever is buffered at that instant.
+func (c *crawl) flush() {
+	c.mu.Lock()
+	batch := c.batch
+	c.batch = nil
+	c.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if err := c.coll.PutBatch(batch); err != nil {
+		c.fail(err)
+		return
+	}
+	c.mu.Lock()
+	for _, rec := range batch {
+		// A newer fetch of the same URL may have re-buffered it; only
+		// clear entries this batch actually made durable.
+		if c.pending[rec.URL] == rec.Checksum {
+			delete(c.pending, rec.URL)
+		}
+	}
+	c.mu.Unlock()
 }
 
 func (c *crawl) nowDay() float64 { return clock.Days(time.Since(c.st.Epoch)) }
@@ -250,6 +333,7 @@ func (c *crawl) loop() {
 	}
 	close(jobs)
 	wg.Wait()
+	c.flush() // the partial tail batch
 }
 
 // crawlOne fetches one URL and folds the result into the store, the
@@ -264,25 +348,38 @@ func (c *crawl) crawlOne(url string) {
 	}
 	c.fetched.Add(1)
 	if res.NotFound {
-		_ = c.coll.Delete(url)
 		c.mu.Lock()
+		// Drop any buffered record so the flush cannot resurrect the
+		// vanished page after the delete below.
+		for i, rec := range c.batch {
+			if rec.URL == url {
+				c.batch = append(c.batch[:i], c.batch[i+1:]...)
+				break
+			}
+		}
+		delete(c.pending, url)
 		fmt.Printf("  gone    %s\n", url)
 		delete(c.st.Due, url)
 		delete(c.st.Histories, url)
 		c.mu.Unlock()
+		_ = c.coll.Delete(url)
 		return
 	}
-	prev, had, err := c.coll.Get(url)
+	prevSum, had, err := c.prevChecksum(url)
 	if err != nil {
 		c.fail(err)
 		return
 	}
-	changed := had && prev.Checksum != res.Checksum
-	if err := c.coll.Put(store.PageRecord{
+	changed := had && prevSum != res.Checksum
+	c.mu.Lock()
+	c.batch = append(c.batch, store.PageRecord{
 		URL: url, Checksum: res.Checksum, FetchedAt: res.Day, Links: res.Links,
-	}); err != nil {
-		c.fail(err)
-		return
+	})
+	c.pending[url] = res.Checksum
+	full := len(c.batch) >= flushEvery
+	c.mu.Unlock()
+	if full {
+		c.flush()
 	}
 
 	c.mu.Lock()

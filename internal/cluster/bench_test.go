@@ -1,0 +1,138 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"webevolve/internal/core"
+	"webevolve/internal/fetch"
+	"webevolve/internal/frontier"
+	"webevolve/internal/simweb"
+)
+
+// BenchmarkClaimReleaseLocal is the in-process baseline for the
+// claim/release hot path the distributed benchmarks are measured
+// against.
+func BenchmarkClaimReleaseLocal(b *testing.B) {
+	q := frontier.NewSharded(16)
+	for i := 0; i < 512; i++ {
+		q.Push(fmt.Sprintf("http://site%03d.com/p%05d", i%32, i), 0, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, sid, ok := q.ClaimDue(1)
+		if !ok {
+			b.Fatal("nothing claimable")
+		}
+		q.Release(sid, 0)
+		q.Push(e.URL, 0, 0)
+	}
+}
+
+// BenchmarkClaimReleaseRemote measures the wire-protocol overhead of
+// one claim + release + push cycle against 1, 2, and 4 loopback shard
+// servers. With one server a claim is a single round trip; with more,
+// it is a peek fan-out plus a commit.
+func BenchmarkClaimReleaseRemote(b *testing.B) {
+	for _, servers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			rs := loopbackCluster(b, servers, 16/servers)
+			for i := 0; i < 512; i++ {
+				rs.Push(fmt.Sprintf("http://site%03d.com/p%05d", i%32, i), 0, 0)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e, sid, ok := rs.ClaimDue(1)
+				if !ok {
+					b.Fatal("nothing claimable")
+				}
+				rs.Release(sid, 0)
+				rs.Push(e.URL, 0, 0)
+			}
+			b.StopTimer()
+			if err := rs.Err(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func benchWeb(b *testing.B) *simweb.Web {
+	w, err := simweb.New(simweb.Config{
+		Seed: 7,
+		SitesPerDomain: map[simweb.Domain]int{
+			simweb.Com: 6, simweb.Edu: 3, simweb.NetOrg: 2, simweb.Gov: 1,
+		},
+		PagesPerSite: 60,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkCrawlPagesPerSec runs the full simulated crawl engine and
+// reports pages/s with in-process shards vs the frontier behind 1, 2,
+// and 4 loopback shard servers — the remote-claim overhead measured
+// end to end.
+func BenchmarkCrawlPagesPerSec(b *testing.B) {
+	run := func(b *testing.B, fr frontier.ShardSet) {
+		var pages int64
+		for i := 0; i < b.N; i++ {
+			w := benchWeb(b)
+			cfg := core.Config{
+				Seeds:          w.RootURLs(),
+				CollectionSize: 300,
+				PagesPerDay:    150,
+				CycleDays:      4,
+				RankEveryDays:  2,
+				Workers:        4,
+				Frontier:       fr,
+			}
+			c, err := core.New(cfg, fetch.NewSimFetcher(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.RunUntil(10); err != nil {
+				b.Fatal(err)
+			}
+			pages += c.Metrics().Fetches
+		}
+		b.ReportMetric(float64(pages)/b.Elapsed().Seconds(), "pages/s")
+	}
+	b.Run("local", func(b *testing.B) { run(b, nil) })
+	for _, servers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			var pages int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rs := loopbackCluster(b, servers, 16/servers)
+				w := benchWeb(b)
+				cfg := core.Config{
+					Seeds:          w.RootURLs(),
+					CollectionSize: 300,
+					PagesPerDay:    150,
+					CycleDays:      4,
+					RankEveryDays:  2,
+					Workers:        4,
+					Frontier:       rs,
+				}
+				c, err := core.New(cfg, fetch.NewSimFetcher(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := c.RunUntil(10); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := rs.Err(); err != nil {
+					b.Fatal(err)
+				}
+				pages += c.Metrics().Fetches
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(pages)/b.Elapsed().Seconds(), "pages/s")
+		})
+	}
+}

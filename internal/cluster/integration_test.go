@@ -1,0 +1,185 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"webevolve/internal/cluster"
+	"webevolve/internal/core"
+	"webevolve/internal/fetch"
+	"webevolve/internal/frontier"
+	"webevolve/internal/scheduler"
+	"webevolve/internal/simweb"
+	"webevolve/internal/store"
+)
+
+func testWeb(t testing.TB, seed int64) (*simweb.Web, *fetch.SimFetcher) {
+	t.Helper()
+	w, err := simweb.New(simweb.Config{
+		Seed: seed,
+		SitesPerDomain: map[simweb.Domain]int{
+			simweb.Com: 3, simweb.Edu: 2, simweb.NetOrg: 1, simweb.Gov: 1,
+		},
+		PagesPerSite: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, fetch.NewSimFetcher(w)
+}
+
+func baseConfig(w *simweb.Web) core.Config {
+	return core.Config{
+		Seeds:          w.RootURLs(),
+		CollectionSize: 120,
+		PagesPerDay:    60,
+		CycleDays:      4,
+		BatchDays:      1,
+		RankEveryDays:  2,
+		Estimator:      core.EstimatorEP,
+	}
+}
+
+// loopbackCluster builds n in-process shard servers and a RemoteShards
+// client over net.Pipe.
+func loopbackCluster(t testing.TB, n, shardsEach int) *cluster.RemoteShards {
+	t.Helper()
+	servers := make([]*cluster.ShardServer, n)
+	for i := range servers {
+		servers[i] = cluster.NewShardServer(frontier.NewSharded(shardsEach))
+	}
+	rs, err := cluster.Loopback(servers, cluster.Options{PolitenessDays: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		rs.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	return rs
+}
+
+// TestDistributedWorkerCountInvariance extends the engine's core
+// contract to the distributed path: a simulated crawl whose frontier
+// lives behind the wire protocol — on one, two, or four shard servers,
+// at any worker count — produces bit-identical results to the same
+// crawl with in-process shards.
+func TestDistributedWorkerCountInvariance(t *testing.T) {
+	type outcome struct {
+		m    core.Metrics
+		urls []string
+		all  int
+	}
+	run := func(workers int, fr frontier.ShardSet) outcome {
+		w, f := testWeb(t, 21)
+		cfg := baseConfig(w)
+		cfg.Workers = workers
+		cfg.Frontier = fr
+		c, err := core.New(cfg, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunUntil(15); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{m: c.Metrics(), urls: c.Collection().URLs(), all: c.AllUrls().Len()}
+	}
+	ref := run(1, nil) // in-process shards
+	for _, v := range []struct{ workers, servers, shardsEach int }{
+		{1, 1, 16},
+		{4, 2, 8},
+		{8, 4, 4},
+	} {
+		rs := loopbackCluster(t, v.servers, v.shardsEach)
+		got := run(v.workers, rs)
+		if err := rs.Err(); err != nil {
+			t.Fatalf("workers=%d servers=%d: %v", v.workers, v.servers, err)
+		}
+		if got.m != ref.m {
+			t.Fatalf("workers=%d servers=%d: metrics diverge\nremote: %+v\nlocal:  %+v",
+				v.workers, v.servers, got.m, ref.m)
+		}
+		if got.all != ref.all {
+			t.Fatalf("workers=%d servers=%d: AllUrls %d vs %d", v.workers, v.servers, got.all, ref.all)
+		}
+		if len(got.urls) != len(ref.urls) {
+			t.Fatalf("workers=%d servers=%d: collection %d vs %d",
+				v.workers, v.servers, len(got.urls), len(ref.urls))
+		}
+		for i := range got.urls {
+			if got.urls[i] != ref.urls[i] {
+				t.Fatalf("workers=%d servers=%d: collection diverges at %d: %s vs %s",
+					v.workers, v.servers, i, got.urls[i], ref.urls[i])
+			}
+		}
+	}
+}
+
+// TestDistributedBatchModeInvariance repeats the check for the
+// batch-mode loop with a shadowed collection.
+func TestDistributedBatchModeInvariance(t *testing.T) {
+	run := func(fr frontier.ShardSet) (core.Metrics, []string) {
+		w, f := testWeb(t, 22)
+		cfg := baseConfig(w)
+		cfg.Mode = core.Batch
+		cfg.Update = core.Shadow
+		cfg.Workers = 4
+		cfg.Frontier = fr
+		c, err := core.New(cfg, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunUntil(14); err != nil {
+			t.Fatal(err)
+		}
+		return c.Metrics(), c.Collection().URLs()
+	}
+	lm, lu := run(nil)
+	rm, ru := run(loopbackCluster(t, 2, 8))
+	if lm != rm {
+		t.Fatalf("batch-mode metrics diverge:\nremote: %+v\nlocal:  %+v", rm, lm)
+	}
+	if len(lu) != len(ru) {
+		t.Fatalf("batch-mode collections diverge: %d vs %d", len(ru), len(lu))
+	}
+	for i := range lu {
+		if lu[i] != ru[i] {
+			t.Fatalf("batch-mode collection diverges at %d", i)
+		}
+	}
+}
+
+// TestDistributedUpdatePipeline drives the wall-clock claim/release
+// pipeline with its frontier behind the wire protocol, workers
+// claiming shards concurrently (the race detector's view of the
+// client's pooled connections).
+func TestDistributedUpdatePipeline(t *testing.T) {
+	w, f := testWeb(t, 23)
+	rs := loopbackCluster(t, 2, 4)
+	for _, u := range w.RootURLs() {
+		rs.Push(u, 0, 0)
+	}
+	mem := store.NewMem()
+	p := &core.UpdatePipeline{
+		Fetcher:         f,
+		Coll:            rs,
+		Store:           mem,
+		Policy:          scheduler.Fixed{Every: 5},
+		Workers:         6,
+		MinIntervalDays: 0.5,
+		MaxIntervalDays: 30,
+	}
+	if err := p.Run(1.0, 40); err != nil {
+		t.Fatal(err)
+	}
+	if p.Processed() == 0 {
+		t.Fatal("pipeline processed nothing")
+	}
+	if mem.Len() == 0 {
+		t.Fatal("no records stored")
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

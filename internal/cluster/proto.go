@@ -1,0 +1,196 @@
+// Package cluster gives the sharded frontier a serialization boundary,
+// so shards can live on other machines: a compact length-prefixed,
+// CRC-framed, versioned wire protocol for the frontier.ShardSet
+// operations, a ShardServer that hosts a set of in-process shards
+// behind any net.Listener, and a RemoteShards client that implements
+// frontier.ShardSet over one or more servers — so core.Crawler,
+// core.UpdatePipeline and cmd/webcrawl run unchanged whether their
+// shards are local or distributed (the paper's Figure 12 anticipates
+// exactly this: "multiple CrawlModules may run in parallel").
+//
+// Distributed pops stay globally deterministic: RemoteShards asks every
+// server for its earliest poppable head (OpHeadDue), picks the global
+// minimum with the in-process comparator, and commits the pop on the
+// winning server (OpPopDueMatch), retrying if the head moved — the same
+// scan-then-revalidate dance frontier.Sharded performs over its
+// in-process shards. A simulated crawl through RemoteShards is
+// therefore bit-identical to the same crawl with local shards.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ProtoVersion is the wire protocol version; both sides reject frames
+// carrying any other version.
+const ProtoVersion = 1
+
+// maxFrame bounds a frame payload; anything larger is treated as a
+// corrupt or hostile stream.
+const maxFrame = 64 << 20
+
+// Frame layout (little endian):
+//
+//	payloadLen uint32 | crc32(payload) uint32 | payload
+//	payload := version uint8 | kind uint8 | body
+//
+// For requests, kind is the opcode; for responses it is a status
+// (statusOK with an op-specific body, or statusError with a message).
+const (
+	opHello byte = iota + 1
+	opPush
+	opPopDue
+	opClaimDue
+	opHeadDue
+	opPopDueMatch
+	opRelease
+	opRemove
+	opContains
+	opLen
+	opURLs
+	opPeek
+	opNextEvent
+	opStats
+	opReset
+)
+
+const (
+	statusOK byte = iota
+	statusError
+)
+
+var (
+	errBadFrame = errors.New("cluster: corrupt frame")
+	errShort    = errors.New("cluster: truncated body")
+)
+
+// writeFrame assembles and writes one frame as a single Write call, so
+// synchronous transports (net.Pipe) cannot interleave partial frames.
+func writeFrame(w io.Writer, kind byte, body []byte) error {
+	payload := len(body) + 2
+	if payload > maxFrame {
+		return fmt.Errorf("cluster: frame too large (%d bytes)", payload)
+	}
+	buf := make([]byte, 8+payload)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(payload))
+	buf[8] = ProtoVersion
+	buf[9] = kind
+	copy(buf[10:], body)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame, verifying length, CRC and version.
+func readFrame(r io.Reader) (kind byte, body []byte, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n < 2 || n > maxFrame {
+		return 0, nil, errBadFrame
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("cluster: truncated frame: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return 0, nil, errBadFrame
+	}
+	if payload[0] != ProtoVersion {
+		return 0, nil, fmt.Errorf("cluster: protocol version %d, want %d", payload[0], ProtoVersion)
+	}
+	return payload[1], payload[2:], nil
+}
+
+// enc is an append-only body encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u32(v uint32) *enc {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.b = append(e.b, b[:]...)
+	return e
+}
+
+func (e *enc) f64(v float64) *enc {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	e.b = append(e.b, b[:]...)
+	return e
+}
+
+func (e *enc) bool(v bool) *enc {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+	return e
+}
+
+func (e *enc) str(s string) *enc {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+	return e
+}
+
+// dec is a cursor-based body decoder; the first malformed field poisons
+// it and every later read returns the zero value.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) {
+		d.err = errShort
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) f64() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (d *dec) bool() bool {
+	b := d.take(1)
+	return b != nil && b[0] != 0
+}
+
+func (d *dec) str() string {
+	n := d.u32()
+	if d.err != nil || int(n) > len(d.b)-d.off {
+		d.err = errShort
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// finish reports a decoding error, if any.
+func (d *dec) finish() error { return d.err }

@@ -1,0 +1,525 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"webevolve/internal/frontier"
+	"webevolve/internal/webgraph"
+)
+
+// Dialer opens one connection to a shard server.
+type Dialer func() (net.Conn, error)
+
+// Options configures a RemoteShards client.
+type Options struct {
+	// PolitenessDays, when >= 0, is applied to every server at connect
+	// time (the client owns the crawl policy). Negative leaves each
+	// server's own configuration in place.
+	PolitenessDays float64
+	// ConnsPerServer sizes the per-server connection pool (default 2):
+	// the dispatcher's claims and the workers' releases/pushes can be in
+	// flight at once.
+	ConnsPerServer int
+}
+
+// RemoteShards implements frontier.ShardSet over a cluster of shard
+// servers, so the crawl engines run unchanged with their frontier on
+// other machines. URLs are routed by host hash to a server (all pages
+// of one site live on one server, preserving shard politeness and
+// claim exclusivity), and each server shards by host again internally;
+// global shard indices are the concatenation of the servers' local
+// index spaces.
+//
+// The ShardSet methods carry no errors, so transport failures are
+// sticky: the first one is recorded, every later operation becomes a
+// no-op returning zero values (the engine winds down as if the
+// frontier drained), and callers check Err when the crawl ends. A
+// cluster is owned by one client at a time; the peek-then-commit pop
+// protocol retries when concurrent releases move a server's head, but
+// two independent crawlers popping one cluster would interleave
+// schedules.
+type RemoteShards struct {
+	servers []*serverConns
+	// offsets[i] is the global index of server i's local shard 0;
+	// counts[i] its local shard count.
+	offsets []int
+	counts  []int
+	total   int
+
+	failMu sync.Mutex
+	failed error
+}
+
+var _ frontier.ShardSet = (*RemoteShards)(nil)
+
+// clientConn is one pooled connection with its buffered reader.
+type clientConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// serverConns is the connection pool for one server.
+type serverConns struct {
+	pool chan *clientConn
+}
+
+// roundTrip sends one request and reads its response over a pooled
+// connection. Failed connections go back into the pool closed, so the
+// sticky-failure path never strands a waiter on an empty pool.
+func (sc *serverConns) roundTrip(op byte, body []byte) ([]byte, error) {
+	cc := <-sc.pool
+	status, resp, err := func() (byte, []byte, error) {
+		if err := writeFrame(cc.conn, op, body); err != nil {
+			return 0, nil, err
+		}
+		return readFrame(cc.r)
+	}()
+	if err != nil {
+		cc.conn.Close()
+		sc.pool <- cc
+		return nil, fmt.Errorf("cluster: %s: %w", cc.conn.RemoteAddr(), err)
+	}
+	sc.pool <- cc
+	if status != statusOK {
+		return nil, fmt.Errorf("cluster: %s: server error: %s", cc.conn.RemoteAddr(), resp)
+	}
+	return resp, nil
+}
+
+// Dial connects to a cluster of shard servers, one Dialer per server.
+// The order of dialers is the cluster topology: it determines URL
+// routing, so every client of one cluster must list the servers in the
+// same order.
+func Dial(dialers []Dialer, opts Options) (*RemoteShards, error) {
+	if len(dialers) == 0 {
+		return nil, errors.New("cluster: no shard servers")
+	}
+	conns := opts.ConnsPerServer
+	if conns < 1 {
+		conns = 2
+	}
+	rs := &RemoteShards{}
+	for i, dial := range dialers {
+		sc := &serverConns{pool: make(chan *clientConn, conns)}
+		for c := 0; c < conns; c++ {
+			conn, err := dial()
+			if err != nil {
+				rs.closeAll()
+				return nil, fmt.Errorf("cluster: server %d: %w", i, err)
+			}
+			sc.pool <- &clientConn{conn: conn, r: bufio.NewReader(conn)}
+		}
+		rs.servers = append(rs.servers, sc)
+	}
+	// Hello: version check, optional politeness handover, shard counts.
+	var hello enc
+	if opts.PolitenessDays >= 0 {
+		hello.bool(true).f64(opts.PolitenessDays)
+	} else {
+		hello.bool(false)
+	}
+	for i, sc := range rs.servers {
+		resp, err := sc.roundTrip(opHello, hello.b)
+		if err != nil {
+			rs.closeAll()
+			return nil, err
+		}
+		d := &dec{b: resp}
+		n := int(d.u32())
+		if d.finish() != nil || n < 1 {
+			rs.closeAll()
+			return nil, fmt.Errorf("cluster: server %d: bad hello response", i)
+		}
+		rs.offsets = append(rs.offsets, rs.total)
+		rs.counts = append(rs.counts, n)
+		rs.total += n
+	}
+	return rs, nil
+}
+
+// DialTCP connects to shard servers at the given host:port addresses.
+func DialTCP(addrs []string, opts Options) (*RemoteShards, error) {
+	dialers := make([]Dialer, len(addrs))
+	for i, a := range addrs {
+		a := a
+		dialers[i] = func() (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	return Dial(dialers, opts)
+}
+
+// Loopback connects to in-process servers over net.Pipe — no sockets,
+// fully deterministic, used by tests and benchmarks to run distributed
+// crawls inside one process.
+func Loopback(servers []*ShardServer, opts Options) (*RemoteShards, error) {
+	dialers := make([]Dialer, len(servers))
+	for i, s := range servers {
+		dialers[i] = s.Pipe
+	}
+	return Dial(dialers, opts)
+}
+
+// fail records the first transport error; later operations no-op.
+func (rs *RemoteShards) fail(err error) {
+	rs.failMu.Lock()
+	if rs.failed == nil {
+		rs.failed = err
+	}
+	rs.failMu.Unlock()
+}
+
+// broken reports whether a transport error has been recorded.
+func (rs *RemoteShards) broken() bool { return rs.Err() != nil }
+
+// Err returns the sticky transport error, if any. Check it when a
+// crawl winds down: after a failure the ShardSet methods return zero
+// values, which the engines read as a drained frontier.
+func (rs *RemoteShards) Err() error {
+	rs.failMu.Lock()
+	defer rs.failMu.Unlock()
+	return rs.failed
+}
+
+func (rs *RemoteShards) closeAll() {
+	for _, sc := range rs.servers {
+		for i := 0; i < cap(sc.pool); i++ {
+			select {
+			case cc := <-sc.pool:
+				cc.conn.Close()
+			default:
+			}
+		}
+	}
+}
+
+// Close closes every pooled connection.
+func (rs *RemoteShards) Close() error {
+	rs.closeAll()
+	return nil
+}
+
+// NumServers returns the cluster size.
+func (rs *RemoteShards) NumServers() int { return len(rs.servers) }
+
+// NumShards returns the total shard count across all servers.
+func (rs *RemoteShards) NumShards() int { return rs.total }
+
+// serverOf routes a URL's host to its owning server.
+func (rs *RemoteShards) serverOf(url string) int {
+	return frontier.HostShard(webgraph.SiteOf(url), len(rs.servers))
+}
+
+// ShardOf returns the global shard index url hashes to: the owning
+// server's offset plus the server's own local shard for the host.
+func (rs *RemoteShards) ShardOf(url string) int {
+	host := webgraph.SiteOf(url)
+	si := frontier.HostShard(host, len(rs.servers))
+	return rs.offsets[si] + frontier.HostShard(host, rs.counts[si])
+}
+
+// serverOfShard inverts the global shard index to (server, local).
+func (rs *RemoteShards) serverOfShard(shard int) (int, int) {
+	for i := len(rs.offsets) - 1; i >= 0; i-- {
+		if shard >= rs.offsets[i] {
+			return i, shard - rs.offsets[i]
+		}
+	}
+	return 0, shard
+}
+
+// Push implements frontier.ShardSet.
+func (rs *RemoteShards) Push(url string, due, priority float64) {
+	if rs.broken() {
+		return
+	}
+	var e enc
+	e.str(url).f64(due).f64(priority)
+	if _, err := rs.servers[rs.serverOf(url)].roundTrip(opPush, e.b); err != nil {
+		rs.fail(err)
+	}
+}
+
+// fan sends one request to every server concurrently and collects the
+// responses indexed by server.
+func (rs *RemoteShards) fan(op byte, body []byte) ([][]byte, error) {
+	results := make([][]byte, len(rs.servers))
+	errs := make([]error, len(rs.servers))
+	var wg sync.WaitGroup
+	for i := range rs.servers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = rs.servers[i].roundTrip(op, body)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// popDue is the distributed form of Sharded.popDue: peek every server's
+// poppable head, pick the global minimum with the in-process
+// comparator, and commit the pop on the winner, rescanning if the head
+// moved (a concurrent Release can wake an earlier shard between peek
+// and commit — the same race the in-process scan revalidates).
+func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bool) {
+	if rs.broken() {
+		return frontier.Entry{}, -1, false
+	}
+	if len(rs.servers) == 1 {
+		// One server: its global pop is the cluster's, in one round trip.
+		op := opPopDue
+		if claim {
+			op = opClaimDue
+		}
+		var e enc
+		e.f64(now)
+		resp, err := rs.servers[0].roundTrip(op, e.b)
+		if err != nil {
+			rs.fail(err)
+			return frontier.Entry{}, -1, false
+		}
+		d := &dec{b: resp}
+		ent, ok := decodeEntry(d)
+		if !ok {
+			return frontier.Entry{}, -1, false
+		}
+		shard := -1
+		if claim {
+			shard = int(d.u32())
+		}
+		if d.finish() != nil {
+			rs.fail(fmt.Errorf("cluster: bad pop response"))
+			return frontier.Entry{}, -1, false
+		}
+		return ent, shard, true
+	}
+
+	var peek enc
+	peek.f64(now).bool(claim)
+	for {
+		heads, err := rs.fan(opHeadDue, peek.b)
+		if err != nil {
+			rs.fail(err)
+			return frontier.Entry{}, -1, false
+		}
+		best := -1
+		var bestE frontier.Entry
+		for i, resp := range heads {
+			d := &dec{b: resp}
+			if ent, ok := decodeEntry(d); ok && d.finish() == nil &&
+				(best < 0 || frontier.EntryBefore(ent, bestE)) {
+				best, bestE = i, ent
+			}
+		}
+		if best < 0 {
+			return frontier.Entry{}, -1, false
+		}
+		var commit enc
+		commit.f64(now).str(bestE.URL).bool(claim)
+		resp, err := rs.servers[best].roundTrip(opPopDueMatch, commit.b)
+		if err != nil {
+			rs.fail(err)
+			return frontier.Entry{}, -1, false
+		}
+		d := &dec{b: resp}
+		if ent, ok := decodeEntry(d); ok {
+			local := int(d.u32())
+			if d.finish() != nil {
+				rs.fail(fmt.Errorf("cluster: bad pop response"))
+				return frontier.Entry{}, -1, false
+			}
+			return ent, rs.offsets[best] + local, true
+		}
+		// The winner's head moved between peek and commit; rescan.
+	}
+}
+
+// PopDue implements frontier.ShardSet.
+func (rs *RemoteShards) PopDue(now float64) (frontier.Entry, bool) {
+	e, _, ok := rs.popDue(now, false)
+	return e, ok
+}
+
+// ClaimDue implements frontier.ShardSet.
+func (rs *RemoteShards) ClaimDue(now float64) (frontier.Entry, int, bool) {
+	return rs.popDue(now, true)
+}
+
+// Release implements frontier.ShardSet.
+func (rs *RemoteShards) Release(shard int, nextReady float64) {
+	if rs.broken() {
+		return
+	}
+	si, local := rs.serverOfShard(shard)
+	var e enc
+	e.u32(uint32(local)).f64(nextReady)
+	if _, err := rs.servers[si].roundTrip(opRelease, e.b); err != nil {
+		rs.fail(err)
+	}
+}
+
+// Remove implements frontier.ShardSet.
+func (rs *RemoteShards) Remove(url string) bool {
+	if rs.broken() {
+		return false
+	}
+	var e enc
+	e.str(url)
+	resp, err := rs.servers[rs.serverOf(url)].roundTrip(opRemove, e.b)
+	if err != nil {
+		rs.fail(err)
+		return false
+	}
+	d := &dec{b: resp}
+	return d.bool() && d.finish() == nil
+}
+
+// Contains implements frontier.ShardSet.
+func (rs *RemoteShards) Contains(url string) bool {
+	if rs.broken() {
+		return false
+	}
+	var e enc
+	e.str(url)
+	resp, err := rs.servers[rs.serverOf(url)].roundTrip(opContains, e.b)
+	if err != nil {
+		rs.fail(err)
+		return false
+	}
+	d := &dec{b: resp}
+	return d.bool() && d.finish() == nil
+}
+
+// Len implements frontier.ShardSet.
+func (rs *RemoteShards) Len() int {
+	if rs.broken() {
+		return 0
+	}
+	resps, err := rs.fan(opLen, nil)
+	if err != nil {
+		rs.fail(err)
+		return 0
+	}
+	n := 0
+	for _, resp := range resps {
+		d := &dec{b: resp}
+		n += int(d.u32())
+	}
+	return n
+}
+
+// URLs implements frontier.ShardSet.
+func (rs *RemoteShards) URLs() []string {
+	if rs.broken() {
+		return nil
+	}
+	resps, err := rs.fan(opURLs, nil)
+	if err != nil {
+		rs.fail(err)
+		return nil
+	}
+	var out []string
+	for _, resp := range resps {
+		d := &dec{b: resp}
+		n := int(d.u32())
+		for i := 0; i < n && d.finish() == nil; i++ {
+			out = append(out, d.str())
+		}
+		if d.finish() != nil {
+			rs.fail(fmt.Errorf("cluster: bad URLs response"))
+			return nil
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Peek implements frontier.ShardSet.
+func (rs *RemoteShards) Peek() (frontier.Entry, bool) {
+	if rs.broken() {
+		return frontier.Entry{}, false
+	}
+	resps, err := rs.fan(opPeek, nil)
+	if err != nil {
+		rs.fail(err)
+		return frontier.Entry{}, false
+	}
+	found := false
+	var bestE frontier.Entry
+	for _, resp := range resps {
+		d := &dec{b: resp}
+		if ent, ok := decodeEntry(d); ok && d.finish() == nil &&
+			(!found || frontier.EntryBefore(ent, bestE)) {
+			found, bestE = true, ent
+		}
+	}
+	return bestE, found
+}
+
+// NextEvent implements frontier.ShardSet.
+func (rs *RemoteShards) NextEvent() (float64, bool) {
+	if rs.broken() {
+		return 0, false
+	}
+	resps, err := rs.fan(opNextEvent, nil)
+	if err != nil {
+		rs.fail(err)
+		return 0, false
+	}
+	found := false
+	var next float64
+	for _, resp := range resps {
+		d := &dec{b: resp}
+		ok, t := d.bool(), d.f64()
+		if d.finish() == nil && ok && (!found || t < next) {
+			found, next = true, t
+		}
+	}
+	return next, found
+}
+
+// Reset empties every server's shards (claims and politeness deadlines
+// included), so sequential experiments over one cluster each start
+// from a clean frontier. Not part of frontier.ShardSet: local frontiers
+// are simply rebuilt.
+func (rs *RemoteShards) Reset() error {
+	if err := rs.Err(); err != nil {
+		return err
+	}
+	if _, err := rs.fan(opReset, nil); err != nil {
+		rs.fail(err)
+		return err
+	}
+	return nil
+}
+
+// ShardLens returns every server's per-shard entry counts, concatenated
+// in global shard order (observability, mirroring Sharded.ShardLens).
+func (rs *RemoteShards) ShardLens() []int {
+	if rs.broken() {
+		return nil
+	}
+	resps, err := rs.fan(opStats, nil)
+	if err != nil {
+		rs.fail(err)
+		return nil
+	}
+	var out []int
+	for _, resp := range resps {
+		d := &dec{b: resp}
+		n := int(d.u32())
+		for i := 0; i < n && d.finish() == nil; i++ {
+			out = append(out, int(d.u32()))
+		}
+	}
+	return out
+}

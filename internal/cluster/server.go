@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"webevolve/internal/frontier"
+)
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("cluster: server closed")
+
+// ShardServer hosts a set of frontier shards behind a listener: each
+// accepted connection runs a synchronous request/response loop over the
+// wire protocol, all connections operating on one shared
+// frontier.Sharded. It is the shardd daemon's engine, and tests drive
+// it directly over net.Pipe loopback connections.
+type ShardServer struct {
+	shards *frontier.Sharded
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewShardServer wraps a sharded frontier for serving. The server takes
+// over the queue; local pops alongside remote clients would break the
+// clients' peek-then-commit protocol assumptions.
+func NewShardServer(shards *frontier.Sharded) *ShardServer {
+	return &ShardServer{shards: shards, conns: make(map[net.Conn]struct{})}
+}
+
+// Shards exposes the hosted queue (observability; see NewShardServer's
+// caveat about concurrent local use).
+func (s *ShardServer) Shards() *frontier.Sharded { return s.shards }
+
+// Listen binds addr without serving; Addr is valid afterwards. It lets
+// callers bind port 0 and learn the assigned port before blocking in
+// Serve.
+func (s *ShardServer) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address, or nil before Listen.
+func (s *ShardServer) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on the listener bound by Listen until
+// Close. It always returns a non-nil error; after Close, the error is
+// ErrServerClosed.
+func (s *ShardServer) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrServerClosed
+	}
+	if ln == nil {
+		return errors.New("cluster: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("cluster: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *ShardServer) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Close stops the listener, closes every open connection, and waits for
+// their handlers to drain.
+func (s *ShardServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Pipe returns the client end of an in-process loopback connection
+// whose server end is handled by this server: the transport that makes
+// distributed simulated crawls runnable (and bit-identical to local
+// ones) inside a single test process.
+func (s *ShardServer) Pipe() (net.Conn, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	cli, srv := net.Pipe()
+	s.conns[srv] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		s.serveConn(srv)
+		s.mu.Lock()
+		delete(s.conns, srv)
+		s.mu.Unlock()
+	}()
+	return cli, nil
+}
+
+// serveConn runs one connection's request loop until EOF or error.
+func (s *ShardServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for {
+		op, body, err := readFrame(r)
+		if err != nil {
+			return // EOF, closed conn, or a corrupt stream: drop it
+		}
+		status, resp := s.handle(op, body)
+		if err := writeFrame(conn, status, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one request against the shards.
+func (s *ShardServer) handle(op byte, body []byte) (status byte, resp []byte) {
+	d := &dec{b: body}
+	var e enc
+	switch op {
+	case opHello:
+		if apply := d.bool(); apply {
+			gap := d.f64()
+			if d.finish() == nil {
+				s.shards.SetPoliteness(gap)
+			}
+		}
+		e.u32(uint32(s.shards.NumShards()))
+	case opPush:
+		url, due, prio := d.str(), d.f64(), d.f64()
+		if d.finish() == nil {
+			s.shards.Push(url, due, prio)
+		}
+	case opPopDue:
+		now := d.f64()
+		if d.finish() == nil {
+			ent, ok := s.shards.PopDue(now)
+			encodeEntry(&e, ent, ok)
+		}
+	case opClaimDue:
+		now := d.f64()
+		if d.finish() == nil {
+			ent, shard, ok := s.shards.ClaimDue(now)
+			encodeEntry(&e, ent, ok)
+			if ok {
+				e.u32(uint32(shard))
+			}
+		}
+	case opHeadDue:
+		now, skipClaimed := d.f64(), d.bool()
+		if d.finish() == nil {
+			ent, ok := s.shards.HeadDue(now, skipClaimed)
+			encodeEntry(&e, ent, ok)
+		}
+	case opPopDueMatch:
+		now, url, claim := d.f64(), d.str(), d.bool()
+		if d.finish() == nil {
+			ent, shard, ok := s.shards.PopDueMatch(now, url, claim)
+			encodeEntry(&e, ent, ok)
+			if ok {
+				e.u32(uint32(shard))
+			}
+		}
+	case opRelease:
+		shard, nextReady := d.u32(), d.f64()
+		if d.finish() == nil {
+			if int(shard) >= s.shards.NumShards() {
+				return statusError, []byte(fmt.Sprintf("release of unknown shard %d", shard))
+			}
+			s.shards.Release(int(shard), nextReady)
+		}
+	case opRemove:
+		url := d.str()
+		if d.finish() == nil {
+			e.bool(s.shards.Remove(url))
+		}
+	case opContains:
+		url := d.str()
+		if d.finish() == nil {
+			e.bool(s.shards.Contains(url))
+		}
+	case opLen:
+		e.u32(uint32(s.shards.Len()))
+	case opURLs:
+		urls := s.shards.URLs()
+		e.u32(uint32(len(urls)))
+		for _, u := range urls {
+			e.str(u)
+		}
+	case opPeek:
+		ent, ok := s.shards.Peek()
+		encodeEntry(&e, ent, ok)
+	case opNextEvent:
+		t, ok := s.shards.NextEvent()
+		e.bool(ok).f64(t)
+	case opReset:
+		s.shards.Reset()
+	case opStats:
+		lens := s.shards.ShardLens()
+		e.u32(uint32(len(lens)))
+		for _, n := range lens {
+			e.u32(uint32(n))
+		}
+		e.f64(s.shards.Politeness())
+	default:
+		return statusError, []byte(fmt.Sprintf("unknown opcode %d", op))
+	}
+	if err := d.finish(); err != nil {
+		return statusError, []byte(err.Error())
+	}
+	return statusOK, e.b
+}
+
+// encodeEntry appends ok and, when set, the entry fields.
+func encodeEntry(e *enc, ent frontier.Entry, ok bool) {
+	e.bool(ok)
+	if ok {
+		e.str(ent.URL).f64(ent.Due).f64(ent.Priority)
+	}
+}
+
+// decodeEntry is encodeEntry's inverse.
+func decodeEntry(d *dec) (frontier.Entry, bool) {
+	if !d.bool() {
+		return frontier.Entry{}, false
+	}
+	ent := frontier.Entry{URL: d.str(), Due: d.f64(), Priority: d.f64()}
+	return ent, d.err == nil
+}

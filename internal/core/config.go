@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"webevolve/internal/changefreq"
+	"webevolve/internal/frontier"
 	"webevolve/internal/scheduler"
 )
 
@@ -173,8 +174,20 @@ type Config struct {
 	Workers int
 	// Shards is the number of per-site frontier shards the revisit
 	// queue is partitioned into (default 16). All pages of one host
-	// hash to the same shard.
+	// hash to the same shard. Ignored when the frontier is remote
+	// (ShardServers/Frontier): shard servers configure their own counts.
 	Shards int
+	// ShardServers lists frontier shard-server endpoints (host:port,
+	// the cmd/shardd daemon). When non-empty, the revisit queue lives on
+	// those servers behind cluster.RemoteShards instead of in-process,
+	// and ShardPolitenessDays is applied cluster-wide at connect. Every
+	// crawler of one cluster must list the servers in the same order
+	// (the order is the URL routing).
+	ShardServers []string
+	// Frontier injects a prebuilt shard set — e.g. a cluster.RemoteShards
+	// over an in-process loopback transport in tests. It overrides
+	// ShardServers and Shards; the caller owns its lifecycle.
+	Frontier frontier.ShardSet
 	// DispatchBatch caps how many due URLs one dispatch round hands to
 	// the worker pool; it also sizes the batched store writes and
 	// change-frequency updates. Default 4*Workers (at least 8).

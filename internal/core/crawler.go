@@ -2,8 +2,11 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"io"
 	"math"
 
+	"webevolve/internal/cluster"
 	"webevolve/internal/fetch"
 	"webevolve/internal/frontier"
 	"webevolve/internal/scheduler"
@@ -39,7 +42,8 @@ type Crawler struct {
 	fetcher fetch.Fetcher
 
 	all      *frontier.AllUrls
-	coll     *frontier.Sharded
+	coll     frontier.ShardSet
+	ownsColl bool // close coll with the crawler (dialed from ShardServers)
 	shadowed *store.Shadowed
 	graph    *webgraph.Graph
 
@@ -88,11 +92,16 @@ func NewWithStore(cfg Config, f fetch.Fetcher, sh *store.Shadowed) (*Crawler, er
 	if err != nil {
 		return nil, err
 	}
+	coll, ownsColl, err := buildFrontier(cfg)
+	if err != nil {
+		return nil, err
+	}
 	c := &Crawler{
 		cfg:        cfg,
 		fetcher:    f,
 		all:        frontier.NewAllUrls(),
-		coll:       frontier.NewShardedPolite(cfg.Shards, cfg.ShardPolitenessDays),
+		coll:       coll,
+		ownsColl:   ownsColl,
 		shadowed:   sh,
 		graph:      webgraph.New(),
 		policy:     policy,
@@ -113,6 +122,50 @@ func NewWithStore(cfg Config, f fetch.Fetcher, sh *store.Shadowed) (*Crawler, er
 	return c, nil
 }
 
+// buildFrontier resolves the configured revisit queue: an injected
+// shard set, a dialed remote cluster, or (the default) in-process
+// shards. The second return reports whether the crawler owns it.
+func buildFrontier(cfg Config) (frontier.ShardSet, bool, error) {
+	if cfg.Frontier != nil {
+		return cfg.Frontier, false, nil
+	}
+	if len(cfg.ShardServers) > 0 {
+		rs, err := cluster.DialTCP(cfg.ShardServers, cluster.Options{
+			PolitenessDays: cfg.ShardPolitenessDays,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return rs, true, nil
+	}
+	return frontier.NewShardedPolite(cfg.Shards, cfg.ShardPolitenessDays), false, nil
+}
+
+// Close releases resources the crawler owns — today, the connections of
+// a frontier dialed from Config.ShardServers. Injected frontiers belong
+// to the caller and are left open.
+func (c *Crawler) Close() error {
+	if !c.ownsColl {
+		return nil
+	}
+	if cl, ok := c.coll.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// shardSetErr surfaces a remote frontier's sticky transport error: the
+// ShardSet interface is error-free, so a failed cluster looks like a
+// drained queue until checked here. Every engine exit path calls it.
+func shardSetErr(fr frontier.ShardSet) error {
+	if fe, ok := fr.(interface{ Err() error }); ok {
+		if err := fe.Err(); err != nil {
+			return fmt.Errorf("core: frontier: %w", err)
+		}
+	}
+	return nil
+}
+
 // Day returns the current virtual day.
 func (c *Crawler) Day() float64 { return c.day }
 
@@ -127,8 +180,8 @@ func (c *Crawler) Collection() store.Collection { return c.shadowed.Current() }
 func (c *Crawler) AllUrls() *frontier.AllUrls { return c.all }
 
 // CollUrls exposes the revisit queue: the sharded frontier the workers
-// drain.
-func (c *Crawler) CollUrls() *frontier.Sharded { return c.coll }
+// drain (in-process or remote, per Config).
+func (c *Crawler) CollUrls() frontier.ShardSet { return c.coll }
 
 // Graph exposes the link structure captured so far.
 func (c *Crawler) Graph() *webgraph.Graph { return c.graph }
@@ -143,10 +196,16 @@ func (c *Crawler) writeTarget() store.Collection {
 
 // RunUntil advances the crawl to the given virtual day.
 func (c *Crawler) RunUntil(until float64) error {
+	var err error
 	if c.cfg.Mode == Batch {
-		return c.runBatch(until)
+		err = c.runBatch(until)
+	} else {
+		err = c.runSteady(until)
 	}
-	return c.runSteady(until)
+	if err != nil {
+		return err
+	}
+	return shardSetErr(c.coll)
 }
 
 // runSteady is the steady-mode loop: pop a batch of due URLs, crawl them

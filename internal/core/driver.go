@@ -30,7 +30,7 @@ import (
 // BenchmarkUpdateModuleThroughput measures this pipeline.
 type UpdatePipeline struct {
 	Fetcher fetch.Fetcher
-	Coll    *frontier.Sharded
+	Coll    frontier.ShardSet
 	Store   store.Collection
 	Policy  scheduler.Policy
 	// Workers is the number of parallel CrawlModules (default 4).
@@ -159,7 +159,10 @@ func (u *UpdatePipeline) Run(now float64, n int) error {
 	}
 	close(jobs)
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return shardSetErr(u.Coll)
 }
 
 // processOne is one CrawlModule unit of work: fetch, checksum-compare,

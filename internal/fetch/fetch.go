@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"webevolve/internal/simweb"
+	"webevolve/internal/webgraph"
 )
 
 // Result is the outcome of one fetch.
@@ -62,19 +63,42 @@ type SimFetcher struct {
 	fetches  atomic.Int64
 	notFound atomic.Int64
 
-	// mu guards the underlying web: simweb advances page state lazily on
-	// fetch, which is not concurrency-safe by itself.
-	mu sync.Mutex
+	// locks serializes fetches per site: simweb advances page state
+	// lazily on fetch, which mutates only the fetched site (cross-site
+	// reads touch nothing but immutable fields), so one lock per site
+	// lets zero-latency simulated crawls scale with workers instead of
+	// funnelling every site through a single mutex. The crawl engines
+	// already keep same-site fetches on one worker (shard affinity /
+	// shard claims), so per-site contention is the rare case, not the
+	// common one.
+	locks map[string]*sync.Mutex
+	// unknown serializes fetches of hosts outside the web (no site
+	// state is advanced, but the lookup result must not race a future
+	// simweb mutation; one shared lock keeps the invariant cheap).
+	unknown sync.Mutex
 }
 
 // NewSimFetcher wraps a simulated web.
 func NewSimFetcher(w *simweb.Web) *SimFetcher {
-	return &SimFetcher{web: w}
+	locks := make(map[string]*sync.Mutex)
+	for _, s := range w.Sites() {
+		locks[s.Host()] = &sync.Mutex{}
+	}
+	return &SimFetcher{web: w, locks: locks}
+}
+
+// lockFor returns the mutex guarding url's site.
+func (f *SimFetcher) lockFor(url string) *sync.Mutex {
+	if mu, ok := f.locks[webgraph.SiteOf(url)]; ok {
+		return mu
+	}
+	return &f.unknown
 }
 
 // Fetch implements Fetcher.
 func (f *SimFetcher) Fetch(url string, day float64) (Result, error) {
-	f.mu.Lock()
+	mu := f.lockFor(url)
+	mu.Lock()
 	var snap simweb.Snapshot
 	var err error
 	if f.WithContent {
@@ -82,7 +106,7 @@ func (f *SimFetcher) Fetch(url string, day float64) (Result, error) {
 	} else {
 		snap, err = f.web.FetchMeta(url, day)
 	}
-	f.mu.Unlock()
+	mu.Unlock()
 	f.fetches.Add(1)
 	if err != nil {
 		if errors.Is(err, simweb.ErrNotFound) {

@@ -2,9 +2,10 @@ package frontier
 
 import (
 	"container/heap"
-	"hash/fnv"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"webevolve/internal/webgraph"
 )
@@ -29,8 +30,10 @@ import (
 type Sharded struct {
 	shards []*shard
 	// minGap is the per-shard politeness gap between consecutive pops,
-	// in the caller's time unit (virtual or wall-clock days).
-	minGap float64
+	// in the caller's time unit (virtual or wall-clock days). Stored as
+	// float64 bits so a shard server can apply a client-requested gap
+	// while pops are in flight.
+	minGap atomic.Uint64
 }
 
 type shard struct {
@@ -57,14 +60,27 @@ func NewShardedPolite(n int, minGap float64) *Sharded {
 	if n < 1 {
 		n = 1
 	}
-	if minGap < 0 {
-		minGap = 0
-	}
-	s := &Sharded{shards: make([]*shard, n), minGap: minGap}
+	s := &Sharded{shards: make([]*shard, n)}
+	s.SetPoliteness(minGap)
 	for i := range s.shards {
 		s.shards[i] = &shard{byURL: make(map[string]*Entry)}
 	}
 	return s
+}
+
+// SetPoliteness changes the per-shard politeness gap. Negative gaps are
+// treated as zero. Safe to call while pops are in flight; already-set
+// shard deadlines are unaffected.
+func (q *Sharded) SetPoliteness(minGap float64) {
+	if minGap < 0 {
+		minGap = 0
+	}
+	q.minGap.Store(math.Float64bits(minGap))
+}
+
+// Politeness returns the current per-shard politeness gap.
+func (q *Sharded) Politeness() float64 {
+	return math.Float64frombits(q.minGap.Load())
 }
 
 // NumShards returns the shard count.
@@ -73,9 +89,7 @@ func (q *Sharded) NumShards() int { return len(q.shards) }
 // ShardOf returns the shard index url hashes to. All URLs of one host
 // map to the same shard.
 func (q *Sharded) ShardOf(url string) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(webgraph.SiteOf(url)))
-	return int(h.Sum32() % uint32(len(q.shards)))
+	return HostShard(webgraph.SiteOf(url), len(q.shards))
 }
 
 func (q *Sharded) shardFor(url string) *shard { return q.shards[q.ShardOf(url)] }
@@ -147,7 +161,7 @@ func (q *Sharded) popDue(now float64, claim bool) (Entry, int, bool) {
 		// us to this shard's head. If so, rescan.
 		if e, ok := s.headDue(now, claim); ok && e.URL == bestE.URL {
 			got := s.popLocked()
-			s.nextReady = now + q.minGap
+			s.nextReady = now + q.Politeness()
 			if claim {
 				s.claimed = true
 			}
@@ -171,6 +185,46 @@ func (q *Sharded) PopDue(now float64) (Entry, bool) {
 // Release. The returned shard index must be passed to Release.
 func (q *Sharded) ClaimDue(now float64) (Entry, int, bool) {
 	return q.popDue(now, true)
+}
+
+// HeadDue returns, without popping, the entry PopDue (or, with
+// skipClaimed, ClaimDue) would return at now. It is the peek half of
+// the two-step distributed pop: cluster.RemoteShards asks every shard
+// server for its HeadDue candidate, picks the global minimum, and pops
+// it from the winning server with PopDueMatch.
+func (q *Sharded) HeadDue(now float64, skipClaimed bool) (Entry, bool) {
+	found := false
+	var bestE Entry
+	for _, s := range q.shards {
+		s.mu.Lock()
+		if e, ok := s.headDue(now, skipClaimed); ok && (!found || entryBefore(e, bestE)) {
+			found, bestE = true, e
+		}
+		s.mu.Unlock()
+	}
+	return bestE, found
+}
+
+// PopDueMatch pops url only if it is currently the poppable head of its
+// shard at now — due, politeness-ready, and (when claim is set)
+// unclaimed; claim additionally claims the shard. It is the commit half
+// of the distributed pop: ok is false when the head moved since the
+// caller peeked, in which case the caller rescans.
+func (q *Sharded) PopDueMatch(now float64, url string, claim bool) (Entry, int, bool) {
+	sid := q.ShardOf(url)
+	s := q.shards[sid]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.headDue(now, claim)
+	if !ok || e.URL != url {
+		return Entry{}, -1, false
+	}
+	got := s.popLocked()
+	s.nextReady = now + q.Politeness()
+	if claim {
+		s.claimed = true
+	}
+	return got, sid, true
 }
 
 // Release returns a claimed shard to the pool and sets its politeness
@@ -252,6 +306,20 @@ func (q *Sharded) NextEvent() (float64, bool) {
 		s.mu.Unlock()
 	}
 	return next, found
+}
+
+// Reset empties every shard and clears claims and politeness deadlines.
+// A shard server resets between experiments so sequential crawls over
+// one cluster start from a clean frontier.
+func (q *Sharded) Reset() {
+	for _, s := range q.shards {
+		s.mu.Lock()
+		s.h = nil
+		s.byURL = make(map[string]*Entry)
+		s.nextReady = 0
+		s.claimed = false
+		s.mu.Unlock()
+	}
 }
 
 // Remove deletes url from its shard, reporting whether it was present.
