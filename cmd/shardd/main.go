@@ -7,12 +7,21 @@
 //
 // Usage:
 //
-//	shardd -listen 127.0.0.1:7070 -shards 16
+//	shardd -listen 127.0.0.1:7070 -shards 16 -wal /var/lib/shardd
 //	crawlsim -shard-servers 127.0.0.1:7070,127.0.0.1:7071
 //
 // With -listen :0 the kernel assigns a port; the bound address is
 // printed on stdout and, with -addr-file, written to a file that
 // orchestration scripts can wait on (the CI cluster smoke job does).
+// The address file is removed on shutdown, so waiters never race onto
+// a stale address from a previous run.
+//
+// With -wal, the frontier survives restarts: every mutating op is
+// appended to a CRC-framed write-ahead log before it is acknowledged,
+// the log is compacted into a snapshot periodically and on graceful
+// shutdown, and a restarted shardd replays snapshot + log — including
+// after a SIGKILL, where a torn final frame is truncated away (it was
+// never acknowledged, so the client retries it).
 package main
 
 import (
@@ -31,19 +40,27 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "host:port to serve on (:0 for an assigned port)")
 	shards := flag.Int("shards", 16, "per-site frontier shards hosted by this server")
 	politeness := flag.Float64("politeness", 0, "default per-shard politeness gap in days (clients usually override at connect)")
-	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (removed on shutdown)")
 	statsEvery := flag.Duration("stats-every", 0, "log queue stats at this interval (0 disables)")
+	walDir := flag.String("wal", "", "directory for the frontier write-ahead log; queued entries survive restarts (empty disables persistence)")
+	walCompactEvery := flag.Duration("wal-compact-every", time.Minute, "interval between WAL compactions (snapshot + log truncation; 0 disables periodic compaction)")
 	flag.Parse()
 
-	if err := run(*listen, *shards, *politeness, *addrFile, *statsEvery); err != nil {
+	if err := run(*listen, *shards, *politeness, *addrFile, *statsEvery, *walDir, *walCompactEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "shardd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, shards int, politeness float64, addrFile string, statsEvery time.Duration) error {
+func run(listen string, shards int, politeness float64, addrFile string, statsEvery time.Duration, walDir string, walCompactEvery time.Duration) error {
 	q := frontier.NewShardedPolite(shards, politeness)
 	srv := cluster.NewShardServer(q)
+	if walDir != "" {
+		if err := srv.OpenWAL(walDir); err != nil {
+			return err
+		}
+		fmt.Printf("shardd: WAL %s recovered %d queued entries\n", walDir, q.Len())
+	}
 	if err := srv.Listen(listen); err != nil {
 		return err
 	}
@@ -58,25 +75,72 @@ func run(listen string, shards int, politeness float64, addrFile string, statsEv
 		if err := os.Rename(tmp, addrFile); err != nil {
 			return err
 		}
+		defer os.Remove(addrFile)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		fmt.Printf("shardd: %v, shutting down (%d entries queued)\n", s, q.Len())
+		if walDir != "" {
+			fmt.Printf("shardd: %v, shutting down (persisting %d queued entries)\n", s, q.Len())
+		} else {
+			fmt.Printf("shardd: %v, shutting down (dropping %d queued entries; run with -wal to keep them)\n", s, q.Len())
+		}
 		srv.Close()
 	}()
 
+	// Background tickers stop with the server: time.Tick would leak its
+	// ticker and keep logging after Close.
+	done := make(chan struct{})
 	if statsEvery > 0 {
+		t := time.NewTicker(statsEvery)
 		go func() {
-			for range time.Tick(statsEvery) {
-				fmt.Printf("shardd: %d entries across %d shards\n", q.Len(), q.NumShards())
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					fmt.Printf("shardd: %d entries across %d shards\n", q.Len(), q.NumShards())
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	if walDir != "" && walCompactEvery > 0 {
+		t := time.NewTicker(walCompactEvery)
+		go func() {
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := srv.CompactWAL(); err != nil {
+						fmt.Fprintln(os.Stderr, "shardd: wal compaction:", err)
+					}
+				case <-done:
+					return
+				}
 			}
 		}()
 	}
 
-	if err := srv.Serve(); err != cluster.ErrServerClosed {
+	err := srv.Serve()
+	close(done)
+	if walDir != "" {
+		// The graceful-shutdown flush: every queued entry lands in the
+		// final snapshot instead of being announced and dropped.
+		if werr := srv.CloseWAL(); werr != nil {
+			if err == cluster.ErrServerClosed {
+				return werr
+			}
+			// Serve's own error wins, but the failed flush must not
+			// vanish: the operator would believe the queue persisted.
+			fmt.Fprintln(os.Stderr, "shardd: wal shutdown flush:", werr)
+		} else {
+			fmt.Printf("shardd: WAL %s flushed %d queued entries\n", walDir, q.Len())
+		}
+	}
+	if err != cluster.ErrServerClosed {
 		return err
 	}
 	return nil

@@ -159,9 +159,11 @@ func run(o crawlOpts) error {
 		q = frontier.NewShardedPolite(o.shards, clock.Days(o.delay))
 	}
 	nowDay := clock.Days(time.Since(st.Epoch))
+	rebuild := make([]frontier.Entry, 0, len(st.Due))
 	for url, due := range st.Due {
-		q.Push(url, due, 0)
+		rebuild = append(rebuild, frontier.Entry{URL: url, Due: due})
 	}
+	q.PushBatch(rebuild) // one frame per shard server instead of one per stored URL
 	for _, s := range o.seeds {
 		s = htmlparse.Normalize(strings.TrimSpace(s))
 		if !q.Contains(s) {

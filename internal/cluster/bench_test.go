@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"webevolve/internal/cluster"
 	"webevolve/internal/core"
 	"webevolve/internal/fetch"
 	"webevolve/internal/frontier"
@@ -55,6 +56,51 @@ func BenchmarkClaimReleaseRemote(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPushRemote compares the apply path's two push strategies
+// against loopback shard servers: per-URL frames vs one opPushBatch
+// frame per server per dispatch round. The round-trip ratio is batch
+// size / server count; the time ratio tracks it since loopback round
+// trips dominate.
+func BenchmarkPushRemote(b *testing.B) {
+	const batch = 64
+	entries := make([]frontier.Entry, batch)
+	for i := range entries {
+		entries[i] = frontier.Entry{
+			URL: fmt.Sprintf("http://site%03d.com/p%05d", i%32, i),
+			Due: float64(i % 9), Priority: float64(i % 3),
+		}
+	}
+	for _, servers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("per-url/servers=%d", servers), func(b *testing.B) {
+			rs := loopbackCluster(b, servers, 16/servers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, e := range entries {
+					rs.Push(e.URL, e.Due, e.Priority)
+				}
+			}
+			b.StopTimer()
+			reportTripsPerBatch(b, rs)
+		})
+		b.Run(fmt.Sprintf("batched/servers=%d", servers), func(b *testing.B) {
+			rs := loopbackCluster(b, servers, 16/servers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rs.PushBatch(entries)
+			}
+			b.StopTimer()
+			reportTripsPerBatch(b, rs)
+		})
+	}
+}
+
+func reportTripsPerBatch(b *testing.B, rs *cluster.RemoteShards) {
+	if err := rs.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(rs.RoundTrips())/float64(b.N), "trips/batch")
 }
 
 func benchWeb(b *testing.B) *simweb.Web {

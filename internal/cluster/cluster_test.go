@@ -347,10 +347,16 @@ func TestRemoteOverTCP(t *testing.T) {
 }
 
 // TestRemoteStickyError checks the failure contract: after the cluster
-// goes away, operations return zero values and Err reports the first
+// goes away for good (retries disabled here, so the first failure is
+// final), operations return zero values and Err reports the first
 // transport error.
 func TestRemoteStickyError(t *testing.T) {
-	remote, servers := newCluster(t, 1, 4, 0)
+	servers := []*ShardServer{NewShardServer(frontier.NewSharded(4))}
+	remote, err := Loopback(servers, Options{MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
 	remote.Push("http://site001.com/a", 0, 0)
 	servers[0].Close()
 	// The pooled connections are now closed; the next op must fail.

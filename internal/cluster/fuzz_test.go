@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"webevolve/internal/frontier"
+)
+
+// validFrame builds a well-formed frame for seeding the fuzzers.
+func validFrame(t testing.TB, kind byte, body []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, kind, body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrame throws arbitrary byte streams at the frame reader
+// and, when a frame decodes, at the request handler: truncated frames,
+// flipped bits, oversized lengths, and unknown ops must all surface as
+// errors (or error responses), never as panics or hangs.
+func FuzzDecodeFrame(f *testing.F) {
+	var push enc
+	push.u64(7).str("http://site001.com/a").f64(1).f64(2)
+	f.Add(validFrame(f, opPush, push.b))
+	var hello enc
+	hello.bool(true).f64(0.5).bool(true)
+	f.Add(validFrame(f, opHello, hello.b))
+	f.Add(validFrame(f, opLen, nil))
+	f.Add(validFrame(f, 0xEE, []byte("unknown op")))
+	// Truncated frame.
+	whole := validFrame(f, opPush, push.b)
+	f.Add(whole[:len(whole)-3])
+	// Flipped payload byte (CRC must object).
+	flipped := append([]byte(nil), whole...)
+	flipped[len(flipped)-1] ^= 0xff
+	f.Add(flipped)
+	// Oversized length prefix.
+	huge := append([]byte(nil), whole...)
+	binary.LittleEndian.PutUint32(huge[0:4], maxFrame+1)
+	f.Add(huge)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, body, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		srv := NewShardServer(frontier.NewSharded(2))
+		status, resp := srv.handle(kind, body)
+		if status != statusOK && status != statusError {
+			t.Fatalf("handle returned status %d (resp %q)", status, resp)
+		}
+	})
+}
+
+// FuzzHandleBody drives every opcode with arbitrary bodies directly:
+// the decode layer's poisoning must turn any malformed body into an
+// error response, not a panic.
+func FuzzHandleBody(f *testing.F) {
+	var push enc
+	push.u64(9).str("http://site001.com/a").f64(1).f64(2)
+	f.Add(opPush, push.b)
+	var batch enc
+	batch.u64(10).u32(2).
+		str("http://site001.com/a").f64(1).f64(0).
+		str("http://site002.com/b").f64(2).f64(1)
+	f.Add(opPushBatch, batch.b)
+	// Batch claiming 4 billion entries with a 30-byte body.
+	var lying enc
+	lying.u64(11).u32(0xFFFFFFFF).str("http://site001.com/a")
+	f.Add(opPushBatch, lying.b)
+	var pop enc
+	pop.u64(12).f64(3)
+	f.Add(opPopDue, pop.b)
+	f.Add(opClaimDue, pop.b)
+	f.Add(opRelease, []byte{1, 2, 3})
+	f.Add(opHello, []byte{1})
+	f.Add(byte(0xEE), []byte("unknown"))
+	f.Add(opRemove, []byte{})
+
+	f.Fuzz(func(t *testing.T, op byte, body []byte) {
+		srv := NewShardServer(frontier.NewSharded(2))
+		status, resp := srv.handle(op, body)
+		if status != statusOK && status != statusError {
+			t.Fatalf("handle(%d) returned status %d (resp %q)", op, status, resp)
+		}
+	})
+}
+
+// TestCorruptionTable pins the corruption cases the fuzzers seed, so
+// the contract is enforced even in runs that skip fuzzing.
+func TestCorruptionTable(t *testing.T) {
+	var push enc
+	push.u64(7).str("http://site001.com/a").f64(1).f64(2)
+	whole := validFrame(t, opPush, push.b)
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(whole); cut++ {
+			if _, _, err := readFrame(bytes.NewReader(whole[:cut])); err == nil {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		b := append([]byte(nil), whole...)
+		binary.LittleEndian.PutUint32(b[0:4], maxFrame+1)
+		if _, _, err := readFrame(bytes.NewReader(b)); err == nil {
+			t.Fatal("oversized length accepted")
+		}
+	})
+	t.Run("unknown op", func(t *testing.T) {
+		srv := NewShardServer(frontier.NewSharded(2))
+		if status, _ := srv.handle(0xEE, nil); status != statusError {
+			t.Fatalf("unknown op status %d, want error", status)
+		}
+	})
+	t.Run("mutating op without request id", func(t *testing.T) {
+		srv := NewShardServer(frontier.NewSharded(2))
+		if status, _ := srv.handle(opPush, []byte{1, 2}); status != statusError {
+			t.Fatalf("short mutating body status %d, want error", status)
+		}
+	})
+}

@@ -1,7 +1,10 @@
 package cluster_test
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"webevolve/internal/cluster"
 	"webevolve/internal/core"
@@ -112,6 +115,123 @@ func TestDistributedWorkerCountInvariance(t *testing.T) {
 				t.Fatalf("workers=%d servers=%d: collection diverges at %d: %s vs %s",
 					v.workers, v.servers, i, got.urls[i], ref.urls[i])
 			}
+		}
+	}
+}
+
+// crashingFetcher triggers a one-shot crash hook at the nth fetch —
+// deterministically mid-crawl, unlike a timer.
+type crashingFetcher struct {
+	inner fetch.Fetcher
+	n     atomic.Int64
+	at    int64
+	crash func()
+	once  sync.Once
+}
+
+func (c *crashingFetcher) Fetch(url string, day float64) (fetch.Result, error) {
+	if c.n.Add(1) == c.at {
+		c.once.Do(c.crash)
+	}
+	return c.inner.Fetch(url, day)
+}
+
+// TestKillRestartInvariance is the resilience acceptance test in
+// process form: mid-crawl, a WAL-backed shard server is hard-stopped
+// (no graceful flush — the SIGKILL case) and a replacement is started
+// from the same WAL directory on the same address. The client must
+// ride the outage on its retry budget, and the crawl must complete
+// bit-identical to the same crawl against an uninterrupted local
+// frontier. scripts/cluster_smoke.sh repeats this across real shardd
+// processes with a literal SIGKILL.
+func TestKillRestartInvariance(t *testing.T) {
+	dir := t.TempDir()
+	// start returns its error: the crash hook runs it on a crawl worker
+	// goroutine, where t.Fatal is not allowed.
+	start := func(addr string) (*cluster.ShardServer, error) {
+		srv := cluster.NewShardServer(frontier.NewSharded(8))
+		if err := srv.OpenWAL(dir); err != nil {
+			return nil, err
+		}
+		if err := srv.Listen(addr); err != nil {
+			return nil, err
+		}
+		go srv.Serve() //nolint:errcheck — exits with ErrServerClosed on Close
+		return srv, nil
+	}
+	srv, err := start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	var replacement *cluster.ShardServer
+	t.Cleanup(func() {
+		srv.Close()
+		if replacement != nil {
+			replacement.Close()
+		}
+	})
+
+	rs, err := cluster.DialTCP([]string{addr}, cluster.Options{
+		PolitenessDays: 0,
+		RetryBackoff:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	run := func(workers int, fr frontier.ShardSet, wrap func(fetch.Fetcher) fetch.Fetcher) (core.Metrics, []string) {
+		w, f := testWeb(t, 24)
+		cfg := baseConfig(w)
+		cfg.Workers = workers
+		cfg.Frontier = fr
+		var fetcher fetch.Fetcher = f
+		if wrap != nil {
+			fetcher = wrap(f)
+		}
+		c, err := core.New(cfg, fetcher)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunUntil(12); err != nil {
+			t.Fatal(err)
+		}
+		return c.Metrics(), c.Collection().URLs()
+	}
+
+	lm, lu := run(4, nil, nil) // uninterrupted, in-process frontier
+	restartErr := make(chan error, 1)
+	rm, ru := run(4, rs, func(inner fetch.Fetcher) fetch.Fetcher {
+		return &crashingFetcher{inner: inner, at: 150, crash: func() {
+			srv.Close() // hard stop: no CloseWAL, no final snapshot
+			var err error
+			replacement, err = start(addr)
+			restartErr <- err
+		}}
+	})
+	select {
+	case err := <-restartErr:
+		if err != nil {
+			t.Fatalf("restarting the killed server: %v", err)
+		}
+	default:
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("crawl did not survive the restart: %v", err)
+	}
+	if replacement == nil {
+		t.Fatal("crash hook never fired; crawl too short to be killed mid-flight")
+	}
+	if rm != lm {
+		t.Fatalf("kill-restart crawl diverged:\nkilled: %+v\nlocal:  %+v", rm, lm)
+	}
+	if len(ru) != len(lu) {
+		t.Fatalf("collections diverge: %d vs %d", len(ru), len(lu))
+	}
+	for i := range ru {
+		if ru[i] != lu[i] {
+			t.Fatalf("collection diverges at %d: %s vs %s", i, ru[i], lu[i])
 		}
 	}
 }

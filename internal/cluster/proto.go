@@ -27,8 +27,10 @@ import (
 )
 
 // ProtoVersion is the wire protocol version; both sides reject frames
-// carrying any other version.
-const ProtoVersion = 1
+// carrying any other version. Version 2 added request IDs on every
+// state-mutating op (exactly-once retry semantics), the batched push
+// op, and the clear-claims bit in hello.
+const ProtoVersion = 2
 
 // maxFrame bounds a frame payload; anything larger is treated as a
 // corrupt or hostile stream.
@@ -57,7 +59,24 @@ const (
 	opNextEvent
 	opStats
 	opReset
+	opPushBatch
 )
+
+// mutatingOp reports whether op changes frontier state. Mutating ops
+// carry a leading client-generated request ID (u64): the server logs
+// them to its WAL (when enabled) and memoizes their responses in a
+// bounded cache keyed by that ID, so a client retrying after a broken
+// connection gets the original response instead of a second
+// application — exactly-once semantics over an at-least-once
+// transport. Read-only ops carry no ID and are never logged.
+func mutatingOp(op byte) bool {
+	switch op {
+	case opPush, opPushBatch, opPopDue, opClaimDue, opPopDueMatch,
+		opRelease, opRemove, opReset:
+		return true
+	}
+	return false
+}
 
 const (
 	statusOK byte = iota
@@ -119,6 +138,18 @@ func (e *enc) u32(v uint32) *enc {
 	return e
 }
 
+func (e *enc) u64(v uint64) *enc {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.b = append(e.b, b[:]...)
+	return e
+}
+
+func (e *enc) u8(v byte) *enc {
+	e.b = append(e.b, v)
+	return e
+}
+
 func (e *enc) f64(v float64) *enc {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
@@ -168,6 +199,22 @@ func (d *dec) u32() uint32 {
 		return 0
 	}
 	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
 }
 
 func (d *dec) f64() float64 {

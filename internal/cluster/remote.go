@@ -2,11 +2,15 @@ package cluster
 
 import (
 	"bufio"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"webevolve/internal/frontier"
 	"webevolve/internal/webgraph"
@@ -14,6 +18,16 @@ import (
 
 // Dialer opens one connection to a shard server.
 type Dialer func() (net.Conn, error)
+
+// Default retry shape: with 6 retries backing off 25ms..1s, a client
+// rides out roughly two seconds of server downtime — enough for a
+// supervised shardd restart — before the error becomes sticky.
+const (
+	defaultMaxRetries      = 6
+	defaultRetryBackoff    = 25 * time.Millisecond
+	defaultMaxRetryBackoff = time.Second
+	defaultDialTimeout     = 5 * time.Second
+)
 
 // Options configures a RemoteShards client.
 type Options struct {
@@ -25,6 +39,17 @@ type Options struct {
 	// the dispatcher's claims and the workers' releases/pushes can be in
 	// flight at once.
 	ConnsPerServer int
+	// MaxRetries bounds how many times one operation is retried after a
+	// transport failure — each retry redials the server with capped
+	// exponential backoff — before the error becomes sticky. Every
+	// mutating op carries a request ID the server dedups on, so a retry
+	// is applied exactly once even if the original was. 0 means the
+	// default (6); negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt up to MaxRetryBackoff. Defaults 25ms and 1s.
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
 }
 
 // RemoteShards implements frontier.ShardSet over a cluster of shard
@@ -35,14 +60,16 @@ type Options struct {
 // global shard indices are the concatenation of the servers' local
 // index spaces.
 //
-// The ShardSet methods carry no errors, so transport failures are
-// sticky: the first one is recorded, every later operation becomes a
-// no-op returning zero values (the engine winds down as if the
-// frontier drained), and callers check Err when the crawl ends. A
-// cluster is owned by one client at a time; the peek-then-commit pop
-// protocol retries when concurrent releases move a server's head, but
-// two independent crawlers popping one cluster would interleave
-// schedules.
+// Transport failures are retried: the broken connection is closed, the
+// server is redialed with capped exponential backoff, and the op is
+// resent with its original request ID (the server dedups, so a resend
+// of an op the server already applied returns the original response —
+// see mutatingOp). Only after the retry budget is spent does the error
+// become sticky: every later operation is a no-op returning zero
+// values (the engine winds down as if the frontier drained), and
+// callers check Err when the crawl ends. A cluster is owned by one
+// client at a time; connecting clears stale claims a vanished previous
+// client may have held.
 type RemoteShards struct {
 	servers []*serverConns
 	// offsets[i] is the global index of server i's local shard 0;
@@ -51,11 +78,20 @@ type RemoteShards struct {
 	counts  []int
 	total   int
 
+	// reqBase ^ a per-client counter generates request IDs unique
+	// across clients of one cluster with overwhelming probability.
+	reqBase uint64
+	reqSeq  atomic.Uint64
+
+	closed atomic.Bool
+
 	failMu sync.Mutex
 	failed error
 }
 
 var _ frontier.ShardSet = (*RemoteShards)(nil)
+
+var errClientClosed = errors.New("cluster: client closed")
 
 // clientConn is one pooled connection with its buffered reader.
 type clientConn struct {
@@ -63,32 +99,137 @@ type clientConn struct {
 	r    *bufio.Reader
 }
 
-// serverConns is the connection pool for one server.
+// serverConns is the connection pool for one server. A pool slot holds
+// either a live connection or nil — a slot whose connection broke. The
+// slot itself is always returned to the pool (even as nil), so waiters
+// are never stranded across a redial; the next op taking a nil slot
+// dials a fresh connection.
 type serverConns struct {
+	name  string
+	dial  Dialer
+	hello []byte // reconnect hello body (politeness, no claim clearing)
+
+	// wantShards pins the server's shard count from the first hello;
+	// a reconnect seeing a different count means the server restarted
+	// with a different layout, which silently reroutes URLs — refuse.
+	wantShards int
+
 	pool chan *clientConn
+
+	maxRetries int
+	backoff    time.Duration
+	backoffMax time.Duration
+	closed     *atomic.Bool
+	trips      *atomic.Int64
+	sleep      func(time.Duration) // test seam; time.Sleep
+}
+
+// exchange sends one request frame and reads its response.
+func (sc *serverConns) exchange(cc *clientConn, op byte, body []byte) (byte, []byte, error) {
+	sc.trips.Add(1)
+	if err := writeFrame(cc.conn, op, body); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(cc.r)
+}
+
+// connect dials a fresh connection and runs the hello handshake over
+// it: protocol version check, politeness handover, shard-count pin.
+func (sc *serverConns) connect(helloBody []byte) (*clientConn, error) {
+	if sc.closed.Load() {
+		return nil, errClientClosed
+	}
+	conn, err := sc.dial()
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{conn: conn, r: bufio.NewReader(conn)}
+	status, resp, err := sc.exchange(cc, opHello, helloBody)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if status != statusOK {
+		conn.Close()
+		return nil, fmt.Errorf("server error: %s", resp)
+	}
+	d := &dec{b: resp}
+	n := int(d.u32())
+	if d.finish() != nil || n < 1 {
+		conn.Close()
+		return nil, errors.New("bad hello response")
+	}
+	if sc.wantShards == 0 {
+		sc.wantShards = n
+	} else if n != sc.wantShards {
+		conn.Close()
+		return nil, fmt.Errorf("shard count changed across reconnect: %d, want %d", n, sc.wantShards)
+	}
+	return cc, nil
 }
 
 // roundTrip sends one request and reads its response over a pooled
-// connection. Failed connections go back into the pool closed, so the
-// sticky-failure path never strands a waiter on an empty pool.
+// connection, retrying across redials on transport failure. The pool
+// slot is always returned — holding the live connection on success,
+// nil after a failure — so concurrent ops never block on a drained
+// pool.
 func (sc *serverConns) roundTrip(op byte, body []byte) ([]byte, error) {
 	cc := <-sc.pool
-	status, resp, err := func() (byte, []byte, error) {
-		if err := writeFrame(cc.conn, op, body); err != nil {
-			return 0, nil, err
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt <= sc.maxRetries; attempt++ {
+		if attempt > 0 {
+			sc.sleep(sc.backoffFor(attempt))
 		}
-		return readFrame(cc.r)
-	}()
-	if err != nil {
-		cc.conn.Close()
+		attempts++
+		if cc == nil {
+			var err error
+			if cc, err = sc.connect(sc.hello); err != nil {
+				lastErr = err
+				if errors.Is(err, errClientClosed) {
+					break
+				}
+				continue
+			}
+		}
+		status, resp, err := sc.exchange(cc, op, body)
+		if err != nil {
+			cc.conn.Close()
+			cc = nil
+			lastErr = err
+			continue
+		}
 		sc.pool <- cc
-		return nil, fmt.Errorf("cluster: %s: %w", cc.conn.RemoteAddr(), err)
+		if status != statusOK {
+			return nil, fmt.Errorf("cluster: %s: server error: %s", sc.name, resp)
+		}
+		return resp, nil
 	}
-	sc.pool <- cc
-	if status != statusOK {
-		return nil, fmt.Errorf("cluster: %s: server error: %s", cc.conn.RemoteAddr(), resp)
+	sc.pool <- cc // nil: the next op on this slot redials
+	return nil, fmt.Errorf("cluster: %s (after %d attempts): %w", sc.name, attempts, lastErr)
+}
+
+// backoffFor is the capped exponential redial delay before retry n.
+func (sc *serverConns) backoffFor(n int) time.Duration {
+	d := sc.backoff << (n - 1)
+	if d > sc.backoffMax || d <= 0 {
+		return sc.backoffMax
 	}
-	return resp, nil
+	return d
+}
+
+// helloBody encodes the handshake: politeness handover and whether to
+// clear stale shard claims (a fresh client session does; a reconnect
+// must not, its own workers hold claims).
+func helloBody(politenessDays float64, clearClaims bool) []byte {
+	var e enc
+	if politenessDays >= 0 {
+		e.bool(true).f64(politenessDays)
+	} else {
+		e.bool(false)
+	}
+	e.bool(clearClaims)
+	return e.b
 }
 
 // Dial connects to a cluster of shard servers, one Dialer per server.
@@ -103,43 +244,80 @@ func Dial(dialers []Dialer, opts Options) (*RemoteShards, error) {
 	if conns < 1 {
 		conns = 2
 	}
-	rs := &RemoteShards{}
+	retries := opts.MaxRetries
+	switch {
+	case retries == 0:
+		retries = defaultMaxRetries
+	case retries < 0:
+		retries = 0
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	backoffMax := opts.MaxRetryBackoff
+	if backoffMax <= 0 {
+		backoffMax = defaultMaxRetryBackoff
+	}
+	if backoffMax < backoff {
+		backoffMax = backoff
+	}
+
+	rs := &RemoteShards{reqBase: randomReqBase()}
+	helloInit := helloBody(opts.PolitenessDays, true)
+	helloRe := helloBody(opts.PolitenessDays, false)
 	for i, dial := range dialers {
-		sc := &serverConns{pool: make(chan *clientConn, conns)}
-		for c := 0; c < conns; c++ {
-			conn, err := dial()
-			if err != nil {
-				rs.closeAll()
-				return nil, fmt.Errorf("cluster: server %d: %w", i, err)
-			}
-			sc.pool <- &clientConn{conn: conn, r: bufio.NewReader(conn)}
+		sc := &serverConns{
+			name:       fmt.Sprintf("server %d", i),
+			dial:       dial,
+			hello:      helloRe,
+			pool:       make(chan *clientConn, conns),
+			maxRetries: retries,
+			backoff:    backoff,
+			backoffMax: backoffMax,
+			closed:     &rs.closed,
+			trips:      new(atomic.Int64),
+			sleep:      time.Sleep,
 		}
-		rs.servers = append(rs.servers, sc)
-	}
-	// Hello: version check, optional politeness handover, shard counts.
-	var hello enc
-	if opts.PolitenessDays >= 0 {
-		hello.bool(true).f64(opts.PolitenessDays)
-	} else {
-		hello.bool(false)
-	}
-	for i, sc := range rs.servers {
-		resp, err := sc.roundTrip(opHello, hello.b)
+		// The first connection is dialed eagerly (fail fast on a
+		// misconfigured cluster) and clears stale claims; the remaining
+		// slots dial lazily on first use.
+		cc, err := sc.connect(helloInit)
 		if err != nil {
 			rs.closeAll()
-			return nil, err
+			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
 		}
-		d := &dec{b: resp}
-		n := int(d.u32())
-		if d.finish() != nil || n < 1 {
-			rs.closeAll()
-			return nil, fmt.Errorf("cluster: server %d: bad hello response", i)
+		sc.name = fmt.Sprintf("server %d (%v)", i, cc.conn.RemoteAddr())
+		sc.pool <- cc
+		for c := 1; c < conns; c++ {
+			sc.pool <- nil
 		}
+		rs.servers = append(rs.servers, sc)
 		rs.offsets = append(rs.offsets, rs.total)
-		rs.counts = append(rs.counts, n)
-		rs.total += n
+		rs.counts = append(rs.counts, sc.wantShards)
+		rs.total += sc.wantShards
 	}
 	return rs, nil
+}
+
+// randomReqBase draws the client's request-ID base. Request IDs only
+// key the server's retry-dedup cache, so randomness here does not
+// perturb deterministic crawls.
+func randomReqBase() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// nextReq returns a fresh request ID (never zero).
+func (rs *RemoteShards) nextReq() uint64 {
+	id := rs.reqBase + rs.reqSeq.Add(1)
+	if id == 0 {
+		id = rs.reqBase + rs.reqSeq.Add(1)
+	}
+	return id
 }
 
 // DialTCP connects to shard servers at the given host:port addresses.
@@ -147,7 +325,9 @@ func DialTCP(addrs []string, opts Options) (*RemoteShards, error) {
 	dialers := make([]Dialer, len(addrs))
 	for i, a := range addrs {
 		a := a
-		dialers[i] = func() (net.Conn, error) { return net.Dial("tcp", a) }
+		dialers[i] = func() (net.Conn, error) {
+			return net.DialTimeout("tcp", a, defaultDialTimeout)
+		}
 	}
 	return Dial(dialers, opts)
 }
@@ -184,14 +364,37 @@ func (rs *RemoteShards) Err() error {
 	return rs.failed
 }
 
-func (rs *RemoteShards) closeAll() {
+// RoundTrips returns the total request frames sent across all servers
+// (retries included) — the unit the batched-push optimization is
+// measured in.
+func (rs *RemoteShards) RoundTrips() int64 {
+	var n int64
 	for _, sc := range rs.servers {
+		n += sc.trips.Load()
+	}
+	return n
+}
+
+func (rs *RemoteShards) closeAll() {
+	rs.closed.Store(true)
+	for _, sc := range rs.servers {
+		// Slots held by in-flight ops stay theirs (those ops fail via
+		// the closed flag and return them). Refilling exactly as many
+		// slots as were taken keeps the pool's slot count invariant, so
+		// neither waiters nor returning ops ever block.
+		taken := 0
 		for i := 0; i < cap(sc.pool); i++ {
 			select {
 			case cc := <-sc.pool:
-				cc.conn.Close()
+				taken++
+				if cc != nil {
+					cc.conn.Close()
+				}
 			default:
 			}
+		}
+		for i := 0; i < taken; i++ {
+			sc.pool <- nil
 		}
 	}
 }
@@ -237,15 +440,71 @@ func (rs *RemoteShards) Push(url string, due, priority float64) {
 		return
 	}
 	var e enc
-	e.str(url).f64(due).f64(priority)
+	e.u64(rs.nextReq()).str(url).f64(due).f64(priority)
 	if _, err := rs.servers[rs.serverOf(url)].roundTrip(opPush, e.b); err != nil {
 		rs.fail(err)
 	}
 }
 
+// pushBatchChunk caps the entries carried by one opPushBatch frame.
+// 8192 entries at typical URL lengths is well under a megabyte — far
+// from the protocol's maxFrame — so even a full frontier rebuild
+// (webcrawl pushes every stored URL in one PushBatch) stays a short
+// sequence of valid frames instead of one oversized, unsendable one.
+const pushBatchChunk = 8192
+
+// PushBatch implements frontier.ShardSet: entries are grouped by owning
+// server and each group ships as a handful of opPushBatch frames — one
+// round trip per server per pushBatchChunk entries instead of one per
+// URL.
+func (rs *RemoteShards) PushBatch(entries []frontier.Entry) {
+	if rs.broken() || len(entries) == 0 {
+		return
+	}
+	groups := make([][]frontier.Entry, len(rs.servers))
+	if len(rs.servers) == 1 {
+		groups[0] = entries
+	} else {
+		for _, ent := range entries {
+			si := rs.serverOf(ent.URL)
+			groups[si] = append(groups[si], ent)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(rs.servers))
+	for si, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, group []frontier.Entry) {
+			defer wg.Done()
+			for off := 0; off < len(group); off += pushBatchChunk {
+				chunk := group[off:min(off+pushBatchChunk, len(group))]
+				var e enc
+				e.u64(rs.nextReq()).u32(uint32(len(chunk)))
+				for _, ent := range chunk {
+					e.str(ent.URL).f64(ent.Due).f64(ent.Priority)
+				}
+				if _, err := rs.servers[si].roundTrip(opPushBatch, e.b); err != nil {
+					errs[si] = err
+					return
+				}
+			}
+		}(si, group)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			rs.fail(err)
+			return
+		}
+	}
+}
+
 // fan sends one request to every server concurrently and collects the
 // responses indexed by server.
-func (rs *RemoteShards) fan(op byte, body []byte) ([][]byte, error) {
+func (rs *RemoteShards) fan(op byte, bodies func(i int) []byte) ([][]byte, error) {
 	results := make([][]byte, len(rs.servers))
 	errs := make([]error, len(rs.servers))
 	var wg sync.WaitGroup
@@ -253,7 +512,7 @@ func (rs *RemoteShards) fan(op byte, body []byte) ([][]byte, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = rs.servers[i].roundTrip(op, body)
+			results[i], errs[i] = rs.servers[i].roundTrip(op, bodies(i))
 		}(i)
 	}
 	wg.Wait()
@@ -263,6 +522,11 @@ func (rs *RemoteShards) fan(op byte, body []byte) ([][]byte, error) {
 		}
 	}
 	return results, nil
+}
+
+// fanSame is fan with one shared request body (read-only ops).
+func (rs *RemoteShards) fanSame(op byte, body []byte) ([][]byte, error) {
+	return rs.fan(op, func(int) []byte { return body })
 }
 
 // popDue is the distributed form of Sharded.popDue: peek every server's
@@ -281,7 +545,7 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 			op = opClaimDue
 		}
 		var e enc
-		e.f64(now)
+		e.u64(rs.nextReq()).f64(now)
 		resp, err := rs.servers[0].roundTrip(op, e.b)
 		if err != nil {
 			rs.fail(err)
@@ -306,7 +570,7 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 	var peek enc
 	peek.f64(now).bool(claim)
 	for {
-		heads, err := rs.fan(opHeadDue, peek.b)
+		heads, err := rs.fanSame(opHeadDue, peek.b)
 		if err != nil {
 			rs.fail(err)
 			return frontier.Entry{}, -1, false
@@ -324,7 +588,7 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 			return frontier.Entry{}, -1, false
 		}
 		var commit enc
-		commit.f64(now).str(bestE.URL).bool(claim)
+		commit.u64(rs.nextReq()).f64(now).str(bestE.URL).bool(claim)
 		resp, err := rs.servers[best].roundTrip(opPopDueMatch, commit.b)
 		if err != nil {
 			rs.fail(err)
@@ -361,7 +625,7 @@ func (rs *RemoteShards) Release(shard int, nextReady float64) {
 	}
 	si, local := rs.serverOfShard(shard)
 	var e enc
-	e.u32(uint32(local)).f64(nextReady)
+	e.u64(rs.nextReq()).u32(uint32(local)).f64(nextReady)
 	if _, err := rs.servers[si].roundTrip(opRelease, e.b); err != nil {
 		rs.fail(err)
 	}
@@ -373,7 +637,7 @@ func (rs *RemoteShards) Remove(url string) bool {
 		return false
 	}
 	var e enc
-	e.str(url)
+	e.u64(rs.nextReq()).str(url)
 	resp, err := rs.servers[rs.serverOf(url)].roundTrip(opRemove, e.b)
 	if err != nil {
 		rs.fail(err)
@@ -404,7 +668,7 @@ func (rs *RemoteShards) Len() int {
 	if rs.broken() {
 		return 0
 	}
-	resps, err := rs.fan(opLen, nil)
+	resps, err := rs.fanSame(opLen, nil)
 	if err != nil {
 		rs.fail(err)
 		return 0
@@ -422,7 +686,7 @@ func (rs *RemoteShards) URLs() []string {
 	if rs.broken() {
 		return nil
 	}
-	resps, err := rs.fan(opURLs, nil)
+	resps, err := rs.fanSame(opURLs, nil)
 	if err != nil {
 		rs.fail(err)
 		return nil
@@ -448,7 +712,7 @@ func (rs *RemoteShards) Peek() (frontier.Entry, bool) {
 	if rs.broken() {
 		return frontier.Entry{}, false
 	}
-	resps, err := rs.fan(opPeek, nil)
+	resps, err := rs.fanSame(opPeek, nil)
 	if err != nil {
 		rs.fail(err)
 		return frontier.Entry{}, false
@@ -470,7 +734,7 @@ func (rs *RemoteShards) NextEvent() (float64, bool) {
 	if rs.broken() {
 		return 0, false
 	}
-	resps, err := rs.fan(opNextEvent, nil)
+	resps, err := rs.fanSame(opNextEvent, nil)
 	if err != nil {
 		rs.fail(err)
 		return 0, false
@@ -495,7 +759,11 @@ func (rs *RemoteShards) Reset() error {
 	if err := rs.Err(); err != nil {
 		return err
 	}
-	if _, err := rs.fan(opReset, nil); err != nil {
+	if _, err := rs.fan(opReset, func(int) []byte {
+		var e enc
+		e.u64(rs.nextReq())
+		return e.b
+	}); err != nil {
 		rs.fail(err)
 		return err
 	}
@@ -508,7 +776,7 @@ func (rs *RemoteShards) ShardLens() []int {
 	if rs.broken() {
 		return nil
 	}
-	resps, err := rs.fan(opStats, nil)
+	resps, err := rs.fanSame(opStats, nil)
 	if err != nil {
 		rs.fail(err)
 		return nil

@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webevolve/internal/frontier"
+)
+
+// fastRetry keeps retry tests quick without changing the retry logic.
+var fastRetry = Options{RetryBackoff: time.Millisecond, MaxRetryBackoff: 4 * time.Millisecond}
+
+// dropPooledConns closes every pooled connection in place (leaving the
+// stale conns in the pool), simulating transient drops the client
+// discovers mid-operation.
+func dropPooledConns(rs *RemoteShards) int {
+	dropped := 0
+	for _, sc := range rs.servers {
+		for i := 0; i < cap(sc.pool); i++ {
+			select {
+			case cc := <-sc.pool:
+				if cc != nil {
+					cc.conn.Close()
+					dropped++
+				}
+				sc.pool <- cc
+			default:
+			}
+		}
+	}
+	return dropped
+}
+
+// TestRemoteSurvivesConnDrop: a transient connection drop must be
+// absorbed by redial + retry, not fail the whole crawl.
+func TestRemoteSurvivesConnDrop(t *testing.T) {
+	servers := make([]*ShardServer, 2)
+	for i := range servers {
+		servers[i] = NewShardServer(frontier.NewSharded(4))
+	}
+	rs, err := Loopback(servers, fastRetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		rs.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+
+	local := frontier.NewSharded(4)
+	urls := testURLs(10, 3)
+	for i, u := range urls {
+		rs.Push(u, float64(i%5), 0)
+		local.Push(u, float64(i%5), 0)
+	}
+	// Drop every pooled conn repeatedly while draining; every op after a
+	// drop exercises the redial path, pops included.
+	for drained := false; !drained; {
+		if n := dropPooledConns(rs); n == 0 {
+			t.Fatal("no pooled conns to drop")
+		}
+		for i := 0; i < 4; i++ {
+			le, lok := local.PopDue(10)
+			re, rok := rs.PopDue(10)
+			if lok != rok || (lok && !sameEntry(le, re)) {
+				t.Fatalf("pop diverged after drop: (%+v,%v) vs (%+v,%v)", re, rok, le, lok)
+			}
+			if !lok {
+				drained = true
+				break
+			}
+		}
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("transient drops became sticky: %v", err)
+	}
+}
+
+// failingDialer wraps a dialer so that a chosen dial attempt fails.
+type failingDialer struct {
+	inner Dialer
+	calls atomic.Int64
+	fail  int64 // which call (1-based) returns an error
+}
+
+func (f *failingDialer) dial() (net.Conn, error) {
+	if f.calls.Add(1) == f.fail {
+		return nil, errors.New("injected dial failure")
+	}
+	return f.inner()
+}
+
+// TestRemoteSurvivesFailingDial injects one failing dial into the
+// redial path: the client must back off, dial again, and complete the
+// op — the acceptance contract that a single transient connection drop
+// no longer fails the whole crawl.
+func TestRemoteSurvivesFailingDial(t *testing.T) {
+	srv := NewShardServer(frontier.NewSharded(4))
+	t.Cleanup(func() { srv.Close() })
+	// Dial 1 is the client's eager connect; dial 2 — the first redial
+	// after the drop below — fails.
+	fd := &failingDialer{inner: srv.Pipe, fail: 2}
+	opts := fastRetry
+	opts.ConnsPerServer = 1
+	rs, err := Dial([]Dialer{fd.dial}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+
+	rs.Push("http://site001.com/a", 0, 0)
+	if dropPooledConns(rs) != 1 {
+		t.Fatal("expected one pooled conn")
+	}
+	rs.Push("http://site001.com/b", 0, 0)
+	if err := rs.Err(); err != nil {
+		t.Fatalf("one failing dial became sticky: %v", err)
+	}
+	if got := fd.calls.Load(); got < 3 {
+		t.Fatalf("dialer called %d times, want >= 3 (initial, failed redial, retried redial)", got)
+	}
+	if n := rs.Len(); n != 2 {
+		t.Fatalf("Len = %d after recovery, want 2", n)
+	}
+	if e, ok := rs.PopDue(1); !ok || e.URL != "http://site001.com/a" {
+		t.Fatalf("PopDue after recovery = %+v, %v", e, ok)
+	}
+}
+
+// flakyConn drops the connection after a fixed number of reads: the
+// response of the in-flight op may already be applied server-side, so
+// the retry must hit the dedup cache rather than re-apply.
+type flakyConn struct {
+	net.Conn
+	reads atomic.Int64
+	limit int64
+}
+
+func (c *flakyConn) Read(p []byte) (int, error) {
+	if c.reads.Add(1) > c.limit {
+		c.Conn.Close()
+		return 0, errors.New("injected connection drop")
+	}
+	return c.Conn.Read(p)
+}
+
+// TestFlakyTransportKeepsPopOrder runs a full push/pop sequence over
+// connections that die every few reads. Exactly-once request dedup on
+// the server must keep the pop sequence bit-identical to a local
+// frontier — no lost and no doubled entries — with no sticky error.
+func TestFlakyTransportKeepsPopOrder(t *testing.T) {
+	srv := NewShardServer(frontier.NewSharded(8))
+	t.Cleanup(func() { srv.Close() })
+	dial := func() (net.Conn, error) {
+		conn, err := srv.Pipe()
+		if err != nil {
+			return nil, err
+		}
+		return &flakyConn{Conn: conn, limit: 7}, nil
+	}
+	rs, err := Dial([]Dialer{dial}, fastRetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+
+	local := frontier.NewSharded(8)
+	urls := testURLs(12, 4)
+	for i, u := range urls {
+		due, prio := float64((i*7)%13), float64(i%3)
+		local.Push(u, due, prio)
+		rs.Push(u, due, prio)
+	}
+	for now := 0.0; now < 14; now++ {
+		for {
+			le, lok := local.PopDue(now)
+			re, rok := rs.PopDue(now)
+			if lok != rok {
+				t.Fatalf("day %v: ok %v vs %v (err: %v)", now, rok, lok, rs.Err())
+			}
+			if !lok {
+				break
+			}
+			if !sameEntry(le, re) {
+				t.Fatalf("day %v: pop %+v vs %+v", now, re, le)
+			}
+			if int(le.Due)%2 == 0 {
+				local.Push(le.URL, le.Due+20, le.Priority)
+				rs.Push(re.URL, re.Due+20, re.Priority)
+			}
+		}
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("flaky transport became sticky: %v", err)
+	}
+}
+
+// TestMutatingRetryAppliesOnce pins the dedup contract at the protocol
+// level: replaying a claim with the same request ID returns the
+// memoized response and pops nothing further.
+func TestMutatingRetryAppliesOnce(t *testing.T) {
+	srv := NewShardServer(frontier.NewSharded(2))
+	srv.Shards().Push("http://site001.com/a", 0, 0)
+	srv.Shards().Push("http://site002.com/b", 0, 1)
+
+	var body enc
+	body.u64(42).f64(10)
+	st1, resp1 := srv.handle(opClaimDue, body.b)
+	if st1 != statusOK {
+		t.Fatalf("claim failed: %s", resp1)
+	}
+	before := srv.Shards().Len()
+	st2, resp2 := srv.handle(opClaimDue, body.b)
+	if st2 != st1 || string(resp2) != string(resp1) {
+		t.Fatalf("retried claim not deduped: (%d,%q) vs (%d,%q)", st2, resp2, st1, resp1)
+	}
+	if after := srv.Shards().Len(); after != before {
+		t.Fatalf("retried claim re-applied: Len %d -> %d", before, after)
+	}
+	// A different request ID is a genuinely new claim.
+	var body2 enc
+	body2.u64(43).f64(10)
+	if st, resp := srv.handle(opClaimDue, body2.b); st != statusOK {
+		t.Fatalf("fresh claim failed: %s", resp)
+	} else if srv.Shards().Len() != before-1 {
+		t.Fatal("fresh claim did not pop")
+	}
+}
+
+// TestBatchedPushRoundTrips is the acceptance check for the batched
+// push path: shipping a dispatch round's reschedules as PushBatch must
+// cost at least 5x fewer round trips than per-URL pushes, with
+// identical resulting frontier state.
+func TestBatchedPushRoundTrips(t *testing.T) {
+	const n = 64
+	entries := make([]frontier.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		entries = append(entries, frontier.Entry{
+			URL: fmt.Sprintf("http://site%03d.com/p%05d", i%16, i),
+			Due: float64(i % 7), Priority: float64(i % 3),
+		})
+	}
+	for _, nServers := range []int{1, 2} {
+		batched, _ := newCluster(t, nServers, 4, 0)
+		perURL, _ := newCluster(t, nServers, 4, 0)
+
+		t0 := batched.RoundTrips()
+		batched.PushBatch(entries)
+		batchedTrips := batched.RoundTrips() - t0
+
+		t0 = perURL.RoundTrips()
+		for _, e := range entries {
+			perURL.Push(e.URL, e.Due, e.Priority)
+		}
+		perURLTrips := perURL.RoundTrips() - t0
+
+		if batchedTrips > int64(nServers) {
+			t.Fatalf("%d servers: PushBatch cost %d round trips, want <= %d", nServers, batchedTrips, nServers)
+		}
+		if perURLTrips < 5*batchedTrips {
+			t.Fatalf("%d servers: batched pushes only %dx cheaper (%d vs %d round trips)",
+				nServers, perURLTrips/max(batchedTrips, 1), perURLTrips, batchedTrips)
+		}
+		bu, pu := batched.URLs(), perURL.URLs()
+		if len(bu) != len(pu) {
+			t.Fatalf("%d servers: URLs %d vs %d", nServers, len(bu), len(pu))
+		}
+		for i := range bu {
+			if bu[i] != pu[i] {
+				t.Fatalf("%d servers: state diverges at %d: %s vs %s", nServers, i, bu[i], pu[i])
+			}
+		}
+		if err := batched.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPushBatchChunksLargeBatches: a batch larger than one frame's
+// chunk cap ships as multiple valid frames (a full frontier rebuild
+// must never produce an oversized, unsendable frame).
+func TestPushBatchChunksLargeBatches(t *testing.T) {
+	n := pushBatchChunk + 100
+	entries := make([]frontier.Entry, n)
+	for i := range entries {
+		entries[i] = frontier.Entry{
+			URL: fmt.Sprintf("http://site%03d.com/p%06d", i%40, i),
+			Due: float64(i % 13), Priority: float64(i % 3),
+		}
+	}
+	rs, _ := newCluster(t, 1, 4, 0)
+	t0 := rs.RoundTrips()
+	rs.PushBatch(entries)
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	// 2 chunk frames, plus the Len fan and up to two lazy-dial hello
+	// handshakes — nowhere near one frame per URL.
+	trips := rs.RoundTrips() - t0
+	if trips < 2 || trips > 5 {
+		t.Fatalf("large batch cost %d round trips, want 2 chunks (+Len/hello slack)", trips)
+	}
+}

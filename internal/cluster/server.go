@@ -26,13 +26,27 @@ type ShardServer struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// walMu serializes state-mutating requests: the dedup lookup, the
+	// WAL append, and the frontier mutation happen atomically under it,
+	// so the log order is exactly the application order and a replay
+	// reconstructs both the frontier and the responses bit-for-bit.
+	// Read-only ops (the HeadDue peeks of the distributed pop, stats)
+	// bypass it and rely on the frontier's own locking.
+	walMu sync.Mutex
+	wal   *wal       // nil: persistence disabled
+	dedup *respCache // response memoization for retried mutating ops
 }
 
 // NewShardServer wraps a sharded frontier for serving. The server takes
 // over the queue; local pops alongside remote clients would break the
 // clients' peek-then-commit protocol assumptions.
 func NewShardServer(shards *frontier.Sharded) *ShardServer {
-	return &ShardServer{shards: shards, conns: make(map[net.Conn]struct{})}
+	return &ShardServer{
+		shards: shards,
+		conns:  make(map[net.Conn]struct{}),
+		dedup:  newRespCache(respCacheSize),
+	}
 }
 
 // Shards exposes the hosted queue (observability; see NewShardServer's
@@ -183,64 +197,61 @@ func (s *ShardServer) serveConn(conn net.Conn) {
 
 // handle executes one request against the shards.
 func (s *ShardServer) handle(op byte, body []byte) (status byte, resp []byte) {
+	if mutatingOp(op) {
+		return s.handleMutating(op, body)
+	}
 	d := &dec{b: body}
 	var e enc
 	switch op {
 	case opHello:
-		if apply := d.bool(); apply {
-			gap := d.f64()
-			if d.finish() == nil {
+		apply := d.bool()
+		var gap float64
+		if apply {
+			gap = d.f64()
+		}
+		clearClaims := d.bool()
+		if err := d.finish(); err != nil {
+			return statusError, []byte(err.Error())
+		}
+		if apply || clearClaims {
+			// Hello mutates frontier state, so its effects must be
+			// logged too: replayed pops recompute politeness deadlines
+			// and consult claims at apply time, and would diverge from
+			// the served state if the hello were lost.
+			s.walMu.Lock()
+			if s.wal != nil {
+				if apply {
+					var we enc
+					we.f64(gap)
+					if err := s.wal.append(walSetPoliteness, we.b); err != nil {
+						s.walMu.Unlock()
+						return statusError, []byte(fmt.Sprintf("wal append: %v", err))
+					}
+				}
+				if clearClaims {
+					if err := s.wal.append(walClearClaims, nil); err != nil {
+						s.walMu.Unlock()
+						return statusError, []byte(fmt.Sprintf("wal append: %v", err))
+					}
+				}
+			}
+			if apply {
 				s.shards.SetPoliteness(gap)
 			}
+			if clearClaims {
+				// A fresh client session: claims held by a vanished
+				// previous client would otherwise wedge their shards
+				// forever.
+				s.shards.ClearClaims()
+			}
+			s.walMu.Unlock()
 		}
 		e.u32(uint32(s.shards.NumShards()))
-	case opPush:
-		url, due, prio := d.str(), d.f64(), d.f64()
-		if d.finish() == nil {
-			s.shards.Push(url, due, prio)
-		}
-	case opPopDue:
-		now := d.f64()
-		if d.finish() == nil {
-			ent, ok := s.shards.PopDue(now)
-			encodeEntry(&e, ent, ok)
-		}
-	case opClaimDue:
-		now := d.f64()
-		if d.finish() == nil {
-			ent, shard, ok := s.shards.ClaimDue(now)
-			encodeEntry(&e, ent, ok)
-			if ok {
-				e.u32(uint32(shard))
-			}
-		}
 	case opHeadDue:
 		now, skipClaimed := d.f64(), d.bool()
 		if d.finish() == nil {
 			ent, ok := s.shards.HeadDue(now, skipClaimed)
 			encodeEntry(&e, ent, ok)
-		}
-	case opPopDueMatch:
-		now, url, claim := d.f64(), d.str(), d.bool()
-		if d.finish() == nil {
-			ent, shard, ok := s.shards.PopDueMatch(now, url, claim)
-			encodeEntry(&e, ent, ok)
-			if ok {
-				e.u32(uint32(shard))
-			}
-		}
-	case opRelease:
-		shard, nextReady := d.u32(), d.f64()
-		if d.finish() == nil {
-			if int(shard) >= s.shards.NumShards() {
-				return statusError, []byte(fmt.Sprintf("release of unknown shard %d", shard))
-			}
-			s.shards.Release(int(shard), nextReady)
-		}
-	case opRemove:
-		url := d.str()
-		if d.finish() == nil {
-			e.bool(s.shards.Remove(url))
 		}
 	case opContains:
 		url := d.str()
@@ -261,8 +272,6 @@ func (s *ShardServer) handle(op byte, body []byte) (status byte, resp []byte) {
 	case opNextEvent:
 		t, ok := s.shards.NextEvent()
 		e.bool(ok).f64(t)
-	case opReset:
-		s.shards.Reset()
 	case opStats:
 		lens := s.shards.ShardLens()
 		e.u32(uint32(len(lens)))
@@ -277,6 +286,206 @@ func (s *ShardServer) handle(op byte, body []byte) (status byte, resp []byte) {
 		return statusError, []byte(err.Error())
 	}
 	return statusOK, e.b
+}
+
+// handleMutating runs one state-mutating request: dedup check, apply,
+// WAL append — atomically under walMu, so the log is a faithful
+// linearization of the applied mutations. A request ID already in the
+// cache is a retry of an op this server (or, via WAL replay, its
+// previous incarnation) has applied; it gets the memoized response and
+// no second application.
+//
+// The append happens after the apply but before the acknowledgement,
+// and only when the op actually mutated state — an idle worker pool
+// polling an empty or politeness-gated frontier must not churn the log
+// with no-op pops. Acked-implies-replayable still holds: a crash
+// between apply and append loses only an op that was never
+// acknowledged, which the client retries against the recovered state
+// (where it re-executes deterministically).
+func (s *ShardServer) handleMutating(op byte, body []byte) (status byte, resp []byte) {
+	d := &dec{b: body}
+	reqID := d.u64()
+	if d.finish() != nil {
+		return statusError, []byte("missing request id")
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if st, cached, ok := s.dedup.get(reqID); ok {
+		return st, cached
+	}
+	if s.wal != nil && s.wal.broken != nil {
+		// Refuse before applying: mutating in-memory state that can no
+		// longer be logged would create phantom state a later snapshot
+		// could make durable.
+		return statusError, []byte(fmt.Sprintf("wal poisoned: %v", s.wal.broken))
+	}
+	status, resp, mutated := s.applyMutating(op, d)
+	if mutated && s.wal != nil {
+		if err := s.wal.append(op, body); err != nil {
+			// Applied but not durable: refuse the ack rather than let
+			// the client trust a write a replay would lose.
+			return statusError, []byte(fmt.Sprintf("wal append: %v", err))
+		}
+	}
+	s.dedup.put(reqID, status, resp)
+	return status, resp
+}
+
+// applyMutating applies one mutating op whose request ID has already
+// been consumed from d, reporting whether it changed frontier state.
+// It is the single apply path shared by live requests and WAL replay,
+// which is what makes replay reconstruct the exact served state and
+// responses.
+func (s *ShardServer) applyMutating(op byte, d *dec) (status byte, resp []byte, mutated bool) {
+	var e enc
+	switch op {
+	case opPush:
+		url, due, prio := d.str(), d.f64(), d.f64()
+		if d.finish() == nil {
+			s.shards.Push(url, due, prio)
+			mutated = true
+		}
+	case opPushBatch:
+		// Decode fully before applying: a malformed frame must not
+		// half-apply a batch.
+		n := int(d.u32())
+		batch := make([]frontier.Entry, 0, min(n, 1<<16))
+		for i := 0; i < n && d.finish() == nil; i++ {
+			ent := frontier.Entry{URL: d.str(), Due: d.f64(), Priority: d.f64()}
+			if d.finish() == nil {
+				batch = append(batch, ent)
+			}
+		}
+		if d.finish() == nil {
+			s.shards.PushBatch(batch)
+			e.u32(uint32(n))
+			mutated = n > 0
+		}
+	case opPopDue:
+		now := d.f64()
+		if d.finish() == nil {
+			ent, ok := s.shards.PopDue(now)
+			encodeEntry(&e, ent, ok)
+			mutated = ok
+		}
+	case opClaimDue:
+		now := d.f64()
+		if d.finish() == nil {
+			ent, shard, ok := s.shards.ClaimDue(now)
+			encodeEntry(&e, ent, ok)
+			if ok {
+				e.u32(uint32(shard))
+			}
+			mutated = ok
+		}
+	case opPopDueMatch:
+		now, url, claim := d.f64(), d.str(), d.bool()
+		if d.finish() == nil {
+			ent, shard, ok := s.shards.PopDueMatch(now, url, claim)
+			encodeEntry(&e, ent, ok)
+			if ok {
+				e.u32(uint32(shard))
+			}
+			mutated = ok
+		}
+	case opRelease:
+		shard, nextReady := d.u32(), d.f64()
+		if d.finish() == nil {
+			if int(shard) >= s.shards.NumShards() {
+				return statusError, []byte(fmt.Sprintf("release of unknown shard %d", shard)), false
+			}
+			s.shards.Release(int(shard), nextReady)
+			mutated = true
+		}
+	case opRemove:
+		url := d.str()
+		if d.finish() == nil {
+			removed := s.shards.Remove(url)
+			e.bool(removed)
+			mutated = removed
+		}
+	case opReset:
+		s.shards.Reset()
+		mutated = true
+	default:
+		return statusError, []byte(fmt.Sprintf("unknown mutating opcode %d", op)), false
+	}
+	if err := d.finish(); err != nil {
+		return statusError, []byte(err.Error()), false
+	}
+	return statusOK, e.b, mutated
+}
+
+// respCacheSize bounds the retry-dedup window. Every mutating op is
+// memoized: re-running a pop would pop a second entry, a re-run
+// Release would clear a claim another worker has since taken, a re-run
+// Push could re-queue a URL popped in the retry gap. An op awaiting
+// retry holds its pool slot for the client's whole backoff budget
+// (~2.1s by default), so the entries that can wash through the ring
+// before the retry lands are bounded by the throughput of the *other*
+// pooled connections: (ConnsPerServer-1) conns x ~30us minimum per
+// loopback round trip x 2.1s ≈ 70k ops per stuck slot. 128k covers
+// that with margin at the default pool size, and the ring only
+// occupies memory for ops actually performed.
+const respCacheSize = 1 << 17
+
+// respCache memoizes the responses of mutating requests by request ID,
+// evicting the oldest entry once full. It is guarded by the server's
+// walMu (replay runs single-threaded before serving).
+type respCache struct {
+	m    map[uint64]cachedResp
+	ring []uint64
+	pos  int
+}
+
+type cachedResp struct {
+	status byte
+	resp   []byte
+}
+
+func newRespCache(n int) *respCache {
+	return &respCache{m: make(map[uint64]cachedResp, n), ring: make([]uint64, n)}
+}
+
+func (c *respCache) get(id uint64) (status byte, resp []byte, ok bool) {
+	r, ok := c.m[id]
+	return r.status, r.resp, ok
+}
+
+func (c *respCache) put(id uint64, status byte, resp []byte) {
+	if _, ok := c.m[id]; ok {
+		return
+	}
+	if old := c.ring[c.pos]; old != 0 {
+		delete(c.m, old)
+	}
+	c.ring[c.pos] = id
+	c.pos = (c.pos + 1) % len(c.ring)
+	c.m[id] = cachedResp{status: status, resp: resp}
+}
+
+// snapshotEntries returns the cached responses oldest-first, for
+// inclusion in a WAL snapshot (so retries spanning a compaction still
+// dedup after a restart).
+func (c *respCache) snapshotEntries() []dedupEntry {
+	out := make([]dedupEntry, 0, len(c.m))
+	for i := 0; i < len(c.ring); i++ {
+		id := c.ring[(c.pos+i)%len(c.ring)]
+		if id == 0 {
+			continue
+		}
+		if r, ok := c.m[id]; ok {
+			out = append(out, dedupEntry{id: id, status: r.status, resp: r.resp})
+		}
+	}
+	return out
+}
+
+// dedupEntry is one memoized response as persisted in a snapshot.
+type dedupEntry struct {
+	id     uint64
+	status byte
+	resp   []byte
 }
 
 // encodeEntry appends ok and, when set, the entry fields.

@@ -1,0 +1,435 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"webevolve/internal/frontier"
+)
+
+// Frontier persistence for the shard server: an append-only write-ahead
+// log of the mutating wire ops, compacted into full-state snapshots.
+//
+// The WAL reuses the wire protocol's frame discipline (length prefix,
+// CRC, version — proto.go), the same torn-write recovery contract as
+// store.Disk (replay stops at the first invalid frame and truncates the
+// file back to the last valid one), and the server's single mutating
+// apply path: a log record is exactly the (op, body) the client sent,
+// request ID included. Replaying a log therefore reconstructs not just
+// the frontier but the response-dedup cache, so a client retry that
+// spans a server crash still gets exactly-once semantics.
+//
+// Layout of a -wal directory:
+//
+//	frontier.snap          a chunked snapshot (header, entry chunks,
+//	                       dedup chunks, end marker): full state plus
+//	                       the dedup cache, stamped with the sequence
+//	                       number of the first log file it does NOT
+//	                       cover
+//	frontier-<seq>.wal     op frames appended since snapshot <seq>
+//
+// Compaction (periodic, on graceful shutdown, and after every replay)
+// rotates to a fresh log file, writes a snapshot covering everything
+// before it (tmp + rename, so a crash never leaves a partial
+// snapshot), and deletes the covered log files. Appends are written as
+// one write(2) each with no userspace buffering, so a SIGKILL loses at
+// most the in-flight frame — which was never acknowledged, so the
+// client retries it against the restarted server.
+const (
+	// Snapshot record kinds. A snapshot is a sequence of frames —
+	// header, entry chunks, dedup chunks, end marker — so its size is
+	// unbounded by maxFrame no matter how large the frontier grows.
+	walSnapHeader  = byte(0xF0)
+	walSnapEntries = byte(0xF1)
+	walSnapDedup   = byte(0xF2)
+	walSnapEnd     = byte(0xF3)
+	// Log record kinds for the mutations the hello handshake performs
+	// (hello itself is a read-only op and carries no request ID).
+	walSetPoliteness = byte(0xF8)
+	walClearClaims   = byte(0xF9)
+
+	walSnapName  = "frontier.snap"
+	walFilePat   = "frontier-%08d.wal"
+	walFilePerm  = 0o644
+	walSnapPerm  = 0o644
+	walDirPerm   = 0o755
+	walMaxDedup  = respCacheSize
+	walMaxShards = 1 << 20
+	walSnapChunk = 4096 // entries (or dedup records) per snapshot frame
+)
+
+// wal is the shard server's open write-ahead log.
+type wal struct {
+	dir    string
+	seq    uint64 // sequence of the active log file
+	f      *os.File
+	broken error // a failed append poisons the log: better to refuse ops than to ack writes a replay would lose
+}
+
+func walFilePath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf(walFilePat, seq))
+}
+
+// walFileSeqs lists the log-file sequence numbers present in dir,
+// ascending.
+func walFileSeqs(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		var seq uint64
+		if n, _ := fmt.Sscanf(e.Name(), walFilePat, &seq); n == 1 {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// append logs one mutating op. Caller holds walMu. The frame is
+// written with a single write call before the client's acknowledgement
+// is sent (the hello records before, the request path just after, the
+// apply), so an acknowledged op is always replayable.
+func (w *wal) append(op byte, body []byte) error {
+	if w.broken != nil {
+		return fmt.Errorf("wal poisoned by earlier failure: %w", w.broken)
+	}
+	if err := writeFrame(w.f, op, body); err != nil {
+		w.broken = err
+		return err
+	}
+	return nil
+}
+
+// OpenWAL enables frontier persistence from dir, creating it if needed:
+// the latest snapshot is restored, the logs it does not cover are
+// replayed through the regular apply path (stopping at — and truncating
+// away — a torn final frame), and the recovered state is immediately
+// compacted into a fresh snapshot. Must be called before the server
+// starts serving.
+func (s *ShardServer) OpenWAL(dir string) error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal != nil {
+		return errors.New("cluster: WAL already open")
+	}
+	if err := os.MkdirAll(dir, walDirPerm); err != nil {
+		return fmt.Errorf("cluster: wal: %w", err)
+	}
+	snapSeq, err := s.loadSnapshotLocked(filepath.Join(dir, walSnapName))
+	if err != nil {
+		return err
+	}
+	seqs, err := walFileSeqs(dir)
+	if err != nil {
+		return fmt.Errorf("cluster: wal: %w", err)
+	}
+	active := snapSeq
+	for _, seq := range seqs {
+		if seq < snapSeq {
+			// Covered by the snapshot; a crash mid-compaction left it.
+			if err := os.Remove(walFilePath(dir, seq)); err != nil {
+				return fmt.Errorf("cluster: wal: %w", err)
+			}
+			continue
+		}
+		if err := s.replayWALFileLocked(walFilePath(dir, seq)); err != nil {
+			return err
+		}
+		active = seq
+	}
+	f, err := os.OpenFile(walFilePath(dir, active), os.O_CREATE|os.O_WRONLY|os.O_APPEND, walFilePerm)
+	if err != nil {
+		return fmt.Errorf("cluster: wal: %w", err)
+	}
+	s.wal = &wal{dir: dir, seq: active, f: f}
+	// Fold the recovered state into a fresh snapshot right away: it
+	// collapses multi-file leftovers and bounds the next replay.
+	if err := s.compactWALLocked(); err != nil {
+		s.wal.f.Close()
+		s.wal = nil
+		return err
+	}
+	return nil
+}
+
+// replayWALFileLocked feeds one log file's frames through the mutating
+// apply path. The first invalid frame (torn write from a crash, or
+// corruption) ends the replay and the file is truncated back to the
+// last valid frame.
+func (s *ShardServer) replayWALFileLocked(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, walFilePerm)
+	if err != nil {
+		return fmt.Errorf("cluster: wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var good int64
+	for {
+		op, body, err := readFrame(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			// Torn or corrupt tail: sweep back to the last valid frame.
+			if terr := f.Truncate(good); terr != nil {
+				return fmt.Errorf("cluster: wal: truncating %s: %w", path, terr)
+			}
+			return nil
+		}
+		switch {
+		case op == walSetPoliteness:
+			d := &dec{b: body}
+			gap := d.f64()
+			if d.finish() == nil {
+				s.shards.SetPoliteness(gap)
+			}
+		case op == walClearClaims:
+			s.shards.ClearClaims()
+		case mutatingOp(op):
+			d := &dec{b: body}
+			reqID := d.u64()
+			if d.finish() == nil {
+				if _, _, ok := s.dedup.get(reqID); !ok {
+					status, resp, _ := s.applyMutating(op, d)
+					s.dedup.put(reqID, status, resp)
+				}
+			}
+		}
+		good += 8 + 2 + int64(len(body))
+	}
+}
+
+// loadSnapshotLocked restores the snapshot file if present, returning
+// the sequence number of the first log file it does not cover (0 when
+// absent). A snapshot missing its end marker is corrupt: the writer
+// only ever publishes complete files (tmp + rename).
+func (s *ShardServer) loadSnapshotLocked(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("cluster: wal: %w", err)
+	}
+	defer f.Close()
+	corrupt := func(err error) (uint64, error) {
+		if err != nil {
+			return 0, fmt.Errorf("cluster: wal: corrupt snapshot %s: %w", path, err)
+		}
+		return 0, fmt.Errorf("cluster: wal: corrupt snapshot %s", path)
+	}
+	r := bufio.NewReader(f)
+	kind, body, err := readFrame(r)
+	if err != nil {
+		return corrupt(err)
+	}
+	if kind != walSnapHeader {
+		return 0, fmt.Errorf("cluster: wal: %s is not a snapshot (kind %d)", path, kind)
+	}
+	d := &dec{b: body}
+	seq := d.u64()
+	st := frontier.State{Politeness: d.f64()}
+	nshards := int(d.u32())
+	if d.finish() != nil || nshards > walMaxShards {
+		return corrupt(d.finish())
+	}
+	for i := 0; i < nshards && d.finish() == nil; i++ {
+		st.Shards = append(st.Shards, frontier.ShardState{NextReady: d.f64(), Claimed: d.bool()})
+	}
+	if err := d.finish(); err != nil {
+		return corrupt(err)
+	}
+	var dedups []dedupEntry
+	done := false
+	for !done {
+		kind, body, err := readFrame(r)
+		if err != nil {
+			return corrupt(err)
+		}
+		d := &dec{b: body}
+		switch kind {
+		case walSnapEntries:
+			n := int(d.u32())
+			for i := 0; i < n && d.finish() == nil; i++ {
+				st.Entries = append(st.Entries, frontier.Entry{URL: d.str(), Due: d.f64(), Priority: d.f64()})
+			}
+		case walSnapDedup:
+			n := int(d.u32())
+			if n > walMaxDedup {
+				return corrupt(nil)
+			}
+			for i := 0; i < n && d.finish() == nil; i++ {
+				dedups = append(dedups, dedupEntry{id: d.u64(), status: d.u8(), resp: []byte(d.str())})
+			}
+		case walSnapEnd:
+			done = true
+		default:
+			return corrupt(fmt.Errorf("unexpected record kind %d", kind))
+		}
+		if err := d.finish(); err != nil {
+			return corrupt(err)
+		}
+	}
+	s.shards.Restore(st)
+	for _, de := range dedups {
+		s.dedup.put(de.id, de.status, de.resp)
+	}
+	return seq, nil
+}
+
+// writeSnapshotLocked persists the current state (and dedup cache) as
+// a snapshot covering every log file with sequence < seq. Entries are
+// chunked across frames, so the snapshot has no size ceiling. Written
+// to a temp file, fsynced, then renamed, so a crash never leaves a
+// partial snapshot in place.
+func (s *ShardServer) writeSnapshotLocked(seq uint64) error {
+	st := s.shards.Snapshot()
+
+	path := filepath.Join(s.wal.dir, walSnapName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, walSnapPerm)
+	if err != nil {
+		return fmt.Errorf("cluster: wal: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		return fmt.Errorf("cluster: wal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+
+	var hdr enc
+	hdr.u64(seq)
+	hdr.f64(st.Politeness)
+	hdr.u32(uint32(len(st.Shards)))
+	for _, ss := range st.Shards {
+		hdr.f64(ss.NextReady).bool(ss.Claimed)
+	}
+	if err := writeFrame(w, walSnapHeader, hdr.b); err != nil {
+		return fail(err)
+	}
+	for off := 0; off < len(st.Entries); off += walSnapChunk {
+		chunk := st.Entries[off:min(off+walSnapChunk, len(st.Entries))]
+		var e enc
+		e.u32(uint32(len(chunk)))
+		for _, ent := range chunk {
+			e.str(ent.URL).f64(ent.Due).f64(ent.Priority)
+		}
+		if err := writeFrame(w, walSnapEntries, e.b); err != nil {
+			return fail(err)
+		}
+	}
+	dedups := s.dedup.snapshotEntries()
+	for off := 0; off < len(dedups); off += walSnapChunk {
+		chunk := dedups[off:min(off+walSnapChunk, len(dedups))]
+		var e enc
+		e.u32(uint32(len(chunk)))
+		for _, de := range chunk {
+			e.u64(de.id).u8(de.status).str(string(de.resp))
+		}
+		if err := writeFrame(w, walSnapDedup, e.b); err != nil {
+			return fail(err)
+		}
+	}
+	if err := writeFrame(w, walSnapEnd, nil); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cluster: wal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("cluster: wal: %w", err)
+	}
+	return nil
+}
+
+// compactWALLocked rotates to a fresh log file, snapshots the current
+// state as covering everything before it, and deletes the covered
+// logs. Caller holds walMu. Crash-safe at every step: an old snapshot
+// plus both log files replays to the same state as the new snapshot
+// plus the fresh (empty) log.
+func (s *ShardServer) compactWALLocked() error {
+	w := s.wal
+	if w.broken != nil {
+		// A poisoned log means the in-memory state may be ahead of what
+		// clients were acknowledged (an apply whose append failed).
+		// Snapshotting it would make that phantom state durable; the
+		// intact on-disk log is the trustworthy record, so leave it for
+		// a restart to replay.
+		return fmt.Errorf("cluster: wal: refusing to compact a poisoned log: %w", w.broken)
+	}
+	newSeq := w.seq + 1
+	nf, err := os.OpenFile(walFilePath(w.dir, newSeq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, walFilePerm)
+	if err != nil {
+		return fmt.Errorf("cluster: wal: %w", err)
+	}
+	old := w.f
+	w.f, w.seq = nf, newSeq
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("cluster: wal: %w", err)
+	}
+	if err := s.writeSnapshotLocked(newSeq); err != nil {
+		return err
+	}
+	seqs, err := walFileSeqs(w.dir)
+	if err != nil {
+		return fmt.Errorf("cluster: wal: %w", err)
+	}
+	for _, seq := range seqs {
+		if seq < newSeq {
+			if err := os.Remove(walFilePath(w.dir, seq)); err != nil {
+				return fmt.Errorf("cluster: wal: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// CompactWAL folds the log into a fresh snapshot and truncates it. The
+// shardd daemon runs it periodically; it is a no-op when persistence is
+// disabled. Mutating ops are blocked for the duration (reads are not).
+func (s *ShardServer) CompactWAL() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.compactWALLocked()
+}
+
+// CloseWAL writes a final snapshot — the graceful-shutdown flush that
+// keeps every queued entry — and closes the log. The server should be
+// closed first so no mutating ops race the final snapshot.
+func (s *ShardServer) CloseWAL() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.compactWALLocked()
+	if cerr := s.wal.f.Close(); err == nil {
+		err = cerr
+	}
+	s.wal = nil
+	return err
+}
+
+// WALOpen reports whether frontier persistence is enabled.
+func (s *ShardServer) WALOpen() bool {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	return s.wal != nil
+}

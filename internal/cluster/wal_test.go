@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webevolve/internal/frontier"
+)
+
+// newWALServer opens a shard server persisting to dir.
+func newWALServer(t *testing.T, dir string, shards int) *ShardServer {
+	t.Helper()
+	srv := NewShardServer(frontier.NewSharded(shards))
+	if err := srv.OpenWAL(dir); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// pushVia pushes through the wire path (so ops are logged), not the
+// frontier directly.
+func pushVia(t *testing.T, srv *ShardServer, reqID uint64, url string, due, prio float64) {
+	t.Helper()
+	var e enc
+	e.u64(reqID).str(url).f64(due).f64(prio)
+	if st, resp := srv.handle(opPush, e.b); st != statusOK {
+		t.Fatalf("push: %s", resp)
+	}
+}
+
+func popVia(t *testing.T, srv *ShardServer, reqID uint64, now float64) (frontier.Entry, bool) {
+	t.Helper()
+	var e enc
+	e.u64(reqID).f64(now)
+	st, resp := srv.handle(opPopDue, e.b)
+	if st != statusOK {
+		t.Fatalf("pop: %s", resp)
+	}
+	d := &dec{b: resp}
+	ent, ok := decodeEntry(d)
+	return ent, ok
+}
+
+// TestWALRecoversAfterCrash: a server abandoned without CloseWAL (the
+// crash case — appends are on disk, no final snapshot) must come back
+// with the exact frontier: acknowledged pushes present, acknowledged
+// pops absent.
+func TestWALRecoversAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	srv := newWALServer(t, dir, 4)
+	urls := testURLs(6, 3)
+	for i, u := range urls {
+		pushVia(t, srv, uint64(1000+i), u, float64(i%5), float64(i%2))
+	}
+	var popped []string
+	for i := 0; i < 5; i++ {
+		e, ok := popVia(t, srv, uint64(2000+i), 10)
+		if !ok {
+			t.Fatal("pop drained early")
+		}
+		popped = append(popped, e.URL)
+	}
+	// Crash: no CloseWAL, no final snapshot.
+
+	srv2 := newWALServer(t, dir, 4)
+	if got, want := srv2.Shards().Len(), len(urls)-len(popped); got != want {
+		t.Fatalf("recovered Len = %d, want %d", got, want)
+	}
+	for _, u := range popped {
+		if srv2.Shards().Contains(u) {
+			t.Fatalf("popped URL %s resurrected by replay", u)
+		}
+	}
+	// The recovered queue keeps popping in the order the original would
+	// have.
+	mirror := frontier.NewSharded(4)
+	for i, u := range urls {
+		mirror.Push(u, float64(i%5), float64(i%2))
+	}
+	for range popped {
+		mirror.PopDue(10)
+	}
+	req := uint64(3000)
+	for {
+		me, mok := mirror.PopDue(10)
+		req++
+		se, sok := popVia(t, srv2, req, 10)
+		if mok != sok {
+			t.Fatalf("recovered pop ok %v vs %v", sok, mok)
+		}
+		if !mok {
+			break
+		}
+		if !sameEntry(me, se) {
+			t.Fatalf("recovered pop %+v vs %+v", se, me)
+		}
+	}
+}
+
+// TestWALGracefulFlush: CloseWAL must persist every queued entry into
+// the snapshot (the graceful-shutdown contract), leaving an empty log.
+func TestWALGracefulFlush(t *testing.T) {
+	dir := t.TempDir()
+	srv := newWALServer(t, dir, 4)
+	urls := testURLs(4, 4)
+	for i, u := range urls {
+		pushVia(t, srv, uint64(100+i), u, float64(i), 0)
+	}
+	if err := srv.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walSnapName)); err != nil {
+		t.Fatalf("no snapshot after graceful shutdown: %v", err)
+	}
+	srv2 := newWALServer(t, dir, 4)
+	if got := srv2.Shards().Len(); got != len(urls) {
+		t.Fatalf("flushed %d entries, recovered %d", len(urls), got)
+	}
+}
+
+// TestWALTornTailTruncated: garbage appended to the log (a torn write
+// from a crash mid-append) must be swept away — the valid prefix
+// replays, the op that tore was never acknowledged.
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	srv := newWALServer(t, dir, 4)
+	pushVia(t, srv, 1, "http://site001.com/a", 1, 0)
+	pushVia(t, srv, 2, "http://site002.com/b", 2, 0)
+
+	seqs, err := walFileSeqs(dir)
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("no wal files: %v", err)
+	}
+	active := walFilePath(dir, seqs[len(seqs)-1])
+	f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x37, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2 := newWALServer(t, dir, 4)
+	if got := srv2.Shards().Len(); got != 2 {
+		t.Fatalf("recovered Len = %d, want 2", got)
+	}
+	if !srv2.Shards().Contains("http://site001.com/a") || !srv2.Shards().Contains("http://site002.com/b") {
+		t.Fatal("acknowledged pushes lost to torn tail")
+	}
+}
+
+// TestWALCompactionBoundsLog: compaction must fold the log into the
+// snapshot, delete covered files, and lose nothing.
+func TestWALCompactionBoundsLog(t *testing.T) {
+	dir := t.TempDir()
+	srv := newWALServer(t, dir, 4)
+	urls := testURLs(8, 4)
+	for i, u := range urls {
+		pushVia(t, srv, uint64(10+i), u, float64(i%6), 0)
+	}
+	if err := srv.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := walFileSeqs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 {
+		t.Fatalf("%d wal files after compaction, want 1", len(seqs))
+	}
+	pushVia(t, srv, 999, "http://site999.com/late", 0, 0)
+	// Crash-reopen: snapshot + post-compaction log must both replay.
+	srv2 := newWALServer(t, dir, 4)
+	if got := srv2.Shards().Len(); got != len(urls)+1 {
+		t.Fatalf("recovered Len = %d, want %d", got, len(urls)+1)
+	}
+}
+
+// TestWALDedupSurvivesRestart: a retry whose original landed in the
+// log must be deduped by the *restarted* server — the replay rebuilds
+// the response cache, closing the crash window between apply and ack.
+func TestWALDedupSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv := newWALServer(t, dir, 4)
+	pushVia(t, srv, 1, "http://site001.com/a", 0, 0)
+	pushVia(t, srv, 2, "http://site002.com/b", 0, 1)
+
+	var claim enc
+	claim.u64(77).f64(10)
+	st1, resp1 := srv.handle(opClaimDue, claim.b)
+	if st1 != statusOK {
+		t.Fatalf("claim: %s", resp1)
+	}
+	// Crash before the response reached the client; the client retries
+	// the identical frame against the restarted server.
+	srv2 := newWALServer(t, dir, 4)
+	st2, resp2 := srv2.handle(opClaimDue, claim.b)
+	if st2 != st1 || string(resp2) != string(resp1) {
+		t.Fatalf("retry across restart not deduped: (%d,%q) vs (%d,%q)", st2, resp2, st1, resp1)
+	}
+	if got := srv2.Shards().Len(); got != 1 {
+		t.Fatalf("retry across restart re-popped: Len = %d, want 1", got)
+	}
+}
+
+// TestWALRestoreKeepsPoliteness: politeness set by a client hello is
+// captured by compaction and restored on restart.
+func TestWALRestoreKeepsPoliteness(t *testing.T) {
+	dir := t.TempDir()
+	srv := newWALServer(t, dir, 4)
+	srv.Shards().SetPoliteness(2.5)
+	if err := srv.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := newWALServer(t, dir, 4)
+	if got := srv2.Shards().Politeness(); got != 2.5 {
+		t.Fatalf("restored politeness %v, want 2.5", got)
+	}
+}
+
+// TestWALShardCountChange: restoring a snapshot into a different shard
+// layout keeps every entry (re-hashed) and drops only the per-shard
+// scheduling state.
+func TestWALShardCountChange(t *testing.T) {
+	dir := t.TempDir()
+	srv := newWALServer(t, dir, 4)
+	urls := testURLs(5, 2)
+	for i, u := range urls {
+		pushVia(t, srv, uint64(50+i), u, float64(i), 0)
+	}
+	if err := srv.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := newWALServer(t, dir, 8)
+	if got := srv2.Shards().Len(); got != len(urls) {
+		t.Fatalf("re-sharded recovery Len = %d, want %d", got, len(urls))
+	}
+}
+
+// TestWALReplayKeepsHelloPoliteness: politeness applied by a client
+// hello is a logged mutation — a crash-recovered server must pop with
+// the same politeness deadlines the live server used.
+func TestWALReplayKeepsHelloPoliteness(t *testing.T) {
+	dir := t.TempDir()
+	srv := newWALServer(t, dir, 4)
+	var hello enc
+	hello.bool(true).f64(1.5).bool(true)
+	if st, resp := srv.handle(opHello, hello.b); st != statusOK {
+		t.Fatalf("hello: %s", resp)
+	}
+	pushVia(t, srv, 1, "http://site001.com/a", 0, 0)
+	// Crash: no snapshot since the hello.
+	srv2 := newWALServer(t, dir, 4)
+	if got := srv2.Shards().Politeness(); got != 1.5 {
+		t.Fatalf("replayed politeness %v, want 1.5", got)
+	}
+}
+
+// TestWALSnapshotChunks: a frontier larger than one snapshot chunk
+// round-trips through compaction intact (the snapshot has no single-
+// frame size ceiling).
+func TestWALSnapshotChunks(t *testing.T) {
+	dir := t.TempDir()
+	srv := newWALServer(t, dir, 4)
+	n := walSnapChunk + 123
+	entries := make([]frontier.Entry, n)
+	for i := range entries {
+		entries[i] = frontier.Entry{
+			URL: fmt.Sprintf("http://site%03d.com/p%06d", i%50, i),
+			Due: float64(i % 11), Priority: float64(i % 3),
+		}
+	}
+	srv.Shards().PushBatch(entries)
+	if err := srv.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := newWALServer(t, dir, 4)
+	if got := srv2.Shards().Len(); got != n {
+		t.Fatalf("recovered Len = %d, want %d", got, n)
+	}
+}
+
+// TestWALSkipsNoOpPops: pops that return nothing must not grow the log
+// — an idle worker pool polling an empty frontier would otherwise
+// churn it without bound.
+func TestWALSkipsNoOpPops(t *testing.T) {
+	dir := t.TempDir()
+	srv := newWALServer(t, dir, 4)
+	sizeOf := func() int64 {
+		seqs, err := walFileSeqs(dir)
+		if err != nil || len(seqs) == 0 {
+			t.Fatalf("no wal files: %v", err)
+		}
+		fi, err := os.Stat(walFilePath(dir, seqs[len(seqs)-1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	before := sizeOf()
+	for i := 0; i < 10; i++ {
+		if _, ok := popVia(t, srv, uint64(100+i), 5); ok {
+			t.Fatal("pop on empty frontier returned an entry")
+		}
+	}
+	if after := sizeOf(); after != before {
+		t.Fatalf("no-op pops grew the log: %d -> %d bytes", before, after)
+	}
+	pushVia(t, srv, 999, "http://site001.com/a", 0, 0)
+	if after := sizeOf(); after == before {
+		t.Fatal("real mutation did not grow the log")
+	}
+}

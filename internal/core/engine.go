@@ -8,6 +8,7 @@ import (
 
 	"webevolve/internal/changefreq"
 	"webevolve/internal/fetch"
+	"webevolve/internal/frontier"
 	"webevolve/internal/scheduler"
 	"webevolve/internal/store"
 )
@@ -206,6 +207,11 @@ func (c *Crawler) applyBatch(jobs []crawlJob, results []fetch.Result) error {
 		}
 	}
 
+	// Reschedules are accumulated and shipped as one PushBatch: the
+	// final frontier state is push-order independent, and a remote
+	// frontier pays one round trip per server per dispatch round
+	// instead of one per URL.
+	pushes := make([]frontier.Entry, 0, len(live))
 	for _, o := range live {
 		j := o.job
 		est, ok := c.est[j.url]
@@ -226,7 +232,10 @@ func (c *Crawler) applyBatch(jobs []crawlJob, results []fetch.Result) error {
 		}
 		interval := c.policy.Interval(j.url, c.workingRate(j.url, est), c.importance[j.url])
 		interval = scheduler.Clamp(interval, c.cfg.MinIntervalDays, c.cfg.MaxIntervalDays)
-		c.coll.Push(j.url, j.day+interval, c.importance[j.url])
+		pushes = append(pushes, frontier.Entry{URL: j.url, Due: j.day + interval, Priority: c.importance[j.url]})
+	}
+	if len(pushes) > 0 {
+		c.coll.PushBatch(pushes)
 	}
 	return nil
 }

@@ -110,6 +110,16 @@ func (q *Sharded) Push(url string, due, priority float64) {
 	s.byURL[url] = e
 }
 
+// PushBatch inserts or reschedules every entry, equivalent to calling
+// Push for each. The final queue state is independent of entry order,
+// which is what lets remote implementations ship one frame per server
+// instead of one per URL.
+func (q *Sharded) PushBatch(entries []Entry) {
+	for _, e := range entries {
+		q.Push(e.URL, e.Due, e.Priority)
+	}
+}
+
 // entryBefore reports whether a pops before b, mirroring entryHeap's
 // order.
 func entryBefore(a, b Entry) bool {
@@ -318,6 +328,76 @@ func (q *Sharded) Reset() {
 		s.byURL = make(map[string]*Entry)
 		s.nextReady = 0
 		s.claimed = false
+		s.mu.Unlock()
+	}
+}
+
+// ClearClaims releases every exclusive shard claim without touching
+// politeness deadlines or entries. A shard server runs it when a fresh
+// client session connects: claims held by a vanished previous client
+// would otherwise wedge their shards forever.
+func (q *Sharded) ClearClaims() {
+	for _, s := range q.shards {
+		s.mu.Lock()
+		s.claimed = false
+		s.mu.Unlock()
+	}
+}
+
+// ShardState is one shard's scheduling state in a State snapshot.
+type ShardState struct {
+	// NextReady is the shard's politeness deadline.
+	NextReady float64
+	// Claimed marks the shard as exclusively held by a worker.
+	Claimed bool
+}
+
+// State is a point-in-time capture of a Sharded queue: the politeness
+// gap, every queued entry, and the per-shard scheduling state. It is
+// what a shard server persists so a frontier survives a restart.
+type State struct {
+	Politeness float64
+	Shards     []ShardState
+	Entries    []Entry
+}
+
+// Snapshot captures the queue's full state. Shards are locked one at a
+// time, so a caller that needs a consistent cut must pause mutations
+// (the shard server holds its WAL lock across Snapshot).
+func (q *Sharded) Snapshot() State {
+	st := State{
+		Politeness: q.Politeness(),
+		Shards:     make([]ShardState, len(q.shards)),
+	}
+	for i, s := range q.shards {
+		s.mu.Lock()
+		st.Shards[i] = ShardState{NextReady: s.nextReady, Claimed: s.claimed}
+		for _, e := range s.h {
+			st.Entries = append(st.Entries, Entry{URL: e.URL, Due: e.Due, Priority: e.Priority})
+		}
+		s.mu.Unlock()
+	}
+	// Deterministic snapshot bytes regardless of shard layout.
+	sort.Slice(st.Entries, func(i, j int) bool { return st.Entries[i].URL < st.Entries[j].URL })
+	return st
+}
+
+// Restore replaces the queue's state with a snapshot. Entries are
+// re-hashed into the current shard layout; the per-shard scheduling
+// state is applied only when the shard count matches the snapshot's
+// (politeness deadlines and claims are meaningless across a re-shard).
+func (q *Sharded) Restore(st State) {
+	q.Reset()
+	q.SetPoliteness(st.Politeness)
+	q.PushBatch(st.Entries)
+	if len(st.Shards) != len(q.shards) {
+		return
+	}
+	for i, ss := range st.Shards {
+		s := q.shards[i]
+		s.mu.Lock()
+		s.nextReady = ss.NextReady
+		s.claimed = ss.Claimed
 		s.mu.Unlock()
 	}
 }

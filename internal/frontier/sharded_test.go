@@ -254,3 +254,145 @@ func TestShardedConcurrentDrain(t *testing.T) {
 		t.Fatalf("drained %d of %d, %d left", count, n, q.Len())
 	}
 }
+
+// TestShardedPushBatch: a batch insert must be indistinguishable from
+// the equivalent sequence of Pushes, including reschedules of queued
+// URLs.
+func TestShardedPushBatch(t *testing.T) {
+	a, b := NewSharded(4), NewSharded(4)
+	var batch []Entry
+	for i := 0; i < 40; i++ {
+		u := urlOn(i%7, i)
+		due, prio := float64(i%5), float64(i%3)
+		a.Push(u, due, prio)
+		batch = append(batch, Entry{URL: u, Due: due, Priority: prio})
+	}
+	// Reschedule some of the same URLs within the batch.
+	for i := 0; i < 10; i++ {
+		u := urlOn(i%7, i)
+		a.Push(u, 9, 1)
+		batch = append(batch, Entry{URL: u, Due: 9, Priority: 1})
+	}
+	b.PushBatch(batch)
+	if a.Len() != b.Len() {
+		t.Fatalf("Len %d vs %d", b.Len(), a.Len())
+	}
+	for {
+		ae, aok := a.PopDue(100)
+		be, bok := b.PopDue(100)
+		if aok != bok {
+			t.Fatalf("pop ok %v vs %v", bok, aok)
+		}
+		if !aok {
+			return
+		}
+		if ae.URL != be.URL || ae.Due != be.Due || ae.Priority != be.Priority {
+			t.Fatalf("pop %+v vs %+v", be, ae)
+		}
+	}
+}
+
+// TestShardedSnapshotRestore: a snapshot restored into an identical
+// layout must reproduce entries, politeness, per-shard deadlines, and
+// claims exactly.
+func TestShardedSnapshotRestore(t *testing.T) {
+	q := NewShardedPolite(4, 1.5)
+	for i := 0; i < 30; i++ {
+		q.Push(urlOn(i%6, i), float64(i%4), float64(i%2))
+	}
+	// Disturb per-shard state: pop (sets nextReady) and claim.
+	q.PopDue(2)
+	_, claimedShard, ok := q.ClaimDue(3)
+	if !ok {
+		t.Fatal("claim failed")
+	}
+
+	st := q.Snapshot()
+	r := NewSharded(4)
+	r.Restore(st)
+
+	if r.Politeness() != q.Politeness() {
+		t.Fatalf("politeness %v vs %v", r.Politeness(), q.Politeness())
+	}
+	if r.Len() != q.Len() {
+		t.Fatalf("Len %v vs %v", r.Len(), q.Len())
+	}
+	// The claimed shard must still be claimed: both queues' next claims
+	// agree and skip it.
+	qe2, qs2, qok2 := q.ClaimDue(3)
+	re2, rs2, rok2 := r.ClaimDue(3)
+	if qok2 != rok2 || qs2 != rs2 || (qok2 && qe2.URL != re2.URL) {
+		t.Fatalf("post-restore claim (%+v,%d,%v) vs (%+v,%d,%v)", re2, rs2, rok2, qe2, qs2, qok2)
+	}
+	if rok2 && rs2 == claimedShard {
+		t.Fatalf("restored queue re-claimed shard %d", rs2)
+	}
+	if qok2 {
+		q.Release(qs2, 0)
+		r.Release(rs2, 0)
+	}
+	// Pop sequences must agree from here on.
+	for now := 0.0; now < 20; now += 0.5 {
+		for {
+			qe, qok := q.PopDue(now)
+			re, rok := r.PopDue(now)
+			if qok != rok {
+				t.Fatalf("day %v: ok %v vs %v", now, rok, qok)
+			}
+			if !qok {
+				break
+			}
+			if qe.URL != re.URL || qe.Due != re.Due {
+				t.Fatalf("day %v: %+v vs %+v", now, re, qe)
+			}
+		}
+	}
+}
+
+// TestShardedRestoreReshard: restoring into a different shard count
+// keeps every entry (re-hashed) and drops only per-shard state.
+func TestShardedRestoreReshard(t *testing.T) {
+	q := NewSharded(4)
+	for i := 0; i < 20; i++ {
+		q.Push(urlOn(i%5, i), float64(i), 0)
+	}
+	st := q.Snapshot()
+	r := NewSharded(16)
+	r.Restore(st)
+	if r.Len() != q.Len() {
+		t.Fatalf("Len %d vs %d", r.Len(), q.Len())
+	}
+	qu, ru := q.URLs(), r.URLs()
+	for i := range qu {
+		if qu[i] != ru[i] {
+			t.Fatalf("URLs diverge at %d", i)
+		}
+	}
+}
+
+// TestShardedClearClaims: claims are released, politeness deadlines and
+// entries untouched.
+func TestShardedClearClaims(t *testing.T) {
+	q := NewShardedPolite(4, 0)
+	for i := 0; i < 12; i++ {
+		q.Push(urlOn(i, i), 0, 0)
+	}
+	var held int
+	for {
+		_, _, ok := q.ClaimDue(10)
+		if !ok {
+			break
+		}
+		held++
+	}
+	if held == 0 {
+		t.Fatal("nothing claimed")
+	}
+	if _, _, ok := q.ClaimDue(10); ok {
+		t.Fatal("claim succeeded with all shards held")
+	}
+	q.ClearClaims()
+	if _, _, ok := q.ClaimDue(10); !ok {
+		t.Fatal("claim failed after ClearClaims")
+	}
+}

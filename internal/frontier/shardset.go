@@ -21,6 +21,12 @@ type ShardSet interface {
 	ShardOf(url string) int
 	// Push inserts or reschedules url.
 	Push(url string, due, priority float64)
+	// PushBatch inserts or reschedules every entry, equivalent to
+	// calling Push for each; the final state is independent of entry
+	// order. Remote implementations ship one round trip per server per
+	// batch instead of one per URL, so batch-heavy apply paths should
+	// prefer it.
+	PushBatch(entries []Entry)
 	// PopDue removes and returns the globally earliest entry due at or
 	// before now across all politeness-ready shards.
 	PopDue(now float64) (Entry, bool)

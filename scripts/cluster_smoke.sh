@@ -1,35 +1,48 @@
 #!/usr/bin/env bash
-# Multi-process cluster smoke (run by `make ci` / the CI workflow):
-# launch two shardd daemons on loopback, run the same simulated crawl
-# once with in-process shards and once with -shard-servers, and require
-# byte-identical output — the distributed frontier's determinism
-# contract, checked across real process and TCP boundaries.
+# Multi-process cluster smoke (run by `make ci` / the CI workflow), in
+# two phases:
+#
+#  1. Determinism: launch two shardd daemons on loopback, run the same
+#     simulated crawl once with in-process shards and once with
+#     -shard-servers, and require byte-identical output — the
+#     distributed frontier's determinism contract, checked across real
+#     process and TCP boundaries.
+#
+#  2. Resilience: launch two WAL-backed shardd daemons, SIGKILL one of
+#     them mid-crawl, restart it from the same -wal directory on the
+#     same address, and require the crawl to complete with output
+#     byte-identical to the uninterrupted run — the reconnect/retry +
+#     frontier-persistence contract under a real process kill.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tmp="$(mktemp -d)"
 cleanup() {
     kill $(jobs -p) 2>/dev/null || true
+    # Let the daemons finish their shutdown snapshots before deleting
+    # the WAL directories under them.
+    wait 2>/dev/null || true
     rm -rf "$tmp"
 }
 trap cleanup EXIT
 
 go build -o "$tmp" ./cmd/shardd ./cmd/crawlsim
 
-"$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/s1.addr" &
-"$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/s2.addr" &
-
-for f in s1 s2; do
-    ok=""
+wait_addr() {
     for _ in $(seq 1 100); do
-        if [ -f "$tmp/$f.addr" ]; then ok=1; break; fi
+        if [ -f "$1" ]; then return 0; fi
         sleep 0.1
     done
-    if [ -z "$ok" ]; then
-        echo "cluster-smoke: shardd $f did not come up" >&2
-        exit 1
-    fi
-done
+    echo "cluster-smoke: $1 did not appear (shardd failed to come up)" >&2
+    exit 1
+}
+
+# ---- Phase 1: distributed determinism --------------------------------
+
+"$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/s1.addr" &
+"$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/s2.addr" &
+wait_addr "$tmp/s1.addr"
+wait_addr "$tmp/s2.addr"
 
 a1="$(cat "$tmp/s1.addr")"
 a2="$(cat "$tmp/s2.addr")"
@@ -40,3 +53,50 @@ echo "cluster-smoke: shardd daemons on $a1 and $a2"
 
 diff "$tmp/local.out" "$tmp/remote.out"
 echo "cluster-smoke: distributed crawl output is byte-identical to local"
+
+# ---- Phase 2: SIGKILL + WAL restart resilience -----------------------
+
+"$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/k1.addr" -wal "$tmp/wal1" &
+k1_pid=$!
+"$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/k2.addr" -wal "$tmp/wal2" &
+wait_addr "$tmp/k1.addr"
+wait_addr "$tmp/k2.addr"
+b1="$(cat "$tmp/k1.addr")"
+b2="$(cat "$tmp/k2.addr")"
+echo "cluster-smoke: WAL-backed shardd daemons on $b1 and $b2"
+
+# The kill must land while the crawl is in flight; how long a crawl
+# takes depends on the machine, so escalate the workload until the
+# SIGKILL catches it mid-run (~1s at size 2000 on a 2020s laptop).
+killed=""
+for size in 2000 8000 32000; do
+    days=40
+    "$tmp/crawlsim" -days $days -size $size >"$tmp/ref.out"
+    "$tmp/crawlsim" -days $days -size $size -shard-servers "$b1,$b2" >"$tmp/kill.out" &
+    crawl_pid=$!
+    sleep 0.35
+    if ! kill -0 "$crawl_pid" 2>/dev/null; then
+        wait "$crawl_pid" || true
+        echo "cluster-smoke: size $size finished before the kill; escalating"
+        continue
+    fi
+    kill -9 "$k1_pid"
+    killed=1
+    echo "cluster-smoke: SIGKILLed shardd on $b1 mid-crawl (size $size); restarting from its WAL"
+    rm -f "$tmp/k1.addr"
+    "$tmp/shardd" -listen "$b1" -shards 8 -addr-file "$tmp/k1.addr" -wal "$tmp/wal1" &
+    wait_addr "$tmp/k1.addr"
+    break
+done
+if [ -z "$killed" ]; then
+    echo "cluster-smoke: crawl outran every workload; could not test the kill" >&2
+    exit 1
+fi
+
+if ! wait "$crawl_pid"; then
+    echo "cluster-smoke: crawl failed after shardd kill+restart" >&2
+    cat "$tmp/kill.out" >&2
+    exit 1
+fi
+diff "$tmp/ref.out" "$tmp/kill.out"
+echo "cluster-smoke: kill+restart crawl output is byte-identical to the uninterrupted run"
