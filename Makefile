@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet smoke-cluster ci
+.PHONY: build test race bench bench-smoke fmt vet smoke-cluster ci
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One iteration per benchmark: a compile-and-run smoke pass, not a
-# measurement. Use `go test -bench . ./...` for real numbers.
+# Engine benchmarks, written machine-readable to BENCH_engine.json
+# (benchmark name, iterations, ns/op, pages/s, B/op, allocs/op) so the
+# perf trajectory is tracked run over run; CI archives the file.
+# No pipe to tee here: /bin/sh has no pipefail, so a crashing benchmark
+# would exit 0 through the pipe and CI would archive a garbage report.
 bench:
+	$(GO) test -bench 'BenchmarkEngine|BenchmarkCrawlEngine' -benchtime 5x \
+		-benchmem -run '^$$' ./internal/core/ > bench_engine.txt || \
+		{ cat bench_engine.txt; rm -f bench_engine.txt; exit 1; }
+	@cat bench_engine.txt
+	$(GO) run ./internal/tools/benchjson < bench_engine.txt > BENCH_engine.json
+	@rm -f bench_engine.txt
+	@echo wrote BENCH_engine.json
+
+# One iteration per benchmark: a compile-and-run smoke pass over every
+# benchmark in the repo, not a measurement.
+bench-smoke:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
 
 fmt:
@@ -34,4 +48,4 @@ vet:
 smoke-cluster:
 	./scripts/cluster_smoke.sh
 
-ci: build vet fmt race bench smoke-cluster
+ci: build vet fmt race bench-smoke bench smoke-cluster

@@ -20,6 +20,7 @@ import (
 	"webevolve/internal/cluster"
 	"webevolve/internal/core"
 	"webevolve/internal/fetch"
+	"webevolve/internal/profiles"
 	"webevolve/internal/report"
 	"webevolve/internal/simweb"
 )
@@ -33,19 +34,25 @@ func main() {
 	workers := flag.Int("workers", 4, "concurrent crawl workers (results are identical at any count)")
 	shards := flag.Int("shards", 16, "per-site frontier shards")
 	shardServers := flag.String("shard-servers", "", "comma-separated shardd endpoints hosting the frontier (results are identical to local shards)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stopProfiles, err := profiles.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawlsim:", err)
+		os.Exit(1)
+	}
 	eng := engine{workers: *workers, shards: *shards}
 	if *shardServers != "" {
 		eng.shardServers = strings.Split(*shardServers, ",")
 	}
 	if *curves {
-		if err := runCurves(*seed, *days, *size, &eng); err != nil {
-			fmt.Fprintln(os.Stderr, "crawlsim:", err)
-			os.Exit(1)
-		}
-		return
+		err = runCurves(*seed, *days, *size, &eng)
+	} else {
+		err = run(*seed, *days, *size, *matrix, &eng)
 	}
-	if err := run(*seed, *days, *size, *matrix, &eng); err != nil {
+	stopProfiles()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "crawlsim:", err)
 		os.Exit(1)
 	}

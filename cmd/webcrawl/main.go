@@ -37,9 +37,11 @@ import (
 	"webevolve/internal/changefreq"
 	"webevolve/internal/clock"
 	"webevolve/internal/cluster"
+	"webevolve/internal/core"
 	"webevolve/internal/fetch"
 	"webevolve/internal/frontier"
 	"webevolve/internal/htmlparse"
+	"webevolve/internal/profiles"
 	"webevolve/internal/robots"
 	"webevolve/internal/store"
 )
@@ -55,12 +57,19 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent fetch workers")
 	shards := flag.Int("shards", 16, "per-site frontier shards")
 	shardServers := flag.String("shard-servers", "", "comma-separated shardd endpoints hosting the frontier (replaces in-process shards)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *seeds == "" {
 		fmt.Fprintln(os.Stderr, "webcrawl: -seeds is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	stopProfiles, err := profiles.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webcrawl:", err)
+		os.Exit(1)
 	}
 	o := crawlOpts{
 		seeds:    strings.Split(*seeds, ","),
@@ -76,7 +85,9 @@ func main() {
 	if *shardServers != "" {
 		o.shardServers = strings.Split(*shardServers, ",")
 	}
-	if err := run(o); err != nil {
+	err = run(o)
+	stopProfiles()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "webcrawl:", err)
 		os.Exit(1)
 	}
@@ -200,8 +211,8 @@ func run(o crawlOpts) error {
 	return saveState(filepath.Join(o.dir, "state.json"), st)
 }
 
-// crawl is one webcrawl run: a dispatcher claiming due shards and a pool
-// of workers fetching them.
+// crawl is one webcrawl run: core's unified dispatcher claiming due
+// shards and a pool of workers fetching them.
 type crawl struct {
 	opts      crawlOpts
 	coll      *store.Disk
@@ -210,16 +221,14 @@ type crawl struct {
 	f         *fetch.HTTPFetcher
 	seedHosts map[string]bool
 
-	mu       sync.Mutex // guards st maps, batch, pending, first error, and stdout
-	err      error
-	fetched  atomic.Int64
-	inflight atomic.Int64
-	stop     atomic.Bool
+	mu      sync.Mutex // guards st maps, batch, pending, first error, and stdout
+	err     error
+	fetched atomic.Int64
 
 	// batch buffers crawled records for one PutBatch write (like the
-	// sim engine's applyBatch), instead of paying a store flush per
-	// page; pending keeps the buffered checksums visible to change
-	// detection until the batch lands on disk.
+	// sim engine's apply), instead of paying a store flush per page;
+	// pending keeps the buffered checksums visible to change detection
+	// until the batch lands on disk.
 	batch   []store.PageRecord
 	pending map[string]uint64
 }
@@ -245,17 +254,17 @@ func (c *crawl) prevChecksum(url string) (uint64, bool, error) {
 
 // flush writes the buffered records in one PutBatch. Safe from any
 // worker; each call drains whatever is buffered at that instant.
-func (c *crawl) flush() {
+func (c *crawl) flush() error {
 	c.mu.Lock()
 	batch := c.batch
 	c.batch = nil
 	c.mu.Unlock()
 	if len(batch) == 0 {
-		return
+		return nil
 	}
 	if err := c.coll.PutBatch(batch); err != nil {
-		c.fail(err)
-		return
+		c.recordErr(err)
+		return err
 	}
 	c.mu.Lock()
 	for _, rec := range batch {
@@ -266,87 +275,79 @@ func (c *crawl) flush() {
 		}
 	}
 	c.mu.Unlock()
+	return nil
 }
 
 func (c *crawl) nowDay() float64 { return clock.Days(time.Since(c.st.Epoch)) }
 
-func (c *crawl) fail(err error) {
+func (c *crawl) recordErr(err error) {
 	c.mu.Lock()
 	if c.err == nil {
 		c.err = err
 	}
 	c.mu.Unlock()
-	c.stop.Store(true)
 }
 
 // loop dispatches due URLs to the worker pool until the fetch budget is
-// spent or nothing more is due. Each dispatched job holds its shard's
-// claim, so one site is never fetched by two workers at once.
+// spent or nothing more is due, through core.DispatchClaims — the same
+// claim/fetch/release dispatcher the simulated engine and the update
+// pipeline run on. Each dispatched job holds its shard's claim, so one
+// site is never fetched by two workers at once.
 func (c *crawl) loop() {
-	type job struct {
-		url   string
-		shard int
-	}
-	jobs := make(chan job, c.opts.workers)
-	var wg sync.WaitGroup
-	for w := 0; w < c.opts.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if !c.stop.Load() {
-					c.crawlOne(j.url)
-				}
-				c.q.Release(j.shard, c.nowDay()+clock.Days(c.opts.delay))
-				c.inflight.Add(-1)
-			}
-		}()
-	}
-	for !c.stop.Load() {
-		if int(c.fetched.Load()+c.inflight.Load()) >= c.opts.maxPages {
-			if c.inflight.Load() == 0 {
-				break
-			}
-			time.Sleep(10 * time.Millisecond) // an errored fetch refunds budget
-			continue
-		}
-		now := c.nowDay()
-		e, sid, ok := c.q.ClaimDue(now)
-		if !ok {
-			if c.inflight.Load() > 0 {
+	err := core.DispatchClaims(core.ClaimDispatch{
+		Workers: c.opts.workers,
+		Coll:    c.q,
+		Now:     c.nowDay,
+		Work: func(url string) error {
+			return c.crawlOne(url)
+		},
+		Release: func(shard int) {
+			c.q.Release(shard, c.nowDay()+clock.Days(c.opts.delay))
+		},
+		Gate: func(_, inflight int64) bool {
+			// An errored fetch refunds budget, so the gate re-checks as
+			// fetches land rather than counting dispatches.
+			return int(c.fetched.Load()+inflight) < c.opts.maxPages
+		},
+		Idle: func(inflight int64, _ int) bool {
+			if inflight > 0 {
 				time.Sleep(10 * time.Millisecond)
-				continue
+				return true
 			}
 			// Entries can be due but politeness-blocked; wait that out.
 			// With nothing due at all, the pass is over.
+			now := c.nowDay()
 			head, hok := c.q.Peek()
 			if !hok || head.Due > now {
-				break
+				return false
 			}
 			if ev, eok := c.q.NextEvent(); eok && ev > now {
 				time.Sleep(clock.FromDays(ev - now))
-				continue
+				return true
 			}
 			time.Sleep(10 * time.Millisecond)
-			continue
-		}
-		c.inflight.Add(1)
-		jobs <- job{url: e.URL, shard: sid}
+			return true
+		},
+	})
+	if err != nil {
+		c.recordErr(err)
 	}
-	close(jobs)
-	wg.Wait()
-	c.flush() // the partial tail batch
+	if err := c.flush(); err != nil { // the partial tail batch
+		c.recordErr(err)
+	}
 }
 
 // crawlOne fetches one URL and folds the result into the store, the
-// change histories, and the frontier.
-func (c *crawl) crawlOne(url string) {
+// change histories, and the frontier. Per-URL fetch failures are
+// logged and refunded, not fatal; a returned error (store failure)
+// stops the whole crawl.
+func (c *crawl) crawlOne(url string) error {
 	res, err := c.f.Fetch(url, 0)
 	if err != nil {
 		c.mu.Lock()
 		fmt.Fprintf(os.Stderr, "  error %s: %v\n", url, err)
 		c.mu.Unlock()
-		return
+		return nil
 	}
 	c.fetched.Add(1)
 	if res.NotFound {
@@ -365,12 +366,11 @@ func (c *crawl) crawlOne(url string) {
 		delete(c.st.Histories, url)
 		c.mu.Unlock()
 		_ = c.coll.Delete(url)
-		return
+		return nil
 	}
 	prevSum, had, err := c.prevChecksum(url)
 	if err != nil {
-		c.fail(err)
-		return
+		return err
 	}
 	changed := had && prevSum != res.Checksum
 	c.mu.Lock()
@@ -381,7 +381,12 @@ func (c *crawl) crawlOne(url string) {
 	full := len(c.batch) >= flushEvery
 	c.mu.Unlock()
 	if full {
-		c.flush()
+		// A store failure must stop the crawl: flush already dropped
+		// the batch, so continuing would silently lose every record
+		// buffered after it.
+		if err := c.flush(); err != nil {
+			return err
+		}
 	}
 
 	c.mu.Lock()
@@ -417,6 +422,7 @@ func (c *crawl) crawlOne(url string) {
 	for _, l := range discovered {
 		c.q.Push(l, res.Day, 0)
 	}
+	return nil
 }
 
 // reviseInterval estimates a revisit interval (days) from a visit

@@ -24,13 +24,25 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sync"
 )
 
-// ProtoVersion is the wire protocol version; both sides reject frames
-// carrying any other version. Version 2 added request IDs on every
-// state-mutating op (exactly-once retry semantics), the batched push
-// op, and the clear-claims bit in hello.
-const ProtoVersion = 2
+// ProtoVersion is the wire protocol version; frames carrying a newer
+// version, or one older than minProtoVersion, are rejected. Version 2
+// added request IDs on every state-mutating op (exactly-once retry
+// semantics), the batched push op, and the clear-claims bit in hello.
+// Version 3 added the batched dispatch-round op (opRound), which folds
+// a round's pops, drops and reschedules plus the next candidate peek
+// into one frame per server.
+const ProtoVersion = 3
+
+// minProtoVersion is the oldest version readFrame still accepts.
+// Version 3 only added an opcode — every v2 frame body decodes
+// unchanged — and WAL files and snapshots written by a v2 shardd must
+// replay after an upgrade: rejecting them at the frame level would
+// make recovery mistake the whole log for a torn tail and truncate it
+// away.
+const minProtoVersion = 2
 
 // maxFrame bounds a frame payload; anything larger is treated as a
 // corrupt or hostile stream.
@@ -60,6 +72,10 @@ const (
 	opStats
 	opReset
 	opPushBatch
+	// opRound applies one crawl-engine dispatch round — pops, removes,
+	// pushes — and returns the server's next pop candidates, all in a
+	// single round trip (frontier.Sharded.ApplyRound on the wire).
+	opRound
 )
 
 // mutatingOp reports whether op changes frontier state. Mutating ops
@@ -72,7 +88,7 @@ const (
 func mutatingOp(op byte) bool {
 	switch op {
 	case opPush, opPushBatch, opPopDue, opClaimDue, opPopDueMatch,
-		opRelease, opRemove, opReset:
+		opRelease, opRemove, opReset, opRound:
 		return true
 	}
 	return false
@@ -88,6 +104,17 @@ var (
 	errShort    = errors.New("cluster: truncated body")
 )
 
+// frameBufPool recycles writeFrame's assembly buffers: the hot paths
+// (engine apply rounds, WAL appends, worker claims) write a frame per
+// operation, and the buffer never escapes the write call. Oversized
+// buffers (a compaction snapshot chunk, a huge push batch) are not
+// returned, so one large frame cannot pin maxFrame-sized memory behind
+// the pool while typical frames are a few hundred bytes.
+var frameBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// frameBufPoolMax caps the capacity of buffers returned to the pool.
+const frameBufPoolMax = 64 << 10
+
 // writeFrame assembles and writes one frame as a single Write call, so
 // synchronous transports (net.Pipe) cannot interleave partial frames.
 func writeFrame(w io.Writer, kind byte, body []byte) error {
@@ -95,13 +122,23 @@ func writeFrame(w io.Writer, kind byte, body []byte) error {
 	if payload > maxFrame {
 		return fmt.Errorf("cluster: frame too large (%d bytes)", payload)
 	}
-	buf := make([]byte, 8+payload)
+	bp := frameBufPool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < 8+payload {
+		buf = make([]byte, 8+payload)
+	} else {
+		buf = buf[:8+payload]
+	}
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(payload))
 	buf[8] = ProtoVersion
 	buf[9] = kind
 	copy(buf[10:], body)
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
 	_, err := w.Write(buf)
+	if cap(buf) <= frameBufPoolMax {
+		*bp = buf
+		frameBufPool.Put(bp)
+	}
 	return err
 }
 
@@ -122,8 +159,8 @@ func readFrame(r io.Reader) (kind byte, body []byte, err error) {
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
 		return 0, nil, errBadFrame
 	}
-	if payload[0] != ProtoVersion {
-		return 0, nil, fmt.Errorf("cluster: protocol version %d, want %d", payload[0], ProtoVersion)
+	if payload[0] < minProtoVersion || payload[0] > ProtoVersion {
+		return 0, nil, fmt.Errorf("cluster: protocol version %d, want %d..%d", payload[0], minProtoVersion, ProtoVersion)
 	}
 	return payload[1], payload[2:], nil
 }

@@ -83,6 +83,10 @@ type RemoteShards struct {
 	reqBase uint64
 	reqSeq  atomic.Uint64
 
+	// politeness is the gap requested at connect; the batched round
+	// protocol (ApplyRound) is only sound at exactly zero.
+	politeness float64
+
 	closed atomic.Bool
 
 	failMu sync.Mutex
@@ -263,7 +267,7 @@ func Dial(dialers []Dialer, opts Options) (*RemoteShards, error) {
 		backoffMax = backoff
 	}
 
-	rs := &RemoteShards{reqBase: randomReqBase()}
+	rs := &RemoteShards{reqBase: randomReqBase(), politeness: opts.PolitenessDays}
 	helloInit := helloBody(opts.PolitenessDays, true)
 	helloRe := helloBody(opts.PolitenessDays, false)
 	for i, dial := range dialers {
@@ -482,10 +486,8 @@ func (rs *RemoteShards) PushBatch(entries []frontier.Entry) {
 			for off := 0; off < len(group); off += pushBatchChunk {
 				chunk := group[off:min(off+pushBatchChunk, len(group))]
 				var e enc
-				e.u64(rs.nextReq()).u32(uint32(len(chunk)))
-				for _, ent := range chunk {
-					e.str(ent.URL).f64(ent.Due).f64(ent.Priority)
-				}
+				e.u64(rs.nextReq())
+				encodeEntries(&e, chunk)
 				if _, err := rs.servers[si].roundTrip(opPushBatch, e.b); err != nil {
 					errs[si] = err
 					return
@@ -500,6 +502,123 @@ func (rs *RemoteShards) PushBatch(entries []frontier.Entry) {
 			return
 		}
 	}
+}
+
+// ApplyRound implements the crawl engine's batched round protocol
+// (core's frontierRounds fast path): the round's pops, drops and
+// reschedules are routed to their owning servers and shipped — along
+// with the request for the next pop candidates — as one opRound frame
+// per server, all servers in parallel. The per-server candidate lists
+// come back in queue order and are merged with the in-process
+// comparator; bound marks the merge's exactness limit (the earliest
+// last-entry among servers that truncated their lists — entries a
+// server did not return order strictly after its last returned one).
+//
+// ok is false only when the fast path is unavailable (non-zero
+// politeness gap), with nothing sent. Transport failures follow the
+// usual contract: retried with exactly-once dedup, then sticky via
+// Err(), with zero values returned — the engine winds down as if the
+// frontier drained.
+func (rs *RemoteShards) ApplyRound(pops, removes []string, pushes []frontier.Entry, peekMax int) (cands []frontier.Entry, bound frontier.Entry, boundOK, ok bool) {
+	if rs.politeness != 0 {
+		return nil, frontier.Entry{}, false, false
+	}
+	if rs.broken() {
+		return nil, frontier.Entry{}, false, true
+	}
+	n := len(rs.servers)
+	type svrRound struct {
+		pops, removes []string
+		pushes        []frontier.Entry
+	}
+	reqs := make([]svrRound, n)
+	if n == 1 {
+		reqs[0] = svrRound{pops: pops, removes: removes, pushes: pushes}
+	} else {
+		for _, u := range pops {
+			si := rs.serverOf(u)
+			reqs[si].pops = append(reqs[si].pops, u)
+		}
+		for _, u := range removes {
+			si := rs.serverOf(u)
+			reqs[si].removes = append(reqs[si].removes, u)
+		}
+		for _, ent := range pushes {
+			si := rs.serverOf(ent.URL)
+			reqs[si].pushes = append(reqs[si].pushes, ent)
+		}
+	}
+
+	type svrResp struct {
+		cands    []frontier.Entry
+		complete bool
+		err      error
+		sent     bool
+	}
+	resps := make([]svrResp, n)
+	var wg sync.WaitGroup
+	for si := 0; si < n; si++ {
+		r := &reqs[si]
+		if peekMax <= 0 && len(r.pops)+len(r.removes)+len(r.pushes) == 0 {
+			continue // nothing for this server and no peek wanted
+		}
+		resps[si].sent = true
+		wg.Add(1)
+		go func(si int, r *svrRound) {
+			defer wg.Done()
+			var e enc
+			e.u64(rs.nextReq())
+			e.u32(uint32(len(r.pops)))
+			for _, u := range r.pops {
+				e.str(u)
+			}
+			e.u32(uint32(len(r.removes)))
+			for _, u := range r.removes {
+				e.str(u)
+			}
+			encodeEntries(&e, r.pushes)
+			e.u32(uint32(peekMax))
+			resp, err := rs.servers[si].roundTrip(opRound, e.b)
+			if err != nil {
+				resps[si].err = err
+				return
+			}
+			d := &dec{b: resp}
+			list := decodeEntries(d)
+			complete := d.bool()
+			if d.finish() != nil {
+				resps[si].err = fmt.Errorf("cluster: %s: bad round response", rs.servers[si].name)
+				return
+			}
+			resps[si].cands, resps[si].complete = list, complete
+		}(si, r)
+	}
+	wg.Wait()
+
+	for si := range resps {
+		if resps[si].err != nil {
+			rs.fail(resps[si].err)
+			return nil, frontier.Entry{}, false, true
+		}
+	}
+	if peekMax <= 0 {
+		return nil, frontier.Entry{}, false, true
+	}
+	for si := range resps {
+		sr := &resps[si]
+		if !sr.sent {
+			continue
+		}
+		cands = append(cands, sr.cands...)
+		if !sr.complete && len(sr.cands) > 0 {
+			last := sr.cands[len(sr.cands)-1]
+			if !boundOK || frontier.EntryBefore(last, bound) {
+				bound, boundOK = last, true
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return frontier.EntryBefore(cands[i], cands[j]) })
+	return cands, bound, boundOK, true
 }
 
 // fan sends one request to every server concurrently and collects the

@@ -201,6 +201,124 @@ func TestFlakyTransportKeepsPopOrder(t *testing.T) {
 	}
 }
 
+// TestFlakyTransportKeepsRoundPopOrder extends the flaky-transport
+// contract to the engine's batched round protocol: a full sequence of
+// ApplyRound calls — pops consumed from candidate prefixes, drops,
+// reschedules, candidate refreshes — over connections that die every
+// few reads must produce bit-identical candidates and final frontier
+// state to the same rounds against a local Sharded, with no sticky
+// error. Retried opRound frames hit the server's request-ID dedup, so
+// a round is applied exactly once even when its response was lost.
+func TestFlakyTransportKeepsRoundPopOrder(t *testing.T) {
+	srv := NewShardServer(frontier.NewSharded(8))
+	t.Cleanup(func() { srv.Close() })
+	dial := func() (net.Conn, error) {
+		conn, err := srv.Pipe()
+		if err != nil {
+			return nil, err
+		}
+		return &flakyConn{Conn: conn, limit: 9}, nil
+	}
+	rs, err := Dial([]Dialer{dial}, fastRetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+
+	local := frontier.NewSharded(8)
+	urls := testURLs(12, 4)
+	entries := make([]frontier.Entry, 0, len(urls))
+	for i, u := range urls {
+		entries = append(entries, frontier.Entry{URL: u, Due: float64((i * 7) % 13), Priority: float64(i % 3)})
+	}
+	const peek = 6
+	sameCands := func(a, b []frontier.Entry) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !sameEntry(a[i], b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// Seed both sides through the round op itself.
+	lc, lb, lbok, lok := local.ApplyRound(nil, nil, entries, peek)
+	rc, rb, rbok, rok := rs.ApplyRound(nil, nil, entries, peek)
+	if !lok || !rok {
+		t.Fatalf("ApplyRound refused: local=%v remote=%v", lok, rok)
+	}
+	for round := 0; len(lc) > 0; round++ {
+		if !sameCands(lc, rc) || lbok != rbok || (lbok && !sameEntry(lb, rb)) {
+			t.Fatalf("round %d: candidates diverge\nremote: %+v (%v %v)\nlocal:  %+v (%v %v)",
+				round, rc, rb, rbok, lc, lb, lbok)
+		}
+		// Consume up to 3 candidates as pops, reschedule every other
+		// one, and drop the rest — one engine dispatch round.
+		n := min(3, len(lc))
+		pops := make([]string, 0, n)
+		var pushes []frontier.Entry
+		var removes []string
+		for i := 0; i < n; i++ {
+			pops = append(pops, lc[i].URL)
+			if i%2 == 0 && lc[i].Due < 50 {
+				// Reschedule once (past the original due range, so the
+				// sequence terminates); drop everything else.
+				pushes = append(pushes, frontier.Entry{URL: lc[i].URL, Due: lc[i].Due + 50, Priority: lc[i].Priority})
+			} else {
+				removes = append(removes, lc[i].URL)
+			}
+		}
+		lc, lb, lbok, lok = local.ApplyRound(pops, removes, pushes, peek)
+		rc, rb, rbok, rok = rs.ApplyRound(pops, removes, pushes, peek)
+		if !lok || !rok {
+			t.Fatalf("round %d refused: local=%v remote=%v", round, lok, rok)
+		}
+		if round > 100 {
+			t.Fatal("rounds did not converge")
+		}
+	}
+	if len(rc) != 0 {
+		t.Fatalf("remote still has candidates: %+v", rc)
+	}
+	lu, ru := local.URLs(), rs.URLs()
+	if len(lu) != len(ru) {
+		t.Fatalf("final state diverges: %d vs %d URLs", len(lu), len(ru))
+	}
+	for i := range lu {
+		if lu[i] != ru[i] {
+			t.Fatalf("final state diverges at %d: %s vs %s", i, lu[i], ru[i])
+		}
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("flaky transport became sticky: %v", err)
+	}
+}
+
+// TestApplyRoundRefusedWithPoliteness: the round protocol is only
+// sound with a zero politeness gap; both halves must refuse it rather
+// than serve politeness-blind candidates.
+func TestApplyRoundRefusedWithPoliteness(t *testing.T) {
+	local := frontier.NewShardedPolite(4, 0.5)
+	if _, _, _, ok := local.ApplyRound(nil, nil, nil, 4); ok {
+		t.Fatal("Sharded.ApplyRound accepted a politeness gap")
+	}
+	srv := NewShardServer(frontier.NewSharded(4))
+	t.Cleanup(func() { srv.Close() })
+	rs, err := Loopback([]*ShardServer{srv}, Options{PolitenessDays: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+	if _, _, _, ok := rs.ApplyRound(nil, nil, nil, 4); ok {
+		t.Fatal("RemoteShards.ApplyRound accepted a politeness gap")
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("refusal must not be sticky: %v", err)
+	}
+}
+
 // TestMutatingRetryAppliesOnce pins the dedup contract at the protocol
 // level: replaying a claim with the same request ID returns the
 // memoized response and pops nothing further.

@@ -348,18 +348,11 @@ func (s *ShardServer) applyMutating(op byte, d *dec) (status byte, resp []byte, 
 	case opPushBatch:
 		// Decode fully before applying: a malformed frame must not
 		// half-apply a batch.
-		n := int(d.u32())
-		batch := make([]frontier.Entry, 0, min(n, 1<<16))
-		for i := 0; i < n && d.finish() == nil; i++ {
-			ent := frontier.Entry{URL: d.str(), Due: d.f64(), Priority: d.f64()}
-			if d.finish() == nil {
-				batch = append(batch, ent)
-			}
-		}
+		batch := decodeEntries(d)
 		if d.finish() == nil {
 			s.shards.PushBatch(batch)
-			e.u32(uint32(n))
-			mutated = n > 0
+			e.u32(uint32(len(batch)))
+			mutated = len(batch) > 0
 		}
 	case opPopDue:
 		now := d.f64()
@@ -407,6 +400,24 @@ func (s *ShardServer) applyMutating(op byte, d *dec) (status byte, resp []byte, 
 	case opReset:
 		s.shards.Reset()
 		mutated = true
+	case opRound:
+		// One crawl-engine dispatch round: pops (candidate entries the
+		// client's engine already consumed), drops, reschedules, and
+		// the next candidate peek — decoded fully before applying so a
+		// malformed frame cannot half-apply.
+		pops := decodeStrings(d)
+		removes := decodeStrings(d)
+		pushes := decodeEntries(d)
+		peekMax := int(d.u32())
+		if d.finish() == nil {
+			cands, _, bounded, ok := s.shards.ApplyRound(pops, removes, pushes, peekMax)
+			if !ok {
+				return statusError, []byte("round ops need a zero politeness gap"), false
+			}
+			encodeEntries(&e, cands)
+			e.bool(!bounded) // complete: cands are the whole queue
+			mutated = len(pops)+len(removes)+len(pushes) > 0
+		}
 	default:
 		return statusError, []byte(fmt.Sprintf("unknown mutating opcode %d", op)), false
 	}
@@ -414,6 +425,32 @@ func (s *ShardServer) applyMutating(op byte, d *dec) (status byte, resp []byte, 
 		return statusError, []byte(err.Error()), false
 	}
 	return statusOK, e.b, mutated
+}
+
+// decodeEntries decodes a u32-counted frontier.Entry list.
+func decodeEntries(d *dec) []frontier.Entry {
+	n := int(d.u32())
+	out := make([]frontier.Entry, 0, min(n, 1<<16))
+	for i := 0; i < n && d.finish() == nil; i++ {
+		ent := frontier.Entry{URL: d.str(), Due: d.f64(), Priority: d.f64()}
+		if d.finish() == nil {
+			out = append(out, ent)
+		}
+	}
+	return out
+}
+
+// decodeStrings decodes a u32-counted string list.
+func decodeStrings(d *dec) []string {
+	n := int(d.u32())
+	out := make([]string, 0, min(n, 1<<16))
+	for i := 0; i < n && d.finish() == nil; i++ {
+		s := d.str()
+		if d.finish() == nil {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // respCacheSize bounds the retry-dedup window. Every mutating op is
@@ -486,6 +523,15 @@ type dedupEntry struct {
 	id     uint64
 	status byte
 	resp   []byte
+}
+
+// encodeEntries appends a u32-counted frontier.Entry list
+// (decodeEntries's inverse).
+func encodeEntries(e *enc, list []frontier.Entry) {
+	e.u32(uint32(len(list)))
+	for _, ent := range list {
+		e.str(ent.URL).f64(ent.Due).f64(ent.Priority)
+	}
 }
 
 // encodeEntry appends ok and, when set, the entry fields.

@@ -257,10 +257,7 @@ func (s *ShardServer) loadSnapshotLocked(path string) (uint64, error) {
 		d := &dec{b: body}
 		switch kind {
 		case walSnapEntries:
-			n := int(d.u32())
-			for i := 0; i < n && d.finish() == nil; i++ {
-				st.Entries = append(st.Entries, frontier.Entry{URL: d.str(), Due: d.f64(), Priority: d.f64()})
-			}
+			st.Entries = append(st.Entries, decodeEntries(d)...)
 		case walSnapDedup:
 			n := int(d.u32())
 			if n > walMaxDedup {
@@ -318,10 +315,7 @@ func (s *ShardServer) writeSnapshotLocked(seq uint64) error {
 	for off := 0; off < len(st.Entries); off += walSnapChunk {
 		chunk := st.Entries[off:min(off+walSnapChunk, len(st.Entries))]
 		var e enc
-		e.u32(uint32(len(chunk)))
-		for _, ent := range chunk {
-			e.str(ent.URL).f64(ent.Due).f64(ent.Priority)
-		}
+		encodeEntries(&e, chunk)
 		if err := writeFrame(w, walSnapEntries, e.b); err != nil {
 			return fail(err)
 		}

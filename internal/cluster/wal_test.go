@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -149,6 +151,51 @@ func TestWALTornTailTruncated(t *testing.T) {
 	}
 	if !srv2.Shards().Contains("http://site001.com/a") || !srv2.Shards().Contains("http://site002.com/b") {
 		t.Fatal("acknowledged pushes lost to torn tail")
+	}
+}
+
+// TestWALReplaysOlderProtoVersion: a WAL written by a version-2 shardd
+// (every frame stamped with the old protocol version) must replay after
+// an upgrade. Rejecting old versions at the frame level would make
+// recovery mistake the entire log for a torn tail and truncate it to
+// nothing — silent loss of the exact state the WAL exists to keep.
+func TestWALReplaysOlderProtoVersion(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.OpenFile(walFilePath(dir, 0), os.O_CREATE|os.O_WRONLY, walFilePerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := []string{"http://site001.com/a", "http://site002.com/b", "http://site003.com/c"}
+	for i, u := range urls {
+		var e enc
+		e.u64(uint64(100 + i)).str(u).f64(float64(i)).f64(0)
+		writeFrameVersion(t, f, minProtoVersion, opPush, e.b)
+	}
+	f.Close()
+
+	srv := newWALServer(t, dir, 4)
+	if got := srv.Shards().Len(); got != len(urls) {
+		t.Fatalf("recovered Len = %d, want %d (old-version WAL truncated?)", got, len(urls))
+	}
+	for _, u := range urls {
+		if !srv.Shards().Contains(u) {
+			t.Fatalf("entry %s lost replaying an old-version WAL", u)
+		}
+	}
+}
+
+// writeFrameVersion writes one frame stamped with an explicit protocol
+// version (writeFrame always stamps the current one).
+func writeFrameVersion(t *testing.T, f *os.File, version, kind byte, body []byte) {
+	t.Helper()
+	buf := make([]byte, 8+2+len(body))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(body)+2))
+	buf[8] = version
+	buf[9] = kind
+	copy(buf[10:], body)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
+	if _, err := f.Write(buf); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -32,11 +32,13 @@ type Metrics struct {
 // configuration, the periodic-style refresher over a fixed URL set). It
 // runs over virtual time: each fetch advances the virtual day by the
 // configured bandwidth's reciprocal, which makes experiments
-// deterministic. Fetches are dispatched in batches to Config.Workers
-// concurrent CrawlModule workers over the sharded frontier (engine.go);
-// results are applied in pop order, so any worker count produces the
-// schedule — and, on the deterministic simulator, the results — of the
-// sequential crawler. (The wall-clock pipeline lives in driver.go.)
+// deterministic. Fetches are dispatched in pipelined rounds to
+// Config.Workers concurrent CrawlModule workers over the sharded
+// frontier (engine.go, dispatch.go): while one round's results are
+// folded in, the next rounds are already fetching. Results are applied
+// in pop order, so any worker count produces the schedule — and, on
+// the deterministic simulator, the results — of the sequential
+// crawler. (The wall-clock pipeline lives in driver.go.)
 type Crawler struct {
 	cfg     Config
 	fetcher fetch.Fetcher
@@ -44,6 +46,7 @@ type Crawler struct {
 	all      *frontier.AllUrls
 	coll     frontier.ShardSet
 	ownsColl bool // close coll with the crawler (dialed from ShardServers)
+	rounds   *frontierRounds
 	shadowed *store.Shadowed
 	graph    *webgraph.Graph
 
@@ -65,6 +68,18 @@ type Crawler struct {
 	batchQueue    []string
 	batchPerFetch float64
 	nextCycle     float64
+
+	// Dispatch-pipeline state: the worker pool (alive for the duration
+	// of one RunUntil) and the reusable round/apply scratch buffers.
+	pool      *dispatchPool
+	roundBufs []*roundState
+	live      []outcome
+	pushes    []frontier.Entry
+	removes   []string
+	recs      []store.PageRecord
+	// rebuildDone joins the revisit-plan rebuild a ranking pass left
+	// running concurrently with the crawl (ranking.go).
+	rebuildDone chan error
 
 	metrics Metrics
 }
@@ -102,6 +117,7 @@ func NewWithStore(cfg Config, f fetch.Fetcher, sh *store.Shadowed) (*Crawler, er
 		all:        frontier.NewAllUrls(),
 		coll:       coll,
 		ownsColl:   ownsColl,
+		rounds:     newFrontierRounds(coll, cfg.DispatchBatch+8, cfg.ShardPolitenessDays),
 		shadowed:   sh,
 		graph:      webgraph.New(),
 		policy:     policy,
@@ -196,24 +212,43 @@ func (c *Crawler) writeTarget() store.Collection {
 
 // RunUntil advances the crawl to the given virtual day.
 func (c *Crawler) RunUntil(until float64) error {
+	c.pool = newDispatchPool(c.cfg.Workers, c.fetchJob, nil)
 	var err error
 	if c.cfg.Mode == Batch {
 		err = c.runBatch(until)
 	} else {
 		err = c.runSteady(until)
 	}
+	if cerr := c.pool.close(); err == nil {
+		err = cerr
+	}
+	c.pool = nil
+	if jerr := c.joinRebuild(); err == nil {
+		err = jerr
+	}
+	// Ship any pops still buffered in the round adapter, so a remote
+	// frontier ends in the same state as in-process shards would —
+	// including on the error path: in-process pops mutate the frontier
+	// at pop time, so an errored run's popped-but-unapplied URLs (up to
+	// depth rounds of them) are consumed without a reschedule either
+	// way. An errored crawl is not resumable bit-identically; the
+	// guarantee here is only local/remote consistency.
+	c.rounds.flush()
 	if err != nil {
 		return err
 	}
 	return shardSetErr(c.coll)
 }
 
-// runSteady is the steady-mode loop: pop a batch of due URLs, crawl them
-// through the worker pool, fold the results back in — continuously.
+// runSteady is the steady-mode loop: pop a round of due URLs, crawl it
+// through the worker pool, fold the results back in — continuously,
+// with the next rounds' fetches overlapping the previous round's
+// apply (engine.go).
 func (c *Crawler) runSteady(until float64) error {
 	perFetch := 1 / c.cfg.PagesPerDay
 	for c.day < until {
 		if c.day >= c.nextRank {
+			c.rounds.flush()
 			if err := c.rankingPass(); err != nil {
 				return err
 			}
@@ -221,13 +256,18 @@ func (c *Crawler) runSteady(until float64) error {
 			continue
 		}
 		if c.cfg.Update == Shadow && c.day >= c.nextSwap {
+			c.rounds.flush()
 			if err := c.swap(); err != nil {
 				return err
 			}
 			c.nextSwap += c.cfg.CycleDays
 			continue
 		}
-		dispatched, err := c.crawlRound(c.steadyHorizon(until), perFetch)
+		horizon := c.steadyHorizon(until)
+		depth, maxJobs := c.steadyRoundCap(perFetch)
+		dispatched, err := c.pipelineRounds(depth, func(r *roundState, windowFloor float64) {
+			c.popSteadyRound(r, horizon, perFetch, maxJobs, windowFloor)
+		})
 		if err != nil {
 			return err
 		}
@@ -238,7 +278,7 @@ func (c *Crawler) runSteady(until float64) error {
 			if c.cfg.Update == Shadow {
 				next = math.Min(next, c.nextSwap)
 			}
-			if ev, ok := c.coll.NextEvent(); ok {
+			if ev, ok := c.rounds.nextEvent(); ok {
 				next = math.Min(next, ev)
 			}
 			if next <= c.day {
@@ -271,6 +311,7 @@ func (c *Crawler) runBatch(until float64) error {
 				continue
 			}
 			// Start a new cycle: refine, then snapshot the crawl list.
+			c.rounds.flush()
 			if err := c.rankingPass(); err != nil {
 				return err
 			}
@@ -283,29 +324,22 @@ func (c *Crawler) runBatch(until float64) error {
 			c.batchPerFetch = c.cfg.BatchDays / float64(len(c.batchQueue))
 			continue
 		}
-		// Drain a chunk of the cycle's crawl list through the workers.
-		// The snapshot is a set, so no URL repeats within a chunk and
-		// the chunked pop sequence matches the sequential one.
-		jobs := make([]crawlJob, 0, c.cfg.DispatchBatch)
-		d := c.day
-		for len(jobs) < c.cfg.DispatchBatch && len(c.batchQueue) > 0 && d < until {
-			u := c.batchQueue[0]
-			c.batchQueue = c.batchQueue[1:]
-			// Pop to keep queue bookkeeping honest; push-back happens in
-			// applyBatch.
-			c.coll.Remove(u)
-			jobs = append(jobs, crawlJob{idx: len(jobs), url: u, day: d, shard: c.coll.ShardOf(u)})
-			d += c.batchPerFetch
+		// Drain the cycle's crawl list through the pipelined rounds.
+		// The snapshot is a set, so no URL repeats within a cycle and
+		// the chunked pop sequence matches the sequential one; unlike
+		// the steady loop, pops draw from the snapshot rather than the
+		// frontier, so overlapping rounds need no reschedule window.
+		depth := 2
+		if c.cfg.BatchSync {
+			depth = 1
 		}
-		results, err := c.fetchBatch(jobs)
-		if err != nil {
+		if _, err := c.pipelineRounds(depth, func(r *roundState, _ float64) {
+			c.popBatchRound(r, until)
+		}); err != nil {
 			return err
 		}
-		if err := c.applyBatch(jobs, results); err != nil {
-			return err
-		}
-		c.day = d
 		if len(c.batchQueue) == 0 && c.cfg.Update == Shadow {
+			c.rounds.flush()
 			if err := c.swap(); err != nil {
 				return err
 			}
@@ -314,20 +348,37 @@ func (c *Crawler) runBatch(until float64) error {
 	return nil
 }
 
-// dropPage removes a vanished page from the collection.
-func (c *Crawler) dropPage(url string) {
-	c.coll.Remove(url)
-	_ = c.shadowed.Current().Delete(url)
-	if c.cfg.Update == Shadow {
-		_ = c.shadowed.Shadow().Delete(url)
+// popBatchRound takes the next dispatch round off the batch-mode crawl
+// list, removing the popped URLs from the frontier (push-back happens
+// in applySchedule) and advancing virtual time past the last fetch.
+func (c *Crawler) popBatchRound(r *roundState, until float64) {
+	r.reset()
+	d := c.day
+	for len(r.jobs) < c.cfg.DispatchBatch && len(c.batchQueue) > 0 && d < until {
+		u := c.batchQueue[0]
+		c.batchQueue = c.batchQueue[1:]
+		r.jobs = append(r.jobs, crawlJob{idx: len(r.jobs), url: u, day: d})
+		if err := c.resolveJob(&r.jobs[len(r.jobs)-1]); err != nil {
+			// Drop the half-resolved job: dispatching it would hand the
+			// workers a nil estimator. The error still ends the run via
+			// roundState.err.
+			r.jobs = r.jobs[:len(r.jobs)-1]
+			r.err = err
+			break
+		}
+		d += c.batchPerFetch
 	}
-	c.all.SetInCollection(url, false)
-	c.graph.RemovePage(url)
-	delete(c.est, url)
-	delete(c.lastSum, url)
-	if c.siteStats != nil {
-		c.siteStats.forget(url)
+	if len(r.jobs) == 0 {
+		return
 	}
+	// Pop to keep queue bookkeeping honest: one batched remove per
+	// round (a single trip per remote server) instead of one per URL.
+	c.removes = c.removes[:0]
+	for i := range r.jobs {
+		c.removes = append(c.removes, r.jobs[i].url)
+	}
+	c.rounds.commitRound(c.removes, nil, false)
+	c.day = d
 }
 
 // swap publishes the shadow collection. Pages in the collection that were
@@ -336,8 +387,15 @@ func (c *Crawler) dropPage(url string) {
 func (c *Crawler) swap() error {
 	shadow := c.shadowed.Shadow()
 	cur := c.shadowed.Current()
+	// One URLs snapshot instead of a Contains per stored page: same
+	// answer, and one fan-out rather than N round trips on a remote
+	// frontier.
+	inColl := make(map[string]bool, c.coll.Len())
+	for _, u := range c.coll.URLs() {
+		inColl[u] = true
+	}
 	err := cur.Scan(func(rec store.PageRecord) bool {
-		if !c.coll.Contains(rec.URL) {
+		if !inColl[rec.URL] {
 			return true // evicted; let it go
 		}
 		if _, ok, gerr := shadow.Get(rec.URL); gerr == nil && !ok {

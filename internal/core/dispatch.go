@@ -1,0 +1,428 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webevolve/internal/frontier"
+)
+
+// This file is the one worker-pool dispatcher behind every concurrent
+// crawl path in the repo. It replaces the three hand-rolled pools that
+// used to live in Crawler.fetchBatch, UpdatePipeline.Run, and
+// cmd/webcrawl's crawl loop with a single engine, parameterized over
+// the per-URL work function, that runs in two modes:
+//
+//   - Round mode (startRound): the simulated engine's path. A dispatch
+//     round is a set of job groups — all jobs of one site, in
+//     virtual-day order — submitted together and completed as a unit.
+//     Groups carry a site key, and the pool runs groups of one site
+//     strictly in submission order (a per-site line), so two rounds
+//     can be in flight at once without ever reordering or overlapping
+//     one site's fetches. Groups are dispatched largest-first (LPT
+//     scheduling), so a skewed round with one hot site starts its
+//     long group immediately instead of letting it straggle behind
+//     short ones. Rounds are what the engine pipelines: while round
+//     N's results are applied, rounds N+1 and N+2 are already
+//     fetching on the same workers (engine.go).
+//
+//   - Claim mode (dispatchClaims): the wall-clock path shared by
+//     core.UpdatePipeline and cmd/webcrawl. The dispatcher claims due
+//     shards from a frontier.ShardSet and feeds each claimed head to
+//     the pool as a single-job group whose completion hook releases
+//     the shard — so no two workers ever fetch from one site at once,
+//     and per-shard politeness deadlines are honored by the frontier.
+//
+// Work functions receive their worker index so callers can keep
+// per-worker state (e.g. store write buffers) without locking.
+
+// dispatchGroup is one unit of pool scheduling: jobs that must run
+// sequentially in order on a single worker (one site's fetches, or one
+// claimed shard head).
+type dispatchGroup struct {
+	jobs []*crawlJob
+	// site, when non-empty, serializes this group behind any earlier
+	// unfinished group with the same key.
+	site string
+	// done, if non-nil, runs on the worker after the last job — even
+	// when the pool is stopping — so claim releases never go missing.
+	done func()
+	// round, if non-nil, counts this group against a round's
+	// completion (set by startRound; avoids a closure per group).
+	round *roundHandle
+}
+
+// roundHandle tracks one submitted round's completion.
+type roundHandle struct {
+	left atomic.Int64
+	done chan struct{}
+}
+
+// dispatchPool is a fixed set of worker goroutines draining groups of
+// per-URL work. The first work-function error stops the pool: later
+// jobs are skipped (their groups still complete, running their done
+// hooks), and the error surfaces from wait/dispatchClaims/close.
+type dispatchPool struct {
+	fn func(worker int, j *crawlJob) error
+	// workerExit, if non-nil, runs on each worker as it shuts down
+	// (UpdatePipeline flushes its per-worker write buffer here).
+	workerExit func(worker int) error
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready []dispatchGroup // runnable now; FIFO from readyHead, compacted when drained
+	// readyHead indexes the next runnable group; consuming by index
+	// instead of reslicing lets the backing array be reused instead of
+	// reallocated every few submissions.
+	readyHead int
+	lines     map[string][]dispatchGroup // per-site groups waiting behind a running one
+	closed    bool
+
+	wg       sync.WaitGroup
+	stopFlag atomic.Bool
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// newDispatchPool starts workers goroutines running fn.
+func newDispatchPool(workers int, fn func(worker int, j *crawlJob) error, workerExit func(worker int) error) *dispatchPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &dispatchPool{
+		fn:         fn,
+		workerExit: workerExit,
+		lines:      make(map[string][]dispatchGroup),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// submit queues one group. Groups with a site key are held back while
+// an earlier group of the same site is queued or running, preserving
+// per-site job order across rounds. Never blocks.
+func (p *dispatchPool) submit(g dispatchGroup) {
+	p.mu.Lock()
+	if g.site != "" {
+		if line, busy := p.lines[g.site]; busy {
+			p.lines[g.site] = append(line, g)
+			p.mu.Unlock()
+			return
+		}
+		p.lines[g.site] = nil // mark the site busy with this group
+	}
+	p.push(g)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// push appends to the ready queue, reusing the backing array once the
+// consumed prefix is the whole slice. Caller holds p.mu.
+func (p *dispatchPool) push(g dispatchGroup) {
+	if p.readyHead > 0 && p.readyHead == len(p.ready) {
+		p.ready = p.ready[:0]
+		p.readyHead = 0
+	}
+	p.ready = append(p.ready, g)
+}
+
+// next blocks for a runnable group; ok is false when the pool closed.
+func (p *dispatchPool) next() (dispatchGroup, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.readyHead == len(p.ready) && !p.closed {
+		p.cond.Wait()
+	}
+	if p.readyHead == len(p.ready) {
+		return dispatchGroup{}, false
+	}
+	g := p.ready[p.readyHead]
+	p.ready[p.readyHead] = dispatchGroup{} // release references
+	p.readyHead++
+	return g, true
+}
+
+// groupFinished releases the group's site line, promoting the next
+// queued group of that site, then runs the group's completion hooks.
+func (p *dispatchPool) groupFinished(g dispatchGroup) {
+	if g.site != "" {
+		p.mu.Lock()
+		line := p.lines[g.site]
+		if len(line) > 0 {
+			nxt := line[0]
+			p.lines[g.site] = line[1:]
+			p.push(nxt)
+			p.mu.Unlock()
+			p.cond.Signal()
+		} else {
+			delete(p.lines, g.site)
+			p.mu.Unlock()
+		}
+	}
+	if g.done != nil {
+		g.done()
+	}
+	if g.round != nil {
+		if g.round.left.Add(-1) == 0 {
+			close(g.round.done)
+		}
+	}
+}
+
+func (p *dispatchPool) worker(w int) {
+	defer p.wg.Done()
+	for {
+		g, ok := p.next()
+		if !ok {
+			break
+		}
+		for _, j := range g.jobs {
+			// A failed pool stops paying fetch latency immediately; the
+			// group's done hook still runs so nothing deadlocks.
+			if p.stopFlag.Load() {
+				break
+			}
+			if err := p.fn(w, j); err != nil {
+				p.fail(err)
+				break
+			}
+		}
+		p.groupFinished(g)
+	}
+	if p.workerExit != nil {
+		if err := p.workerExit(w); err != nil {
+			p.fail(err)
+		}
+	}
+}
+
+// fail records the first error and stops the pool.
+func (p *dispatchPool) fail(err error) {
+	p.errMu.Lock()
+	if p.firstErr == nil {
+		p.firstErr = err
+	}
+	p.errMu.Unlock()
+	p.stopFlag.Store(true)
+}
+
+// err returns the first recorded error, if any.
+func (p *dispatchPool) err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.firstErr
+}
+
+func (p *dispatchPool) stopped() bool { return p.stopFlag.Load() }
+
+// startRound submits one dispatch round and returns its completion
+// handle. Groups run in submission order subject to worker availability
+// and site lines; callers submit largest groups first.
+func (p *dispatchPool) startRound(groups []dispatchGroup) *roundHandle {
+	h := &roundHandle{done: make(chan struct{})}
+	if len(groups) == 0 {
+		close(h.done)
+		return h
+	}
+	h.left.Store(int64(len(groups)))
+	for i := range groups {
+		g := groups[i]
+		g.round = h
+		p.submit(g)
+	}
+	return h
+}
+
+// wait blocks until the round completes, then reports the pool's first
+// error, if any.
+func (p *dispatchPool) wait(h *roundHandle) error {
+	<-h.done
+	return p.err()
+}
+
+// abort stops the pool and drains the given in-flight rounds,
+// discarding their results. Used on apply errors: the pipeline must
+// not leak speculatively dispatched work.
+func (p *dispatchPool) abort(inflight []*roundHandle) {
+	p.stopFlag.Store(true)
+	for _, h := range inflight {
+		<-h.done
+	}
+}
+
+// close shuts the pool down: no more submissions, workers drain and
+// exit, worker-exit hooks run. Returns the pool's first error.
+func (p *dispatchPool) close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+	return p.err()
+}
+
+// gateDecision is claimSpec.gate's verdict before each claim.
+type gateDecision int
+
+const (
+	gateDispatch gateDecision = iota // claim and dispatch another job
+	gateWait                         // budget exhausted but jobs in flight: wait
+	gateDone                         // stop dispatching
+)
+
+// claimSpec parameterizes the claim/dispatch/release loop shared by
+// UpdatePipeline and webcrawl.
+type claimSpec struct {
+	coll frontier.ShardSet
+	// now is the claim timestamp: a fixed virtual day for the pipeline,
+	// the wall clock for webcrawl.
+	now func() float64
+	// release returns a claimed shard to the frontier with the caller's
+	// politeness deadline. It runs on the worker that processed the
+	// job, after the work function, before the job is counted done.
+	release func(shard int)
+	// gate is consulted before each claim with the counts of jobs
+	// dispatched so far and in flight now (dispatch budget
+	// enforcement).
+	gate func(dispatched, inflight int64) gateDecision
+	// gateWaitFor paces gateWait verdicts (default 10ms).
+	gateWaitFor time.Duration
+	// idle is consulted when nothing is claimable and jobs may still be
+	// in flight; scans counts consecutive idle calls. Returning false
+	// ends the loop. The loop has already settled the inflight==0
+	// case: idle(0, ...) means the frontier is truly drained of
+	// claimable work at now() — a politeness deadline or future due
+	// time may remain.
+	idle func(inflight int64, scans int) bool
+	// maxQueue bounds how many claimed jobs may sit unstarted ahead of
+	// the workers (default: no limit beyond gate's own accounting).
+	maxQueue int64
+}
+
+// dispatchClaims runs the claim/dispatch/release loop: claim the due
+// head of a shard, hand it to the pool, release the shard when the work
+// function returns. A claimed shard is owned by one worker until
+// released, so no two workers ever fetch from the same site
+// concurrently. Returns the pool's first error, if any; the pool
+// remains usable (callers close it separately).
+func (p *dispatchPool) dispatchClaims(s claimSpec) error {
+	var inflight atomic.Int64
+	var dispatched int64
+	gateWaitFor := s.gateWaitFor
+	if gateWaitFor <= 0 {
+		gateWaitFor = 10 * time.Millisecond
+	}
+	scans := 0
+	queueScans := 0
+	for !p.stopped() {
+		switch s.gate(dispatched, inflight.Load()) {
+		case gateDone:
+			return p.err()
+		case gateWait:
+			if inflight.Load() == 0 {
+				return p.err()
+			}
+			time.Sleep(gateWaitFor)
+			continue
+		}
+		if s.maxQueue > 0 && inflight.Load() >= s.maxQueue {
+			// Claim just ahead of the workers; yield rather than sleep,
+			// since simulated fetches drain the queue in microseconds.
+			queueScans++
+			spinThenSleep(queueScans, 64, 100*time.Microsecond)
+			continue
+		}
+		queueScans = 0
+		e, sid, ok := s.coll.ClaimDue(s.now())
+		if !ok && inflight.Load() == 0 {
+			// All workers idle and their releases visible (release
+			// happens before the inflight decrement); one more claim
+			// settles whether the frontier is drained or a release
+			// raced the first claim.
+			e, sid, ok = s.coll.ClaimDue(s.now())
+		}
+		if !ok {
+			if !s.idle(inflight.Load(), scans) {
+				return p.err()
+			}
+			scans++
+			continue
+		}
+		scans = 0
+		inflight.Add(1)
+		dispatched++
+		j := &crawlJob{url: e.URL, day: s.now()}
+		p.submit(dispatchGroup{
+			jobs: []*crawlJob{j},
+			done: func() {
+				// Release before decrementing: once inflight hits zero
+				// the dispatcher trusts the frontier to be fully
+				// visible.
+				if s.release != nil {
+					s.release(sid)
+				}
+				inflight.Add(-1)
+			},
+		})
+	}
+	return p.err()
+}
+
+// spinThenSleep is the idle backoff used against fast (simulated)
+// fetchers: yield the scheduler for the first spins, then back off to
+// brief sleeps instead of burning a core on shard scans.
+func spinThenSleep(scans, spins int, d time.Duration) {
+	if scans < spins {
+		runtime.Gosched()
+	} else {
+		time.Sleep(d)
+	}
+}
+
+// ClaimDispatch configures DispatchClaims, the exported face of the
+// claim/fetch/release dispatcher for wall-clock crawlers outside this
+// package (cmd/webcrawl). Work receives each claimed head URL; a
+// returned error stops the whole dispatch. Gate reports whether the
+// fetch budget allows another claim (false pauses dispatch, and ends
+// it once nothing is in flight). Idle follows claimSpec.idle.
+type ClaimDispatch struct {
+	Workers int
+	Coll    frontier.ShardSet
+	Now     func() float64
+	Work    func(url string) error
+	Release func(shard int)
+	Gate    func(dispatched, inflight int64) bool
+	Idle    func(inflight int64, scans int) bool
+	// GateWait paces a closed gate (default 10ms).
+	GateWait time.Duration
+}
+
+// DispatchClaims runs the claim loop over a private worker pool and
+// returns the first work error, if any.
+func DispatchClaims(cfg ClaimDispatch) error {
+	pool := newDispatchPool(cfg.Workers,
+		func(_ int, j *crawlJob) error { return cfg.Work(j.url) }, nil)
+	err := pool.dispatchClaims(claimSpec{
+		coll:    cfg.Coll,
+		now:     cfg.Now,
+		release: cfg.Release,
+		gate: func(dispatched, inflight int64) gateDecision {
+			if cfg.Gate == nil || cfg.Gate(dispatched, inflight) {
+				return gateDispatch
+			}
+			return gateWait
+		},
+		gateWaitFor: cfg.GateWait,
+		idle:        cfg.Idle,
+	})
+	if cerr := pool.close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,17 +15,18 @@ import (
 )
 
 // UpdatePipeline is the wall-clock, concurrent form of the UpdateModule +
-// CrawlModule pair of Figure 12: a dispatcher claims due shards from the
-// sharded frontier and hands their head URLs to a pool of CrawlModule
-// workers ("multiple CrawlModules may run in parallel, depending on how
-// fast we need to crawl pages", Section 5.3). A claimed shard is owned by
-// one worker until it releases it, so no two workers ever fetch from the
-// same site concurrently, and per-shard politeness deadlines are honored
-// by the frontier itself. Store writes are batched per worker. The
-// ranking decision is deliberately *absent* here — the paper's
-// architectural point is that the UpdateModule must sustain high page
-// throughput (their example: 100M pages/month needs ~40 pages/second)
-// precisely because it never waits for importance recomputation.
+// CrawlModule pair of Figure 12, built on the unified dispatcher
+// (dispatch.go): the claim loop claims due shards from the sharded
+// frontier and hands their head URLs to the worker pool ("multiple
+// CrawlModules may run in parallel, depending on how fast we need to
+// crawl pages", Section 5.3). A claimed shard is owned by one worker
+// until it releases it, so no two workers ever fetch from the same site
+// concurrently, and per-shard politeness deadlines are honored by the
+// frontier itself. Store writes are batched per worker. The ranking
+// decision is deliberately *absent* here — the paper's architectural
+// point is that the UpdateModule must sustain high page throughput
+// (their example: 100M pages/month needs ~40 pages/second) precisely
+// because it never waits for importance recomputation.
 // BenchmarkUpdateModuleThroughput measures this pipeline.
 type UpdatePipeline struct {
 	Fetcher fetch.Fetcher
@@ -70,97 +70,67 @@ func (u *UpdatePipeline) Run(now float64, n int) error {
 		u.lastSum = make(map[string]uint64)
 	}
 
-	type job struct {
-		url   string
-		shard int
+	// Per-worker store write buffers, flushed when full and again by
+	// the pool's worker-exit hook.
+	bufs := make([][]store.PageRecord, workers)
+	for w := range bufs {
+		bufs[w] = make([]store.PageRecord, 0, flushEvery)
 	}
-	jobs := make(chan job, workers)
-	var (
-		inflight atomic.Int64
-		stop     atomic.Bool
-		errMu    sync.Mutex
-		firstErr error
+	flush := func(w int) error {
+		if len(bufs[w]) == 0 {
+			return nil
+		}
+		if err := u.Store.PutBatch(bufs[w]); err != nil {
+			return err
+		}
+		bufs[w] = bufs[w][:0]
+		return nil
+	}
+	pool := newDispatchPool(workers,
+		func(w int, j *crawlJob) error {
+			rec, keep, err := u.processOne(j.url, now)
+			if err != nil {
+				return err
+			}
+			if keep {
+				bufs[w] = append(bufs[w], rec)
+				if len(bufs[w]) >= flushEvery {
+					return flush(w)
+				}
+			}
+			return nil
+		},
+		flush,
 	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		stop.Store(true)
-	}
 
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			buf := make([]store.PageRecord, 0, flushEvery)
-			flush := func() {
-				if len(buf) == 0 {
-					return
-				}
-				if err := u.Store.PutBatch(buf); err != nil {
-					fail(err)
-				}
-				buf = buf[:0]
+	err := pool.dispatchClaims(claimSpec{
+		coll:     u.Coll,
+		now:      func() float64 { return now },
+		maxQueue: int64(2 * workers), // claim just ahead of the workers
+		release:  func(shard int) { u.Coll.Release(shard, now) },
+		gate: func(dispatched, _ int64) gateDecision {
+			if dispatched >= int64(n) {
+				return gateDone
 			}
-			for j := range jobs {
-				if !stop.Load() {
-					rec, keep, err := u.processOne(j.url, now)
-					switch {
-					case err != nil:
-						fail(err)
-					case keep:
-						buf = append(buf, rec)
-						if len(buf) >= flushEvery {
-							flush()
-						}
-					}
-				}
-				// Release before decrementing: once inflight hits zero the
-				// dispatcher trusts the frontier to be fully visible.
-				u.Coll.Release(j.shard, now)
-				inflight.Add(-1)
+			return gateDispatch
+		},
+		idle: func(inflight int64, scans int) bool {
+			if inflight == 0 {
+				return false // drained: the loop already settled it
 			}
-			flush()
-		}()
+			// Workers are mid-fetch and hold the due shards. Yield
+			// first (fetches against a simulator return in
+			// microseconds); against slow real fetches, back off to
+			// brief sleeps instead of spinning a core on shard scans.
+			spinThenSleep(scans, 64, 500*time.Microsecond)
+			return true
+		},
+	})
+	if cerr := pool.close(); err == nil {
+		err = cerr
 	}
-
-	dispatched := 0
-	idleScans := 0
-	for dispatched < n && !stop.Load() {
-		e, sid, ok := u.Coll.ClaimDue(now)
-		if !ok {
-			if inflight.Load() == 0 {
-				// All workers idle and their reschedules visible; one
-				// last claim settles whether the frontier is drained.
-				if e, sid, ok = u.Coll.ClaimDue(now); !ok {
-					break
-				}
-			} else {
-				// Workers are mid-fetch and hold the due shards. Yield
-				// first (fetches against a simulator return in
-				// microseconds); against slow real fetches, back off to
-				// brief sleeps instead of spinning a core on shard
-				// scans.
-				if idleScans++; idleScans < 64 {
-					runtime.Gosched()
-				} else {
-					time.Sleep(500 * time.Microsecond)
-				}
-				continue
-			}
-		}
-		idleScans = 0
-		inflight.Add(1)
-		jobs <- job{url: e.URL, shard: sid}
-		dispatched++
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+	if err != nil {
+		return err
 	}
 	return shardSetErr(u.Coll)
 }

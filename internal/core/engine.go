@@ -3,260 +3,501 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
+	"sort"
 
 	"webevolve/internal/changefreq"
 	"webevolve/internal/fetch"
 	"webevolve/internal/frontier"
 	"webevolve/internal/scheduler"
 	"webevolve/internal/store"
+	"webevolve/internal/webgraph"
 )
 
-// This file is the concurrent dispatch core of the crawl engine: the
-// UpdateModule pops *batches* of due URLs from the sharded frontier,
-// hands them to a pool of CrawlModule workers over a channel, and then
-// applies the results in pop order with batched store writes and batched
-// change-frequency updates.
+// This file is the concurrent dispatch core of the crawl engine: a
+// pipeline over the unified dispatcher (dispatch.go). The UpdateModule
+// pops *rounds* of due URLs from the sharded frontier, hands them to
+// the worker pool grouped per site, and folds the results back in pop
+// order — and while round N's results are being folded in, rounds N+1
+// and N+2 are already popped and fetching on the same workers, so
+// fetch latency, per-URL estimator math, and apply CPU overlap instead
+// of serializing.
 //
-// Determinism is preserved by construction, so the simulated experiments
-// are reproducible at any worker count:
+// Determinism is preserved by construction, so the simulated
+// experiments are reproducible at any worker count:
 //
-//   - popBatch assigns each job its virtual fetch day while popping in
-//     global (due, priority, URL) order — exactly the schedule the
-//     sequential loop would have produced;
+//   - popSteadyRound assigns each job its virtual fetch day while
+//     popping in global (due, priority, URL) order — exactly the
+//     schedule the sequential loop would have produced. Popping ahead
+//     of unapplied rounds is safe inside the reschedule window: a
+//     round rescheduling a URL pushes it at least MinIntervalDays of
+//     virtual time past its fetch day, so as long as no job is popped
+//     at or past oldestUnappliedRoundStart + MinIntervalDays, the
+//     pending reschedules can neither be missed (they are not due yet)
+//     nor double-taken (their URLs left the frontier when popped). The
+//     pipelined pop sequence is therefore the sequential one.
 //
-//   - fetchBatch groups jobs by frontier shard and dispatches whole
-//     groups, so all fetches of one site run on one worker in virtual-day
-//     order (the simulated web advances per site and requires monotone
-//     fetch days within a site);
+//   - dispatchRound groups jobs by site, and the pool runs one site's
+//     groups strictly in submission order (dispatch.go's site lines),
+//     so all fetches of one site happen in virtual-day order even
+//     across overlapping rounds (the simulated web advances per site
+//     and requires monotone fetch days within a site). Groups go out
+//     largest-first (LPT), so a skewed round with one hot site cannot
+//     straggle behind the short groups.
 //
-//   - applyBatch mutates crawler state sequentially in pop order, so
-//     change detection, link discovery, and scheduling decisions are
-//     independent of worker interleaving.
+//   - The per-URL scheduling math — change detection, change-history
+//     recording, rate estimation — runs on the worker right after its
+//     fetch, against state resolved on the engine goroutine at pop
+//     time (the job carries its estimator and site-aggregate pointers,
+//     so workers never touch shared maps). A round's URLs are unique,
+//     overlapping rounds never share a URL (the reschedule window
+//     again), and a site's jobs are worker-serial, so every estimator
+//     and site aggregate still sees its observations strictly in pop
+//     order.
+//
+//   - What remains of the apply runs on the engine goroutine, split in
+//     two. applySchedule folds the round into everything the next pop
+//     depends on — metrics, checksum table, drops, reschedule
+//     commits — sequentially in pop order. applyContent (store
+//     PutBatch, link extraction into AllUrls, web-graph updates) only
+//     feeds the ranking pass, which never runs mid-round, so it is
+//     deferred to overlap with the younger rounds' in-flight fetches.
 
 // crawlJob is one unit of CrawlModule work: a URL with its assigned
-// virtual fetch day and its frontier shard.
+// virtual fetch day, the scheduling state resolved at pop time, and
+// the fetch/scheduling results the worker writes in place.
 type crawlJob struct {
-	idx   int // batch position; applyBatch replays results in this order
-	url   string
-	day   float64
-	shard int
+	idx  int // pop position; results are applied in this order
+	url  string
+	site string
+	day  float64
+
+	// Resolved on the engine goroutine at pop time, so workers never
+	// read shared maps.
+	prevSum uint64
+	seen    bool
+	est     *estimator
+	agg     *changefreq.SiteAggregate // nil unless SiteLevelStats
+
+	// Written by the worker.
+	res     fetch.Result
+	changed bool
+	rate    float64 // working change-rate estimate (hybrid policy)
+	pooled  bool    // an observation was added to agg
 }
 
-// popSteadyBatch pops the next dispatch round of due URLs for the
-// steady-mode loop, stamping each with the virtual day the sequential
-// crawler would have fetched it at. No job is scheduled at or past
-// horizon (the next rank/swap/stop event), and the batch never spans
-// more than MinIntervalDays of virtual time, so a URL rescheduled by
-// this batch can never have been due within it — which makes the pop
-// sequence identical to the sequential loop's.
-func (c *Crawler) popSteadyBatch(horizon, perFetch float64) []crawlJob {
-	maxJobs := c.cfg.DispatchBatch
-	if w := int(c.cfg.MinIntervalDays / perFetch); w < maxJobs {
-		maxJobs = w
-	}
-	if maxJobs < 1 {
-		maxJobs = 1
-	}
-	var jobs []crawlJob
-	d := c.day
-	for len(jobs) < maxJobs && d < horizon {
-		e, ok := c.coll.PopDue(d)
-		if !ok {
-			break
-		}
-		jobs = append(jobs, crawlJob{idx: len(jobs), url: e.URL, day: d, shard: c.coll.ShardOf(e.URL)})
-		d += perFetch
-	}
-	return jobs
+// outcome is applySchedule's per-job verdict, consumed by applyContent.
+type outcome struct {
+	job     *crawlJob
+	dropped bool // vanished page: content phase finishes the drop
 }
 
-// fetchBatch runs the jobs through the worker pool and returns their
-// results indexed like jobs. Jobs are grouped by shard and each group is
-// dispatched as a unit, preserving per-site fetch order.
-func (c *Crawler) fetchBatch(jobs []crawlJob) ([]fetch.Result, error) {
-	results := make([]fetch.Result, len(jobs))
-	if c.cfg.Workers <= 1 || len(jobs) <= 1 {
-		for _, j := range jobs {
-			res, err := c.fetcher.Fetch(j.url, j.day)
-			if err != nil {
-				return nil, fmt.Errorf("core: fetching %s: %w", j.url, err)
-			}
-			results[j.idx] = res
-		}
-		return results, nil
-	}
-
-	// Group by shard, keeping each group's jobs in day order.
-	order := make([]int, 0, len(jobs))
-	groups := make(map[int][]crawlJob, len(jobs))
-	for _, j := range jobs {
-		if _, ok := groups[j.shard]; !ok {
-			order = append(order, j.shard)
-		}
-		groups[j.shard] = append(groups[j.shard], j)
-	}
-	work := make(chan []crawlJob, len(order))
-	for _, sid := range order {
-		work <- groups[sid]
-	}
-	close(work)
-
-	workers := c.cfg.Workers
-	if workers > len(order) {
-		workers = len(order)
-	}
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-		failed   atomic.Bool
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for group := range work {
-				for _, j := range group {
-					// The whole batch is discarded on error; stop paying
-					// fetch latency for it as soon as any worker fails.
-					if failed.Load() {
-						return
-					}
-					res, err := c.fetcher.Fetch(j.url, j.day)
-					if err != nil {
-						err := fmt.Errorf("core: fetching %s: %w", j.url, err)
-						errOnce.Do(func() { firstErr = err })
-						failed.Store(true)
-						return
-					}
-					results[j.idx] = res
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
+// roundState is one dispatch round's reusable storage: the jobs in pop
+// order, their site grouping, and the pool completion handle.
+// Depth+1 instances rotate on the Crawler: one round being applied
+// while up to depth more fetch.
+type roundState struct {
+	jobs   []crawlJob
+	ptrs   []*crawlJob
+	groups []dispatchGroup
+	handle *roundHandle
+	err    error // pop-time failure (estimator construction)
 }
 
-// applyBatch folds a dispatch round's results into the crawler, in pop
-// order (Figure 11 steps [3]-[12], batched). Three passes:
-//
-//  1. change detection, metrics, link extraction and drops — everything
-//     that feeds AllUrls and the web graph, in pop order;
-//  2. one batched write of all crawled records to the collection;
-//  3. batched change-frequency updates and rescheduling.
-func (c *Crawler) applyBatch(jobs []crawlJob, results []fetch.Result) error {
-	type outcome struct {
-		job     crawlJob
-		changed bool
+func (r *roundState) reset() {
+	r.jobs = r.jobs[:0]
+	r.ptrs = r.ptrs[:0]
+	r.groups = r.groups[:0]
+	r.handle = nil
+	r.err = nil
+}
+
+// fetchJob is the dispatcher's work function: one CrawlModule fetch
+// plus the per-URL scheduling math that only depends on this URL's own
+// state — change detection against the checksum resolved at pop time,
+// the change-history observation, the site-aggregate pooling, and the
+// working-rate estimate. Everything it touches is either job-local or
+// serialized by the pool's per-site lines.
+func (c *Crawler) fetchJob(_ int, j *crawlJob) error {
+	res, err := c.fetcher.Fetch(j.url, j.day)
+	if err != nil {
+		return fmt.Errorf("core: fetching %s: %w", j.url, err)
 	}
-	live := make([]outcome, 0, len(jobs))
-	recs := make([]store.PageRecord, 0, len(jobs))
-
-	for i := range jobs {
-		j := jobs[i]
-		res := &results[i]
-		c.metrics.Fetches++
-		c.metrics.BytesFetched += int64(res.Size)
-		if res.NotFound {
-			c.metrics.NotFound++
-			c.dropPage(j.url)
-			continue
-		}
-		prevSum, seen := c.lastSum[j.url]
-		changed := seen && prevSum != res.Checksum
-		if changed {
-			c.metrics.ChangesDetected++
-		}
-		if !seen {
-			c.metrics.NewPages++
-		}
-		c.lastSum[j.url] = res.Checksum
-
-		rec := store.PageRecord{
-			URL:        j.url,
-			Checksum:   res.Checksum,
-			FetchedAt:  j.day,
-			Version:    res.Version,
-			Links:      res.Links,
-			Importance: c.importance[j.url],
-		}
-		if c.cfg.StoreContent {
-			rec.Content = res.Content
-		}
-		recs = append(recs, rec)
-		c.all.SetInCollection(j.url, true)
-
-		// Figure 11 steps [11]-[12]: extract URLs, extend AllUrls; also
-		// feed the link structure the RankingModule scans.
-		c.graph.SetLinks(j.url, res.Links)
-		for _, l := range res.Links {
-			c.all.AddLink(j.url, l, j.day)
-		}
-		live = append(live, outcome{job: j, changed: changed})
+	j.res = res
+	if res.NotFound {
+		return nil
 	}
-
-	if len(recs) > 0 {
-		if err := c.writeTarget().PutBatch(recs); err != nil {
-			return fmt.Errorf("core: storing batch: %w", err)
-		}
+	j.changed = j.seen && j.prevSum != res.Checksum
+	prevVisit, hadVisit := j.est.hist.Last()
+	if err := j.est.record(changefreq.Observation{Time: j.day, Changed: j.changed}, c.cfg.HistoryWindowDays); err != nil {
+		return fmt.Errorf("core: %s: %w", j.url, err)
 	}
-
-	// Reschedules are accumulated and shipped as one PushBatch: the
-	// final frontier state is push-order independent, and a remote
-	// frontier pays one round trip per server per dispatch round
-	// instead of one per URL.
-	pushes := make([]frontier.Entry, 0, len(live))
-	for _, o := range live {
-		j := o.job
-		est, ok := c.est[j.url]
-		if !ok {
-			var err error
-			est, err = newEstimator(c.cfg.Estimator)
-			if err != nil {
-				return err
-			}
-			c.est[j.url] = est
-		}
-		prevVisit, hadVisit := est.hist.Last()
-		if err := est.record(changefreq.Observation{Time: j.day, Changed: o.changed}, c.cfg.HistoryWindowDays); err != nil {
-			return fmt.Errorf("core: %s: %w", j.url, err)
-		}
-		if c.siteStats != nil && hadVisit && j.day > prevVisit {
-			c.siteStats.update(j.url, j.day, j.day-prevVisit, o.changed)
-		}
-		interval := c.policy.Interval(j.url, c.workingRate(j.url, est), c.importance[j.url])
-		interval = scheduler.Clamp(interval, c.cfg.MinIntervalDays, c.cfg.MaxIntervalDays)
-		pushes = append(pushes, frontier.Entry{URL: j.url, Due: j.day + interval, Priority: c.importance[j.url]})
+	if j.agg != nil && hadVisit && j.day > prevVisit {
+		poolSiteObservation(j.agg, j.day, j.day-prevVisit, j.changed)
+		j.pooled = true
 	}
-	if len(pushes) > 0 {
-		c.coll.PushBatch(pushes)
+	j.rate = c.hybridRate(j)
+	return nil
+}
+
+// hybridRate is the worker-side working-rate estimate: the page's own
+// rate once its history is long enough, the pooled site rate before
+// that (sitestats.go; mirrors Crawler.workingRate over pop-time
+// resolved pointers).
+func (c *Crawler) hybridRate(j *crawlJob) float64 {
+	pageRate := j.est.rate()
+	if j.agg == nil || j.est.hist.Accesses() >= c.cfg.SiteStatsMinSamples {
+		return pageRate
+	}
+	if est, err := j.agg.Estimate(); err == nil {
+		return est.Rate
+	}
+	return pageRate
+}
+
+// resolveJob fills a job's pop-time scheduling state.
+func (c *Crawler) resolveJob(j *crawlJob) error {
+	j.site = webgraph.SiteOf(j.url)
+	j.prevSum, j.seen = c.lastSum[j.url]
+	est, ok := c.est[j.url]
+	if !ok {
+		var err error
+		est, err = newEstimator(c.cfg.Estimator)
+		if err != nil {
+			return err
+		}
+		c.est[j.url] = est
+	}
+	j.est = est
+	if c.siteStats != nil {
+		j.agg = c.siteStats.entry(j.site)
 	}
 	return nil
 }
 
-// crawlRound pops, fetches, and applies one dispatch round of the
-// steady loop, advancing virtual time past the last fetch. It reports
-// whether any job was dispatched.
-func (c *Crawler) crawlRound(horizon, perFetch float64) (bool, error) {
-	jobs := c.popSteadyBatch(horizon, perFetch)
-	if len(jobs) == 0 {
-		return false, nil
+// steadyRoundCap returns the pipeline depth and per-round job cap for
+// the steady loop. With BatchSync the engine reverts to the pre-
+// pipelining shape: one round in flight, capped to the reschedule
+// window, no gap jumping.
+func (c *Crawler) steadyRoundCap(perFetch float64) (depth, maxJobs int) {
+	maxJobs = c.cfg.DispatchBatch
+	if c.cfg.BatchSync {
+		if w := int(c.cfg.MinIntervalDays / perFetch); w < maxJobs {
+			maxJobs = w
+		}
+		if maxJobs < 1 {
+			maxJobs = 1
+		}
+		return 1, maxJobs
 	}
-	results, err := c.fetchBatch(jobs)
-	if err != nil {
-		return true, err
+	return 4, maxJobs
+}
+
+// popSteadyRound pops the next dispatch round of due URLs for the
+// steady-mode loop, stamping each with the virtual day the sequential
+// crawler would have fetched it at, and advances virtual time past the
+// last fetch. Gaps in the due schedule are idled over inside the round
+// (exactly the jumps the sequential loop's idle path would take, with
+// the same IdleDays accounting), so sparse trickles of due URLs still
+// fill whole rounds and fetch in parallel.
+//
+// No job is scheduled at or past horizon (the next rank/swap/stop
+// event) or past the reschedule window: windowFloor is the first pop
+// day of the oldest round whose reschedules have not yet committed
+// (+Inf when everything is applied), and no pop may reach
+// windowFloor + MinIntervalDays — nor stray more than MinIntervalDays
+// past this round's own first job. Within those bounds the pipelined
+// pop sequence is exactly the sequential loop's (see the file
+// comment).
+func (c *Crawler) popSteadyRound(r *roundState, horizon, perFetch float64, maxJobs int, windowFloor float64) {
+	r.reset()
+	d := c.day
+	limit := horizon
+	if !math.IsInf(windowFloor, 1) {
+		limit = math.Min(limit, windowFloor+c.cfg.MinIntervalDays)
 	}
-	if err := c.applyBatch(jobs, results); err != nil {
-		return true, err
+	for len(r.jobs) < maxJobs && d < limit {
+		e, ok := c.rounds.popDue(d)
+		if !ok {
+			if c.cfg.BatchSync {
+				break // pre-pipelining rounds end at the first gap
+			}
+			// Nothing due at d: jump to the next poppable instant if it
+			// is still inside this round's window; otherwise leave the
+			// remaining idle time to the steady loop.
+			ev, evOK := c.rounds.nextEvent()
+			if !evOK || ev >= limit || ev <= d {
+				break
+			}
+			c.metrics.IdleDays += ev - d
+			d = ev
+			continue
+		}
+		r.jobs = append(r.jobs, crawlJob{idx: len(r.jobs), url: e.URL, day: d})
+		if err := c.resolveJob(&r.jobs[len(r.jobs)-1]); err != nil {
+			// Drop the half-resolved job: dispatching it would hand the
+			// workers a nil estimator. The error still ends the run via
+			// roundState.err.
+			r.jobs = r.jobs[:len(r.jobs)-1]
+			r.err = err
+			break
+		}
+		if len(r.jobs) == 1 {
+			// This round's own reschedules bound how far it may span.
+			limit = math.Min(limit, d+c.cfg.MinIntervalDays)
+		}
+		d += perFetch
 	}
-	c.day = jobs[len(jobs)-1].day + perFetch
-	return true, nil
+	if n := len(r.jobs); n > 0 {
+		c.day = r.jobs[n-1].day + perFetch
+	}
+}
+
+// dispatchRound groups the round's jobs by site and starts them on the
+// worker pool. Jobs of one site form one group, kept in pop (and
+// therefore day) order and keyed by site, so the pool's per-site lines
+// keep a site's fetches ordered even across overlapping rounds; groups
+// are dispatched largest-first so the longest site cannot become the
+// round's straggler.
+func (c *Crawler) dispatchRound(r *roundState) {
+	for i := range r.jobs {
+		r.ptrs = append(r.ptrs, &r.jobs[i])
+	}
+	if len(r.jobs) > 1 {
+		// Group by site: stable-sort the job pointers by site, keeping
+		// pop order within a site, then slice out the runs.
+		sort.SliceStable(r.ptrs, func(i, j int) bool {
+			return r.ptrs[i].site < r.ptrs[j].site
+		})
+		start := 0
+		for i := 1; i <= len(r.ptrs); i++ {
+			if i < len(r.ptrs) && r.ptrs[i].site == r.ptrs[start].site {
+				continue
+			}
+			r.groups = append(r.groups, dispatchGroup{jobs: r.ptrs[start:i], site: r.ptrs[start].site})
+			start = i
+		}
+		// Largest group first (LPT): the round finishes when its last
+		// group does, so long groups must start early. Ties break by
+		// first-job pop position to keep dispatch deterministic.
+		sort.SliceStable(r.groups, func(i, j int) bool {
+			if len(r.groups[i].jobs) != len(r.groups[j].jobs) {
+				return len(r.groups[i].jobs) > len(r.groups[j].jobs)
+			}
+			return r.groups[i].jobs[0].idx < r.groups[j].jobs[0].idx
+		})
+	} else {
+		r.groups = append(r.groups, dispatchGroup{jobs: r.ptrs, site: r.ptrs[0].site})
+	}
+	r.handle = c.pool.startRound(r.groups)
+}
+
+// pipelineRounds drives the pipeline: popNext fills the next round
+// (empty = stop), receiving the first pop day of the oldest round
+// whose reschedules are still uncommitted (+Inf when none are). Up to
+// depth rounds fetch on the pool while the oldest completed round is
+// applied; the frontier-facing schedule phase runs as soon as a
+// round's fetches land, and the content phase overlaps the younger
+// rounds' in-flight fetches. It reports whether any round was
+// dispatched.
+//
+// With Config.BatchSync set (depth 1, content applied before the next
+// pop), the loop degenerates to the pre-pipelining batch-synchronous
+// behavior, kept for A/B benchmarking.
+func (c *Crawler) pipelineRounds(depth int, popNext func(r *roundState, windowFloor float64)) (bool, error) {
+	if depth < 1 {
+		depth = 1
+	}
+	// depth rounds in flight plus the one being applied.
+	for len(c.roundBufs) < depth+1 {
+		c.roundBufs = append(c.roundBufs, &roundState{})
+	}
+	free := append([]*roundState(nil), c.roundBufs[:depth+1]...)
+	var inflight []*roundState
+	var popErr error
+	dispatch := func() bool {
+		if popErr != nil {
+			return false
+		}
+		floor := math.Inf(1)
+		if len(inflight) > 0 {
+			floor = inflight[0].jobs[0].day
+		}
+		r := free[0]
+		popNext(r, floor)
+		if r.err != nil {
+			popErr = r.err
+		}
+		if len(r.jobs) == 0 {
+			return false
+		}
+		free = free[1:]
+		c.dispatchRound(r)
+		inflight = append(inflight, r)
+		return true
+	}
+	abort := func() {
+		handles := make([]*roundHandle, len(inflight))
+		for i, r := range inflight {
+			handles[i] = r.handle
+		}
+		c.pool.abort(handles)
+	}
+	// Prime the pipeline to its depth.
+	for i := 0; i < depth && dispatch(); i++ {
+	}
+	if len(inflight) == 0 {
+		return false, popErr
+	}
+	for len(inflight) > 0 {
+		cur := inflight[0]
+		if err := c.pool.wait(cur.handle); err != nil {
+			inflight = inflight[1:]
+			abort()
+			return true, err
+		}
+		inflight = inflight[1:]
+		if err := c.applySchedule(cur); err != nil {
+			abort()
+			return true, err
+		}
+		if c.cfg.BatchSync {
+			if err := c.applyContent(cur); err != nil {
+				abort()
+				return true, err
+			}
+		}
+		// Top the pipeline back up, then fold in cur's content while
+		// the younger rounds fetch.
+		for len(inflight) < depth && dispatch() {
+		}
+		if !c.cfg.BatchSync {
+			if err := c.applyContent(cur); err != nil {
+				abort()
+				return true, err
+			}
+		}
+		free = append(free, cur)
+	}
+	return true, popErr
+}
+
+// applySchedule is the frontier phase of folding a round in (Figure 11
+// steps [3]-[12], batched): sequentially in pop order, it counts
+// metrics, folds the workers' change verdicts into the checksum table,
+// turns their rate estimates into reschedule intervals, and commits
+// all frontier mutations (drops and one PushBatch) — everything the
+// next round's pop depends on. Results land in c.live for the content
+// phase.
+func (c *Crawler) applySchedule(r *roundState) error {
+	// First consumer of the revisit plan after a ranking pass: wait
+	// out the plan rebuild that overlapped this round's fetches.
+	if err := c.joinRebuild(); err != nil {
+		return err
+	}
+	c.live = c.live[:0]
+	c.pushes = c.pushes[:0]
+	c.removes = c.removes[:0]
+
+	for i := range r.jobs {
+		j := &r.jobs[i]
+		c.metrics.Fetches++
+		c.metrics.BytesFetched += int64(j.res.Size)
+		if j.res.NotFound {
+			c.metrics.NotFound++
+			c.dropSchedule(j.url)
+			c.live = append(c.live, outcome{job: j, dropped: true})
+			continue
+		}
+		if j.changed {
+			c.metrics.ChangesDetected++
+		}
+		if !j.seen {
+			c.metrics.NewPages++
+		}
+		c.lastSum[j.url] = j.res.Checksum
+		if j.pooled {
+			c.siteStats.noteContribution(j.url)
+		}
+		interval := c.policy.Interval(j.url, j.rate, c.importance[j.url])
+		interval = scheduler.Clamp(interval, c.cfg.MinIntervalDays, c.cfg.MaxIntervalDays)
+		c.pushes = append(c.pushes, frontier.Entry{URL: j.url, Due: j.day + interval, Priority: c.importance[j.url]})
+		c.live = append(c.live, outcome{job: j})
+	}
+
+	// Reschedules ship as one batch: the final frontier state is
+	// push-order independent, and a remote frontier pays one round trip
+	// per server per dispatch round instead of one per URL (together
+	// with the round's pops and drops — see rounds.go). Only the
+	// steady loop pops from the frontier, so only it needs the commit
+	// to return fresh pop candidates.
+	c.rounds.commitRound(c.removes, c.pushes, c.cfg.Mode != Batch)
+	return nil
+}
+
+// dropSchedule is the frontier/estimator half of dropping a vanished
+// page: everything the next pop or estimator update could observe. The
+// store/graph half runs in applyContent.
+func (c *Crawler) dropSchedule(url string) {
+	c.removes = append(c.removes, url)
+	delete(c.est, url)
+	delete(c.lastSum, url)
+	if c.siteStats != nil {
+		c.siteStats.forget(url)
+	}
+}
+
+// applyContent is the deferred heavy phase: store writes, link
+// extraction into AllUrls, and web-graph updates for the round's
+// outcomes, still in pop order. Nothing here is read by popping or
+// scheduling, only by the ranking pass and by readers of the
+// collection — which never run mid-round — so this phase overlaps the
+// younger rounds' fetches.
+func (c *Crawler) applyContent(r *roundState) error {
+	c.recs = c.recs[:0]
+	for _, o := range c.live {
+		j := o.job
+		if o.dropped {
+			_ = c.shadowed.Current().Delete(j.url)
+			if c.cfg.Update == Shadow {
+				_ = c.shadowed.Shadow().Delete(j.url)
+			}
+			c.all.SetInCollection(j.url, false)
+			c.graph.RemovePage(j.url)
+			continue
+		}
+		rec := store.PageRecord{
+			URL:        j.url,
+			Checksum:   j.res.Checksum,
+			FetchedAt:  j.day,
+			Version:    j.res.Version,
+			Links:      j.res.Links,
+			Importance: c.importance[j.url],
+		}
+		if c.cfg.StoreContent {
+			rec.Content = j.res.Content
+		}
+		c.recs = append(c.recs, rec)
+		c.all.SetInCollection(j.url, true)
+
+		// Figure 11 steps [11]-[12]: extract URLs, extend AllUrls; also
+		// feed the link structure the RankingModule scans. A revisit
+		// with an unchanged checksum has byte-identical content and
+		// therefore identical links, all already in the graph and in
+		// AllUrls from its last visit — skip the re-walk (and its
+		// allocations) entirely.
+		if j.changed || !j.seen {
+			c.graph.SetLinks(j.url, j.res.Links)
+			for _, l := range j.res.Links {
+				c.all.AddLink(j.url, l, j.day)
+			}
+		}
+	}
+	if len(c.recs) > 0 {
+		if err := c.writeTarget().PutBatch(c.recs); err != nil {
+			return fmt.Errorf("core: storing batch: %w", err)
+		}
+	}
+	return nil
 }
 
 // steadyHorizon is the virtual instant the steady loop must pause

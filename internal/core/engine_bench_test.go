@@ -5,41 +5,57 @@ import (
 	"testing"
 	"time"
 
+	"webevolve/internal/cluster"
 	"webevolve/internal/fetch"
+	"webevolve/internal/frontier"
 	"webevolve/internal/simweb"
 )
 
-// benchmarkEngineWorkers measures end-to-end crawl throughput of the
-// sharded engine at a given worker count, against a simulated web served
-// through a fixed per-fetch latency (the regime where parallel
-// CrawlModules pay off — real crawls are network-bound). Reported
-// pages/s should scale with workers until the latency is fully hidden.
-func benchmarkEngineWorkers(b *testing.B, workers int, delay time.Duration) {
+// benchWeb is the shared simulated web of the engine benchmarks.
+func benchWeb(b *testing.B) *simweb.Web {
+	b.Helper()
+	w, err := simweb.New(simweb.Config{
+		Seed: 42,
+		SitesPerDomain: map[simweb.Domain]int{
+			simweb.Com: 12, simweb.Edu: 6, simweb.NetOrg: 3, simweb.Gov: 3,
+		},
+		PagesPerSite: 60,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// benchmarkEngine measures end-to-end crawl throughput of the engine
+// against a simulated web served through a fixed per-fetch latency
+// (the regime where parallel CrawlModules pay off — real crawls are
+// network-bound). mutate tweaks the canonical config; newFrontier, if
+// non-nil, builds a frontier per iteration (the remote variants).
+func benchmarkEngine(b *testing.B, workers, shards int, delay time.Duration,
+	mutate func(*Config), newFrontier func(b *testing.B) frontier.ShardSet) {
 	b.Helper()
 	var pages int64
 	var elapsed time.Duration
 	for i := 0; i < b.N; i++ {
-		w, err := simweb.New(simweb.Config{
-			Seed: 42,
-			SitesPerDomain: map[simweb.Domain]int{
-				simweb.Com: 8, simweb.Edu: 4, simweb.NetOrg: 2, simweb.Gov: 2,
-			},
-			PagesPerSite: 60,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
+		w := benchWeb(b)
 		cfg := Config{
 			Seeds:          w.RootURLs(),
-			CollectionSize: 600,
-			PagesPerDay:    600,
+			CollectionSize: 900,
+			PagesPerDay:    900,
 			CycleDays:      5,
-			RankEveryDays:  1,
+			RankEveryDays:  2,
 			Freq:           VariableFreq,
 			Estimator:      EstimatorEP,
 			Workers:        workers,
-			Shards:         32,
+			Shards:         shards,
 			DispatchBatch:  8 * workers,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		if newFrontier != nil {
+			cfg.Frontier = newFrontier(b)
 		}
 		c, err := New(cfg, fetch.Delayed{Base: fetch.NewSimFetcher(w), Delay: delay})
 		if err != nil {
@@ -56,12 +72,70 @@ func benchmarkEngineWorkers(b *testing.B, workers int, delay time.Duration) {
 	b.ReportMetric(float64(pages)/float64(b.N), "fetches/run")
 }
 
+// BenchmarkEngine is the canonical engine benchmark: 8 workers at a
+// 200µs simulated fetch latency, pipelined dispatch (the default).
+// Compare against BenchmarkEngineBatchSync — the same configuration
+// with the pre-pipelining batch-synchronous dispatch — for the win of
+// overlapping fetch latency with apply CPU; `make bench` records both
+// in BENCH_engine.json.
+func BenchmarkEngine(b *testing.B) {
+	benchmarkEngine(b, 8, 32, 200*time.Microsecond, nil, nil)
+}
+
+// BenchmarkEngineBatchSync runs BenchmarkEngine's exact configuration
+// with Config.BatchSync set: one round in flight, fully applied before
+// the next pop — the dispatch discipline the engine used before the
+// pipelined dispatcher.
+func BenchmarkEngineBatchSync(b *testing.B) {
+	benchmarkEngine(b, 8, 32, 200*time.Microsecond,
+		func(cfg *Config) { cfg.BatchSync = true }, nil)
+}
+
+// BenchmarkEngineRemote is BenchmarkEngine with the frontier behind
+// loopback shard servers: the batched round protocol (one opRound trip
+// per server per dispatch round) must keep remote throughput within 2x
+// of local, where per-URL pops used to cost 2.2-3.2x.
+func BenchmarkEngineRemote(b *testing.B) {
+	for _, servers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			benchmarkEngine(b, 8, 32, 200*time.Microsecond, nil,
+				func(b *testing.B) frontier.ShardSet {
+					return loopbackShards(b, servers, 32/servers)
+				})
+		})
+	}
+}
+
+// loopbackShards builds an in-process shard-server cluster over
+// net.Pipe and returns its client.
+func loopbackShards(b *testing.B, n, shardsEach int) frontier.ShardSet {
+	b.Helper()
+	servers := make([]*cluster.ShardServer, n)
+	for i := range servers {
+		servers[i] = cluster.NewShardServer(frontier.NewSharded(shardsEach))
+	}
+	rs, err := cluster.Loopback(servers, cluster.Options{PolitenessDays: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := rs.Err(); err != nil {
+			b.Fatal(err)
+		}
+		rs.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	return rs
+}
+
 // BenchmarkCrawlEngineWorkers compares 1-worker vs N-worker crawls over
 // the same simulated web at a 200µs simulated fetch latency.
 func BenchmarkCrawlEngineWorkers(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			benchmarkEngineWorkers(b, workers, 200*time.Microsecond)
+			benchmarkEngine(b, workers, 32, 200*time.Microsecond, nil, nil)
 		})
 	}
 }
@@ -72,7 +146,20 @@ func BenchmarkCrawlEngineWorkers(b *testing.B) {
 func BenchmarkCrawlEngineZeroLatency(b *testing.B) {
 	for _, workers := range []int{1, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			benchmarkEngineWorkers(b, workers, 0)
+			benchmarkEngine(b, workers, 32, 0, nil, nil)
+		})
+	}
+}
+
+// BenchmarkEngineSkewedShards is the satellite skew case: only two
+// frontier shards, so the pre-pipelining dispatcher (which grouped
+// fetch batches by shard) could never keep more than two workers busy.
+// The dispatcher now groups by site and chains per-site order across
+// rounds, so 8 workers scale with the number of *sites*, not shards.
+func BenchmarkEngineSkewedShards(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchmarkEngine(b, workers, 2, 200*time.Microsecond, nil, nil)
 		})
 	}
 }

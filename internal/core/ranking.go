@@ -19,6 +19,11 @@ import (
 // from the UpdateModule's per-page work; here that cadence is
 // Config.RankEveryDays.
 func (c *Crawler) rankingPass() error {
+	// A still-running rebuild from the previous pass reads from the
+	// same plan this pass snapshots and replaces; settle it first.
+	if err := c.joinRebuild(); err != nil {
+		return err
+	}
 	c.metrics.RankPasses++
 	snap := c.graph.Snapshot()
 	ranks, _, err := pagerank.Pages(snap, pagerank.Options{Damping: 0.9})
@@ -43,13 +48,35 @@ func (c *Crawler) rankingPass() error {
 			rates[u] = r
 		}
 		if len(rates) > 0 {
-			if err := c.optimal.Rebuild(rates); err != nil {
-				return err
-			}
+			// The rebuild (a Lagrange-multiplier search, the most
+			// expensive part of the pass) runs concurrently with the
+			// post-rank rounds' fetches: nothing between here and the
+			// next applySchedule reads the revisit plan — the paper's
+			// point exactly, the UpdateModule never waits for the
+			// RankingModule. joinRebuild synchronizes before the plan
+			// is first consulted, and the result is a pure function of
+			// the rates snapshot taken above, so timing cannot change
+			// it.
+			done := make(chan error, 1)
+			c.rebuildDone = done
+			go func() { done <- c.optimal.Rebuild(rates) }()
 		}
 	}
 
 	return c.refine(ranks)
+}
+
+// joinRebuild waits out any in-flight revisit-plan rebuild. It must be
+// called before anything reads the Optimal plan (policy.Interval in
+// applySchedule, the next pass's workingRate snapshot) and before the
+// crawler returns to its caller.
+func (c *Crawler) joinRebuild() error {
+	if c.rebuildDone == nil {
+		return nil
+	}
+	err := <-c.rebuildDone
+	c.rebuildDone = nil
+	return err
 }
 
 // refine implements the refinement decision (Section 5.2): replace

@@ -34,21 +34,34 @@ func newSiteStats() *siteStats {
 	}
 }
 
-// update pools the not-yet-contributed tail of a page's history. The
-// SiteAggregate API pools whole histories; to keep pooling incremental we
-// track per-page contribution counts and add a single-interval history
-// for each new observation.
-func (s *siteStats) update(url string, obsTime float64, gap float64, changed bool) {
-	host := webgraph.SiteOf(url)
-	agg, ok := s.bySite[host]
+// entry returns (creating if needed) the pooled aggregate for a site.
+// Called on the engine goroutine at pop time, so workers receive a
+// stable pointer and never touch the map (engine.go's fetchJob).
+func (s *siteStats) entry(site string) *changefreq.SiteAggregate {
+	agg, ok := s.bySite[site]
 	if !ok {
 		agg = &changefreq.SiteAggregate{}
-		s.bySite[host] = agg
+		s.bySite[site] = agg
 	}
+	return agg
+}
+
+// poolSiteObservation pools one visit observation into a site
+// aggregate. The SiteAggregate API pools whole histories; adding a
+// single-interval history per observation keeps pooling incremental.
+// Runs on the worker that fetched the page: per-site ordering is
+// guaranteed by the dispatcher's site lines.
+func poolSiteObservation(agg *changefreq.SiteAggregate, obsTime, gap float64, changed bool) {
 	h := &changefreq.History{}
 	_ = h.Record(changefreq.Observation{Time: obsTime - gap})
 	_ = h.Record(changefreq.Observation{Time: obsTime, Changed: changed})
 	agg.Add(h)
+}
+
+// noteContribution records that one more of a page's intervals has
+// been pooled (engine-goroutine bookkeeping for the worker-side
+// poolSiteObservation).
+func (s *siteStats) noteContribution(url string) {
 	s.contributed[url]++
 }
 

@@ -237,6 +237,135 @@ func (q *Sharded) PopDueMatch(now float64, url string, claim bool) (Entry, int, 
 	return got, sid, true
 }
 
+// topNLocked returns the shard's first n entries in pop order without
+// mutating the heap: a best-first walk over the heap array driven by a
+// small index heap (O(n log n), no per-entry allocation beyond the
+// result). Caller holds s.mu.
+func (s *shard) topNLocked(n int) []Entry {
+	if n <= 0 || len(s.h) == 0 {
+		return nil
+	}
+	if n > len(s.h) {
+		n = len(s.h)
+	}
+	// idxs is a min-heap of positions into s.h, ordered by the entry
+	// comparator; the heap-array children of a popped position are the
+	// only new candidates for the next-smallest entry.
+	idxs := make([]int, 1, 2*n+1)
+	idxs[0] = 0
+	less := func(a, b int) bool { return s.h.Less(idxs[a], idxs[b]) }
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			sm := i
+			if l < len(idxs) && less(l, sm) {
+				sm = l
+			}
+			if r < len(idxs) && less(r, sm) {
+				sm = r
+			}
+			if sm == i {
+				return
+			}
+			idxs[i], idxs[sm] = idxs[sm], idxs[i]
+			i = sm
+		}
+	}
+	up := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(i, p) {
+				return
+			}
+			idxs[i], idxs[p] = idxs[p], idxs[i]
+			i = p
+		}
+	}
+	out := make([]Entry, 0, n)
+	for len(out) < n && len(idxs) > 0 {
+		head := idxs[0]
+		ent := *s.h[head]
+		ent.index = 0 // the heap position is meaningless in a copy
+		out = append(out, ent)
+		last := len(idxs) - 1
+		idxs[0] = idxs[last]
+		idxs = idxs[:last]
+		down(0)
+		if l := 2*head + 1; l < len(s.h) {
+			idxs = append(idxs, l)
+			up(len(idxs) - 1)
+		}
+		if r := 2*head + 2; r < len(s.h) {
+			idxs = append(idxs, r)
+			up(len(idxs) - 1)
+		}
+	}
+	return out
+}
+
+// PeekN returns the first n entries of the global pop order (due
+// ascending, then priority descending, then URL), without removing
+// anything and ignoring politeness deadlines and claims — the peek
+// half of the batched round protocol, which only runs with a zero
+// politeness gap and no claim users (see ApplyRound). complete reports
+// that the returned entries are the entire queue.
+func (q *Sharded) PeekN(n int) ([]Entry, bool) {
+	total := 0
+	var out []Entry
+	for _, s := range q.shards {
+		s.mu.Lock()
+		total += len(s.h)
+		out = append(out, s.topNLocked(n)...)
+		s.mu.Unlock()
+	}
+	// Per-shard top-n suffices: the global first n entries draw at most
+	// n from any one shard.
+	sort.Slice(out, func(i, j int) bool { return entryBefore(out[i], out[j]) })
+	complete := total <= n
+	if n < 0 {
+		n = 0
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, complete
+}
+
+// ApplyRound applies one crawl-engine dispatch round in a single call:
+// pops (entries the engine already consumed from a previous PeekN
+// prefix), removes (dropped pages; absent URLs are fine), then pushes —
+// and returns the next peekMax pop candidates. With a zero politeness
+// gap a pop is exactly a removal, so the round folds into plain queue
+// operations; with a gap configured the round protocol is unsound
+// (candidates could not see politeness deadlines) and ok is false with
+// nothing applied. bound/boundOK mark the exactness limit of the
+// candidates: entries not returned order strictly after bound (boundOK
+// false means cands is the whole queue).
+//
+// It is the server-side half of the cluster's opRound op, and the
+// in-process frontier serves it too, so the engine drives local and
+// remote shards through one code path (core's frontierRounds).
+func (q *Sharded) ApplyRound(pops, removes []string, pushes []Entry, peekMax int) (cands []Entry, bound Entry, boundOK, ok bool) {
+	if q.Politeness() > 0 {
+		return nil, Entry{}, false, false
+	}
+	for _, u := range pops {
+		q.Remove(u)
+	}
+	for _, u := range removes {
+		q.Remove(u)
+	}
+	q.PushBatch(pushes)
+	if peekMax <= 0 {
+		return nil, Entry{}, false, true
+	}
+	cands, complete := q.PeekN(peekMax)
+	if !complete && len(cands) > 0 {
+		bound, boundOK = cands[len(cands)-1], true
+	}
+	return cands, bound, boundOK, true
+}
+
 // Release returns a claimed shard to the pool and sets its politeness
 // deadline: no entry will be popped from it before nextReady.
 func (q *Sharded) Release(shard int, nextReady float64) {

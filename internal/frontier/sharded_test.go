@@ -396,3 +396,76 @@ func TestShardedClearClaims(t *testing.T) {
 		t.Fatal("claim failed after ClearClaims")
 	}
 }
+
+// TestShardedPeekN: the candidate peek returns exactly the prefix a
+// sequence of unconstrained pops would produce, flags completeness,
+// and leaves the queue untouched.
+func TestShardedPeekN(t *testing.T) {
+	q := NewSharded(4)
+	const n = 40
+	for i := 0; i < n; i++ {
+		q.Push(urlOn(i%7, i), float64((i*5)%11), float64(i%3))
+	}
+	for _, k := range []int{1, 5, n - 1, n, n + 10} {
+		cands, complete := q.PeekN(k)
+		if wantComplete := k >= n; complete != wantComplete {
+			t.Fatalf("PeekN(%d): complete=%v, want %v", k, complete, wantComplete)
+		}
+		want := k
+		if want > n {
+			want = n
+		}
+		if len(cands) != want {
+			t.Fatalf("PeekN(%d) returned %d entries, want %d", k, len(cands), want)
+		}
+		if q.Len() != n {
+			t.Fatalf("PeekN(%d) mutated the queue: Len=%d", k, q.Len())
+		}
+	}
+	// The full peek must equal draining the queue by Pop.
+	cands, _ := q.PeekN(n)
+	for i := 0; i < n; i++ {
+		e, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.URL != cands[i].URL || e.Due != cands[i].Due || e.Priority != cands[i].Priority {
+			t.Fatalf("PeekN[%d] = %+v, Pop yielded %+v", i, cands[i], e)
+		}
+	}
+}
+
+// TestShardedApplyRound: pops and drops leave, pushes land, candidates
+// come back in order with a correct bound.
+func TestShardedApplyRound(t *testing.T) {
+	q := NewSharded(4)
+	for i := 0; i < 10; i++ {
+		q.Push(urlOn(i, i), float64(i), 0)
+	}
+	cands, _, _, ok := q.ApplyRound(nil, nil, nil, 4)
+	if !ok || len(cands) != 4 {
+		t.Fatalf("peek round: ok=%v cands=%v", ok, cands)
+	}
+	pops := []string{cands[0].URL, cands[1].URL}
+	pushes := []Entry{{URL: cands[0].URL, Due: 100}}
+	removes := []string{cands[2].URL, "http://nowhere.example/x"}
+	next, bound, bounded, ok := q.ApplyRound(pops, removes, pushes, 3)
+	if !ok {
+		t.Fatal("round refused")
+	}
+	if q.Len() != 8 { // 10 - 2 pops - 1 real remove + 1 push
+		t.Fatalf("Len = %d after round, want 8", q.Len())
+	}
+	if len(next) != 3 || next[0].URL != cands[3].URL {
+		t.Fatalf("candidates after round: %+v (had %+v)", next, cands)
+	}
+	if !bounded || bound != next[len(next)-1] {
+		t.Fatalf("bound = %+v (%v), want last candidate %+v", bound, bounded, next[len(next)-1])
+	}
+	if q.Contains(cands[2].URL) {
+		t.Fatal("removed URL still present")
+	}
+	if !q.Contains(cands[0].URL) {
+		t.Fatal("re-pushed URL missing")
+	}
+}

@@ -1,0 +1,47 @@
+// Package profiles wires -cpuprofile/-memprofile flags into the crawl
+// binaries, so perf regressions can be diagnosed with pprof without
+// recompiling (crawlsim and webcrawl both expose the flags).
+package profiles
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges
+// a heap profile at memPath (when non-empty). The returned stop
+// function finishes both; it is safe to call exactly once, and must be
+// called on the normal exit path (os.Exit skips deferred calls).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+			}
+		}
+	}, nil
+}

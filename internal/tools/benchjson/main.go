@@ -1,0 +1,93 @@
+// Command benchjson converts `go test -bench` output on stdin into
+// machine-readable JSON on stdout, so `make bench` can write
+// BENCH_engine.json and CI can archive the perf trajectory run over
+// run.
+//
+//	go test -bench BenchmarkEngine -benchmem ./internal/core/ | go run ./internal/tools/benchjson
+//
+// Standard fields (ns/op, B/op, allocs/op) and custom ReportMetric
+// units (pages/s, fetches/run, trips/batch, ...) are all captured;
+// custom units are mapped to JSON keys by replacing '/' with '_per_'.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line, flattened for JSON.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// report is the whole run.
+type report struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Package string   `json:"pkg,omitempty"`
+	Results []result `json:"results"`
+}
+
+func metricKey(unit string) string {
+	return strings.NewReplacer("/", "_per_", "-", "_").Replace(unit)
+}
+
+func main() {
+	rep := report{Results: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Package = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder alternates value, unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			r.Metrics[metricKey(fields[i+1])] = v
+		}
+		if len(r.Metrics) > 0 {
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
