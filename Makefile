@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fmt vet smoke-cluster ci
+.PHONY: build test race bench bench-smoke fmt vet smoke-cluster smoke-store ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,9 @@ race:
 bench:
 	$(GO) test -bench 'BenchmarkEngine|BenchmarkCrawlEngine' -benchtime 5x \
 		-benchmem -run '^$$' ./internal/core/ > bench_engine.txt || \
+		{ cat bench_engine.txt; rm -f bench_engine.txt; exit 1; }
+	$(GO) test -bench 'BenchmarkStore' -benchtime 5x \
+		-benchmem -run '^$$' ./internal/cluster/ >> bench_engine.txt || \
 		{ cat bench_engine.txt; rm -f bench_engine.txt; exit 1; }
 	@cat bench_engine.txt
 	$(GO) run ./internal/tools/benchjson < bench_engine.txt > BENCH_engine.json
@@ -48,4 +51,11 @@ vet:
 smoke-cluster:
 	./scripts/cluster_smoke.sh
 
-ci: build vet fmt race bench-smoke bench smoke-cluster
+# Multi-process store smoke: a storerd daemon on loopback, crawlsim and
+# a live-HTTP webcrawl with -store-server byte-identical to their
+# local-store runs, plus collection persistence across a daemon
+# restart.
+smoke-store:
+	./scripts/store_smoke.sh
+
+ci: build vet fmt race bench-smoke bench smoke-cluster smoke-store

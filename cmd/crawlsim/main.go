@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -34,6 +35,7 @@ func main() {
 	workers := flag.Int("workers", 4, "concurrent crawl workers (results are identical at any count)")
 	shards := flag.Int("shards", 16, "per-site frontier shards")
 	shardServers := flag.String("shard-servers", "", "comma-separated shardd endpoints hosting the frontier (results are identical to local shards)")
+	storeServer := flag.String("store-server", "", "storerd endpoint hosting the incremental crawlers' collections (results are identical to local stores; the periodic baseline stays local, like its frontier)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -42,7 +44,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crawlsim:", err)
 		os.Exit(1)
 	}
-	eng := engine{workers: *workers, shards: *shards}
+	eng := engine{workers: *workers, shards: *shards, storeServer: *storeServer}
 	if *shardServers != "" {
 		eng.shardServers = strings.Split(*shardServers, ",")
 	}
@@ -59,11 +61,13 @@ func main() {
 }
 
 // engine carries the crawl-engine concurrency knobs into every
-// contender's config — and, with -shard-servers, the remote frontier
-// cluster every contender mounts in turn.
+// contender's config — and, with -shard-servers / -store-server, the
+// remote frontier cluster and repository store every contender mounts
+// in turn.
 type engine struct {
 	workers, shards int
 	shardServers    []string
+	storeServer     string
 
 	active *cluster.RemoteShards // the contender currently holding the cluster
 }
@@ -86,7 +90,27 @@ func (e *engine) apply(cfg core.Config) (core.Config, error) {
 		e.active = rs
 		cfg.Frontier = rs
 	}
+	if e.storeServer != "" {
+		// Same discipline for the repository: wipe the server's
+		// collections so each contender starts from empty, then let
+		// core.New mount it via the config.
+		if err := resetStore(e.storeServer); err != nil {
+			return cfg, err
+		}
+		cfg.StoreServer = e.storeServer
+	}
 	return cfg, nil
+}
+
+// resetStore connects briefly to wipe every collection on the store
+// server.
+func resetStore(addr string) error {
+	rs, err := cluster.DialStoreTCP(addr, cluster.Options{})
+	if err != nil {
+		return fmt.Errorf("dialing store server: %w", err)
+	}
+	defer rs.Close()
+	return rs.Reset()
 }
 
 // finish releases the cluster after a contender's run and surfaces any
@@ -144,6 +168,9 @@ func runCurves(seed int64, days float64, size int, eng *engine) error {
 		ev := &core.Evaluator{Web: w}
 		_, samples, err := ev.TimeAveragedFreshness(c, days, 2*cycle, 96, size)
 		if err != nil {
+			return err
+		}
+		if err := c.Close(); err != nil {
 			return err
 		}
 		if err := eng.finish(); err != nil {
@@ -256,6 +283,13 @@ func run(seed int64, days float64, size int, matrix bool, eng *engine) error {
 		q, err := ev.Quality(r.Collection(), r.Day())
 		if err != nil {
 			return err
+		}
+		// Release what the contender owns (its store connection and
+		// remaining server-side generations, when remote).
+		if cl, ok := r.(io.Closer); ok {
+			if err := cl.Close(); err != nil {
+				return err
+			}
 		}
 		if err := eng.finish(); err != nil {
 			return err

@@ -1,0 +1,112 @@
+// Command storerd is the repository store-server daemon: it hosts
+// named page collections behind the cluster wire protocol, so crawl
+// engines on other machines mount their repository with -store-server
+// (or core.Config.StoreServer) and run unchanged — the storage-side
+// counterpart of shardd, completing the split that lets a crawl's
+// frontier *and* repository live off the crawling machine.
+//
+// Usage:
+//
+//	storerd -listen 127.0.0.1:7080 -dir /var/lib/storerd
+//	webcrawl -seeds https://example.com/ -store-server 127.0.0.1:7080
+//	crawlsim -store-server 127.0.0.1:7080
+//
+// With -dir, collections are log-structured disk stores (one
+// subdirectory per collection) that survive daemon restarts — every
+// acknowledged write batch is flushed, and a crash's torn or corrupt
+// segment tail is swept on reopen. Without -dir, collections live in
+// memory and die with the process (simulations, smoke tests).
+//
+// With -listen :0 the kernel assigns a port; the bound address is
+// printed on stdout and, with -addr-file, written to a file that
+// orchestration scripts can wait on. The address file is removed on
+// shutdown, so waiters never race onto a stale address from a previous
+// run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"webevolve/internal/cluster"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7080", "host:port to serve on (:0 for an assigned port)")
+	dir := flag.String("dir", "", "directory for disk-backed collections, one subdirectory each (empty: in-memory, lost at exit)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (removed on shutdown)")
+	statsEvery := flag.Duration("stats-every", 0, "log collection stats at this interval (0 disables)")
+	flag.Parse()
+
+	if err := run(*listen, *dir, *addrFile, *statsEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "storerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, dir, addrFile string, statsEvery time.Duration) error {
+	var srv *cluster.StoreServer
+	if dir != "" {
+		srv = cluster.NewDiskStoreServer(dir)
+		fmt.Printf("storerd: disk-backed collections under %s\n", dir)
+	} else {
+		srv = cluster.NewMemStoreServer()
+		fmt.Println("storerd: in-memory collections (run with -dir to persist)")
+	}
+	if err := srv.Listen(listen); err != nil {
+		return err
+	}
+	addr := srv.Addr().String()
+	fmt.Printf("storerd: serving on %s\n", addr)
+	if addrFile != "" {
+		// Write-then-rename so waiters never read a partial address.
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, addrFile); err != nil {
+			return err
+		}
+		defer os.Remove(addrFile)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("storerd: %v, shutting down\n", s)
+		srv.Close()
+	}()
+
+	// Background ticker stops with the server (NewTicker, not
+	// time.Tick, so nothing leaks or logs after Close).
+	done := make(chan struct{})
+	if statsEvery > 0 {
+		t := time.NewTicker(statsEvery)
+		go func() {
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					names := srv.Collections()
+					fmt.Printf("storerd: %d open collections %v\n", len(names), names)
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	err := srv.Serve()
+	close(done)
+	// Serve only returns once Close ran, and Close flushes and closes
+	// every collection — the disk stores' durable shutdown.
+	if err != cluster.ErrServerClosed {
+		return err
+	}
+	return nil
+}

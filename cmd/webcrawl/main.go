@@ -57,6 +57,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent fetch workers")
 	shards := flag.Int("shards", 16, "per-site frontier shards")
 	shardServers := flag.String("shard-servers", "", "comma-separated shardd endpoints hosting the frontier (replaces in-process shards)")
+	storeServer := flag.String("store-server", "", "storerd endpoint hosting the page collection (replaces the local disk store in -dir)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -85,6 +86,7 @@ func main() {
 	if *shardServers != "" {
 		o.shardServers = strings.Split(*shardServers, ",")
 	}
+	o.storeServer = *storeServer
 	err = run(o)
 	stopProfiles()
 	if err != nil {
@@ -110,6 +112,11 @@ type crawlOpts struct {
 	// would split histories and overwrite schedules (multi-crawler
 	// state is a ROADMAP item).
 	shardServers []string
+	// storeServer, when set, mounts the page collection from a storerd
+	// daemon instead of the local disk store — same ownership caveat.
+	// The collection is named "pages" on the server and persists there
+	// across runs, like the -dir store does locally.
+	storeServer string
 }
 
 // state is the persisted frontier/estimator sidecar next to the page
@@ -129,11 +136,24 @@ type obs struct {
 }
 
 func run(o crawlOpts) error {
-	coll, err := store.OpenDisk(filepath.Join(o.dir, "pages"))
-	if err != nil {
-		return err
+	var coll store.Collection
+	var storeRemote *cluster.RemoteStore
+	if o.storeServer != "" {
+		var err error
+		storeRemote, err = cluster.DialStoreTCP(o.storeServer, cluster.Options{})
+		if err != nil {
+			return fmt.Errorf("dialing store server: %w", err)
+		}
+		defer storeRemote.Close()
+		coll = storeRemote.Collection("pages")
+	} else {
+		disk, err := store.OpenDisk(filepath.Join(o.dir, "pages"))
+		if err != nil {
+			return err
+		}
+		defer disk.Close()
+		coll = disk
 	}
-	defer coll.Close()
 	st, err := loadState(filepath.Join(o.dir, "state.json"))
 	if err != nil {
 		return err
@@ -208,6 +228,11 @@ func run(o crawlOpts) error {
 			return fmt.Errorf("shard cluster: %w", err)
 		}
 	}
+	if storeRemote != nil {
+		if err := storeRemote.Err(); err != nil {
+			return fmt.Errorf("store server: %w", err)
+		}
+	}
 	return saveState(filepath.Join(o.dir, "state.json"), st)
 }
 
@@ -215,7 +240,7 @@ func run(o crawlOpts) error {
 // shards and a pool of workers fetching them.
 type crawl struct {
 	opts      crawlOpts
-	coll      *store.Disk
+	coll      store.Collection
 	st        *state
 	q         frontier.ShardSet
 	f         *fetch.HTTPFetcher

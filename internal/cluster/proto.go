@@ -33,11 +33,12 @@ import (
 // semantics), the batched push op, and the clear-claims bit in hello.
 // Version 3 added the batched dispatch-round op (opRound), which folds
 // a round's pops, drops and reschedules plus the next candidate peek
-// into one frame per server.
-const ProtoVersion = 3
+// into one frame per server. Version 4 added the repository-store op
+// family (opStore*), served by StoreServer/storerd.
+const ProtoVersion = 4
 
 // minProtoVersion is the oldest version readFrame still accepts.
-// Version 3 only added an opcode — every v2 frame body decodes
+// Versions 3 and 4 only added opcodes — every v2 frame body decodes
 // unchanged — and WAL files and snapshots written by a v2 shardd must
 // replay after an upgrade: rejecting them at the frame level would
 // make recovery mistake the whole log for a torn tail and truncate it
@@ -77,6 +78,49 @@ const (
 	// single round trip (frontier.Sharded.ApplyRound on the wire).
 	opRound
 )
+
+// The repository-store op family (version 4), served by StoreServer
+// (the storerd daemon): store.Collection over the wire, with named
+// collections so one server hosts a crawler's whole collection pair
+// (shadow generations included). Numbered from 0x20 to leave the
+// frontier family room to grow.
+const (
+	opStoreHello byte = 0x20 + iota
+	opStorePutBatch
+	opStoreGet
+	opStoreDelete
+	opStoreLen
+	opStoreURLs
+	opStoreScan
+	// opStoreDrop closes a named collection and removes its backing
+	// data — how a retired shadow generation is reclaimed.
+	opStoreDrop
+	// opStoreReset drops every collection: sequential experiments over
+	// one store server each start from empty.
+	opStoreReset
+	// opStoreList returns the collection names on the server, open or
+	// on disk — how a mounting crawler finds (and reclaims) shadow
+	// generations a crashed predecessor left behind.
+	opStoreList
+)
+
+// storeHelloMagic is opStoreHello's response body: it proves the peer
+// is a store server, so a -store-server flag pointed at a shardd (or
+// vice versa) fails loudly at connect instead of corrupting a crawl.
+const storeHelloMagic = 0x53544F52 // "STOR"
+
+// storeMutatingOp reports whether a store op changes collection state.
+// Mutating store ops carry a leading client-generated request ID and
+// are memoized by the store server, mirroring mutatingOp for the
+// frontier family (they are deliberately separate predicates: the
+// frontier WAL replays only frontier mutations).
+func storeMutatingOp(op byte) bool {
+	switch op {
+	case opStorePutBatch, opStoreDelete, opStoreDrop, opStoreReset:
+		return true
+	}
+	return false
+}
 
 // mutatingOp reports whether op changes frontier state. Mutating ops
 // carry a leading client-generated request ID (u64): the server logs
@@ -209,6 +253,14 @@ func (e *enc) str(s string) *enc {
 	return e
 }
 
+// bytes appends a length-prefixed byte slice without an intermediate
+// string copy (page bodies ride the hot put/get/scan paths).
+func (e *enc) bytes(b []byte) *enc {
+	e.u32(uint32(len(b)))
+	e.b = append(e.b, b...)
+	return e
+}
+
 // dec is a cursor-based body decoder; the first malformed field poisons
 // it and every later read returns the zero value.
 type dec struct {
@@ -274,6 +326,23 @@ func (d *dec) str() string {
 		return ""
 	}
 	return string(d.take(int(n)))
+}
+
+// bytes decodes a length-prefixed byte slice with exactly one copy
+// (never retaining the frame buffer); empty decodes as nil.
+func (d *dec) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || int(n) > len(d.b)-d.off {
+		d.err = errShort
+		return nil
+	}
+	b := d.take(int(n))
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
 }
 
 // finish reports a decoding error, if any.

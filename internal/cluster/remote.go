@@ -113,10 +113,24 @@ type serverConns struct {
 	dial  Dialer
 	hello []byte // reconnect hello body (politeness, no claim clearing)
 
+	// helloOp and checkHello parameterize the handshake per server
+	// kind: opHello with shard-count pinning for shard servers,
+	// opStoreHello with a magic check for store servers.
+	helloOp    byte
+	checkHello func(resp []byte) error
+
+	// pinMu guards the handshake-pinned state below: concurrent
+	// reconnects on different pool slots run checkHello concurrently.
+	pinMu sync.Mutex
 	// wantShards pins the server's shard count from the first hello;
 	// a reconnect seeing a different count means the server restarted
 	// with a different layout, which silently reroutes URLs — refuse.
 	wantShards int
+	// storeBoot pins a store server's instance ID from the first hello,
+	// so a reconnect can tell a restarted server from the original one
+	// (checkStoreHello).
+	storeBoot    uint64
+	storeBootSet bool
 
 	pool chan *clientConn
 
@@ -138,7 +152,8 @@ func (sc *serverConns) exchange(cc *clientConn, op byte, body []byte) (byte, []b
 }
 
 // connect dials a fresh connection and runs the hello handshake over
-// it: protocol version check, politeness handover, shard-count pin.
+// it: protocol version check plus the per-kind validation (shard-count
+// pinning, or the store server's magic).
 func (sc *serverConns) connect(helloBody []byte) (*clientConn, error) {
 	if sc.closed.Load() {
 		return nil, errClientClosed
@@ -148,7 +163,7 @@ func (sc *serverConns) connect(helloBody []byte) (*clientConn, error) {
 		return nil, err
 	}
 	cc := &clientConn{conn: conn, r: bufio.NewReader(conn)}
-	status, resp, err := sc.exchange(cc, opHello, helloBody)
+	status, resp, err := sc.exchange(cc, sc.helloOp, helloBody)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -157,19 +172,62 @@ func (sc *serverConns) connect(helloBody []byte) (*clientConn, error) {
 		conn.Close()
 		return nil, fmt.Errorf("server error: %s", resp)
 	}
+	if err := sc.checkHello(resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return cc, nil
+}
+
+// checkShardHello validates a shard server's hello response and pins
+// the shard count: a reconnect seeing a different count means the
+// server restarted with a different layout, which silently reroutes
+// URLs — refuse.
+func (sc *serverConns) checkShardHello(resp []byte) error {
 	d := &dec{b: resp}
 	n := int(d.u32())
 	if d.finish() != nil || n < 1 {
-		conn.Close()
-		return nil, errors.New("bad hello response")
+		return errors.New("bad hello response")
 	}
+	sc.pinMu.Lock()
+	defer sc.pinMu.Unlock()
 	if sc.wantShards == 0 {
 		sc.wantShards = n
 	} else if n != sc.wantShards {
-		conn.Close()
-		return nil, fmt.Errorf("shard count changed across reconnect: %d, want %d", n, sc.wantShards)
+		return fmt.Errorf("shard count changed across reconnect: %d, want %d", n, sc.wantShards)
 	}
-	return cc, nil
+	return nil
+}
+
+// checkStoreHello validates a store server's hello magic — so a client
+// pointed at the wrong kind of daemon fails at connect — and pins the
+// server's boot ID. A reconnect landing on a *restarted* server is
+// accepted only when the server is durable (disk-backed: acknowledged
+// writes survived, and retried ops are idempotent); a restarted
+// memory-backed server silently lost every collection, so resuming
+// against it would corrupt the crawl — refuse and let the error go
+// sticky instead.
+func (sc *serverConns) checkStoreHello(resp []byte) error {
+	d := &dec{b: resp}
+	magic := d.u32()
+	durable := d.bool()
+	boot := d.u64()
+	if d.finish() != nil || magic != storeHelloMagic {
+		return errors.New("not a store server (bad hello magic)")
+	}
+	sc.pinMu.Lock()
+	defer sc.pinMu.Unlock()
+	if !sc.storeBootSet {
+		sc.storeBoot, sc.storeBootSet = boot, true
+		return nil
+	}
+	if boot != sc.storeBoot {
+		if !durable {
+			return errors.New("store server restarted without -dir: its collections were lost")
+		}
+		sc.storeBoot = boot
+	}
+	return nil
 }
 
 // roundTrip sends one request and reads its response over a pooled
@@ -222,28 +280,9 @@ func (sc *serverConns) backoffFor(n int) time.Duration {
 	return d
 }
 
-// helloBody encodes the handshake: politeness handover and whether to
-// clear stale shard claims (a fresh client session does; a reconnect
-// must not, its own workers hold claims).
-func helloBody(politenessDays float64, clearClaims bool) []byte {
-	var e enc
-	if politenessDays >= 0 {
-		e.bool(true).f64(politenessDays)
-	} else {
-		e.bool(false)
-	}
-	e.bool(clearClaims)
-	return e.b
-}
-
-// Dial connects to a cluster of shard servers, one Dialer per server.
-// The order of dialers is the cluster topology: it determines URL
-// routing, so every client of one cluster must list the servers in the
-// same order.
-func Dial(dialers []Dialer, opts Options) (*RemoteShards, error) {
-	if len(dialers) == 0 {
-		return nil, errors.New("cluster: no shard servers")
-	}
+// newServerConns builds one server's connection pool from the shared
+// retry/backoff options; the caller fills in the handshake fields.
+func newServerConns(name string, dial Dialer, opts Options, closed *atomic.Bool) *serverConns {
 	conns := opts.ConnsPerServer
 	if conns < 1 {
 		conns = 2
@@ -266,35 +305,94 @@ func Dial(dialers []Dialer, opts Options) (*RemoteShards, error) {
 	if backoffMax < backoff {
 		backoffMax = backoff
 	}
+	return &serverConns{
+		name:       name,
+		dial:       dial,
+		pool:       make(chan *clientConn, conns),
+		maxRetries: retries,
+		backoff:    backoff,
+		backoffMax: backoffMax,
+		closed:     closed,
+		trips:      new(atomic.Int64),
+		sleep:      time.Sleep,
+	}
+}
 
+// dialEager dials the pool's first connection — failing fast on a
+// misconfigured address or a daemon of the wrong kind — stamps the
+// name with the resolved remote address, and leaves the remaining
+// slots to dial lazily on first use. nameFmt carries one %v for the
+// address.
+func (sc *serverConns) dialEager(helloBody []byte, nameFmt string) error {
+	cc, err := sc.connect(helloBody)
+	if err != nil {
+		return err
+	}
+	sc.name = fmt.Sprintf(nameFmt, cc.conn.RemoteAddr())
+	sc.pool <- cc
+	for c := 1; c < cap(sc.pool); c++ {
+		sc.pool <- nil
+	}
+	return nil
+}
+
+// drainClose empties one pool, closing live connections. Slots held by
+// in-flight ops stay theirs (those ops fail via the closed flag and
+// return them). Refilling exactly as many slots as were taken keeps the
+// pool's slot count invariant, so neither waiters nor returning ops
+// ever block.
+func (sc *serverConns) drainClose() {
+	taken := 0
+	for i := 0; i < cap(sc.pool); i++ {
+		select {
+		case cc := <-sc.pool:
+			taken++
+			if cc != nil {
+				cc.conn.Close()
+			}
+		default:
+		}
+	}
+	for i := 0; i < taken; i++ {
+		sc.pool <- nil
+	}
+}
+
+// helloBody encodes the handshake: politeness handover and whether to
+// clear stale shard claims (a fresh client session does; a reconnect
+// must not, its own workers hold claims).
+func helloBody(politenessDays float64, clearClaims bool) []byte {
+	var e enc
+	if politenessDays >= 0 {
+		e.bool(true).f64(politenessDays)
+	} else {
+		e.bool(false)
+	}
+	e.bool(clearClaims)
+	return e.b
+}
+
+// Dial connects to a cluster of shard servers, one Dialer per server.
+// The order of dialers is the cluster topology: it determines URL
+// routing, so every client of one cluster must list the servers in the
+// same order.
+func Dial(dialers []Dialer, opts Options) (*RemoteShards, error) {
+	if len(dialers) == 0 {
+		return nil, errors.New("cluster: no shard servers")
+	}
 	rs := &RemoteShards{reqBase: randomReqBase(), politeness: opts.PolitenessDays}
 	helloInit := helloBody(opts.PolitenessDays, true)
 	helloRe := helloBody(opts.PolitenessDays, false)
 	for i, dial := range dialers {
-		sc := &serverConns{
-			name:       fmt.Sprintf("server %d", i),
-			dial:       dial,
-			hello:      helloRe,
-			pool:       make(chan *clientConn, conns),
-			maxRetries: retries,
-			backoff:    backoff,
-			backoffMax: backoffMax,
-			closed:     &rs.closed,
-			trips:      new(atomic.Int64),
-			sleep:      time.Sleep,
-		}
-		// The first connection is dialed eagerly (fail fast on a
-		// misconfigured cluster) and clears stale claims; the remaining
-		// slots dial lazily on first use.
-		cc, err := sc.connect(helloInit)
-		if err != nil {
+		sc := newServerConns(fmt.Sprintf("server %d", i), dial, opts, &rs.closed)
+		sc.hello = helloRe
+		sc.helloOp = opHello
+		sc.checkHello = sc.checkShardHello
+		// The eager first connect clears stale claims; reconnects (the
+		// sc.hello body) must not, their own workers hold claims.
+		if err := sc.dialEager(helloInit, fmt.Sprintf("server %d (%%v)", i)); err != nil {
 			rs.closeAll()
 			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
-		}
-		sc.name = fmt.Sprintf("server %d (%v)", i, cc.conn.RemoteAddr())
-		sc.pool <- cc
-		for c := 1; c < conns; c++ {
-			sc.pool <- nil
 		}
 		rs.servers = append(rs.servers, sc)
 		rs.offsets = append(rs.offsets, rs.total)
@@ -382,24 +480,7 @@ func (rs *RemoteShards) RoundTrips() int64 {
 func (rs *RemoteShards) closeAll() {
 	rs.closed.Store(true)
 	for _, sc := range rs.servers {
-		// Slots held by in-flight ops stay theirs (those ops fail via
-		// the closed flag and return them). Refilling exactly as many
-		// slots as were taken keeps the pool's slot count invariant, so
-		// neither waiters nor returning ops ever block.
-		taken := 0
-		for i := 0; i < cap(sc.pool); i++ {
-			select {
-			case cc := <-sc.pool:
-				taken++
-				if cc != nil {
-					cc.conn.Close()
-				}
-			default:
-			}
-		}
-		for i := 0; i < taken; i++ {
-			sc.pool <- nil
-		}
+		sc.drainClose()
 	}
 }
 

@@ -13,50 +13,24 @@ import (
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("cluster: server closed")
 
-// ShardServer hosts a set of frontier shards behind a listener: each
-// accepted connection runs a synchronous request/response loop over the
-// wire protocol, all connections operating on one shared
-// frontier.Sharded. It is the shardd daemon's engine, and tests drive
-// it directly over net.Pipe loopback connections.
-type ShardServer struct {
-	shards *frontier.Sharded
+// connCore is the accept/serve machinery shared by ShardServer and
+// StoreServer: a listener, one synchronous request/response loop per
+// accepted connection over the frame protocol, net.Pipe loopback for
+// tests, and graceful close. The embedding server supplies handle.
+type connCore struct {
+	handle func(op byte, body []byte) (status byte, resp []byte)
 
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
-
-	// walMu serializes state-mutating requests: the dedup lookup, the
-	// WAL append, and the frontier mutation happen atomically under it,
-	// so the log order is exactly the application order and a replay
-	// reconstructs both the frontier and the responses bit-for-bit.
-	// Read-only ops (the HeadDue peeks of the distributed pop, stats)
-	// bypass it and rely on the frontier's own locking.
-	walMu sync.Mutex
-	wal   *wal       // nil: persistence disabled
-	dedup *respCache // response memoization for retried mutating ops
 }
-
-// NewShardServer wraps a sharded frontier for serving. The server takes
-// over the queue; local pops alongside remote clients would break the
-// clients' peek-then-commit protocol assumptions.
-func NewShardServer(shards *frontier.Sharded) *ShardServer {
-	return &ShardServer{
-		shards: shards,
-		conns:  make(map[net.Conn]struct{}),
-		dedup:  newRespCache(respCacheSize),
-	}
-}
-
-// Shards exposes the hosted queue (observability; see NewShardServer's
-// caveat about concurrent local use).
-func (s *ShardServer) Shards() *frontier.Sharded { return s.shards }
 
 // Listen binds addr without serving; Addr is valid afterwards. It lets
 // callers bind port 0 and learn the assigned port before blocking in
 // Serve.
-func (s *ShardServer) Listen(addr string) error {
+func (s *connCore) Listen(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("cluster: %w", err)
@@ -72,7 +46,7 @@ func (s *ShardServer) Listen(addr string) error {
 }
 
 // Addr returns the bound listen address, or nil before Listen.
-func (s *ShardServer) Addr() net.Addr {
+func (s *connCore) Addr() net.Addr {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ln == nil {
@@ -84,7 +58,7 @@ func (s *ShardServer) Addr() net.Addr {
 // Serve accepts connections on the listener bound by Listen until
 // Close. It always returns a non-nil error; after Close, the error is
 // ErrServerClosed.
-func (s *ShardServer) Serve() error {
+func (s *connCore) Serve() error {
 	s.mu.Lock()
 	ln := s.ln
 	closed := s.closed
@@ -126,7 +100,7 @@ func (s *ShardServer) Serve() error {
 }
 
 // ListenAndServe is Listen followed by Serve.
-func (s *ShardServer) ListenAndServe(addr string) error {
+func (s *connCore) ListenAndServe(addr string) error {
 	if err := s.Listen(addr); err != nil {
 		return err
 	}
@@ -135,7 +109,7 @@ func (s *ShardServer) ListenAndServe(addr string) error {
 
 // Close stops the listener, closes every open connection, and waits for
 // their handlers to drain.
-func (s *ShardServer) Close() error {
+func (s *connCore) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -159,7 +133,7 @@ func (s *ShardServer) Close() error {
 // whose server end is handled by this server: the transport that makes
 // distributed simulated crawls runnable (and bit-identical to local
 // ones) inside a single test process.
-func (s *ShardServer) Pipe() (net.Conn, error) {
+func (s *connCore) Pipe() (net.Conn, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -180,7 +154,7 @@ func (s *ShardServer) Pipe() (net.Conn, error) {
 }
 
 // serveConn runs one connection's request loop until EOF or error.
-func (s *ShardServer) serveConn(conn net.Conn) {
+func (s *connCore) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	for {
@@ -194,6 +168,43 @@ func (s *ShardServer) serveConn(conn net.Conn) {
 		}
 	}
 }
+
+// ShardServer hosts a set of frontier shards behind a listener: each
+// accepted connection runs a synchronous request/response loop over the
+// wire protocol, all connections operating on one shared
+// frontier.Sharded. It is the shardd daemon's engine, and tests drive
+// it directly over net.Pipe loopback connections.
+type ShardServer struct {
+	connCore
+	shards *frontier.Sharded
+
+	// walMu serializes state-mutating requests: the dedup lookup, the
+	// WAL append, and the frontier mutation happen atomically under it,
+	// so the log order is exactly the application order and a replay
+	// reconstructs both the frontier and the responses bit-for-bit.
+	// Read-only ops (the HeadDue peeks of the distributed pop, stats)
+	// bypass it and rely on the frontier's own locking.
+	walMu sync.Mutex
+	wal   *wal       // nil: persistence disabled
+	dedup *respCache // response memoization for retried mutating ops
+}
+
+// NewShardServer wraps a sharded frontier for serving. The server takes
+// over the queue; local pops alongside remote clients would break the
+// clients' peek-then-commit protocol assumptions.
+func NewShardServer(shards *frontier.Sharded) *ShardServer {
+	s := &ShardServer{
+		shards: shards,
+		dedup:  newRespCache(respCacheSize),
+	}
+	s.connCore.handle = s.handle
+	s.connCore.conns = make(map[net.Conn]struct{})
+	return s
+}
+
+// Shards exposes the hosted queue (observability; see NewShardServer's
+// caveat about concurrent local use).
+func (s *ShardServer) Shards() *frontier.Sharded { return s.shards }
 
 // handle executes one request against the shards.
 func (s *ShardServer) handle(op byte, body []byte) (status byte, resp []byte) {

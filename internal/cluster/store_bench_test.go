@@ -1,0 +1,111 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"webevolve/internal/cluster"
+	"webevolve/internal/store"
+)
+
+// benchRecords builds one write batch of plausible page records.
+func benchRecords(n int, round int) []store.PageRecord {
+	recs := make([]store.PageRecord, n)
+	for i := range recs {
+		recs[i] = store.PageRecord{
+			URL:       fmt.Sprintf("http://site%03d.com/p%05d", i%32, i),
+			Checksum:  uint64(round*100000 + i),
+			FetchedAt: float64(round),
+			Links: []string{
+				fmt.Sprintf("http://site%03d.com/p%05d", i%32, (i+1)%n),
+				fmt.Sprintf("http://site%03d.com/p%05d", (i+7)%32, (i+13)%n),
+			},
+		}
+	}
+	return recs
+}
+
+// BenchmarkStorePutBatch measures one engine-sized write batch against
+// each store backend: the local disk store, and the same disk store
+// behind the loopback wire protocol — the unit the -store-server
+// deployment decision is made in (make bench archives the numbers in
+// BENCH_engine.json).
+func BenchmarkStorePutBatch(b *testing.B) {
+	const batch = 64
+	b.Run("disk-local", func(b *testing.B) {
+		d, err := store.OpenDisk(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := d.PutBatch(benchRecords(batch, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "recs/s")
+	})
+	b.Run("disk-loopback", func(b *testing.B) {
+		srv := cluster.NewDiskStoreServer(b.TempDir())
+		defer srv.Close()
+		rs, err := cluster.LoopbackStore(srv, cluster.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rs.Close()
+		c := rs.Collection("bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.PutBatch(benchRecords(batch, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "recs/s")
+	})
+}
+
+// BenchmarkStoreGet measures point reads local vs loopback.
+func BenchmarkStoreGet(b *testing.B) {
+	const n = 512
+	recs := benchRecords(n, 0)
+	b.Run("disk-local", func(b *testing.B) {
+		d, err := store.OpenDisk(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		if err := d.PutBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := d.Get(recs[i%n].URL); err != nil || !ok {
+				b.Fatalf("get: ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("disk-loopback", func(b *testing.B) {
+		srv := cluster.NewDiskStoreServer(b.TempDir())
+		defer srv.Close()
+		rs, err := cluster.LoopbackStore(srv, cluster.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rs.Close()
+		c := rs.Collection("bench")
+		if err := c.PutBatch(recs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := c.Get(recs[i%n].URL); err != nil || !ok {
+				b.Fatalf("get: ok=%v err=%v", ok, err)
+			}
+		}
+	})
+}

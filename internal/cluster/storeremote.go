@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"webevolve/internal/store"
+)
+
+// RemoteStore is the client for one store server (StoreServer /
+// storerd): it hands out store.Collection implementations whose every
+// operation is a wire round trip, reusing the shard client's pooled
+// connections and redial/retry/backoff machinery. Mutating ops carry
+// request IDs the server dedups, so a retry after a broken connection
+// is applied exactly once.
+//
+// Unlike the frontier's error-free ShardSet, store.Collection returns
+// errors, so transport failures surface directly from each call; the
+// first one is also recorded and available from Err for the two
+// methods (Len, URLs) whose signatures cannot carry it.
+type RemoteStore struct {
+	sc *serverConns
+
+	reqBase uint64
+	reqSeq  atomic.Uint64
+
+	closed atomic.Bool
+
+	failMu sync.Mutex
+	failed error
+}
+
+// DialStore connects to a store server.
+func DialStore(dial Dialer, opts Options) (*RemoteStore, error) {
+	rs := &RemoteStore{reqBase: randomReqBase()}
+	sc := newServerConns("store server", dial, opts, &rs.closed)
+	sc.hello = nil
+	sc.helloOp = opStoreHello
+	sc.checkHello = sc.checkStoreHello
+	if err := sc.dialEager(sc.hello, "store server (%v)"); err != nil {
+		rs.closed.Store(true)
+		return nil, fmt.Errorf("cluster: store server: %w", err)
+	}
+	rs.sc = sc
+	return rs, nil
+}
+
+// DialStoreTCP connects to a store server at a host:port address.
+func DialStoreTCP(addr string, opts Options) (*RemoteStore, error) {
+	return DialStore(func() (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, defaultDialTimeout)
+	}, opts)
+}
+
+// LoopbackStore connects to an in-process store server over net.Pipe —
+// no sockets, fully deterministic, for tests and benchmarks.
+func LoopbackStore(srv *StoreServer, opts Options) (*RemoteStore, error) {
+	return DialStore(srv.Pipe, opts)
+}
+
+// nextReq returns a fresh request ID (never zero).
+func (rs *RemoteStore) nextReq() uint64 {
+	id := rs.reqBase + rs.reqSeq.Add(1)
+	if id == 0 {
+		id = rs.reqBase + rs.reqSeq.Add(1)
+	}
+	return id
+}
+
+// fail records the first transport error for Err.
+func (rs *RemoteStore) fail(err error) error {
+	rs.failMu.Lock()
+	if rs.failed == nil {
+		rs.failed = err
+	}
+	rs.failMu.Unlock()
+	return err
+}
+
+// Err returns the first transport error, if any. Collection calls
+// return their errors directly; Err additionally catches failures in
+// Len and URLs, whose signatures cannot.
+func (rs *RemoteStore) Err() error {
+	rs.failMu.Lock()
+	defer rs.failMu.Unlock()
+	return rs.failed
+}
+
+// RoundTrips returns the request frames sent (retries included).
+func (rs *RemoteStore) RoundTrips() int64 { return rs.sc.trips.Load() }
+
+// Close closes the pooled connections. Server-side collections stay
+// open (and, for a disk backend, durable): closing the client of a
+// persistent store must not destroy the store.
+func (rs *RemoteStore) Close() error {
+	rs.closed.Store(true)
+	rs.sc.drainClose()
+	return nil
+}
+
+// ListCollections returns the names of every collection on the server
+// (open or on disk), sorted.
+func (rs *RemoteStore) ListCollections() ([]string, error) {
+	resp, err := rs.sc.roundTrip(opStoreList, nil)
+	if err != nil {
+		return nil, rs.fail(err)
+	}
+	d := &dec{b: resp}
+	n := int(d.u32())
+	out := make([]string, 0, min(n, 1<<16))
+	for i := 0; i < n && d.finish() == nil; i++ {
+		out = append(out, d.str())
+	}
+	if err := d.finish(); err != nil {
+		return nil, rs.fail(fmt.Errorf("cluster: bad list response: %w", err))
+	}
+	return out, nil
+}
+
+// DropCollection closes a named collection server-side and removes its
+// backing data — explicit reclamation for collections a vanished
+// client left behind.
+func (rs *RemoteStore) DropCollection(name string) error {
+	var e enc
+	e.u64(rs.nextReq()).str(name)
+	if _, err := rs.sc.roundTrip(opStoreDrop, e.b); err != nil {
+		return rs.fail(err)
+	}
+	return nil
+}
+
+// Reset drops every collection on the server, so sequential experiments
+// over one store server each start from empty. Never called on a store
+// being used incrementally (it deletes the data).
+func (rs *RemoteStore) Reset() error {
+	var e enc
+	e.u64(rs.nextReq())
+	_, err := rs.sc.roundTrip(opStoreReset, e.b)
+	if err != nil {
+		return rs.fail(err)
+	}
+	return nil
+}
+
+// Collection returns the named collection on the server, created empty
+// on first use. Its Close is a client-side no-op: the collection
+// belongs to the server and survives for the next run (webcrawl's
+// incremental contract).
+func (rs *RemoteStore) Collection(name string) store.Collection {
+	return &remoteColl{rs: rs, name: name}
+}
+
+// EphemeralCollection is Collection, except Close drops the collection
+// server-side (data included) — the lifecycle of a retired shadow
+// generation.
+func (rs *RemoteStore) EphemeralCollection(name string) store.Collection {
+	return &remoteColl{rs: rs, name: name, dropOnClose: true}
+}
+
+// remoteColl implements store.Collection over the wire.
+type remoteColl struct {
+	rs          *RemoteStore
+	name        string
+	dropOnClose bool
+}
+
+var _ store.Collection = (*remoteColl)(nil)
+
+// storePutChunk caps the records carried by one opStorePutBatch frame;
+// the byte budget (storeChunkBytes) binds first when records carry
+// page bodies, so no chunk can assemble an unsendable frame (the
+// pushBatchChunk rationale, count- and byte-bounded).
+const storePutChunk = 1024
+
+// Put implements store.Collection.
+func (c *remoteColl) Put(rec store.PageRecord) error {
+	return c.PutBatch([]store.PageRecord{rec})
+}
+
+// PutBatch implements store.Collection.
+func (c *remoteColl) PutBatch(recs []store.PageRecord) error {
+	for _, rec := range recs {
+		if rec.URL == "" {
+			return errors.New("store: empty URL")
+		}
+	}
+	for off := 0; off < len(recs); {
+		// Grow the chunk until the count cap or the byte budget; a
+		// single over-budget record still travels alone.
+		end, bytes := off, 0
+		for end < len(recs) && end-off < storePutChunk {
+			sz := approxRecordSize(recs[end])
+			if end > off && bytes+sz > storeChunkBytes {
+				break
+			}
+			bytes += sz
+			end++
+		}
+		chunk := recs[off:end]
+		off = end
+		var e enc
+		e.u64(c.rs.nextReq())
+		e.str(c.name)
+		e.u32(uint32(len(chunk)))
+		for _, rec := range chunk {
+			encodeRecord(&e, rec)
+		}
+		if _, err := c.rs.sc.roundTrip(opStorePutBatch, e.b); err != nil {
+			return c.rs.fail(err)
+		}
+	}
+	return nil
+}
+
+// Get implements store.Collection.
+func (c *remoteColl) Get(url string) (store.PageRecord, bool, error) {
+	var e enc
+	e.str(c.name).str(url)
+	resp, err := c.rs.sc.roundTrip(opStoreGet, e.b)
+	if err != nil {
+		return store.PageRecord{}, false, c.rs.fail(err)
+	}
+	d := &dec{b: resp}
+	if !d.bool() {
+		return store.PageRecord{}, false, d.finish()
+	}
+	rec := decodeRecord(d)
+	if err := d.finish(); err != nil {
+		return store.PageRecord{}, false, c.rs.fail(fmt.Errorf("cluster: bad get response: %w", err))
+	}
+	return rec, true, nil
+}
+
+// Delete implements store.Collection.
+func (c *remoteColl) Delete(url string) error {
+	var e enc
+	e.u64(c.rs.nextReq()).str(c.name).str(url)
+	if _, err := c.rs.sc.roundTrip(opStoreDelete, e.b); err != nil {
+		return c.rs.fail(err)
+	}
+	return nil
+}
+
+// Len implements store.Collection; transport failures are recorded in
+// Err and read as empty.
+func (c *remoteColl) Len() int {
+	var e enc
+	e.str(c.name)
+	resp, err := c.rs.sc.roundTrip(opStoreLen, e.b)
+	if err != nil {
+		c.rs.fail(err)
+		return 0
+	}
+	d := &dec{b: resp}
+	return int(d.u32())
+}
+
+// URLs implements store.Collection; the sorted list arrives in bounded
+// chunks, each resuming after the previous chunk's last URL. Transport
+// failures are recorded in Err and read as empty.
+func (c *remoteColl) URLs() []string {
+	var out []string
+	after := ""
+	for {
+		var e enc
+		e.str(c.name).str(after).u32(storeURLsChunk)
+		resp, err := c.rs.sc.roundTrip(opStoreURLs, e.b)
+		if err != nil {
+			c.rs.fail(err)
+			return nil
+		}
+		d := &dec{b: resp}
+		n := int(d.u32())
+		for i := 0; i < n && d.finish() == nil; i++ {
+			out = append(out, d.str())
+		}
+		done := d.bool()
+		if d.finish() != nil {
+			c.rs.fail(errors.New("cluster: bad URLs response"))
+			return nil
+		}
+		if done || n == 0 {
+			return out
+		}
+		after = out[len(out)-1]
+	}
+}
+
+// Scan implements store.Collection: the sorted scan ships as bounded
+// chunks, each resuming strictly after the previous chunk's last URL.
+// Unlike the local disk scan (one pinned snapshot), records written
+// between chunks may or may not be seen — the engines never scan a
+// collection they are concurrently writing.
+func (c *remoteColl) Scan(fn func(store.PageRecord) bool) error {
+	after := ""
+	for {
+		var e enc
+		e.str(c.name).str(after).u32(storeScanChunk)
+		resp, err := c.rs.sc.roundTrip(opStoreScan, e.b)
+		if err != nil {
+			return c.rs.fail(err)
+		}
+		d := &dec{b: resp}
+		n := int(d.u32())
+		for i := 0; i < n; i++ {
+			rec := decodeRecord(d)
+			if err := d.finish(); err != nil {
+				return c.rs.fail(fmt.Errorf("cluster: bad scan response: %w", err))
+			}
+			if !fn(rec) {
+				return nil
+			}
+			after = rec.URL
+		}
+		done := d.bool()
+		if err := d.finish(); err != nil {
+			return c.rs.fail(fmt.Errorf("cluster: bad scan response: %w", err))
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// Close implements store.Collection. For an ephemeral collection it
+// drops the server-side data; otherwise the collection stays on the
+// server and this is a no-op (see RemoteStore.Close).
+func (c *remoteColl) Close() error {
+	if !c.dropOnClose {
+		return nil
+	}
+	var e enc
+	e.u64(c.rs.nextReq()).str(c.name)
+	if _, err := c.rs.sc.roundTrip(opStoreDrop, e.b); err != nil {
+		return c.rs.fail(err)
+	}
+	return nil
+}

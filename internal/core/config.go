@@ -188,6 +188,14 @@ type Config struct {
 	// over an in-process loopback transport in tests. It overrides
 	// ShardServers and Shards; the caller owns its lifecycle.
 	Frontier frontier.ShardSet
+	// StoreServer is a repository store-server endpoint (host:port, the
+	// cmd/storerd daemon). When non-empty, New builds the crawler's
+	// collection pair on that server behind cluster.RemoteStore instead
+	// of in memory: each shadow generation is a named server-side
+	// collection, dropped once retired. One crawler owns a store server
+	// at a time (concurrent writers would interleave generations).
+	// Ignored by NewWithStore, whose caller supplies the collections.
+	StoreServer string
 	// DispatchBatch caps how many due URLs one dispatch round hands to
 	// the worker pool; it also sizes the batched store writes and
 	// change-frequency updates. Default 4*Workers (at least 8).

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"webevolve/internal/cluster"
 	"webevolve/internal/fetch"
@@ -48,7 +49,11 @@ type Crawler struct {
 	ownsColl bool // close coll with the crawler (dialed from ShardServers)
 	rounds   *frontierRounds
 	shadowed *store.Shadowed
-	graph    *webgraph.Graph
+	// storeClient is the remote-store connection dialed from
+	// Config.StoreServer (nil for caller-provided or in-memory
+	// collections); the crawler owns it and its shadowed pair.
+	storeClient *cluster.RemoteStore
+	graph       *webgraph.Graph
 
 	policy  scheduler.Policy
 	optimal *scheduler.Optimal
@@ -85,9 +90,74 @@ type Crawler struct {
 }
 
 // New builds a crawler over the given fetcher, with an in-memory
-// collection.
+// collection — or, when Config.StoreServer is set, with its collection
+// pair hosted on that storerd daemon: shadow generations become named
+// server-side collections ("gen-1", "gen-2", ...), each dropped once
+// retired, and the crawler owns (and Close closes) the connection.
 func New(cfg Config, f fetch.Fetcher) (*Crawler, error) {
-	return NewWithStore(cfg, f, store.NewShadowedMem())
+	if cfg.StoreServer == "" {
+		return NewWithStore(cfg, f, store.NewShadowedMem())
+	}
+	rs, err := cluster.DialStoreTCP(cfg.StoreServer, cluster.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: dialing store server: %w", err)
+	}
+	c, err := newWithRemoteStore(cfg, f, rs)
+	if err != nil {
+		rs.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// newWithRemoteStore builds a crawler whose collection pair lives on
+// the given store server; the crawler takes ownership of the client.
+func newWithRemoteStore(cfg Config, f fetch.Fetcher, rs *cluster.RemoteStore) (*Crawler, error) {
+	// A predecessor that died before Close may have left its shadow
+	// generations on a durable server; reclaim them so the pair starts
+	// genuinely fresh, without touching any other collection (e.g. a
+	// webcrawl's "pages").
+	names, err := rs.ListCollections()
+	if err != nil {
+		return nil, fmt.Errorf("core: store server: %w", err)
+	}
+	for _, n := range names {
+		if isGenName(n) {
+			if err := rs.DropCollection(n); err != nil {
+				return nil, fmt.Errorf("core: store server: %w", err)
+			}
+		}
+	}
+	gen := 0
+	sh, err := store.NewShadowed(nil, func() (store.Collection, error) {
+		gen++
+		return rs.EphemeralCollection(fmt.Sprintf("gen-%d", gen)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewWithStore(cfg, f, sh)
+	if err != nil {
+		sh.Close()
+		return nil, err
+	}
+	c.storeClient = rs
+	return c, nil
+}
+
+// isGenName reports whether a collection name is a crawler shadow
+// generation ("gen-<number>").
+func isGenName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "gen-")
+	if !ok || rest == "" {
+		return false
+	}
+	for i := 0; i < len(rest); i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // NewWithStore builds a crawler with a caller-provided collection pair
@@ -157,17 +227,27 @@ func buildFrontier(cfg Config) (frontier.ShardSet, bool, error) {
 	return frontier.NewShardedPolite(cfg.Shards, cfg.ShardPolitenessDays), false, nil
 }
 
-// Close releases resources the crawler owns — today, the connections of
-// a frontier dialed from Config.ShardServers. Injected frontiers belong
-// to the caller and are left open.
+// Close releases resources the crawler owns: the connections of a
+// frontier dialed from Config.ShardServers, and the collection pair
+// plus store connection dialed from Config.StoreServer (the remaining
+// server-side generations are dropped). Injected frontiers and
+// caller-provided stores belong to the caller and are left open.
 func (c *Crawler) Close() error {
-	if !c.ownsColl {
-		return nil
+	var err error
+	if c.ownsColl {
+		if cl, ok := c.coll.(io.Closer); ok {
+			err = cl.Close()
+		}
 	}
-	if cl, ok := c.coll.(io.Closer); ok {
-		return cl.Close()
+	if c.storeClient != nil {
+		if serr := c.shadowed.Close(); err == nil {
+			err = serr
+		}
+		if serr := c.storeClient.Close(); err == nil {
+			err = serr
+		}
 	}
-	return nil
+	return err
 }
 
 // shardSetErr surfaces a remote frontier's sticky transport error: the
@@ -237,7 +317,17 @@ func (c *Crawler) RunUntil(until float64) error {
 	if err != nil {
 		return err
 	}
-	return shardSetErr(c.coll)
+	if err := shardSetErr(c.coll); err != nil {
+		return err
+	}
+	if c.storeClient != nil {
+		// Len/URLs transport failures cannot surface from their calls;
+		// the sticky record catches them here.
+		if serr := c.storeClient.Err(); serr != nil {
+			return fmt.Errorf("core: store: %w", serr)
+		}
+	}
+	return nil
 }
 
 // runSteady is the steady-mode loop: pop a round of due URLs, crawl it

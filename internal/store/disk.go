@@ -22,6 +22,20 @@ import (
 // restart — a property the paper's in-place incremental crawler needs,
 // since it never gets a "start from scratch" moment.
 //
+// Concurrency: every segment keeps one shared read handle, and reads go
+// through positioned ReadAt calls (pread) on it, so they never touch the
+// appender's file offset. A reader pins its segment with a reference
+// count before leaving the lock; compaction retires old segments by
+// marking them, and the file is closed and unlinked only when the last
+// pinned reader releases it — a Get or Scan in flight across a Compact
+// always completes against the bytes it indexed.
+//
+// Crash tolerance: replay stops at the first invalid frame — torn OR
+// corrupt — and truncates the segment back to the last CRC-valid frame
+// (the same sweep the cluster WAL performs), so a crash that leaves
+// full-length garbage on the tail delays nothing more than the frames
+// that were never acknowledged.
+//
 // Frame layout (little endian):
 //
 //	crc32(keyLen ++ valLen ++ key ++ val) uint32
@@ -30,18 +44,22 @@ import (
 type Disk struct {
 	mu      sync.Mutex
 	dir     string
-	seg     *os.File // active segment, append-only
-	segID   int
-	segOff  int64
+	segID   int   // active segment, append-only
+	segOff  int64 // flushed+buffered size of the active segment
 	w       *bufio.Writer
+	segs    map[int]*segment // all live segments, the active one included
 	index   map[string]diskPos
-	live    int   // live records
-	garbage int   // superseded/tombstone frames
-	written int64 // bytes in active segment
+	live    int // live records
+	garbage int // superseded/tombstone frames
 	closed  bool
+	openFDs int // segments currently holding an open handle
 
 	// MaxSegmentBytes bounds a segment before rolling to a new one.
 	maxSegmentBytes int64
+	// maxOpenSegments caps the open read handles: cold segments beyond
+	// it are closed and reopened on demand, so the store's descriptor
+	// footprint stays O(cap) however large the collection grows.
+	maxOpenSegments int
 }
 
 type diskPos struct {
@@ -49,17 +67,35 @@ type diskPos struct {
 	off int64
 }
 
+// segment is one segment file and its shared read handle. refs counts
+// readers using the handle outside d.mu; a retired segment (replaced by
+// compaction, or swept at Close) is closed — and, after compaction,
+// unlinked — by whoever drops refs to zero. A cold segment's handle
+// may be evicted (f == nil) and is reopened on demand; eviction never
+// touches the active segment or one pinned by readers.
+type segment struct {
+	id      int
+	f       *os.File // nil: evicted; reopened by the next acquire
+	refs    int
+	retired bool
+	remove  bool // unlink once released (compacted away)
+}
+
 const tombstoneLen = ^uint32(0)
 
-// OpenDisk opens (or creates) a disk collection in dir.
+// OpenDisk opens (or creates) a disk collection in dir. A torn or
+// corrupt tail left by a crash is truncated back to the last CRC-valid
+// frame; it never fails the open.
 func OpenDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	d := &Disk{
 		dir:             dir,
+		segs:            make(map[int]*segment),
 		index:           make(map[string]diskPos),
 		maxSegmentBytes: 64 << 20,
+		maxOpenSegments: 256,
 	}
 	ids, err := segmentIDs(dir)
 	if err != nil {
@@ -67,6 +103,7 @@ func OpenDisk(dir string) (*Disk, error) {
 	}
 	for _, id := range ids {
 		if err := d.replay(id); err != nil {
+			d.closeSegsLocked()
 			return nil, err
 		}
 	}
@@ -75,9 +112,22 @@ func OpenDisk(dir string) (*Disk, error) {
 		nextID = ids[len(ids)-1] + 1
 	}
 	if err := d.openSegment(nextID); err != nil {
+		d.closeSegsLocked()
 		return nil, err
 	}
 	return d, nil
+}
+
+// closeSegsLocked drops every segment handle (open-failure cleanup).
+func (d *Disk) closeSegsLocked() {
+	for id, s := range d.segs {
+		if s.f != nil {
+			s.f.Close()
+			s.f = nil
+			d.openFDs--
+		}
+		delete(d.segs, id)
+	}
 }
 
 func segmentPath(dir string, id int) string {
@@ -100,8 +150,11 @@ func segmentIDs(dir string) ([]int, error) {
 	return ids, nil
 }
 
+// openSegment opens the active append segment. The same handle doubles
+// as the segment's shared read handle: ReadAt is positioned, so reads
+// never disturb the append offset.
 func (d *Disk) openSegment(id int) error {
-	f, err := os.OpenFile(segmentPath(d.dir, id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(segmentPath(d.dir, id), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -110,34 +163,50 @@ func (d *Disk) openSegment(id int) error {
 		f.Close()
 		return fmt.Errorf("store: %w", err)
 	}
-	d.seg = f
+	d.segs[id] = &segment{id: id, f: f}
+	d.openFDs++
 	d.segID = id
 	d.segOff = st.Size()
-	d.written = st.Size()
 	d.w = bufio.NewWriter(f)
+	d.evictColdLocked()
 	return nil
 }
 
-// replay scans one segment, updating the index. A truncated final frame
-// (torn write from a crash) stops the replay of that segment cleanly.
+// replay scans one segment, updating the index, and keeps the file open
+// as the segment's read handle. The first invalid frame — a truncated
+// final frame (torn write) or a full-length frame failing its CRC (a
+// crash through garbage in the page cache) — ends the replay and the
+// file is truncated back to the last valid frame, like the cluster WAL:
+// in the crash case those frames were never acknowledged, so dropping
+// them loses nothing a caller was promised. (Mid-file bit rot is
+// indistinguishable from a crashed tail at read time and gets the same
+// sweep — the WAL discipline trades the rest of that one segment for
+// never refusing to open; later segments still replay.) A real read
+// I/O error is different: the bytes may be fine, so the open fails
+// loudly instead of truncating.
 func (d *Disk) replay(id int) error {
-	f, err := os.Open(segmentPath(d.dir, id))
+	f, err := os.OpenFile(segmentPath(d.dir, id), os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	defer f.Close()
 	r := bufio.NewReader(f)
-	var off int64
+	var off int64 // end of the last valid frame
 	for {
 		key, val, frameLen, err := readFrame(r)
 		if err == io.EOF {
-			return nil
+			break
 		}
 		if err != nil {
-			if errors.Is(err, errTornFrame) {
-				return nil // trailing partial write; ignore
+			if !errors.Is(err, errTornFrame) && !errors.Is(err, errCorruptFrame) {
+				f.Close()
+				return fmt.Errorf("store: segment %d offset %d: %w", id, off, err)
 			}
-			return fmt.Errorf("store: segment %d offset %d: %w", id, off, err)
+			// Torn or corrupt tail: sweep back to the last valid frame.
+			if terr := f.Truncate(off); terr != nil {
+				f.Close()
+				return fmt.Errorf("store: segment %d: sweeping corrupt tail: %w", id, terr)
+			}
+			break
 		}
 		if val == nil { // tombstone
 			if _, ok := d.index[key]; ok {
@@ -156,9 +225,26 @@ func (d *Disk) replay(id int) error {
 		}
 		off += frameLen
 	}
+	d.segs[id] = &segment{id: id, f: f}
+	d.openFDs++
+	d.evictColdLocked()
+	return nil
 }
 
-var errTornFrame = errors.New("store: torn frame")
+var (
+	errTornFrame    = errors.New("store: torn frame")
+	errCorruptFrame = errors.New("store: corrupt frame")
+)
+
+// readShort maps a short read during a frame: running out of bytes is
+// a torn frame (sweepable), any other failure is a real I/O error that
+// must fail the open rather than truncate data that may still be fine.
+func readShort(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return errTornFrame
+	}
+	return fmt.Errorf("store: %w", err)
+}
 
 func readFrame(r *bufio.Reader) (key string, val []byte, frameLen int64, err error) {
 	var hdr [12]byte
@@ -166,27 +252,27 @@ func readFrame(r *bufio.Reader) (key string, val []byte, frameLen int64, err err
 		if err == io.EOF {
 			return "", nil, 0, io.EOF
 		}
-		return "", nil, 0, errTornFrame
+		return "", nil, 0, readShort(err)
 	}
 	crc := binary.LittleEndian.Uint32(hdr[0:4])
 	keyLen := binary.LittleEndian.Uint32(hdr[4:8])
 	valLen := binary.LittleEndian.Uint32(hdr[8:12])
 	if keyLen > 1<<20 {
-		return "", nil, 0, errors.New("store: absurd key length (corrupt frame)")
+		return "", nil, 0, fmt.Errorf("%w: absurd key length", errCorruptFrame)
 	}
 	kb := make([]byte, keyLen)
 	if _, err := io.ReadFull(r, kb); err != nil {
-		return "", nil, 0, errTornFrame
+		return "", nil, 0, readShort(err)
 	}
 	var vb []byte
 	tomb := valLen == tombstoneLen
 	if !tomb {
 		if valLen > 1<<30 {
-			return "", nil, 0, errors.New("store: absurd value length (corrupt frame)")
+			return "", nil, 0, fmt.Errorf("%w: absurd value length", errCorruptFrame)
 		}
 		vb = make([]byte, valLen)
 		if _, err := io.ReadFull(r, vb); err != nil {
-			return "", nil, 0, errTornFrame
+			return "", nil, 0, readShort(err)
 		}
 	}
 	h := crc32.NewIEEE()
@@ -194,13 +280,42 @@ func readFrame(r *bufio.Reader) (key string, val []byte, frameLen int64, err err
 	_, _ = h.Write(kb)
 	_, _ = h.Write(vb)
 	if h.Sum32() != crc {
-		return "", nil, 0, errors.New("store: checksum mismatch (corrupt frame)")
+		return "", nil, 0, fmt.Errorf("%w: checksum mismatch", errCorruptFrame)
 	}
 	fl := int64(12) + int64(keyLen)
 	if !tomb {
 		fl += int64(valLen)
 	}
 	return string(kb), vb, fl, nil
+}
+
+// readValueAt reads one record frame's value through the segment's
+// shared handle with positioned reads, verifying the CRC. The offset
+// must be a frame boundary the index produced, so a tombstone or a
+// failed checksum here means corruption (or a reader outliving its
+// pin — a bug).
+func readValueAt(f *os.File, off int64) ([]byte, error) {
+	var hdr [12]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	crc := binary.LittleEndian.Uint32(hdr[0:4])
+	keyLen := binary.LittleEndian.Uint32(hdr[4:8])
+	valLen := binary.LittleEndian.Uint32(hdr[8:12])
+	if keyLen > 1<<20 || valLen == tombstoneLen || valLen > 1<<30 {
+		return nil, errors.New("store: corrupt frame at indexed offset")
+	}
+	buf := make([]byte, int(keyLen)+int(valLen))
+	if _, err := f.ReadAt(buf, off+12); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	h := crc32.NewIEEE()
+	_, _ = h.Write(hdr[4:12])
+	_, _ = h.Write(buf)
+	if h.Sum32() != crc {
+		return nil, errors.New("store: checksum mismatch (corrupt frame)")
+	}
+	return buf[keyLen:], nil
 }
 
 func appendFrame(w io.Writer, key string, val []byte, tomb bool) (int64, error) {
@@ -232,6 +347,114 @@ func appendFrame(w io.Writer, key string, val []byte, tomb bool) (int64, error) 
 		n += int64(len(val))
 	}
 	return n, nil
+}
+
+// acquireLocked pins the segment against retirement, reopening an
+// evicted handle on demand. Caller holds d.mu. A pinned segment's
+// handle stays valid until release: eviction and retirement both skip
+// segments with refs > 0.
+func (d *Disk) acquireLocked(id int) (*segment, error) {
+	s := d.segs[id]
+	if s == nil {
+		return nil, fmt.Errorf("store: index references missing segment %d", id)
+	}
+	if err := d.ensureOpenLocked(s); err != nil {
+		return nil, err
+	}
+	// Pin before evicting: the pin protects the fresh handle from its
+	// own eviction pass.
+	s.refs++
+	d.evictColdLocked()
+	return s, nil
+}
+
+// ensureOpenLocked reopens an evicted segment handle. It never evicts
+// — callers evict at points where the handle they need is protected
+// (pinned, or the active segment).
+func (d *Disk) ensureOpenLocked(s *segment) error {
+	if s.f != nil {
+		return nil
+	}
+	f, err := os.Open(segmentPath(d.dir, s.id))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.f = f
+	d.openFDs++
+	return nil
+}
+
+// evictColdLocked closes idle handles beyond the cap — never the
+// active segment and never one a reader has pinned — so descriptor use
+// stays bounded however many segments the collection spans. Map
+// iteration order makes the eviction order arbitrary, which is fine: a
+// wrongly evicted handle just reopens on its next acquire.
+func (d *Disk) evictColdLocked() {
+	if d.maxOpenSegments <= 0 {
+		return
+	}
+	for id, s := range d.segs {
+		if d.openFDs <= d.maxOpenSegments {
+			return
+		}
+		if id == d.segID || s.f == nil || s.refs > 0 {
+			continue
+		}
+		s.f.Close()
+		s.f = nil
+		d.openFDs--
+	}
+}
+
+// release drops a reader's pin; the last release of a retired segment
+// closes the handle and, for compacted-away segments, unlinks the file.
+func (d *Disk) release(s *segment) {
+	d.mu.Lock()
+	s.refs--
+	var f *os.File
+	remove := false
+	if s.retired && s.refs == 0 && s.f != nil {
+		f, s.f = s.f, nil
+		d.openFDs--
+		remove = s.remove
+	}
+	// A wide Scan can pin (and open) many segments at once; trim back
+	// to the cap as the pins drop.
+	d.evictColdLocked()
+	d.mu.Unlock()
+	if f != nil {
+		f.Close()
+		if remove {
+			os.Remove(segmentPath(d.dir, s.id))
+		}
+	}
+}
+
+// retireLocked removes a segment from the live set. If no reader holds
+// it, the handle is closed (and the file removed) immediately;
+// otherwise the last reader's release finishes the job. Caller holds
+// d.mu.
+func (d *Disk) retireLocked(s *segment, remove bool) error {
+	delete(d.segs, s.id)
+	s.retired, s.remove = true, remove
+	if s.refs > 0 {
+		return nil
+	}
+	var err error
+	if s.f != nil {
+		err = s.f.Close()
+		s.f = nil
+		d.openFDs--
+	}
+	if remove {
+		if rerr := os.Remove(segmentPath(d.dir, s.id)); err == nil {
+			err = rerr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
 }
 
 // Put implements Collection.
@@ -277,7 +500,6 @@ func (d *Disk) PutBatch(recs []PageRecord) error {
 		}
 		d.index[rec.URL] = diskPos{seg: d.segID, off: off}
 		d.segOff += n
-		d.written += n
 	}
 	if err := d.w.Flush(); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -285,7 +507,9 @@ func (d *Disk) PutBatch(recs []PageRecord) error {
 	return d.maybeRollLocked()
 }
 
-// Get implements Collection.
+// Get implements Collection. The read happens outside the lock against
+// a pinned segment handle, so a concurrent Compact cannot pull the file
+// out from under it.
 func (d *Disk) Get(url string) (PageRecord, bool, error) {
 	d.mu.Lock()
 	if d.closed {
@@ -293,25 +517,23 @@ func (d *Disk) Get(url string) (PageRecord, bool, error) {
 		return PageRecord{}, false, ErrClosed
 	}
 	pos, ok := d.index[url]
-	d.mu.Unlock()
 	if !ok {
+		d.mu.Unlock()
 		return PageRecord{}, false, nil
 	}
-	return d.readAt(pos)
+	s, err := d.acquireLocked(pos.seg)
+	d.mu.Unlock()
+	if err != nil {
+		return PageRecord{}, false, err
+	}
+	defer d.release(s)
+	return decodeValueAt(s.f, pos.off)
 }
 
-func (d *Disk) readAt(pos diskPos) (PageRecord, bool, error) {
-	f, err := os.Open(segmentPath(d.dir, pos.seg))
+func decodeValueAt(f *os.File, off int64) (PageRecord, bool, error) {
+	val, err := readValueAt(f, off)
 	if err != nil {
-		return PageRecord{}, false, fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	if _, err := f.Seek(pos.off, io.SeekStart); err != nil {
-		return PageRecord{}, false, fmt.Errorf("store: %w", err)
-	}
-	_, val, _, err := readFrame(bufio.NewReader(f))
-	if err != nil {
-		return PageRecord{}, false, fmt.Errorf("store: %w", err)
+		return PageRecord{}, false, err
 	}
 	var rec PageRecord
 	if err := json.Unmarshal(val, &rec); err != nil {
@@ -341,7 +563,6 @@ func (d *Disk) Delete(url string) error {
 	d.live--
 	d.garbage += 2 // superseded record + tombstone
 	d.segOff += n
-	d.written += n
 	return d.maybeRollLocked()
 }
 
@@ -352,9 +573,8 @@ func (d *Disk) maybeRollLocked() error {
 		if err := d.w.Flush(); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		if err := d.seg.Close(); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
+		// The filled segment stays open as a read handle; only the
+		// writer moves on.
 		if err := d.openSegment(d.segID + 1); err != nil {
 			return err
 		}
@@ -366,22 +586,22 @@ func (d *Disk) maybeRollLocked() error {
 }
 
 // compactLocked rewrites all live records into a fresh segment and
-// removes the old ones.
+// retires the old ones. Raw value bytes are copied frame to frame — no
+// decode/re-encode round trip. Old segments whose handles are pinned by
+// in-flight readers stay readable until those readers release them;
+// their files are unlinked at the last release.
 func (d *Disk) compactLocked() error {
 	if err := d.w.Flush(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	oldIDs, err := segmentIDs(d.dir)
-	if err != nil {
+	old := make([]*segment, 0, len(d.segs))
+	for _, s := range d.segs {
+		old = append(old, s)
+	}
+	if err := d.openSegment(d.segID + 1); err != nil {
 		return err
 	}
-	newID := d.segID + 1
-	if err := d.seg.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := d.openSegment(newID); err != nil {
-		return err
-	}
+	newID := d.segID
 	urls := make([]string, 0, len(d.index))
 	for u := range d.index {
 		urls = append(urls, u)
@@ -389,16 +609,14 @@ func (d *Disk) compactLocked() error {
 	sort.Strings(urls)
 	newIndex := make(map[string]diskPos, len(urls))
 	for _, u := range urls {
-		rec, ok, err := d.readAt(d.index[u])
-		if err != nil {
+		pos := d.index[u]
+		src := d.segs[pos.seg]
+		if err := d.ensureOpenLocked(src); err != nil {
 			return err
 		}
-		if !ok {
-			continue
-		}
-		val, err := json.Marshal(rec)
+		val, err := readValueAt(src.f, pos.off)
 		if err != nil {
-			return fmt.Errorf("store: %w", err)
+			return err
 		}
 		off := d.segOff
 		n, err := appendFrame(d.w, u, val, false)
@@ -414,15 +632,13 @@ func (d *Disk) compactLocked() error {
 	d.index = newIndex
 	d.live = len(newIndex)
 	d.garbage = 0
-	for _, id := range oldIDs {
-		if id == newID {
-			continue
-		}
-		if err := os.Remove(segmentPath(d.dir, id)); err != nil {
-			return fmt.Errorf("store: %w", err)
+	var firstErr error
+	for _, s := range old {
+		if err := d.retireLocked(s, true); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // Len implements Collection.
@@ -444,21 +660,87 @@ func (d *Disk) URLs() []string {
 	return out
 }
 
-// Scan implements Collection.
-func (d *Disk) Scan(fn func(PageRecord) bool) error {
-	for _, u := range d.URLs() {
-		rec, ok, err := d.Get(u)
-		if err != nil {
-			return err
-		}
-		if !ok {
+// URLsFrom visits the stored URLs strictly after the given URL in
+// ascending order — ScanFrom's key-only sibling: one index walk, no
+// record reads, lazy ordering, so a chunked consumer (the store
+// server's wire URL listing) never sorts the unconsumed tail. The
+// index snapshot is taken outside the lock's critical reads.
+func (d *Disk) URLsFrom(after string, fn func(string) bool) {
+	d.mu.Lock()
+	keys := make([]string, 0, len(d.index))
+	for u := range d.index {
+		if after != "" && u <= after {
 			continue
 		}
-		if !fn(rec) {
-			return nil
+		keys = append(keys, u)
+	}
+	d.mu.Unlock()
+	visitAscending(keys, func(a, b string) bool { return a < b }, fn)
+}
+
+// Scan implements Collection: one index snapshot under the lock, then
+// positioned reads through pinned segment handles — no per-record file
+// open, and a concurrent Compact cannot invalidate the snapshot. The
+// scan sees exactly the records indexed at its start (frames are
+// immutable once written).
+func (d *Disk) Scan(fn func(PageRecord) bool) error {
+	return d.ScanFrom("", fn)
+}
+
+// ScanFrom is Scan resuming strictly after the given URL (empty scans
+// everything): records at or before it are excluded from the snapshot,
+// and the suffix is visited lazily in sorted order (heap-select), so a
+// chunked consumer (the store server's wire scan) pays one index walk
+// plus O(k log n) per chunk — it decodes only the records it returns,
+// never sorting or reading the unconsumed tail.
+func (d *Disk) ScanFrom(after string, fn func(PageRecord) bool) error {
+	type item struct {
+		url string
+		pos diskPos
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	items := make([]item, 0, len(d.index))
+	pinned := make(map[int]*segment)
+	for u, pos := range d.index {
+		if u <= after && after != "" {
+			continue
+		}
+		items = append(items, item{url: u, pos: pos})
+		if pinned[pos.seg] == nil {
+			s, err := d.acquireLocked(pos.seg)
+			if err != nil {
+				d.mu.Unlock()
+				for _, p := range pinned {
+					d.release(p)
+				}
+				return err
+			}
+			pinned[pos.seg] = s
 		}
 	}
-	return nil
+	d.mu.Unlock()
+	defer func() {
+		for _, s := range pinned {
+			d.release(s)
+		}
+	}()
+	var err error
+	visitAscending(items, func(a, b item) bool { return a.url < b.url }, func(it item) bool {
+		rec, ok, derr := decodeValueAt(pinned[it.pos.seg].f, it.pos.off)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return fn(rec)
+	})
+	return err
 }
 
 // Compact forces a compaction pass.
@@ -481,7 +763,8 @@ func (d *Disk) GarbageRatio() float64 {
 	return float64(d.garbage) / float64(d.live)
 }
 
-// Close implements Collection.
+// Close implements Collection. Segments pinned by in-flight readers are
+// closed by those readers' releases; everything else closes now.
 func (d *Disk) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -489,9 +772,14 @@ func (d *Disk) Close() error {
 		return nil
 	}
 	d.closed = true
-	if err := d.w.Flush(); err != nil {
-		d.seg.Close()
-		return fmt.Errorf("store: %w", err)
+	err := d.w.Flush()
+	if err != nil {
+		err = fmt.Errorf("store: %w", err)
 	}
-	return d.seg.Close()
+	for _, s := range d.segs {
+		if rerr := d.retireLocked(s, false); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return err
 }

@@ -13,13 +13,153 @@ import (
 //
 // The wrapper makes the freshness trade-off of Figure 8 concrete in code:
 // between swaps, newly crawled pages are invisible to readers.
+//
+// Collections handed out by Current and Shadow are guarded: each call on
+// them is tracked, and Swap retires the old current collection instead
+// of closing it outright — the underlying Close happens only once the
+// last in-flight call (a reader mid-Scan, say) has finished, so a swap
+// never surfaces a spurious ErrClosed in a reader that obtained the
+// collection moments earlier. Calls *started* after the swap fail with
+// ErrClosed, as before.
 type Shadowed struct {
 	mu      sync.RWMutex
-	current Collection
-	shadow  Collection
+	current *guarded
+	shadow  *guarded
 	// newShadow constructs the next shadow after a swap.
 	newShadow func() (Collection, error)
 	swaps     int
+}
+
+// guarded wraps a Collection with an in-flight call count, so retirement
+// (at swap or close time) can defer the underlying Close until the
+// collection is quiescent.
+type guarded struct {
+	coll Collection
+
+	mu      sync.Mutex
+	ops     int
+	retired bool // no new calls; close when ops drains to 0
+	closed  bool // underlying Close has run
+}
+
+var _ Collection = (*guarded)(nil)
+
+// enter admits one call; it fails once the collection is retired.
+func (g *guarded) enter() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.retired {
+		return ErrClosed
+	}
+	g.ops++
+	return nil
+}
+
+// exit retires the underlying collection if this was the last in-flight
+// call on a retired wrapper.
+func (g *guarded) exit() {
+	g.mu.Lock()
+	g.ops--
+	doClose := g.retired && g.ops == 0 && !g.closed
+	if doClose {
+		g.closed = true
+	}
+	g.mu.Unlock()
+	if doClose {
+		g.coll.Close()
+	}
+}
+
+// retire blocks new calls and closes the underlying collection — now if
+// it is quiescent, otherwise when the last in-flight call exits (that
+// deferred Close's error is necessarily dropped; callers who need it
+// must quiesce first).
+func (g *guarded) retire() error {
+	g.mu.Lock()
+	if g.retired {
+		g.mu.Unlock()
+		return nil
+	}
+	g.retired = true
+	idle := g.ops == 0
+	if idle {
+		g.closed = true
+	}
+	g.mu.Unlock()
+	if idle {
+		return g.coll.Close()
+	}
+	return nil
+}
+
+// Put implements Collection.
+func (g *guarded) Put(rec PageRecord) error {
+	if err := g.enter(); err != nil {
+		return err
+	}
+	defer g.exit()
+	return g.coll.Put(rec)
+}
+
+// PutBatch implements Collection.
+func (g *guarded) PutBatch(recs []PageRecord) error {
+	if err := g.enter(); err != nil {
+		return err
+	}
+	defer g.exit()
+	return g.coll.PutBatch(recs)
+}
+
+// Get implements Collection.
+func (g *guarded) Get(url string) (PageRecord, bool, error) {
+	if err := g.enter(); err != nil {
+		return PageRecord{}, false, err
+	}
+	defer g.exit()
+	return g.coll.Get(url)
+}
+
+// Delete implements Collection.
+func (g *guarded) Delete(url string) error {
+	if err := g.enter(); err != nil {
+		return err
+	}
+	defer g.exit()
+	return g.coll.Delete(url)
+}
+
+// Len implements Collection; a retired collection reports empty.
+func (g *guarded) Len() int {
+	if err := g.enter(); err != nil {
+		return 0
+	}
+	defer g.exit()
+	return g.coll.Len()
+}
+
+// URLs implements Collection; a retired collection reports empty.
+func (g *guarded) URLs() []string {
+	if err := g.enter(); err != nil {
+		return nil
+	}
+	defer g.exit()
+	return g.coll.URLs()
+}
+
+// Scan implements Collection. The whole scan is one tracked call: a
+// Swap during it defers the underlying Close until the scan returns.
+func (g *guarded) Scan(fn func(PageRecord) bool) error {
+	if err := g.enter(); err != nil {
+		return err
+	}
+	defer g.exit()
+	return g.coll.Scan(fn)
+}
+
+// Close implements Collection (retire semantics: in-flight calls finish
+// first).
+func (g *guarded) Close() error {
+	return g.retire()
 }
 
 // NewShadowed builds a shadowed collection pair. current may be nil, in
@@ -40,7 +180,11 @@ func NewShadowed(current Collection, newShadow func() (Collection, error)) (*Sha
 	if err != nil {
 		return nil, err
 	}
-	return &Shadowed{current: current, shadow: sh, newShadow: newShadow}, nil
+	return &Shadowed{
+		current:   &guarded{coll: current},
+		shadow:    &guarded{coll: sh},
+		newShadow: newShadow,
+	}, nil
 }
 
 // NewShadowedMem returns a Shadowed pair backed by in-memory collections.
@@ -67,9 +211,10 @@ func (s *Shadowed) Shadow() Collection {
 	return s.shadow
 }
 
-// Swap publishes the shadow as the current collection, closes the old
-// current collection, and installs a fresh shadow. It returns the number
-// of pages in the newly published collection.
+// Swap publishes the shadow as the current collection, retires the old
+// current collection (its Close is deferred until in-flight readers
+// finish), and installs a fresh shadow. It returns the number of pages
+// in the newly published collection.
 func (s *Shadowed) Swap() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -81,9 +226,9 @@ func (s *Shadowed) Swap() (int, error) {
 		s.current = old
 		return 0, err
 	}
-	s.shadow = fresh
+	s.shadow = &guarded{coll: fresh}
 	s.swaps++
-	if err := old.Close(); err != nil {
+	if err := old.retire(); err != nil {
 		return s.current.Len(), err
 	}
 	return s.current.Len(), nil
@@ -96,12 +241,12 @@ func (s *Shadowed) Swaps() int {
 	return s.swaps
 }
 
-// Close closes both collections.
+// Close closes both collections (in-flight calls finish first).
 func (s *Shadowed) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err1 := s.current.Close()
-	err2 := s.shadow.Close()
+	err1 := s.current.retire()
+	err2 := s.shadow.retire()
 	if err1 != nil {
 		return err1
 	}

@@ -137,21 +137,92 @@ func (s *Mem) URLs() []string {
 	return out
 }
 
-// Scan implements Collection.
-func (s *Mem) Scan(fn func(PageRecord) bool) error {
-	for _, u := range s.URLs() {
-		rec, ok, err := s.Get(u)
-		if err != nil {
-			return err
-		}
-		if !ok {
+// URLsFrom visits the stored URLs strictly after the given URL in
+// ascending order, lazily (see Disk.URLsFrom).
+func (s *Mem) URLsFrom(after string, fn func(string) bool) {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.m))
+	for u := range s.m {
+		if after != "" && u <= after {
 			continue
 		}
-		if !fn(rec) {
-			return nil
+		keys = append(keys, u)
+	}
+	s.mu.RUnlock()
+	visitAscending(keys, func(a, b string) bool { return a < b }, fn)
+}
+
+// Scan implements Collection.
+func (s *Mem) Scan(fn func(PageRecord) bool) error {
+	return s.ScanFrom("", fn)
+}
+
+// ScanFrom is Scan resuming strictly after the given URL (empty scans
+// everything). The suffix is visited lazily in sorted order, so a
+// chunked consumer stopping after k records pays O(n + k log n), not a
+// full sort per chunk.
+func (s *Mem) ScanFrom(after string, fn func(PageRecord) bool) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(s.m))
+	for u := range s.m {
+		if after != "" && u <= after {
+			continue
+		}
+		keys = append(keys, u)
+	}
+	s.mu.RUnlock()
+	var err error
+	visitAscending(keys, func(a, b string) bool { return a < b }, func(u string) bool {
+		rec, ok, gerr := s.Get(u)
+		if gerr != nil {
+			err = gerr
+			return false
+		}
+		if !ok {
+			return true // deleted between snapshot and visit
+		}
+		return fn(rec)
+	})
+	return err
+}
+
+// visitAscending visits items in ascending order, lazily: the slice is
+// heapified in linear time and each visited item costs one sift, so a
+// consumer stopping after k of n items pays O(n + k log n) instead of
+// a full O(n log n) sort. The slice is reordered in place.
+func visitAscending[T any](items []T, less func(a, b T) bool, visit func(T) bool) {
+	n := len(items)
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= n {
+				return
+			}
+			if r := l + 1; r < n && less(items[r], items[l]) {
+				l = r
+			}
+			if !less(items[l], items[i]) {
+				return
+			}
+			items[i], items[l] = items[l], items[i]
+			i = l
 		}
 	}
-	return nil
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for n > 0 {
+		if !visit(items[0]) {
+			return
+		}
+		n--
+		items[0], items[n] = items[n], items[0]
+		siftDown(0)
+	}
 }
 
 // Close implements Collection.

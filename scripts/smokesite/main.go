@@ -1,0 +1,45 @@
+// Command smokesite is a minimal static file server for the smoke
+// scripts: it serves a directory over HTTP on a kernel-assigned port
+// and writes the bound address to a file orchestration can wait on —
+// the loopback "live web" that lets scripts/store_smoke.sh exercise
+// webcrawl (a real HTTP crawler) hermetically inside CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+)
+
+func main() {
+	root := flag.String("root", ".", "directory to serve")
+	listen := flag.String("listen", "127.0.0.1:0", "host:port to serve on (:0 for an assigned port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smokesite:", err)
+		os.Exit(1)
+	}
+	addr := ln.Addr().String()
+	fmt.Printf("smokesite: serving %s on %s\n", *root, addr)
+	if *addrFile != "" {
+		// Write-then-rename so waiters never read a partial address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "smokesite:", err)
+			os.Exit(1)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fmt.Fprintln(os.Stderr, "smokesite:", err)
+			os.Exit(1)
+		}
+	}
+	if err := http.Serve(ln, http.FileServer(http.Dir(*root))); err != nil {
+		fmt.Fprintln(os.Stderr, "smokesite:", err)
+		os.Exit(1)
+	}
+}
