@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fmt vet smoke-cluster smoke-store ci
+.PHONY: build test race bench bench-smoke fmt vet smoke-cluster smoke-store smoke-serve ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ bench:
 		{ cat bench_engine.txt; rm -f bench_engine.txt; exit 1; }
 	$(GO) test -bench 'BenchmarkStore' -benchtime 5x \
 		-benchmem -run '^$$' ./internal/cluster/ >> bench_engine.txt || \
+		{ cat bench_engine.txt; rm -f bench_engine.txt; exit 1; }
+	$(GO) test -bench 'BenchmarkServeQPS' -benchtime 5x \
+		-benchmem -run '^$$' ./internal/serve/ >> bench_engine.txt || \
+		{ cat bench_engine.txt; rm -f bench_engine.txt; exit 1; }
+	$(GO) test -bench 'BenchmarkServeHotGet' -benchtime 2000x \
+		-benchmem -run '^$$' ./internal/serve/ >> bench_engine.txt || \
 		{ cat bench_engine.txt; rm -f bench_engine.txt; exit 1; }
 	@cat bench_engine.txt
 	$(GO) run ./internal/tools/benchjson < bench_engine.txt > BENCH_engine.json
@@ -58,4 +64,11 @@ smoke-cluster:
 smoke-store:
 	./scripts/store_smoke.sh
 
-ci: build vet fmt race bench-smoke bench smoke-cluster smoke-store
+# Serving-plane smoke: crawl a static site, then serve the repository
+# back out through webservd (crawl dir), storerd -serve, and webservd
+# -store-server; served bodies must be byte-identical to the site
+# files, with working ETag/304s, paged listing, and estimates.
+smoke-serve:
+	./scripts/serve_smoke.sh
+
+ci: build vet fmt race bench-smoke bench smoke-cluster smoke-store smoke-serve

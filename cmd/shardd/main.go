@@ -28,31 +28,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"webevolve/internal/cluster"
+	"webevolve/internal/daemon"
 	"webevolve/internal/frontier"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7070", "host:port to serve on (:0 for an assigned port)")
+	common := daemon.New("127.0.0.1:7070")
 	shards := flag.Int("shards", 16, "per-site frontier shards hosted by this server")
 	politeness := flag.Float64("politeness", 0, "default per-shard politeness gap in days (clients usually override at connect)")
-	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (removed on shutdown)")
-	statsEvery := flag.Duration("stats-every", 0, "log queue stats at this interval (0 disables)")
 	walDir := flag.String("wal", "", "directory for the frontier write-ahead log; queued entries survive restarts (empty disables persistence)")
 	walCompactEvery := flag.Duration("wal-compact-every", time.Minute, "interval between WAL compactions (snapshot + log truncation; 0 disables periodic compaction)")
 	flag.Parse()
 
-	if err := run(*listen, *shards, *politeness, *addrFile, *statsEvery, *walDir, *walCompactEvery); err != nil {
-		fmt.Fprintln(os.Stderr, "shardd:", err)
-		os.Exit(1)
+	if err := run(common, *shards, *politeness, *walDir, *walCompactEvery); err != nil {
+		daemon.Fatal("shardd", err)
 	}
 }
 
-func run(listen string, shards int, politeness float64, addrFile string, statsEvery time.Duration, walDir string, walCompactEvery time.Duration) error {
+func run(common *daemon.Flags, shards int, politeness float64, walDir string, walCompactEvery time.Duration) error {
 	q := frontier.NewShardedPolite(shards, politeness)
 	srv := cluster.NewShardServer(q)
 	if walDir != "" {
@@ -61,72 +57,43 @@ func run(listen string, shards int, politeness float64, addrFile string, statsEv
 		}
 		fmt.Printf("shardd: WAL %s recovered %d queued entries\n", walDir, q.Len())
 	}
-	if err := srv.Listen(listen); err != nil {
+	if err := srv.Listen(common.Listen); err != nil {
 		return err
 	}
 	addr := srv.Addr().String()
 	fmt.Printf("shardd: serving %d shards on %s\n", shards, addr)
-	if addrFile != "" {
-		// Write-then-rename so waiters never read a partial address.
-		tmp := addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
-			return err
-		}
-		if err := os.Rename(tmp, addrFile); err != nil {
-			return err
-		}
-		defer os.Remove(addrFile)
+	cleanup, err := common.Publish(addr)
+	if err != nil {
+		return err
 	}
+	defer cleanup()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sig
+	stopSig := daemon.OnShutdown(func(s os.Signal) {
 		if walDir != "" {
 			fmt.Printf("shardd: %v, shutting down (persisting %d queued entries)\n", s, q.Len())
 		} else {
 			fmt.Printf("shardd: %v, shutting down (dropping %d queued entries; run with -wal to keep them)\n", s, q.Len())
 		}
 		srv.Close()
-	}()
-
-	// Background tickers stop with the server: time.Tick would leak its
-	// ticker and keep logging after Close.
-	done := make(chan struct{})
-	if statsEvery > 0 {
-		t := time.NewTicker(statsEvery)
-		go func() {
-			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					fmt.Printf("shardd: %d entries across %d shards\n", q.Len(), q.NumShards())
-				case <-done:
-					return
-				}
-			}
-		}()
-	}
-	if walDir != "" && walCompactEvery > 0 {
-		t := time.NewTicker(walCompactEvery)
-		go func() {
-			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					if err := srv.CompactWAL(); err != nil {
-						fmt.Fprintln(os.Stderr, "shardd: wal compaction:", err)
-					}
-				case <-done:
-					return
-				}
-			}
-		}()
-	}
-
-	err := srv.Serve()
-	close(done)
+	})
+	defer stopSig()
+	stopStats := daemon.Every(common.StatsEvery, func() {
+		fmt.Printf("shardd: %d entries across %d shards\n", q.Len(), q.NumShards())
+	})
+	defer stopStats()
+	var stopCompact func()
 	if walDir != "" {
+		stopCompact = daemon.Every(walCompactEvery, func() {
+			if err := srv.CompactWAL(); err != nil {
+				fmt.Fprintln(os.Stderr, "shardd: wal compaction:", err)
+			}
+		})
+		defer stopCompact()
+	}
+
+	err = srv.Serve()
+	if walDir != "" {
+		stopCompact()
 		// The graceful-shutdown flush: every queued entry lands in the
 		// final snapshot instead of being announced and dropped.
 		if werr := srv.CloseWAL(); werr != nil {

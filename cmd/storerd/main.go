@@ -17,38 +17,56 @@
 // segment tail is swept on reopen. Without -dir, collections live in
 // memory and die with the process (simulations, smoke tests).
 //
+// With -serve, storerd additionally exposes the HTTP read API
+// (internal/serve) over one of its collections on a second address, so
+// the machine holding the repository serves it directly — readers skip
+// the crawling machine entirely:
+//
+//	storerd -listen 127.0.0.1:7080 -dir /var/lib/storerd \
+//	        -serve 127.0.0.1:8080 -serve-collection pages
+//	curl http://127.0.0.1:8080/v1/pages/https://example.com/
+//
+// The HTTP server reads the same live collection the wire protocol
+// writes, so pages appear to readers as soon as the crawl stores them.
+// Change-frequency estimates live with the crawler's state, not the
+// repository, so /v1/estimates answers 501 here (use webservd over a
+// crawl directory for estimates).
+//
 // With -listen :0 the kernel assigns a port; the bound address is
-// printed on stdout and, with -addr-file, written to a file that
-// orchestration scripts can wait on. The address file is removed on
-// shutdown, so waiters never race onto a stale address from a previous
-// run.
+// printed on stdout and, with -addr-file (and -serve-addr-file for the
+// HTTP side), written to a file that orchestration scripts can wait
+// on. Address files are removed on shutdown, so waiters never race
+// onto a stale address from a previous run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"webevolve/internal/cluster"
+	"webevolve/internal/daemon"
+	"webevolve/internal/serve"
+	"webevolve/internal/store"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7080", "host:port to serve on (:0 for an assigned port)")
+	common := daemon.New("127.0.0.1:7080")
 	dir := flag.String("dir", "", "directory for disk-backed collections, one subdirectory each (empty: in-memory, lost at exit)")
-	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (removed on shutdown)")
-	statsEvery := flag.Duration("stats-every", 0, "log collection stats at this interval (0 disables)")
+	serveAddr := flag.String("serve", "", "host:port for the HTTP read API over one collection (empty disables; :0 for an assigned port)")
+	serveColl := flag.String("serve-collection", "pages", "collection the HTTP read API serves")
+	serveAddrFile := flag.String("serve-addr-file", "", "write the HTTP read API's bound address to this file (removed on shutdown)")
 	flag.Parse()
 
-	if err := run(*listen, *dir, *addrFile, *statsEvery); err != nil {
-		fmt.Fprintln(os.Stderr, "storerd:", err)
-		os.Exit(1)
+	if err := run(common, *dir, *serveAddr, *serveColl, *serveAddrFile); err != nil {
+		daemon.Fatal("storerd", err)
 	}
 }
 
-func run(listen, dir, addrFile string, statsEvery time.Duration) error {
+func run(common *daemon.Flags, dir, serveAddr, serveColl, serveAddrFile string) error {
 	var srv *cluster.StoreServer
 	if dir != "" {
 		srv = cluster.NewDiskStoreServer(dir)
@@ -57,54 +75,70 @@ func run(listen, dir, addrFile string, statsEvery time.Duration) error {
 		srv = cluster.NewMemStoreServer()
 		fmt.Println("storerd: in-memory collections (run with -dir to persist)")
 	}
-	if err := srv.Listen(listen); err != nil {
+	if err := srv.Listen(common.Listen); err != nil {
 		return err
 	}
 	addr := srv.Addr().String()
 	fmt.Printf("storerd: serving on %s\n", addr)
-	if addrFile != "" {
-		// Write-then-rename so waiters never read a partial address.
-		tmp := addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
-			return err
-		}
-		if err := os.Rename(tmp, addrFile); err != nil {
-			return err
-		}
-		defer os.Remove(addrFile)
+	cleanup, err := common.Publish(addr)
+	if err != nil {
+		return err
 	}
+	defer cleanup()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sig
-		fmt.Printf("storerd: %v, shutting down\n", s)
-		srv.Close()
-	}()
-
-	// Background ticker stops with the server (NewTicker, not
-	// time.Tick, so nothing leaks or logs after Close).
-	done := make(chan struct{})
-	if statsEvery > 0 {
-		t := time.NewTicker(statsEvery)
+	var httpSrv *http.Server
+	if serveAddr != "" {
+		// The HTTP read API fronts the same live collection the wire
+		// protocol writes (Collection memoizes per name), so stored
+		// pages are immediately servable. The collection never swaps
+		// under storerd, hence the static source.
+		coll, err := srv.Collection(serveColl)
+		if err != nil {
+			return fmt.Errorf("open serve collection %q: %w", serveColl, err)
+		}
+		// Caching is off: this collection is written in place (no swap
+		// ever bumps the generation), so a cached body could go stale
+		// the moment the crawl rewrites the page. Reads go straight to
+		// the collection, which is local anyway.
+		api := serve.New(serve.Config{Source: serve.Static(store.Reader(coll)), CacheEntries: -1})
+		ln, err := net.Listen("tcp", serveAddr)
+		if err != nil {
+			return fmt.Errorf("serve listen: %w", err)
+		}
+		fmt.Printf("storerd: HTTP read API for collection %q on %s\n", serveColl, ln.Addr())
+		httpCleanup, err := daemon.PublishAddr(serveAddrFile, ln.Addr().String())
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer httpCleanup()
+		httpSrv = &http.Server{Handler: api, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
-			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					names := srv.Collections()
-					fmt.Printf("storerd: %d open collections %v\n", len(names), names)
-				case <-done:
-					return
-				}
+			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "storerd: http serve:", err)
 			}
 		}()
 	}
 
-	err := srv.Serve()
-	close(done)
+	stopSig := daemon.OnShutdown(func(s os.Signal) {
+		fmt.Printf("storerd: %v, shutting down\n", s)
+		srv.Close()
+	})
+	defer stopSig()
+	stopStats := daemon.Every(common.StatsEvery, func() {
+		names := srv.Collections()
+		fmt.Printf("storerd: %d open collections %v\n", len(names), names)
+	})
+	defer stopStats()
+
+	err = srv.Serve()
 	// Serve only returns once Close ran, and Close flushes and closes
-	// every collection — the disk stores' durable shutdown.
+	// every collection — the disk stores' durable shutdown. The HTTP
+	// side stops with it; a read landing in the window reports the
+	// closed collection as an error, it never blocks shutdown.
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
 	if err != cluster.ErrServerClosed {
 		return err
 	}

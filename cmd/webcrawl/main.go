@@ -22,22 +22,20 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"webevolve/internal/changefreq"
 	"webevolve/internal/clock"
 	"webevolve/internal/cluster"
 	"webevolve/internal/core"
+	"webevolve/internal/crawlstate"
 	"webevolve/internal/fetch"
 	"webevolve/internal/frontier"
 	"webevolve/internal/htmlparse"
@@ -58,6 +56,7 @@ func main() {
 	shards := flag.Int("shards", 16, "per-site frontier shards")
 	shardServers := flag.String("shard-servers", "", "comma-separated shardd endpoints hosting the frontier (replaces in-process shards)")
 	storeServer := flag.String("store-server", "", "storerd endpoint hosting the page collection (replaces the local disk store in -dir)")
+	content := flag.Bool("content", true, "store page bodies in the collection (they feed the serving plane); disable to keep only metadata")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -82,6 +81,7 @@ func main() {
 		agent:    *agent,
 		workers:  *workers,
 		shards:   *shards,
+		content:  *content,
 	}
 	if *shardServers != "" {
 		o.shardServers = strings.Split(*shardServers, ",")
@@ -117,22 +117,9 @@ type crawlOpts struct {
 	// The collection is named "pages" on the server and persists there
 	// across runs, like the -dir store does locally.
 	storeServer string
-}
-
-// state is the persisted frontier/estimator sidecar next to the page
-// store.
-type state struct {
-	// Epoch anchors fractional-day timestamps.
-	Epoch time.Time `json:"epoch"`
-	// Histories maps URL -> (visit day, changed?) pairs.
-	Histories map[string][]obs `json:"histories"`
-	// Due maps URL -> next scheduled visit day.
-	Due map[string]float64 `json:"due"`
-}
-
-type obs struct {
-	Day     float64 `json:"day"`
-	Changed bool    `json:"changed"`
+	// content stores fetched page bodies alongside the metadata, so the
+	// serving plane (webservd, storerd -serve) can return them.
+	content bool
 }
 
 func run(o crawlOpts) error {
@@ -154,7 +141,7 @@ func run(o crawlOpts) error {
 		defer disk.Close()
 		coll = disk
 	}
-	st, err := loadState(filepath.Join(o.dir, "state.json"))
+	st, err := crawlstate.Load(filepath.Join(o.dir, "state.json"))
 	if err != nil {
 		return err
 	}
@@ -233,7 +220,7 @@ func run(o crawlOpts) error {
 			return fmt.Errorf("store server: %w", err)
 		}
 	}
-	return saveState(filepath.Join(o.dir, "state.json"), st)
+	return crawlstate.Save(filepath.Join(o.dir, "state.json"), st)
 }
 
 // crawl is one webcrawl run: core's unified dispatcher claiming due
@@ -241,7 +228,7 @@ func run(o crawlOpts) error {
 type crawl struct {
 	opts      crawlOpts
 	coll      store.Collection
-	st        *state
+	st        *crawlstate.State
 	q         frontier.ShardSet
 	f         *fetch.HTTPFetcher
 	seedHosts map[string]bool
@@ -399,9 +386,13 @@ func (c *crawl) crawlOne(url string) error {
 	}
 	changed := had && prevSum != res.Checksum
 	c.mu.Lock()
-	c.batch = append(c.batch, store.PageRecord{
+	rec := store.PageRecord{
 		URL: url, Checksum: res.Checksum, FetchedAt: res.Day, Links: res.Links,
-	})
+	}
+	if c.opts.content {
+		rec.Content = res.Content
+	}
+	c.batch = append(c.batch, rec)
 	c.pending[url] = res.Checksum
 	full := len(c.batch) >= flushEvery
 	c.mu.Unlock()
@@ -415,10 +406,10 @@ func (c *crawl) crawlOne(url string) error {
 	}
 
 	c.mu.Lock()
-	c.st.Histories[url] = append(c.st.Histories[url], obs{Day: res.Day, Changed: changed})
+	c.st.Histories[url] = append(c.st.Histories[url], crawlstate.Obs{Day: res.Day, Changed: changed})
 	// Reschedule by the EP estimate: unknown pages weekly, known pages
 	// at half their estimated change interval, clamped.
-	interval := reviseInterval(c.st.Histories[url])
+	interval := crawlstate.ReviseInterval(c.st.Histories[url])
 	due := res.Day + interval
 	c.st.Due[url] = due
 
@@ -450,29 +441,6 @@ func (c *crawl) crawlOne(url string) error {
 	return nil
 }
 
-// reviseInterval estimates a revisit interval (days) from a visit
-// history using EP, defaulting to 7 days with no signal.
-func reviseInterval(history []obs) float64 {
-	h := &changefreq.History{}
-	for _, o := range history {
-		if err := h.Record(changefreq.Observation{Time: o.Day, Changed: o.Changed}); err != nil {
-			return 7
-		}
-	}
-	est, err := changefreq.EPIrregular(h)
-	if err != nil || est.Rate <= 0 {
-		return 7
-	}
-	iv := 0.5 / est.Rate // revisit at twice the estimated change rate
-	if iv < 0.5 {
-		iv = 0.5
-	}
-	if iv > 60 {
-		iv = 60
-	}
-	return iv
-}
-
 func hostOf(u string) string {
 	s := u
 	if i := strings.Index(s, "://"); i >= 0 {
@@ -482,55 +450,4 @@ func hostOf(u string) string {
 		s = s[:i]
 	}
 	return strings.ToLower(s)
-}
-
-func loadState(path string) (*state, error) {
-	st := &state{
-		Epoch:     time.Now().Truncate(time.Hour),
-		Histories: make(map[string][]obs),
-		Due:       make(map[string]float64),
-	}
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return st, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	if err := json.Unmarshal(data, st); err != nil {
-		return nil, fmt.Errorf("corrupt state file %s: %w", path, err)
-	}
-	if st.Histories == nil {
-		st.Histories = make(map[string][]obs)
-	}
-	if st.Due == nil {
-		st.Due = make(map[string]float64)
-	}
-	return st, nil
-}
-
-func saveState(path string, st *state) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	// Keep histories bounded and deterministic on disk.
-	for u, h := range st.Histories {
-		if len(h) > 200 {
-			st.Histories[u] = h[len(h)-200:]
-		}
-	}
-	keys := make([]string, 0, len(st.Due))
-	for k := range st.Due {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	data, err := json.MarshalIndent(st, "", " ")
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
 }

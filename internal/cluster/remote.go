@@ -29,11 +29,21 @@ const (
 	defaultDialTimeout     = 5 * time.Second
 )
 
-// Options configures a RemoteShards client.
+// Options configures a cluster client. One option set serves both
+// client kinds — the frontier shard client (Dial, DialTCP, Loopback →
+// RemoteShards) and the repository store client (DialStore,
+// DialStoreTCP, LoopbackStore → RemoteStore) — because they share the
+// transport underneath: per-server connection pools, redial with
+// capped exponential backoff, and request-ID dedup for exactly-once
+// retries. The transport knobs (ConnsPerServer, MaxRetries,
+// RetryBackoff, MaxRetryBackoff, DialTimeout) mean the same thing to
+// both; PolitenessDays is crawl policy and only the shard client reads
+// it.
 type Options struct {
-	// PolitenessDays, when >= 0, is applied to every server at connect
-	// time (the client owns the crawl policy). Negative leaves each
-	// server's own configuration in place.
+	// PolitenessDays, when >= 0, is applied to every shard server at
+	// connect time (the client owns the crawl policy). Negative leaves
+	// each server's own configuration in place. Store clients ignore
+	// it.
 	PolitenessDays float64
 	// ConnsPerServer sizes the per-server connection pool (default 2):
 	// the dispatcher's claims and the workers' releases/pushes can be in
@@ -50,6 +60,17 @@ type Options struct {
 	// attempt up to MaxRetryBackoff. Defaults 25ms and 1s.
 	RetryBackoff    time.Duration
 	MaxRetryBackoff time.Duration
+	// DialTimeout bounds each TCP connect attempt (DialTCP and
+	// DialStoreTCP; custom Dialers enforce their own). Default 5s.
+	DialTimeout time.Duration
+}
+
+// dialTimeout resolves the configured timeout against the default.
+func (o Options) dialTimeout() time.Duration {
+	if o.DialTimeout > 0 {
+		return o.DialTimeout
+	}
+	return defaultDialTimeout
 }
 
 // RemoteShards implements frontier.ShardSet over a cluster of shard
@@ -428,7 +449,7 @@ func DialTCP(addrs []string, opts Options) (*RemoteShards, error) {
 	for i, a := range addrs {
 		a := a
 		dialers[i] = func() (net.Conn, error) {
-			return net.DialTimeout("tcp", a, defaultDialTimeout)
+			return net.DialTimeout("tcp", a, opts.dialTimeout())
 		}
 	}
 	return Dial(dialers, opts)

@@ -51,7 +51,7 @@ func DialStore(dial Dialer, opts Options) (*RemoteStore, error) {
 // DialStoreTCP connects to a store server at a host:port address.
 func DialStoreTCP(addr string, opts Options) (*RemoteStore, error) {
 	return DialStore(func() (net.Conn, error) {
-		return net.DialTimeout("tcp", addr, defaultDialTimeout)
+		return net.DialTimeout("tcp", addr, opts.dialTimeout())
 	}, opts)
 }
 
@@ -295,7 +295,13 @@ func (c *remoteColl) URLs() []string {
 // between chunks may or may not be seen — the engines never scan a
 // collection they are concurrently writing.
 func (c *remoteColl) Scan(fn func(store.PageRecord) bool) error {
-	after := ""
+	return c.ScanFrom("", fn)
+}
+
+// ScanFrom implements store.Collection: the wire scan already resumes
+// strictly after a URL per chunk, so a paged consumer's resume point
+// simply seeds the first chunk's cursor.
+func (c *remoteColl) ScanFrom(after string, fn func(store.PageRecord) bool) error {
 	for {
 		var e enc
 		e.str(c.name).str(after).u32(storeScanChunk)

@@ -201,6 +201,14 @@ func validCollName(name string) bool {
 	return true
 }
 
+// Collection returns the named hosted collection, opening it on first
+// use — the in-process view of what the wire ops serve, so a daemon
+// embedding a serving plane (storerd -serve) reads the same backing
+// store its clients write, without a loopback hop.
+func (s *StoreServer) Collection(name string) (store.Collection, error) {
+	return s.coll(name)
+}
+
 // coll returns the named collection, opening it on first use.
 func (s *StoreServer) coll(name string) (store.Collection, error) {
 	if !validCollName(name) {
@@ -377,21 +385,9 @@ func (s *StoreServer) handle(op byte, body []byte) (status byte, resp []byte) {
 			chunkBytes += sz
 			return true
 		}
-		// Resume via ScanFrom when the backend offers it (both built-in
-		// backends do), so a chunked scan of N records costs O(N), not a
-		// prefix re-walk per chunk.
-		if sf, ok := c.(interface {
-			ScanFrom(after string, fn func(store.PageRecord) bool) error
-		}); ok {
-			err = sf.ScanFrom(after, collect)
-		} else {
-			err = c.Scan(func(r store.PageRecord) bool {
-				if after != "" && r.URL <= after {
-					return true
-				}
-				return collect(r)
-			})
-		}
+		// ScanFrom is part of store.Reader, so a chunked scan of N
+		// records costs O(N), not a prefix re-walk per chunk.
+		err = c.ScanFrom(after, collect)
 		if err != nil {
 			return statusError, []byte(err.Error())
 		}

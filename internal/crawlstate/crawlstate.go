@@ -1,0 +1,156 @@
+// Package crawlstate is the persistent sidecar of a live crawl: the
+// epoch anchoring fractional-day timestamps, the per-URL change
+// histories feeding the Section 5.3 estimators, and the revisit
+// schedule. webcrawl reads and writes it between runs (state.json next
+// to the page store); webservd reads it to answer /v1/estimates —
+// which is why it lives here rather than inside either command.
+package crawlstate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"webevolve/internal/changefreq"
+)
+
+// State is the persisted frontier/estimator sidecar next to the page
+// store. The JSON shape is webcrawl's state.json contract and must not
+// change incompatibly: existing crawl directories reload across
+// versions.
+type State struct {
+	// Epoch anchors fractional-day timestamps.
+	Epoch time.Time `json:"epoch"`
+	// Histories maps URL -> (visit day, changed?) pairs.
+	Histories map[string][]Obs `json:"histories"`
+	// Due maps URL -> next scheduled visit day.
+	Due map[string]float64 `json:"due"`
+}
+
+// Obs is one visit observation: when, and whether the page had changed
+// since the previous visit.
+type Obs struct {
+	Day     float64 `json:"day"`
+	Changed bool    `json:"changed"`
+}
+
+// maxHistory bounds each page's persisted history; the estimators need
+// tens of observations, not an unbounded log.
+const maxHistory = 200
+
+// Load reads the state at path; a missing file is a fresh state with
+// the epoch at the current hour.
+func Load(path string) (*State, error) {
+	st := &State{
+		Epoch:     time.Now().Truncate(time.Hour),
+		Histories: make(map[string][]Obs),
+		Due:       make(map[string]float64),
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, st); err != nil {
+		return nil, fmt.Errorf("corrupt state file %s: %w", path, err)
+	}
+	if st.Histories == nil {
+		st.Histories = make(map[string][]Obs)
+	}
+	if st.Due == nil {
+		st.Due = make(map[string]float64)
+	}
+	return st, nil
+}
+
+// Save writes the state atomically (temp file + rename), trimming each
+// history to its persisted bound.
+func Save(path string, st *State) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	for u, h := range st.Histories {
+		if len(h) > maxHistory {
+			st.Histories[u] = h[len(h)-maxHistory:]
+		}
+	}
+	data, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Rate is a change-frequency readout for one page, derived from its
+// history with the paper's irregular-interval EP estimator.
+type Rate struct {
+	// Estimator names what produced RatePerDay: "ep-irregular" when the
+	// estimator converged, "default" when there was no usable signal.
+	Estimator string
+	// RatePerDay is the estimated change rate lambda (changes/day).
+	RatePerDay float64
+	// Samples and Changes summarize the history behind the estimate.
+	Samples int
+	Changes int
+	// LastVisitDay is the most recent observation's day.
+	LastVisitDay float64
+}
+
+// EstimateRate derives a page's change rate from its history. ok is
+// false for an empty history; a history the estimator cannot use
+// (e.g. a single visit) reports the "default" estimator with rate 0.
+func (st *State) EstimateRate(url string) (Rate, bool) {
+	history := st.Histories[url]
+	if len(history) == 0 {
+		return Rate{}, false
+	}
+	r := Rate{Estimator: "default", Samples: len(history), LastVisitDay: history[len(history)-1].Day}
+	for _, o := range history {
+		if o.Changed {
+			r.Changes++
+		}
+	}
+	h := &changefreq.History{}
+	for _, o := range history {
+		if err := h.Record(changefreq.Observation{Time: o.Day, Changed: o.Changed}); err != nil {
+			return r, true
+		}
+	}
+	if est, err := changefreq.EPIrregular(h); err == nil && est.Rate > 0 {
+		r.Estimator = "ep-irregular"
+		r.RatePerDay = est.Rate
+	}
+	return r, true
+}
+
+// ReviseInterval estimates a revisit interval (days) from a visit
+// history using EP, defaulting to 7 days with no signal: revisit at
+// twice the estimated change rate, clamped to [0.5, 60] days.
+func ReviseInterval(history []Obs) float64 {
+	h := &changefreq.History{}
+	for _, o := range history {
+		if err := h.Record(changefreq.Observation{Time: o.Day, Changed: o.Changed}); err != nil {
+			return 7
+		}
+	}
+	est, err := changefreq.EPIrregular(h)
+	if err != nil || est.Rate <= 0 {
+		return 7
+	}
+	iv := 0.5 / est.Rate
+	if iv < 0.5 {
+		iv = 0.5
+	}
+	if iv > 60 {
+		iv = 60
+	}
+	return iv
+}

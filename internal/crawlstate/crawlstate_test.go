@@ -1,0 +1,114 @@
+package crawlstate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadMissingIsFresh(t *testing.T) {
+	st, err := Load(filepath.Join(t.TempDir(), "state.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch.IsZero() || st.Histories == nil || st.Due == nil {
+		t.Fatalf("fresh state not initialized: %+v", st)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	st := &State{
+		Epoch: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+		Histories: map[string][]Obs{
+			"http://a.com/": {{Day: 1, Changed: false}, {Day: 2, Changed: true}},
+		},
+		Due: map[string]float64{"http://a.com/": 3.5},
+	}
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+
+	// The on-disk shape is webcrawl's state.json contract.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"epoch"`, `"histories"`, `"due"`, `"day"`, `"changed"`} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("state.json lost the %s field:\n%s", key, data)
+		}
+	}
+
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Epoch.Equal(st.Epoch) || got.Due["http://a.com/"] != 3.5 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	h := got.Histories["http://a.com/"]
+	if len(h) != 2 || h[1].Day != 2 || !h[1].Changed {
+		t.Fatalf("history round trip: %+v", h)
+	}
+}
+
+func TestSaveTrimsHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	st, _ := Load(path)
+	for i := 0; i < maxHistory+50; i++ {
+		st.Histories["u"] = append(st.Histories["u"], Obs{Day: float64(i)})
+	}
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := got.Histories["u"]
+	if len(h) != maxHistory {
+		t.Fatalf("persisted history has %d entries, want %d", len(h), maxHistory)
+	}
+	if h[0].Day != 50 {
+		t.Fatalf("trim kept the wrong end: first day %g, want 50", h[0].Day)
+	}
+}
+
+func TestEstimateRate(t *testing.T) {
+	st, _ := Load(filepath.Join(t.TempDir(), "none"))
+	if _, ok := st.EstimateRate("http://unknown/"); ok {
+		t.Fatal("estimate for unknown URL")
+	}
+
+	// Regular daily visits, changed every other one: a usable EP signal.
+	for i := 1; i <= 10; i++ {
+		st.Histories["u"] = append(st.Histories["u"], Obs{Day: float64(i), Changed: i%2 == 0})
+	}
+	r, ok := st.EstimateRate("u")
+	if !ok {
+		t.Fatal("no estimate for known URL")
+	}
+	if r.Estimator != "ep-irregular" || r.RatePerDay <= 0 {
+		t.Fatalf("estimate %+v", r)
+	}
+	if r.Samples != 10 || r.Changes != 5 || r.LastVisitDay != 10 {
+		t.Fatalf("history summary %+v", r)
+	}
+	// The revisit interval derives from the same estimate, clamped.
+	if iv := ReviseInterval(st.Histories["u"]); iv < 0.5 || iv > 60 {
+		t.Fatalf("interval %g outside the clamp", iv)
+	}
+
+	// A single visit has no interval signal: the default estimator.
+	st.Histories["single"] = []Obs{{Day: 1}}
+	r, ok = st.EstimateRate("single")
+	if !ok || r.Estimator != "default" || r.RatePerDay != 0 {
+		t.Fatalf("single-visit estimate %+v ok=%v", r, ok)
+	}
+	if iv := ReviseInterval(st.Histories["single"]); iv != 7 {
+		t.Fatalf("no-signal interval %g, want the 7-day default", iv)
+	}
+}

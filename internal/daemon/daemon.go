@@ -1,0 +1,139 @@
+// Package daemon carries the few behaviours every webevolve daemon
+// (shardd, storerd, webservd) repeats around its actual server: the
+// shared -listen/-addr-file/-stats-every flag trio, atomic address
+// publication for orchestration scripts, signal-triggered shutdown,
+// and leak-free background tickers. Consolidating them here keeps the
+// daemons' main files about their daemons — and keeps the address-file
+// protocol (write-then-rename, removed on shutdown) identical across
+// all of them, which is what the smoke scripts' wait loops rely on.
+package daemon
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Flags is the flag trio common to every daemon. Register with New,
+// read after flag.Parse.
+type Flags struct {
+	// Listen is the host:port to serve on (:0 for a kernel-assigned
+	// port).
+	Listen string
+	// AddrFile, when non-empty, receives the bound address once
+	// listening (see PublishAddr).
+	AddrFile string
+	// StatsEvery is the interval for periodic stats logging (0
+	// disables).
+	StatsEvery time.Duration
+}
+
+// New registers the common daemon flags on the default flag set with
+// the given default listen address.
+func New(defaultListen string) *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.Listen, "listen", defaultListen, "host:port to serve on (:0 for an assigned port)")
+	flag.StringVar(&f.AddrFile, "addr-file", "", "write the bound address to this file once listening (removed on shutdown)")
+	flag.DurationVar(&f.StatsEvery, "stats-every", 0, "log stats at this interval (0 disables)")
+	return f
+}
+
+// Publish writes the bound address to the flags' address file, if one
+// was requested. The returned cleanup removes the file and must run on
+// shutdown (it is safe to call when no file was requested).
+func (f *Flags) Publish(addr string) (cleanup func(), err error) {
+	return PublishAddr(f.AddrFile, addr)
+}
+
+// PublishAddr writes addr to file atomically (write a sibling temp
+// file, then rename), so a script waiting on the file never reads a
+// partial address. The returned cleanup removes the file, so waiters
+// never race onto a stale address from a previous run. An empty file
+// name publishes nothing and cleans up nothing.
+func PublishAddr(file, addr string) (cleanup func(), err error) {
+	if file == "" {
+		return func() {}, nil
+	}
+	tmp := file + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, file); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	return func() { os.Remove(file) }, nil
+}
+
+// OnShutdown invokes fn (once, in its own goroutine) when the process
+// receives SIGINT or SIGTERM. fn typically logs and closes the server,
+// which unblocks its Serve loop. The returned stop deregisters the
+// handler — call it when shutting down for another reason, so a late
+// signal doesn't touch a closed server.
+func OnShutdown(fn func(sig os.Signal)) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case s := <-ch:
+			fn(s)
+		case <-done:
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			signal.Stop(ch)
+			close(done)
+		}
+	}
+}
+
+// Every runs fn at the given interval until the returned stop is
+// called. A non-positive interval runs nothing. The ticker is a
+// time.NewTicker stopped on exit — not time.Tick, which would leak and
+// keep fn firing after the daemon's server closed.
+func Every(interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	t := time.NewTicker(interval)
+	done := make(chan struct{})
+	go func() {
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				// A tick and the stop can race; prefer the stop so a
+				// shut-down daemon doesn't log once more.
+				select {
+				case <-done:
+					return
+				default:
+				}
+				fn()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+		}
+	}
+}
+
+// Fatal prints "name: err" to stderr and exits 1 — the uniform daemon
+// failure path.
+func Fatal(name string, err error) {
+	fmt.Fprintln(os.Stderr, name+":", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"webevolve/internal/store"
+)
+
+// pageCache is the serving plane's bounded hot-set cache: an LRU keyed
+// by URL, bounded both by entry count and by resident bytes (page
+// bodies dominate), and stamped with the source generation it was
+// filled under. A lookup presenting a newer generation — the shadow
+// swap just published a fresh collection — flushes the whole cache
+// before proceeding, so no reader is ever served a record from a
+// retired generation.
+//
+// Misses are not cached: a negative entry would pin "absent" across
+// writes on backends that never swap (in-place crawls), and the
+// absent-page path is already a single index probe.
+type pageCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+
+	gen     uint64
+	bytes   int64
+	entries map[string]*list.Element
+	ll      *list.List // front = most recently used
+
+	hits, misses, evictions, invalidations int64
+}
+
+// cacheEntry is one resident record.
+type cacheEntry struct {
+	url  string
+	rec  store.PageRecord
+	size int64
+}
+
+// newPageCache builds a cache; non-positive bounds fall back to the
+// defaults (4096 entries, 64 MiB).
+func newPageCache(maxEntries int, maxBytes int64) *pageCache {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &pageCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    make(map[string]*list.Element),
+		ll:         list.New(),
+	}
+}
+
+// recordSize approximates a record's resident footprint.
+func recordSize(rec store.PageRecord) int64 {
+	n := 96 + len(rec.URL) + len(rec.Content)
+	for _, l := range rec.Links {
+		n += 16 + len(l)
+	}
+	return int64(n)
+}
+
+// syncGenLocked flushes the cache when the source generation moved.
+func (c *pageCache) syncGenLocked(gen uint64) {
+	if gen == c.gen {
+		return
+	}
+	c.gen = gen
+	if c.ll.Len() > 0 {
+		c.invalidations++
+		c.entries = make(map[string]*list.Element)
+		c.ll.Init()
+		c.bytes = 0
+	}
+}
+
+// get returns the cached record for url under the given generation.
+func (c *pageCache) get(gen uint64, url string) (store.PageRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncGenLocked(gen)
+	el, ok := c.entries[url]
+	if !ok {
+		c.misses++
+		return store.PageRecord{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rec, true
+}
+
+// put inserts a record under the given generation, evicting from the
+// cold end until both bounds hold. A record bigger than a quarter of
+// the byte budget is not cached at all: one megapage must not evict the
+// whole hot set.
+func (c *pageCache) put(gen uint64, url string, rec store.PageRecord) {
+	size := recordSize(rec)
+	if size > c.maxBytes/4 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncGenLocked(gen)
+	if el, ok := c.entries[url]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += size - ent.size
+		ent.rec, ent.size = rec, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[url] = c.ll.PushFront(&cacheEntry{url: url, rec: rec, size: size})
+		c.bytes += size
+	}
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.entries, ent.url)
+		c.bytes -= ent.size
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the hot-set cache, reported
+// by /v1/stats.
+type CacheStats struct {
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	MaxEntries    int   `json:"maxEntries"`
+	MaxBytes      int64 `json:"maxBytes"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+// stats snapshots the counters.
+func (c *pageCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:       c.ll.Len(),
+		Bytes:         c.bytes,
+		MaxEntries:    c.maxEntries,
+		MaxBytes:      c.maxBytes,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+	}
+}

@@ -605,6 +605,59 @@ func TestShadowedSwapDeferredClose(t *testing.T) {
 	}
 }
 
+// TestShadowedSwapDeferredCloseScanFrom is TestShadowedSwapDeferredClose
+// for the paged read path: a ScanFrom resume obtained before the swap
+// (the serving plane's listing endpoint mid-page) must complete against
+// the collection it started on, never surfacing ErrClosed.
+func TestShadowedSwapDeferredCloseScanFrom(t *testing.T) {
+	dir := t.TempDir()
+	gen := 0
+	var mu sync.Mutex
+	newShadow := func() (Collection, error) {
+		mu.Lock()
+		gen++
+		g := gen
+		mu.Unlock()
+		return OpenDisk(filepath.Join(dir, fmt.Sprintf("gen%d", g)))
+	}
+	s, err := NewShadowed(nil, newShadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.Current().Put(rec(fmt.Sprintf("http://a.com/p%02d", i), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	view, genBefore := s.View()
+	seen := 0
+	err = view.ScanFrom("http://a.com/p04", func(PageRecord) bool {
+		if seen == 0 {
+			if _, err := s.Swap(); err != nil {
+				t.Errorf("swap: %v", err)
+			}
+		}
+		seen++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("ScanFrom across swap must not fail: %v", err)
+	}
+	if seen != n-5 {
+		t.Fatalf("ScanFrom saw %d records, want %d", seen, n-5)
+	}
+	if _, genAfter := s.View(); genAfter != genBefore+1 {
+		t.Fatalf("View generation %d after swap, want %d", genAfter, genBefore+1)
+	}
+	// New reads start on the freshly published (empty) collection.
+	if r, _ := s.View(); r.Len() != 0 {
+		t.Fatalf("post-swap view holds %d records, want 0", r.Len())
+	}
+}
+
 // TestShadowedCloseWaitsForReaders mirrors the swap test for Close.
 func TestShadowedCloseWaitsForReaders(t *testing.T) {
 	s := NewShadowedMem()

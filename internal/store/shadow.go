@@ -156,6 +156,18 @@ func (g *guarded) Scan(fn func(PageRecord) bool) error {
 	return g.coll.Scan(fn)
 }
 
+// ScanFrom implements Collection with the same one-tracked-call
+// contract as Scan: a Swap mid-scan defers the underlying Close until
+// the resumed scan returns, so a paged reader never sees ErrClosed for
+// a chunk it started before the swap.
+func (g *guarded) ScanFrom(after string, fn func(PageRecord) bool) error {
+	if err := g.enter(); err != nil {
+		return err
+	}
+	defer g.exit()
+	return g.coll.ScanFrom(after, fn)
+}
+
 // Close implements Collection (retire semantics: in-flight calls finish
 // first).
 func (g *guarded) Close() error {
@@ -209,6 +221,19 @@ func (s *Shadowed) Shadow() Collection {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.shadow
+}
+
+// View returns the read-only face of the current collection together
+// with the swap generation it belongs to. The generation increments at
+// every Swap, so a caching reader (the serving plane's hot-set cache)
+// keys its entries on it and drops them the moment a swap publishes new
+// content. The returned Reader is the op-refcount guard: a read in
+// flight across a Swap completes against the collection it started on
+// instead of surfacing ErrClosed.
+func (s *Shadowed) View() (Reader, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.current, uint64(s.swaps)
 }
 
 // Swap publishes the shadow as the current collection, retires the old

@@ -39,19 +39,15 @@ type PageRecord struct {
 // ErrClosed reports use of a closed store.
 var ErrClosed = errors.New("store: closed")
 
-// Collection is the storage interface shared by all backends. All
-// implementations are safe for concurrent use.
-type Collection interface {
-	// Put inserts or replaces the record for rec.URL.
-	Put(rec PageRecord) error
-	// PutBatch inserts or replaces many records in one call, applying
-	// them in slice order. Backends amortize per-call overhead (one
-	// lock acquisition, one flush) across the batch.
-	PutBatch(recs []PageRecord) error
+// Reader is the read-only half of a Collection: everything a consumer
+// of the repository needs and nothing that can mutate it. The serving
+// plane (internal/serve) is written against this interface alone, so
+// the compiler proves a read path can never write — a handler holding a
+// Reader has no Put to call. All implementations are safe for
+// concurrent use.
+type Reader interface {
 	// Get returns the record for url; ok is false when absent.
 	Get(url string) (rec PageRecord, ok bool, err error)
-	// Delete removes url; deleting an absent URL is a no-op.
-	Delete(url string) error
 	// Len returns the number of stored pages.
 	Len() int
 	// URLs returns all stored URLs in sorted order.
@@ -59,9 +55,41 @@ type Collection interface {
 	// Scan calls fn for each record in sorted URL order until fn returns
 	// false.
 	Scan(fn func(PageRecord) bool) error
+	// ScanFrom is Scan resuming strictly after the given URL (empty
+	// scans everything) — the primitive under paged listings: a chunked
+	// consumer re-enters with the last URL it saw and never pays for the
+	// prefix again.
+	ScanFrom(after string, fn func(PageRecord) bool) error
+}
+
+// Writer is the mutating half of a Collection.
+type Writer interface {
+	// Put inserts or replaces the record for rec.URL.
+	Put(rec PageRecord) error
+	// PutBatch inserts or replaces many records in one call, applying
+	// them in slice order. Backends amortize per-call overhead (one
+	// lock acquisition, one flush) across the batch.
+	PutBatch(recs []PageRecord) error
+	// Delete removes url; deleting an absent URL is a no-op.
+	Delete(url string) error
+}
+
+// Collection is the full storage interface shared by all backends:
+// the read view plus writes plus lifecycle. All implementations are
+// safe for concurrent use.
+type Collection interface {
+	Reader
+	Writer
 	// Close releases resources. The collection is unusable afterwards.
 	Close() error
 }
+
+// The built-in backends implement the full interface (cluster's
+// RemoteStore collections assert the same in their own package).
+var (
+	_ Collection = (*Mem)(nil)
+	_ Collection = (*Disk)(nil)
+)
 
 // Mem is the in-memory Collection.
 type Mem struct {

@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# Serving-plane smoke (run by `make ci` / the CI workflow): crawl a
+# tiny static site over loopback HTTP, then serve the crawled
+# repository back out through every serving configuration and require
+# the served bodies to be byte-identical to the site files the crawler
+# fetched:
+#
+#  1. webservd over the crawl directory (disk collection + state.json:
+#     pages, conditional requests, listing, estimates, stats).
+#  2. storerd -serve: the HTTP read API embedded in the store daemon,
+#     reading the same live collection a -store-server crawl wrote.
+#  3. webservd -store-server: the HTTP API fronting the repository over
+#     the cluster wire protocol.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp" ./cmd/webcrawl ./cmd/webservd ./cmd/storerd ./scripts/smokesite
+
+wait_addr() {
+    for _ in $(seq 1 100); do
+        if [ -f "$1" ]; then return 0; fi
+        sleep 0.1
+    done
+    echo "serve-smoke: $1 did not appear (daemon failed to come up)" >&2
+    exit 1
+}
+
+# http <url> [curl args...]: GET url, body on stdout, headers in
+# $tmp/headers, status code in $tmp/status.
+http() {
+    local url="$1"; shift
+    curl -sS -D "$tmp/headers" -o "$tmp/body" -w '%{http_code}' "$@" "$url" >"$tmp/status"
+}
+
+expect_status() {
+    if [ "$(cat "$tmp/status")" != "$1" ]; then
+        echo "serve-smoke: $2: status $(cat "$tmp/status"), want $1" >&2
+        cat "$tmp/headers" "$tmp/body" >&2
+        exit 1
+    fi
+}
+
+# ---- The site and the crawl ------------------------------------------
+
+mkdir -p "$tmp/site"
+cat >"$tmp/site/index.html" <<'EOF'
+<html><body>
+<a href="/a.html">a</a> <a href="/b.html">b</a>
+</body></html>
+EOF
+cat >"$tmp/site/a.html" <<'EOF'
+<html><body><a href="/c.html">c</a> <a href="/index.html">home</a></body></html>
+EOF
+cat >"$tmp/site/b.html" <<'EOF'
+<html><body><a href="/c.html">c</a></body></html>
+EOF
+cat >"$tmp/site/c.html" <<'EOF'
+<html><body>leaf page</body></html>
+EOF
+
+"$tmp/smokesite" -root "$tmp/site" -addr-file "$tmp/site.addr" &
+wait_addr "$tmp/site.addr"
+site="$(cat "$tmp/site.addr")"
+echo "serve-smoke: static site on $site"
+
+"$tmp/webcrawl" -seeds "http://$site/" -pages 10 -delay 20ms -workers 1 \
+    -dir "$tmp/crawl" >"$tmp/crawl.out"
+
+# ---- Phase 1: webservd over the crawl directory ----------------------
+
+"$tmp/webservd" -dir "$tmp/crawl" -listen 127.0.0.1:0 -addr-file "$tmp/w.addr" &
+wait_addr "$tmp/w.addr"
+ws="$(cat "$tmp/w.addr")"
+echo "serve-smoke: webservd on $ws"
+
+# Every crawled page must be served byte-identical to the site file.
+for p in a.html b.html c.html; do
+    http "http://$ws/v1/pages/http://$site/$p"
+    expect_status 200 "GET $p"
+    diff "$tmp/site/$p" "$tmp/body"
+done
+# The seed is stored under its normalized URL (trailing slash).
+http "http://$ws/v1/pages/http://$site/"
+expect_status 200 "GET /"
+diff "$tmp/site/index.html" "$tmp/body"
+echo "serve-smoke: all served bodies are byte-identical to the site files"
+
+# Conditional requests: the returned ETag must convert the same GET
+# into a 304, and a bogus tag must not.
+etag="$(sed -n 's/^[Ee][Tt]ag: \(.*\)\r$/\1/p' "$tmp/headers")"
+if [ -z "$etag" ]; then
+    echo "serve-smoke: no ETag on page response" >&2
+    cat "$tmp/headers" >&2
+    exit 1
+fi
+http "http://$ws/v1/pages/http://$site/" -H "If-None-Match: $etag"
+expect_status 304 "conditional GET with matching ETag"
+http "http://$ws/v1/pages/http://$site/" -H 'If-None-Match: "feedface"'
+expect_status 200 "conditional GET with stale ETag"
+echo "serve-smoke: ETag round trip works ($etag -> 304)"
+
+# Paged listing: two pages of 2 with a resume cursor walk all 4 URLs.
+http "http://$ws/v1/pages?limit=2"
+expect_status 200 listing
+next="$(sed -n 's/.*"next":"\([^"]*\)".*/\1/p' "$tmp/body")"
+count1="$(sed -n 's/.*"count":\([0-9]*\).*/\1/p' "$tmp/body")"
+http "http://$ws/v1/pages?limit=2&after=$next"
+expect_status 200 "listing resume"
+count2="$(sed -n 's/.*"count":\([0-9]*\).*/\1/p' "$tmp/body")"
+if [ "$count1" != 2 ] || [ "$count2" != 2 ]; then
+    echo "serve-smoke: paged listing returned $count1 + $count2 pages, want 2 + 2" >&2
+    exit 1
+fi
+echo "serve-smoke: paged listing resumes across the cursor"
+
+# Estimates come from the crawl's own change histories.
+http "http://$ws/v1/estimates/http://$site/"
+expect_status 200 estimate
+grep -q '"estimator"' "$tmp/body"
+
+http "http://$ws/v1/freshness?lambda=0.5&cycle=1"
+expect_status 200 freshness
+grep -q '"steadyInPlace"' "$tmp/body"
+
+http "http://$ws/healthz"
+expect_status 200 healthz
+http "http://$ws/v1/stats"
+expect_status 200 stats
+grep -q '"pages":5' "$tmp/body"
+echo "serve-smoke: estimates, freshness, stats and healthz respond"
+
+kill %2 && wait %2 2>/dev/null || true   # webservd
+
+# ---- Phase 2: storerd -serve (embedded HTTP API, live collection) ----
+
+"$tmp/storerd" -listen 127.0.0.1:0 -addr-file "$tmp/s.addr" -dir "$tmp/storedata" \
+    -serve 127.0.0.1:0 -serve-addr-file "$tmp/sh.addr" &
+wait_addr "$tmp/s.addr"
+wait_addr "$tmp/sh.addr"
+store="$(cat "$tmp/s.addr")"
+shttp="$(cat "$tmp/sh.addr")"
+echo "serve-smoke: storerd on $store, embedded HTTP API on $shttp"
+
+"$tmp/webcrawl" -seeds "http://$site/" -pages 10 -delay 20ms -workers 1 \
+    -dir "$tmp/crawl2" -store-server "$store" >"$tmp/crawl2.out"
+
+for p in a.html c.html; do
+    http "http://$shttp/v1/pages/http://$site/$p"
+    expect_status 200 "storerd GET $p"
+    diff "$tmp/site/$p" "$tmp/body"
+done
+etag="$(sed -n 's/^[Ee][Tt]ag: \(.*\)\r$/\1/p' "$tmp/headers")"
+http "http://$shttp/v1/pages/http://$site/c.html" -H "If-None-Match: $etag"
+expect_status 304 "storerd conditional GET"
+# The repository daemon has no crawl histories: estimates are a 501.
+http "http://$shttp/v1/estimates/http://$site/"
+expect_status 501 "storerd estimate"
+echo "serve-smoke: storerd-embedded API serves the crawled collection (304s included)"
+
+# ---- Phase 3: webservd fronting storerd over the wire ----------------
+
+"$tmp/webservd" -store-server "$store" -listen 127.0.0.1:0 -addr-file "$tmp/w2.addr" &
+wait_addr "$tmp/w2.addr"
+ws2="$(cat "$tmp/w2.addr")"
+
+http "http://$ws2/v1/pages/http://$site/b.html"
+expect_status 200 "remote-backed GET"
+diff "$tmp/site/b.html" "$tmp/body"
+http "http://$ws2/v1/stats"
+expect_status 200 "remote-backed stats"
+grep -q '"pages":5' "$tmp/body"
+echo "serve-smoke: webservd -store-server serves the same bytes over the wire"
+
+echo "serve-smoke: OK"
