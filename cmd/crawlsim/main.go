@@ -21,6 +21,7 @@ import (
 	"webevolve/internal/cluster"
 	"webevolve/internal/core"
 	"webevolve/internal/fetch"
+	"webevolve/internal/obs"
 	"webevolve/internal/profiles"
 	"webevolve/internal/report"
 	"webevolve/internal/simweb"
@@ -38,11 +39,25 @@ func main() {
 	storeServer := flag.String("store-server", "", "storerd endpoint hosting the incremental crawlers' collections (results are identical to local stores; the periodic baseline stays local, like its frontier)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "append JSONL trace events (engine round/phase spans) to this file")
 	flag.Parse()
 	stopProfiles, err := profiles.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crawlsim:", err)
 		os.Exit(1)
+	}
+	if *traceFile != "" {
+		// The engine emits one span per phase per dispatch round into
+		// the process trace; writing them out makes the pipeline's
+		// overlap (round N applying while N+1 fetches) inspectable
+		// offline by grouping on the round IDs.
+		tf, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crawlsim:", err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		obs.DefaultTrace.SetWriter(tf)
 	}
 	eng := engine{workers: *workers, shards: *shards, storeServer: *storeServer}
 	if *shardServers != "" {

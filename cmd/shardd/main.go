@@ -33,6 +33,7 @@ import (
 	"webevolve/internal/cluster"
 	"webevolve/internal/daemon"
 	"webevolve/internal/frontier"
+	"webevolve/internal/obs"
 )
 
 func main() {
@@ -68,6 +69,20 @@ func run(common *daemon.Flags, shards int, politeness float64, walDir string, wa
 	}
 	defer cleanup()
 
+	// The queue depth rides the registry as live gauges, so it shows up
+	// in /metrics scrapes and the -stats-every line alike.
+	obs.Default.GaugeFunc("webevolve_frontier_entries",
+		"entries queued across this server's shards",
+		func() float64 { return float64(q.Len()) })
+	obs.Default.GaugeFunc("webevolve_frontier_shards",
+		"frontier shards hosted by this server",
+		func() float64 { return float64(q.NumShards()) })
+	stopDebug, err := common.ServeDebug("shardd")
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+
 	stopSig := daemon.OnShutdown(func(s os.Signal) {
 		if walDir != "" {
 			fmt.Printf("shardd: %v, shutting down (persisting %d queued entries)\n", s, q.Len())
@@ -77,9 +92,7 @@ func run(common *daemon.Flags, shards int, politeness float64, walDir string, wa
 		srv.Close()
 	})
 	defer stopSig()
-	stopStats := daemon.Every(common.StatsEvery, func() {
-		fmt.Printf("shardd: %d entries across %d shards\n", q.Len(), q.NumShards())
-	})
+	stopStats := common.EveryStats("shardd")
 	defer stopStats()
 	var stopCompact func()
 	if walDir != "" {

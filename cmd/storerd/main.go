@@ -49,6 +49,7 @@ import (
 
 	"webevolve/internal/cluster"
 	"webevolve/internal/daemon"
+	"webevolve/internal/obs"
 	"webevolve/internal/serve"
 	"webevolve/internal/store"
 )
@@ -85,6 +86,15 @@ func run(common *daemon.Flags, dir, serveAddr, serveColl, serveAddrFile string) 
 		return err
 	}
 	defer cleanup()
+
+	obs.Default.GaugeFunc("webevolve_store_open_collections",
+		"collections this server has open",
+		func() float64 { return float64(len(srv.Collections())) })
+	stopDebug, err := common.ServeDebug("storerd")
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 
 	var httpSrv *http.Server
 	if serveAddr != "" {
@@ -125,10 +135,7 @@ func run(common *daemon.Flags, dir, serveAddr, serveColl, serveAddrFile string) 
 		srv.Close()
 	})
 	defer stopSig()
-	stopStats := daemon.Every(common.StatsEvery, func() {
-		names := srv.Collections()
-		fmt.Printf("storerd: %d open collections %v\n", len(names), names)
-	})
+	stopStats := common.EveryStats("storerd")
 	defer stopStats()
 
 	err = srv.Serve()

@@ -36,9 +36,11 @@ import (
 	"webevolve/internal/cluster"
 	"webevolve/internal/core"
 	"webevolve/internal/crawlstate"
+	"webevolve/internal/daemon"
 	"webevolve/internal/fetch"
 	"webevolve/internal/frontier"
 	"webevolve/internal/htmlparse"
+	"webevolve/internal/obs"
 	"webevolve/internal/profiles"
 	"webevolve/internal/robots"
 	"webevolve/internal/store"
@@ -59,6 +61,9 @@ func main() {
 	content := flag.Bool("content", true, "store page bodies in the collection (they feed the serving plane); disable to keep only metadata")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsListen := flag.String("metrics-listen", "", "host:port for the debug listener serving /metrics, /debug/pprof and /debug/trace (empty disables)")
+	metricsAddrFile := flag.String("metrics-addr-file", "", "write the debug listener's bound address to this file (removed on exit)")
+	traceFile := flag.String("trace", "", "append JSONL trace events (fetch spans) to this file")
 	flag.Parse()
 
 	if *seeds == "" {
@@ -70,6 +75,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "webcrawl:", err)
 		os.Exit(1)
+	}
+	stopDebug, err := daemon.ServeDebug("webcrawl", *metricsListen, *metricsAddrFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webcrawl:", err)
+		os.Exit(1)
+	}
+	if *traceFile != "" {
+		tf, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webcrawl:", err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		obs.DefaultTrace.SetWriter(tf)
 	}
 	o := crawlOpts{
 		seeds:    strings.Split(*seeds, ","),
@@ -89,6 +108,7 @@ func main() {
 	o.storeServer = *storeServer
 	err = run(o)
 	stopProfiles()
+	stopDebug()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "webcrawl:", err)
 		os.Exit(1)

@@ -42,6 +42,7 @@ import (
 	"webevolve/internal/cluster"
 	"webevolve/internal/crawlstate"
 	"webevolve/internal/daemon"
+	"webevolve/internal/obs"
 	"webevolve/internal/serve"
 	"webevolve/internal/store"
 )
@@ -110,15 +111,24 @@ func run(common *daemon.Flags, dir, storeServer, collection string, cacheEntries
 	}
 	defer cleanup()
 
+	// Repository size as a live gauge; with -store-server each scrape
+	// costs one wire round trip, same as the old ad-hoc stats line.
+	obs.Default.GaugeFunc("webevolve_serve_pages",
+		"pages in the served collection",
+		func() float64 { return float64(reader.Len()) })
+	stopDebug, err := common.ServeDebug("webservd")
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+
 	httpSrv := &http.Server{Handler: api, ReadHeaderTimeout: 10 * time.Second}
 	stopSig := daemon.OnShutdown(func(s os.Signal) {
 		fmt.Printf("webservd: %v, shutting down\n", s)
 		httpSrv.Close()
 	})
 	defer stopSig()
-	stopStats := daemon.Every(common.StatsEvery, func() {
-		fmt.Printf("webservd: %d pages\n", reader.Len())
-	})
+	stopStats := common.EveryStats("webservd")
 	defer stopStats()
 
 	if err := httpSrv.Serve(ln); err != http.ErrServerClosed {

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"webevolve/internal/obs"
+)
+
+// The cluster's metric families, registered on the process-wide
+// registry. Every sample is labeled with the op name, so per-op wire
+// latency and bytes (the ROADMAP's "shrink the wire" item needs the
+// byte side) are separable at scrape time. Children are cached in
+// per-op tables below — a wire op costs atomic updates, never a map
+// lookup under the family lock.
+var (
+	clientOpsVec = obs.Default.CounterVec("webevolve_cluster_client_ops_total",
+		"completed client wire ops by op name", "op")
+	clientRetriesVec = obs.Default.CounterVec("webevolve_cluster_client_retries_total",
+		"client op retries after a transport failure", "op")
+	clientRedials = obs.Default.Counter("webevolve_cluster_client_redials_total",
+		"reconnects after a broken pooled connection")
+	clientOpSecondsVec = obs.Default.HistogramVec("webevolve_cluster_client_op_seconds",
+		"client wire op latency (request sent to response read)", obs.LatencyBuckets, "op")
+	clientReqBytesVec = obs.Default.HistogramVec("webevolve_cluster_client_request_bytes",
+		"client request frame size on the wire", obs.BytesBuckets, "op")
+	clientRespBytesVec = obs.Default.HistogramVec("webevolve_cluster_client_response_bytes",
+		"client response frame size on the wire", obs.BytesBuckets, "op")
+
+	serverOpsVec = obs.Default.CounterVec("webevolve_cluster_server_ops_total",
+		"served wire ops by op name", "op")
+	serverErrorsVec = obs.Default.CounterVec("webevolve_cluster_server_errors_total",
+		"served wire ops that returned statusError", "op")
+	serverOpSecondsVec = obs.Default.HistogramVec("webevolve_cluster_server_op_seconds",
+		"server-side op handling latency", obs.LatencyBuckets, "op")
+	serverReqBytesVec = obs.Default.HistogramVec("webevolve_cluster_server_request_bytes",
+		"request frame size received by the server", obs.BytesBuckets, "op")
+	serverRespBytesVec = obs.Default.HistogramVec("webevolve_cluster_server_response_bytes",
+		"response frame size sent by the server", obs.BytesBuckets, "op")
+	serverConnsGauge = obs.Default.Gauge("webevolve_cluster_server_connections",
+		"open server connections")
+
+	walAppends = obs.Default.Counter("webevolve_wal_appends_total",
+		"frontier WAL op frames appended")
+	walAppendBytes = obs.Default.Counter("webevolve_wal_append_bytes_total",
+		"frontier WAL bytes appended (frame overhead included)")
+	walReplayedFrames = obs.Default.Counter("webevolve_wal_replayed_frames_total",
+		"WAL op frames replayed at startup")
+	walCompactions = obs.Default.Counter("webevolve_wal_compactions_total",
+		"WAL snapshot compactions")
+)
+
+// frameWireSize is the on-wire size of a frame with the given body:
+// 8-byte header plus version, kind, and the body.
+func frameWireSize(body []byte) int64 { return int64(10 + len(body)) }
+
+// opName renders an opcode for metric labels.
+func opName(op byte) string {
+	switch op {
+	case opHello:
+		return "hello"
+	case opPush:
+		return "push"
+	case opPopDue:
+		return "pop_due"
+	case opClaimDue:
+		return "claim_due"
+	case opHeadDue:
+		return "head_due"
+	case opPopDueMatch:
+		return "pop_due_match"
+	case opRelease:
+		return "release"
+	case opRemove:
+		return "remove"
+	case opContains:
+		return "contains"
+	case opLen:
+		return "len"
+	case opURLs:
+		return "urls"
+	case opPeek:
+		return "peek"
+	case opNextEvent:
+		return "next_event"
+	case opStats:
+		return "stats"
+	case opReset:
+		return "reset"
+	case opPushBatch:
+		return "push_batch"
+	case opRound:
+		return "round"
+	case opStoreHello:
+		return "store_hello"
+	case opStorePutBatch:
+		return "store_put_batch"
+	case opStoreGet:
+		return "store_get"
+	case opStoreDelete:
+		return "store_delete"
+	case opStoreLen:
+		return "store_len"
+	case opStoreURLs:
+		return "store_urls"
+	case opStoreScan:
+		return "store_scan"
+	case opStoreDrop:
+		return "store_drop"
+	case opStoreReset:
+		return "store_reset"
+	case opStoreList:
+		return "store_list"
+	default:
+		return fmt.Sprintf("op_%d", op)
+	}
+}
+
+// opMetrics is one op's resolved children, cached so the wire paths
+// never touch the family maps.
+type opMetrics struct {
+	clientOps, clientRetries        *obs.Counter
+	clientSeconds                   *obs.Histogram
+	clientReqBytes, clientRespBytes *obs.Histogram
+	serverOps, serverErrors         *obs.Counter
+	serverSeconds                   *obs.Histogram
+	serverReqBytes, serverRespBytes *obs.Histogram
+}
+
+var opMetricsTable [256]atomic.Pointer[opMetrics]
+
+// metricsFor resolves (once per op per process) the cached children.
+func metricsFor(op byte) *opMetrics {
+	if m := opMetricsTable[op].Load(); m != nil {
+		return m
+	}
+	name := opName(op)
+	m := &opMetrics{
+		clientOps:       clientOpsVec.With(name),
+		clientRetries:   clientRetriesVec.With(name),
+		clientSeconds:   clientOpSecondsVec.With(name),
+		clientReqBytes:  clientReqBytesVec.With(name),
+		clientRespBytes: clientRespBytesVec.With(name),
+		serverOps:       serverOpsVec.With(name),
+		serverErrors:    serverErrorsVec.With(name),
+		serverSeconds:   serverOpSecondsVec.With(name),
+		serverReqBytes:  serverReqBytesVec.With(name),
+		serverRespBytes: serverRespBytesVec.With(name),
+	}
+	opMetricsTable[op].Store(m) // losing the race stores an equivalent value
+	return m
+}

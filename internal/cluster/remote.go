@@ -161,15 +161,32 @@ type serverConns struct {
 	closed     *atomic.Bool
 	trips      *atomic.Int64
 	sleep      func(time.Duration) // test seam; time.Sleep
+
+	// bytesOut/bytesIn total the wire bytes this pool sent and
+	// received (frame overhead included) — the raw material for the
+	// bytes-per-page benchmark column (see RemoteShards.WireBytes).
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
 }
 
-// exchange sends one request frame and reads its response.
+// exchange sends one request frame and reads its response, accounting
+// the wire bytes both ways.
 func (sc *serverConns) exchange(cc *clientConn, op byte, body []byte) (byte, []byte, error) {
 	sc.trips.Add(1)
+	m := metricsFor(op)
+	out := frameWireSize(body)
+	sc.bytesOut.Add(out)
+	m.clientReqBytes.Observe(float64(out))
 	if err := writeFrame(cc.conn, op, body); err != nil {
 		return 0, nil, err
 	}
-	return readFrame(cc.r)
+	status, resp, err := readFrame(cc.r)
+	if err == nil {
+		in := frameWireSize(resp)
+		sc.bytesIn.Add(in)
+		m.clientRespBytes.Observe(float64(in))
+	}
+	return status, resp, err
 }
 
 // connect dials a fresh connection and runs the hello handshake over
@@ -257,16 +274,22 @@ func (sc *serverConns) checkStoreHello(resp []byte) error {
 // nil after a failure — so concurrent ops never block on a drained
 // pool.
 func (sc *serverConns) roundTrip(op byte, body []byte) ([]byte, error) {
+	m := metricsFor(op)
+	start := time.Now()
 	cc := <-sc.pool
 	var lastErr error
 	attempts := 0
 	for attempt := 0; attempt <= sc.maxRetries; attempt++ {
 		if attempt > 0 {
+			m.clientRetries.Inc()
 			sc.sleep(sc.backoffFor(attempt))
 		}
 		attempts++
 		if cc == nil {
 			var err error
+			if attempt > 0 {
+				clientRedials.Inc()
+			}
 			if cc, err = sc.connect(sc.hello); err != nil {
 				lastErr = err
 				if errors.Is(err, errClientClosed) {
@@ -283,6 +306,8 @@ func (sc *serverConns) roundTrip(op byte, body []byte) ([]byte, error) {
 			continue
 		}
 		sc.pool <- cc
+		m.clientOps.Inc()
+		m.clientSeconds.Observe(time.Since(start).Seconds())
 		if status != statusOK {
 			return nil, fmt.Errorf("cluster: %s: server error: %s", sc.name, resp)
 		}
@@ -496,6 +521,18 @@ func (rs *RemoteShards) RoundTrips() int64 {
 		n += sc.trips.Load()
 	}
 	return n
+}
+
+// WireBytes returns the total bytes this client has sent to and
+// received from its servers (frame overhead included) — the unit the
+// ROADMAP's "shrink the wire" item is measured in; the remote engine
+// benchmarks report it per crawled page.
+func (rs *RemoteShards) WireBytes() (in, out int64) {
+	for _, sc := range rs.servers {
+		in += sc.bytesIn.Load()
+		out += sc.bytesOut.Load()
+	}
+	return in, out
 }
 
 func (rs *RemoteShards) closeAll() {

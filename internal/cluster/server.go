@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"webevolve/internal/frontier"
 )
@@ -153,16 +154,28 @@ func (s *connCore) Pipe() (net.Conn, error) {
 	return cli, nil
 }
 
-// serveConn runs one connection's request loop until EOF or error.
+// serveConn runs one connection's request loop until EOF or error,
+// recording per-op latency and frame bytes as it goes.
 func (s *connCore) serveConn(conn net.Conn) {
 	defer conn.Close()
+	serverConnsGauge.Add(1)
+	defer serverConnsGauge.Add(-1)
 	r := bufio.NewReader(conn)
 	for {
 		op, body, err := readFrame(r)
 		if err != nil {
 			return // EOF, closed conn, or a corrupt stream: drop it
 		}
+		m := metricsFor(op)
+		m.serverReqBytes.Observe(float64(frameWireSize(body)))
+		start := time.Now()
 		status, resp := s.handle(op, body)
+		m.serverSeconds.Observe(time.Since(start).Seconds())
+		m.serverOps.Inc()
+		if status != statusOK {
+			m.serverErrors.Inc()
+		}
+		m.serverRespBytes.Observe(float64(frameWireSize(resp)))
 		if err := writeFrame(conn, status, resp); err != nil {
 			return
 		}

@@ -92,6 +92,12 @@ func (rs *RemoteStore) Err() error {
 // RoundTrips returns the request frames sent (retries included).
 func (rs *RemoteStore) RoundTrips() int64 { return rs.sc.trips.Load() }
 
+// WireBytes returns the total bytes sent to and received from the
+// store server (frame overhead included) — see RemoteShards.WireBytes.
+func (rs *RemoteStore) WireBytes() (in, out int64) {
+	return rs.sc.bytesIn.Load(), rs.sc.bytesOut.Load()
+}
+
 // Close closes the pooled connections. Server-side collections stay
 // open (and, for a disk backend, durable): closing the client of a
 // persistent store must not destroy the store.

@@ -105,6 +105,8 @@ func (w *wal) append(op byte, body []byte) error {
 		w.broken = err
 		return err
 	}
+	walAppends.Inc()
+	walAppendBytes.Add(frameWireSize(body))
 	return nil
 }
 
@@ -203,6 +205,7 @@ func (s *ShardServer) replayWALFileLocked(path string) error {
 				}
 			}
 		}
+		walReplayedFrames.Inc()
 		good += 8 + 2 + int64(len(body))
 	}
 }
@@ -389,6 +392,7 @@ func (s *ShardServer) compactWALLocked() error {
 			}
 		}
 	}
+	walCompactions.Inc()
 	return nil
 }
 

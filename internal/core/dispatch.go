@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"webevolve/internal/frontier"
+	"webevolve/internal/obs"
 )
 
 // This file is the one worker-pool dispatcher behind every concurrent
@@ -160,6 +161,7 @@ func (p *dispatchPool) groupFinished(g dispatchGroup) {
 			p.push(nxt)
 			p.mu.Unlock()
 			p.cond.Signal()
+			dispatchLinePromotions.Inc()
 		} else {
 			delete(p.lines, g.site)
 			p.mu.Unlock()
@@ -182,18 +184,23 @@ func (p *dispatchPool) worker(w int) {
 		if !ok {
 			break
 		}
+		dispatchBusyWorkers.Add(1)
+		dispatchGroups.Inc()
 		for _, j := range g.jobs {
 			// A failed pool stops paying fetch latency immediately; the
 			// group's done hook still runs so nothing deadlocks.
 			if p.stopFlag.Load() {
 				break
 			}
-			if err := p.fn(w, j); err != nil {
+			err := p.fn(w, j)
+			dispatchJobs.Inc()
+			if err != nil {
 				p.fail(err)
 				break
 			}
 		}
 		p.groupFinished(g)
+		dispatchBusyWorkers.Add(-1)
 	}
 	if p.workerExit != nil {
 		if err := p.workerExit(w); err != nil {
@@ -407,7 +414,15 @@ type ClaimDispatch struct {
 // returns the first work error, if any.
 func DispatchClaims(cfg ClaimDispatch) error {
 	pool := newDispatchPool(cfg.Workers,
-		func(_ int, j *crawlJob) error { return cfg.Work(j.url) }, nil)
+		func(_ int, j *crawlJob) error {
+			// Wall-clock crawls are slow enough (network-bound) that a
+			// per-fetch trace span is cheap; the simulated engine sticks
+			// to per-round spans (engine.go).
+			start := time.Now()
+			err := cfg.Work(j.url)
+			obs.DefaultTrace.Span("fetch_url", 0, 1, start)
+			return err
+		}, nil)
 	err := pool.dispatchClaims(claimSpec{
 		coll:    cfg.Coll,
 		now:     cfg.Now,

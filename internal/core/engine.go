@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"webevolve/internal/changefreq"
 	"webevolve/internal/fetch"
 	"webevolve/internal/frontier"
+	"webevolve/internal/obs"
 	"webevolve/internal/scheduler"
 	"webevolve/internal/store"
 	"webevolve/internal/webgraph"
@@ -101,7 +104,16 @@ type roundState struct {
 	groups []dispatchGroup
 	handle *roundHandle
 	err    error // pop-time failure (estimator construction)
+
+	// id and dispatchedAt identify the round in the process trace and
+	// time its fetch phase; observability only (see metrics.go).
+	id           uint64
+	dispatchedAt time.Time
 }
+
+// roundSeq issues process-unique round IDs for the trace; a global so
+// concurrent engines in one process never collide in the shared sink.
+var roundSeq atomic.Uint64
 
 func (r *roundState) reset() {
 	r.jobs = r.jobs[:0]
@@ -323,6 +335,7 @@ func (c *Crawler) pipelineRounds(depth int, popNext func(r *roundState, windowFl
 			floor = inflight[0].jobs[0].day
 		}
 		r := free[0]
+		popStart := time.Now()
 		popNext(r, floor)
 		if r.err != nil {
 			popErr = r.err
@@ -330,9 +343,16 @@ func (c *Crawler) pipelineRounds(depth int, popNext func(r *roundState, windowFl
 		if len(r.jobs) == 0 {
 			return false
 		}
+		r.id = roundSeq.Add(1)
+		engineRounds.Inc()
+		engineRoundJobs.Observe(float64(len(r.jobs)))
+		phasePop.Observe(time.Since(popStart).Seconds())
+		obs.DefaultTrace.Span("pop", r.id, len(r.jobs), popStart)
 		free = free[1:]
+		r.dispatchedAt = time.Now()
 		c.dispatchRound(r)
 		inflight = append(inflight, r)
+		engineInflightRounds.Set(int64(len(inflight)))
 		return true
 	}
 	abort := func() {
@@ -350,12 +370,16 @@ func (c *Crawler) pipelineRounds(depth int, popNext func(r *roundState, windowFl
 	}
 	for len(inflight) > 0 {
 		cur := inflight[0]
-		if err := c.pool.wait(cur.handle); err != nil {
+		err := c.pool.wait(cur.handle)
+		phaseFetch.Observe(time.Since(cur.dispatchedAt).Seconds())
+		obs.DefaultTrace.Span("fetch", cur.id, len(cur.jobs), cur.dispatchedAt)
+		if err != nil {
 			inflight = inflight[1:]
 			abort()
 			return true, err
 		}
 		inflight = inflight[1:]
+		engineInflightRounds.Set(int64(len(inflight)))
 		if err := c.applySchedule(cur); err != nil {
 			abort()
 			return true, err
@@ -389,6 +413,11 @@ func (c *Crawler) pipelineRounds(depth int, popNext func(r *roundState, windowFl
 // next round's pop depends on. Results land in c.live for the content
 // phase.
 func (c *Crawler) applySchedule(r *roundState) error {
+	start := time.Now()
+	defer func() {
+		phaseApplySchedule.Observe(time.Since(start).Seconds())
+		obs.DefaultTrace.Span("apply_schedule", r.id, len(r.jobs), start)
+	}()
 	// First consumer of the revisit plan after a ranking pass: wait
 	// out the plan rebuild that overlapped this round's fetches.
 	if err := c.joinRebuild(); err != nil {
@@ -430,7 +459,10 @@ func (c *Crawler) applySchedule(r *roundState) error {
 	// with the round's pops and drops — see rounds.go). Only the
 	// steady loop pops from the frontier, so only it needs the commit
 	// to return fresh pop candidates.
+	pushStart := time.Now()
 	c.rounds.commitRound(c.removes, c.pushes, c.cfg.Mode != Batch)
+	phasePush.Observe(time.Since(pushStart).Seconds())
+	obs.DefaultTrace.Span("push", r.id, len(c.pushes), pushStart)
 	return nil
 }
 
@@ -453,6 +485,11 @@ func (c *Crawler) dropSchedule(url string) {
 // collection — which never run mid-round — so this phase overlaps the
 // younger rounds' fetches.
 func (c *Crawler) applyContent(r *roundState) error {
+	start := time.Now()
+	defer func() {
+		phaseApplyContent.Observe(time.Since(start).Seconds())
+		obs.DefaultTrace.Span("apply_content", r.id, len(r.jobs), start)
+	}()
 	c.recs = c.recs[:0]
 	for _, o := range c.live {
 		j := o.job

@@ -36,6 +36,7 @@ func benchmarkEngine(b *testing.B, workers, shards int, delay time.Duration,
 	mutate func(*Config), newFrontier func(b *testing.B) frontier.ShardSet) {
 	b.Helper()
 	var pages int64
+	var wireBytes int64
 	var elapsed time.Duration
 	for i := 0; i < b.N; i++ {
 		w := benchWeb(b)
@@ -67,9 +68,25 @@ func benchmarkEngine(b *testing.B, workers, shards int, delay time.Duration,
 		}
 		elapsed += time.Since(start)
 		pages += c.Metrics().Fetches
+		if wm, ok := cfg.Frontier.(wireMeter); ok {
+			in, out := wm.WireBytes()
+			wireBytes += in + out
+		}
 	}
 	b.ReportMetric(float64(pages)/elapsed.Seconds(), "pages/s")
 	b.ReportMetric(float64(pages)/float64(b.N), "fetches/run")
+	if wireBytes > 0 {
+		// Bytes per page crawled, both directions summed — the baseline
+		// the ROADMAP's "shrink the wire" item moves against
+		// (wireB_per_page in BENCH_engine.json).
+		b.ReportMetric(float64(wireBytes)/float64(pages), "wireB/page")
+	}
+}
+
+// wireMeter is the wire-byte accounting surface of the remote frontier
+// and store clients (cluster.RemoteShards, cluster.RemoteStore).
+type wireMeter interface {
+	WireBytes() (in, out int64)
 }
 
 // BenchmarkEngine is the canonical engine benchmark: 8 workers at a

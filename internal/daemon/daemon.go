@@ -1,8 +1,10 @@
 // Package daemon carries the few behaviours every webevolve daemon
 // (shardd, storerd, webservd) repeats around its actual server: the
-// shared -listen/-addr-file/-stats-every flag trio, atomic address
-// publication for orchestration scripts, signal-triggered shutdown,
-// and leak-free background tickers. Consolidating them here keeps the
+// shared -listen/-addr-file/-stats-every flag trio, the
+// -metrics-listen debug listener (/metrics, /debug/pprof,
+// /debug/trace — see debug.go), atomic address publication for
+// orchestration scripts, signal-triggered shutdown, and leak-free
+// background tickers. Consolidating them here keeps the
 // daemons' main files about their daemons — and keeps the address-file
 // protocol (write-then-rename, removed on shutdown) identical across
 // all of them, which is what the smoke scripts' wait loops rely on.
@@ -29,6 +31,12 @@ type Flags struct {
 	// StatsEvery is the interval for periodic stats logging (0
 	// disables).
 	StatsEvery time.Duration
+	// MetricsListen is the host:port for the debug listener (/metrics,
+	// /debug/pprof, /debug/trace); empty disables it (see ServeDebug).
+	MetricsListen string
+	// MetricsAddrFile, when non-empty, receives the debug listener's
+	// bound address, like AddrFile does for the main listener.
+	MetricsAddrFile string
 }
 
 // New registers the common daemon flags on the default flag set with
@@ -38,6 +46,8 @@ func New(defaultListen string) *Flags {
 	flag.StringVar(&f.Listen, "listen", defaultListen, "host:port to serve on (:0 for an assigned port)")
 	flag.StringVar(&f.AddrFile, "addr-file", "", "write the bound address to this file once listening (removed on shutdown)")
 	flag.DurationVar(&f.StatsEvery, "stats-every", 0, "log stats at this interval (0 disables)")
+	flag.StringVar(&f.MetricsListen, "metrics-listen", "", "host:port for the debug listener serving /metrics, /debug/pprof and /debug/trace (empty disables)")
+	flag.StringVar(&f.MetricsAddrFile, "metrics-addr-file", "", "write the debug listener's bound address to this file (removed on shutdown)")
 	return f
 }
 

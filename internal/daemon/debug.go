@@ -1,0 +1,83 @@
+package daemon
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"webevolve/internal/obs"
+	"webevolve/internal/profiles"
+)
+
+// DebugMux assembles the debug listener's handler: /metrics (the obs
+// registry in Prometheus text format), /debug/trace (the JSONL trace
+// tail), and the live pprof endpoints under /debug/pprof/. It is the
+// one mux every binary's -metrics-listen serves, so the observability
+// surface is identical across shardd, storerd, webservd and webcrawl.
+func DebugMux(reg *obs.Registry, tr *obs.Trace) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/trace", tr.Handler())
+	profiles.Register(mux)
+	return mux
+}
+
+// ServeDebug starts the debug listener on listen (empty: no listener,
+// a no-op stop) serving DebugMux over the process-wide obs registry
+// and trace. The bound address is published to addrFile with the same
+// atomic write-then-rename protocol as the main address file, so smoke
+// scripts can scrape a :0 listener. name prefixes the startup line.
+func ServeDebug(name, listen, addrFile string) (stop func(), err error) {
+	if listen == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	cleanup, err := PublishAddr(addrFile, ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: DebugMux(obs.Default, obs.DefaultTrace), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("%s: metrics on http://%s/metrics\n", name, ln.Addr())
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			srv.Close()
+			cleanup()
+		}
+	}, nil
+}
+
+// ServeDebug is the Flags-bound form of the package function, reading
+// the -metrics-listen/-metrics-addr-file pair.
+func (f *Flags) ServeDebug(name string) (stop func(), err error) {
+	return ServeDebug(name, f.MetricsListen, f.MetricsAddrFile)
+}
+
+// StatsLine renders the -stats-every line every daemon prints: the
+// daemon name, then the obs registry's non-zero families as
+// "name=value" pairs — one consistent format across shardd, storerd
+// and webservd, replacing the per-daemon ad-hoc lines. Values a daemon
+// wants in the line (queue depth, open collections) register as
+// GaugeFuncs on obs.Default and appear automatically, in /metrics too.
+func StatsLine(name string) string {
+	pairs := obs.Default.Summary()
+	if len(pairs) == 0 {
+		return name + ": stats: (no activity yet)"
+	}
+	return name + ": stats: " + strings.Join(pairs, " ")
+}
+
+// EveryStats arranges the periodic stats line for a daemon: at each
+// -stats-every tick, StatsLine(name) is printed to stdout. Returns the
+// ticker's stop.
+func (f *Flags) EveryStats(name string) (stop func()) {
+	return Every(f.StatsEvery, func() { fmt.Println(StatsLine(name)) })
+}

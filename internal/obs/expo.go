@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, then one
+// sample line per child, histograms expanded into cumulative _bucket
+// series plus _sum and _count. Families and children are sorted, so
+// the output is deterministic — the golden test and the smoke scripts'
+// parse check both rely on that.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	fams := make(map[string]*family, len(r.fams))
+	for n, f := range r.fams {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, n := range names {
+		writeFamily(bw, fams[n])
+	}
+	return bw.Flush()
+}
+
+// snapshotChildren copies a family's child map under its lock,
+// capturing the func-gauge value at the same time.
+func (f *family) snapshotChildren() (keys []string, children map[string]any, fnVal float64, hasFn bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	children = make(map[string]any, len(f.children))
+	for k, c := range f.children {
+		keys = append(keys, k)
+		children[k] = c
+	}
+	if f.fn != nil {
+		fnVal, hasFn = f.fn(), true
+	}
+	sort.Strings(keys)
+	return
+}
+
+func writeFamily(w *bufio.Writer, f *family) {
+	keys, children, fnVal, hasFn := f.snapshotChildren()
+	if len(keys) == 0 && !hasFn {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	if hasFn {
+		fmt.Fprintf(w, "%s %s\n", f.name, fmtFloat(fnVal))
+		return
+	}
+	for _, key := range keys {
+		labels := labelPairs(f.labels, key)
+		switch c := children[key].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, braced(labels), c.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, braced(labels), c.Value())
+		case *Histogram:
+			cum := uint64(0)
+			for i, bound := range c.bounds {
+				cum += c.counts[i].Load()
+				le := append(labels, `le="`+fmtFloat(bound)+`"`)
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(le), cum)
+			}
+			cum += c.counts[len(c.bounds)].Load()
+			le := append(labels, `le="+Inf"`)
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(le), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(labels), fmtFloat(c.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(labels), c.Count())
+		}
+	}
+}
+
+// labelPairs renders `name="value"` pairs for a child key. The slice
+// has spare capacity so histogram exposition can append an le pair
+// without sharing backing arrays across iterations.
+func labelPairs(names []string, key string) []string {
+	if len(names) == 0 {
+		return make([]string, 0, 1)
+	}
+	values := strings.Split(key, "\xff")
+	pairs := make([]string, 0, len(names)+1)
+	for i, n := range names {
+		pairs = append(pairs, n+`="`+escapeLabel(values[i])+`"`)
+	}
+	return pairs
+}
+
+func braced(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// fmtFloat renders a float the shortest way that round-trips.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry at /metrics in
+// the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Summary returns one "name=value" pair per family, sorted by name —
+// children summed for counters and gauges, observation count for
+// histograms, so a -stats-every line stays one line. Zero-valued
+// families are skipped.
+func (r *Registry) Summary() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	fams := make(map[string]*family, len(r.fams))
+	for n, f := range r.fams {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		f := fams[n]
+		keys, children, fnVal, hasFn := f.snapshotChildren()
+		if hasFn {
+			out = append(out, n+"="+fmtFloat(fnVal))
+			continue
+		}
+		var total int64
+		var obsCount uint64
+		for _, key := range keys {
+			switch c := children[key].(type) {
+			case *Counter:
+				total += c.Value()
+			case *Gauge:
+				total += c.Value()
+			case *Histogram:
+				obsCount += c.Count()
+			}
+		}
+		switch f.kind {
+		case kindHistogram:
+			if obsCount != 0 {
+				out = append(out, n+"_count="+strconv.FormatUint(obsCount, 10))
+			}
+		default:
+			if total != 0 {
+				out = append(out, n+"="+strconv.FormatInt(total, 10))
+			}
+		}
+	}
+	return out
+}

@@ -1,23 +1,54 @@
-// Package profiles wires -cpuprofile/-memprofile flags into the crawl
-// binaries, so perf regressions can be diagnosed with pprof without
-// recompiling (crawlsim and webcrawl both expose the flags).
+// Package profiles is the one profiling setup path for every webevolve
+// binary, covering both delivery modes of the same runtime/pprof data:
+//
+//   - File profiles (-cpuprofile/-memprofile, via Start): whole-run
+//     captures for batch binaries — crawlsim and webcrawl runs whose
+//     interesting window is the entire process lifetime. The profile
+//     covers start to stop and lands in a file for offline `go tool
+//     pprof`.
+//   - Live endpoints (Register, mounted on the -metrics-listen debug
+//     listener by internal/daemon): on-demand captures from a running
+//     daemon — profile shardd/storerd/webservd (or a long webcrawl)
+//     while it misbehaves, without restarting it or waiting for exit:
+//     `go tool pprof http://addr/debug/pprof/profile?seconds=10`.
+//
+// Both modes go through Setup, so a binary can combine them (a daemon
+// with -cpuprofile for the full run and live heap inspection on top).
 package profiles
 
 import (
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling to cpuPath (when non-empty) and arranges
-// a heap profile at memPath (when non-empty). The returned stop
-// function finishes both; it is safe to call exactly once, and must be
-// called on the normal exit path (os.Exit skips deferred calls).
-func Start(cpuPath, memPath string) (stop func(), err error) {
+// Config selects which profiling modes Setup wires up. The zero value
+// wires nothing.
+type Config struct {
+	// CPUFile, when non-empty, receives a CPU profile covering Setup to
+	// stop.
+	CPUFile string
+	// MemFile, when non-empty, receives a heap profile written at stop.
+	MemFile string
+	// Mux, when non-nil, gets the live pprof endpoints mounted under
+	// /debug/pprof/.
+	Mux *http.ServeMux
+}
+
+// Setup wires the requested profiling modes. The returned stop
+// finishes the file profiles (live endpoints need no teardown); it is
+// safe to call exactly once, and must be called on the normal exit
+// path (os.Exit skips deferred calls).
+func Setup(cfg Config) (stop func(), err error) {
+	if cfg.Mux != nil {
+		Register(cfg.Mux)
+	}
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if cfg.CPUFile != "" {
+		cpuFile, err = os.Create(cfg.CPUFile)
 		if err != nil {
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
@@ -31,8 +62,8 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
+		if cfg.MemFile != "" {
+			f, err := os.Create(cfg.MemFile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "mem profile:", err)
 				return
@@ -44,4 +75,25 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			}
 		}
 	}, nil
+}
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges
+// a heap profile at memPath (when non-empty) — the file half of Setup,
+// kept as the short call the -cpuprofile/-memprofile flag sites use.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	return Setup(Config{CPUFile: cpuPath, MemFile: memPath})
+}
+
+// Register mounts the live pprof endpoints on mux under /debug/pprof/
+// (index, cmdline, profile, symbol, trace, and the named runtime
+// profiles via the index). Mounting on an explicit mux — rather than
+// relying on net/http/pprof's DefaultServeMux side effect — means the
+// endpoints are served only by the debug listener that asked for them,
+// never by a daemon's public serving port.
+func Register(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 }

@@ -28,7 +28,9 @@ type pageCache struct {
 	entries map[string]*list.Element
 	ll      *list.List // front = most recently used
 
-	hits, misses, evictions, invalidations int64
+	// Counters live on the owning Server's registry; residency gauges
+	// (entries, bytes) are GaugeFuncs reading the fields above.
+	m *serveMetrics
 }
 
 // cacheEntry is one resident record.
@@ -40,7 +42,7 @@ type cacheEntry struct {
 
 // newPageCache builds a cache; non-positive bounds fall back to the
 // defaults (4096 entries, 64 MiB).
-func newPageCache(maxEntries int, maxBytes int64) *pageCache {
+func newPageCache(maxEntries int, maxBytes int64, m *serveMetrics) *pageCache {
 	if maxEntries <= 0 {
 		maxEntries = 4096
 	}
@@ -52,6 +54,7 @@ func newPageCache(maxEntries int, maxBytes int64) *pageCache {
 		maxBytes:   maxBytes,
 		entries:    make(map[string]*list.Element),
 		ll:         list.New(),
+		m:          m,
 	}
 }
 
@@ -71,7 +74,7 @@ func (c *pageCache) syncGenLocked(gen uint64) {
 	}
 	c.gen = gen
 	if c.ll.Len() > 0 {
-		c.invalidations++
+		c.m.cacheInvalidations.Inc()
 		c.entries = make(map[string]*list.Element)
 		c.ll.Init()
 		c.bytes = 0
@@ -85,10 +88,10 @@ func (c *pageCache) get(gen uint64, url string) (store.PageRecord, bool) {
 	c.syncGenLocked(gen)
 	el, ok := c.entries[url]
 	if !ok {
-		c.misses++
+		c.m.cacheMisses.Inc()
 		return store.PageRecord{}, false
 	}
-	c.hits++
+	c.m.cacheHits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).rec, true
 }
@@ -123,7 +126,7 @@ func (c *pageCache) put(gen uint64, url string, rec store.PageRecord) {
 		c.ll.Remove(el)
 		delete(c.entries, ent.url)
 		c.bytes -= ent.size
-		c.evictions++
+		c.m.cacheEvictions.Inc()
 	}
 }
 
@@ -149,9 +152,23 @@ func (c *pageCache) stats() CacheStats {
 		Bytes:         c.bytes,
 		MaxEntries:    c.maxEntries,
 		MaxBytes:      c.maxBytes,
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Evictions:     c.evictions,
-		Invalidations: c.invalidations,
+		Hits:          c.m.cacheHits.Value(),
+		Misses:        c.m.cacheMisses.Value(),
+		Evictions:     c.m.cacheEvictions.Value(),
+		Invalidations: c.m.cacheInvalidations.Value(),
 	}
+}
+
+// residentEntries and residentBytes back the cache residency
+// GaugeFuncs, sampled at scrape time.
+func (c *pageCache) residentEntries() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(c.ll.Len())
+}
+
+func (c *pageCache) residentBytes() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(c.bytes)
 }

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"net/http"
+
+	"webevolve/internal/obs"
+)
+
+// serveMetrics is one Server's view of the serving-plane metric
+// families. Servers built with a nil Config.Metrics share the
+// process-wide registry (obs.Default) — the daemon case, where
+// /v1/stats and /metrics must agree; tests pass a private registry per
+// server so counters stay isolated.
+type serveMetrics struct {
+	requests    *obs.Counter
+	pagesServed *obs.Counter
+	notModified *obs.Counter
+	responses   *obs.CounterVec // by status code
+	seconds     *obs.Histogram
+
+	cacheHits          *obs.Counter
+	cacheMisses        *obs.Counter
+	cacheEvictions     *obs.Counter
+	cacheInvalidations *obs.Counter
+}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	return &serveMetrics{
+		requests: reg.Counter("webevolve_serve_requests_total",
+			"HTTP requests received"),
+		pagesServed: reg.Counter("webevolve_serve_pages_served_total",
+			"page bodies or metadata served with a 200"),
+		notModified: reg.Counter("webevolve_serve_not_modified_total",
+			"conditional requests answered 304"),
+		responses: reg.CounterVec("webevolve_serve_responses_total",
+			"responses by HTTP status code", "status"),
+		seconds: reg.Histogram("webevolve_serve_request_seconds",
+			"request handling wall time", obs.LatencyBuckets),
+
+		cacheHits: reg.Counter("webevolve_serve_cache_hits_total",
+			"hot-set cache hits"),
+		cacheMisses: reg.Counter("webevolve_serve_cache_misses_total",
+			"hot-set cache misses"),
+		cacheEvictions: reg.Counter("webevolve_serve_cache_evictions_total",
+			"hot-set cache entries evicted at the bounds"),
+		cacheInvalidations: reg.Counter("webevolve_serve_cache_invalidations_total",
+			"whole-cache flushes on a generation change (shadow swap)"),
+	}
+}
+
+// statusWriter records the response status so ServeHTTP can count
+// responses by code after the handler runs. An implicit 200 (first
+// Write without WriteHeader) is resolved by ServeHTTP.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -38,11 +38,11 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"webevolve/internal/clock"
 	"webevolve/internal/freshness"
+	"webevolve/internal/obs"
 	"webevolve/internal/store"
 )
 
@@ -110,6 +110,10 @@ type Config struct {
 	// entries, 64 MiB). CacheEntries < 0 disables caching entirely.
 	CacheEntries int
 	CacheBytes   int64
+	// Metrics receives the serving-plane metric families; nil uses the
+	// process-wide obs.Default, so /v1/stats and the daemon's /metrics
+	// endpoint report the same counters.
+	Metrics *obs.Registry
 }
 
 // Server is the HTTP read API. It implements http.Handler itself —
@@ -122,10 +126,8 @@ type Server struct {
 	epoch time.Time
 	cache *pageCache // nil: caching disabled
 
-	start       time.Time
-	requests    atomic.Int64
-	pagesServed atomic.Int64
-	notModified atomic.Int64
+	start time.Time
+	m     *serveMetrics
 }
 
 // New builds a Server. It panics on a nil Source: every endpoint needs
@@ -135,14 +137,26 @@ func New(cfg Config) *Server {
 	if cfg.Source == nil {
 		panic("serve: Config.Source is required")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
 	s := &Server{
 		src:   cfg.Source,
 		est:   cfg.Estimates,
 		epoch: cfg.Epoch,
 		start: time.Now(),
+		m:     newServeMetrics(reg),
 	}
 	if cfg.CacheEntries >= 0 {
-		s.cache = newPageCache(cfg.CacheEntries, cfg.CacheBytes)
+		s.cache = newPageCache(cfg.CacheEntries, cfg.CacheBytes, s.m)
+		// Residency gauges read the live cache at scrape time. Building
+		// a second Server on the same registry rebinds them to the new
+		// cache — the daemon runs one Server per process.
+		reg.GaugeFunc("webevolve_serve_cache_entries",
+			"resident hot-set cache entries", s.cache.residentEntries)
+		reg.GaugeFunc("webevolve_serve_cache_bytes",
+			"resident hot-set cache bytes", s.cache.residentBytes)
 	}
 	return s
 }
@@ -151,9 +165,23 @@ func New(cfg Config) *Server {
 // reads better at call sites building an http.Server).
 func (s *Server) Handler() http.Handler { return s }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: count the request, route it, then
+// record the status and wall time of the response that went out.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.m.requests.Inc()
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	s.route(sw, r)
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK // implicit 200: body written with no WriteHeader
+	}
+	s.m.responses.With(strconv.Itoa(status)).Inc()
+	s.m.seconds.Observe(time.Since(start).Seconds())
+}
+
+// route dispatches one request to its endpoint handler.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
 		s.error(w, http.StatusMethodNotAllowed, "only GET and HEAD are served")
@@ -287,19 +315,19 @@ func (s *Server) getPage(w http.ResponseWriter, r *http.Request, pathRest string
 	// If-None-Match wins over If-Modified-Since (RFC 9110 §13.1.3).
 	if inm := r.Header.Get("If-None-Match"); inm != "" {
 		if etagMatches(inm, etag) {
-			s.notModified.Add(1)
+			s.m.notModified.Inc()
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 	} else if ims := r.Header.Get("If-Modified-Since"); ims != "" && !lastMod.IsZero() {
 		if t, terr := http.ParseTime(ims); terr == nil && !lastMod.After(t) {
-			s.notModified.Add(1)
+			s.m.notModified.Inc()
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 	}
 
-	s.pagesServed.Add(1)
+	s.m.pagesServed.Inc()
 	if r.URL.Query().Get("meta") != "" {
 		s.writeJSON(w, s.meta(rec, gen))
 		return
@@ -589,9 +617,9 @@ func (s *Server) stats(w http.ResponseWriter) {
 		Pages:         reader.Len(),
 		Generation:    gen,
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		PagesServed:   s.pagesServed.Load(),
-		NotModified:   s.notModified.Load(),
+		Requests:      s.m.requests.Value(),
+		PagesServed:   s.m.pagesServed.Value(),
+		NotModified:   s.m.notModified.Value(),
 		Estimates:     s.est != nil,
 	}
 	if s.cache != nil {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"webevolve/internal/freshness"
+	"webevolve/internal/obs"
 	"webevolve/internal/store"
 )
 
@@ -55,6 +56,12 @@ func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *store.Shadowed)
 	sh := newTestShadowed(t)
 	if cfg.Source == nil {
 		cfg.Source = sh
+	}
+	if cfg.Metrics == nil {
+		// A private registry per test server: counters assert exact
+		// per-server values, which the shared obs.Default would blur
+		// across tests.
+		cfg.Metrics = obs.NewRegistry()
 	}
 	ts := httptest.NewServer(New(cfg))
 	t.Cleanup(ts.Close)
@@ -464,7 +471,7 @@ func TestServeAcrossLiveCrawl(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ts := httptest.NewServer(New(Config{Source: sh, CacheEntries: 64}))
+	ts := httptest.NewServer(New(Config{Source: sh, CacheEntries: 64, Metrics: obs.NewRegistry()}))
 	defer ts.Close()
 
 	const readers = 8
@@ -539,4 +546,55 @@ func TestServeAcrossLiveCrawl(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 	close(stop)
 	wg.Wait()
+}
+
+// TestStatsMatchesRegistry is the regression test for the /v1/stats
+// migration onto the metrics registry: every counter the JSON endpoint
+// reports must equal what a Prometheus scrape of the same registry
+// shows — the two views are one set of counters, not parallel
+// bookkeeping that can drift.
+func TestStatsMatchesRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts, _ := newTestServer(t, Config{Metrics: reg})
+
+	page := ts.URL + "/v1/pages/http://a.com/p1"
+	get(t, page, nil)                                        // miss + fill
+	get(t, page, nil)                                        // cache hit
+	get(t, page, map[string]string{"If-None-Match": `"a1"`}) // 304
+	get(t, ts.URL+"/v1/pages/http://nowhere/", nil)          // 404
+
+	_, body := get(t, ts.URL+"/v1/stats", nil)
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	expo := buf.String()
+	for _, want := range []string{
+		fmt.Sprintf("webevolve_serve_requests_total %d", st.Requests),
+		fmt.Sprintf("webevolve_serve_pages_served_total %d", st.PagesServed),
+		fmt.Sprintf("webevolve_serve_not_modified_total %d", st.NotModified),
+		fmt.Sprintf("webevolve_serve_cache_hits_total %d", st.Cache.Hits),
+		fmt.Sprintf("webevolve_serve_cache_misses_total %d", st.Cache.Misses),
+		fmt.Sprintf("webevolve_serve_cache_entries %d", st.Cache.Entries),
+		`webevolve_serve_responses_total{status="200"}`,
+		`webevolve_serve_responses_total{status="304"} 1`,
+		`webevolve_serve_responses_total{status="404"} 1`,
+	} {
+		if !strings.Contains(expo, want+"\n") && !strings.Contains(expo, want+" ") {
+			t.Errorf("exposition missing %q\n%s", want, expo)
+		}
+	}
+	if st.Requests != 5 || st.PagesServed != 2 || st.NotModified != 1 {
+		t.Errorf("stats counters %+v", st)
+	}
+	// Hits: the second p1 read and the conditional read (the 304 still
+	// resolves the record); misses: first p1 read and the 404 probe.
+	if st.Cache.Hits != 2 || st.Cache.Misses != 2 {
+		t.Errorf("cache counters %+v", *st.Cache)
+	}
 }

@@ -165,6 +165,7 @@ func (d *Disk) openSegment(id int) error {
 	}
 	d.segs[id] = &segment{id: id, f: f}
 	d.openFDs++
+	storeSegmentOpens.Inc()
 	d.segID = id
 	d.segOff = st.Size()
 	d.w = bufio.NewWriter(f)
@@ -206,8 +207,10 @@ func (d *Disk) replay(id int) error {
 				f.Close()
 				return fmt.Errorf("store: segment %d: sweeping corrupt tail: %w", id, terr)
 			}
+			storeTornTails.Inc()
 			break
 		}
+		storeReplayedFrames.Inc()
 		if val == nil { // tombstone
 			if _, ok := d.index[key]; ok {
 				delete(d.index, key)
@@ -227,6 +230,7 @@ func (d *Disk) replay(id int) error {
 	}
 	d.segs[id] = &segment{id: id, f: f}
 	d.openFDs++
+	storeSegmentOpens.Inc()
 	d.evictColdLocked()
 	return nil
 }
@@ -381,6 +385,7 @@ func (d *Disk) ensureOpenLocked(s *segment) error {
 	}
 	s.f = f
 	d.openFDs++
+	storeSegmentReopens.Inc()
 	return nil
 }
 
@@ -403,6 +408,7 @@ func (d *Disk) evictColdLocked() {
 		s.f.Close()
 		s.f = nil
 		d.openFDs--
+		storeSegmentEvictions.Inc()
 	}
 }
 
@@ -504,6 +510,7 @@ func (d *Disk) PutBatch(recs []PageRecord) error {
 	if err := d.w.Flush(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	storePuts.Add(int64(len(recs)))
 	return d.maybeRollLocked()
 }
 
@@ -527,6 +534,7 @@ func (d *Disk) Get(url string) (PageRecord, bool, error) {
 		return PageRecord{}, false, err
 	}
 	defer d.release(s)
+	storeGets.Inc()
 	return decodeValueAt(s.f, pos.off)
 }
 
@@ -563,6 +571,7 @@ func (d *Disk) Delete(url string) error {
 	d.live--
 	d.garbage += 2 // superseded record + tombstone
 	d.segOff += n
+	storeDeletes.Inc()
 	return d.maybeRollLocked()
 }
 
@@ -578,6 +587,7 @@ func (d *Disk) maybeRollLocked() error {
 		if err := d.openSegment(d.segID + 1); err != nil {
 			return err
 		}
+		storeSegmentRolls.Inc()
 	}
 	if d.garbage > 4*(d.live+1) && d.live >= 0 {
 		return d.compactLocked()
@@ -638,6 +648,7 @@ func (d *Disk) compactLocked() error {
 			firstErr = err
 		}
 	}
+	storeCompactions.Inc()
 	return firstErr
 }
 

@@ -26,7 +26,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$tmp" ./cmd/shardd ./cmd/crawlsim
+go build -o "$tmp" ./cmd/shardd ./cmd/crawlsim ./internal/tools/promcheck
 
 wait_addr() {
     for _ in $(seq 1 100); do
@@ -58,9 +58,12 @@ echo "cluster-smoke: distributed crawl output is byte-identical to local"
 
 "$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/k1.addr" -wal "$tmp/wal1" &
 k1_pid=$!
-"$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/k2.addr" -wal "$tmp/wal2" &
+"$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/k2.addr" -wal "$tmp/wal2" \
+    -metrics-listen 127.0.0.1:0 -metrics-addr-file "$tmp/k2.maddr" &
 wait_addr "$tmp/k1.addr"
 wait_addr "$tmp/k2.addr"
+wait_addr "$tmp/k2.maddr"
+m2="$(cat "$tmp/k2.maddr")"
 b1="$(cat "$tmp/k1.addr")"
 b2="$(cat "$tmp/k2.addr")"
 echo "cluster-smoke: WAL-backed shardd daemons on $b1 and $b2"
@@ -80,6 +83,15 @@ for size in 2000 8000 32000; do
         echo "cluster-smoke: size $size finished before the kill; escalating"
         continue
     fi
+    # Mid-crawl observability: scrape the surviving shardd's /metrics
+    # and require well-formed exposition with the wire and WAL families
+    # actually moving (promcheck exits non-zero on malformed output or
+    # zero counters, failing `make ci`).
+    curl -sS "http://$m2/metrics" >"$tmp/k2.metrics"
+    "$tmp/promcheck" \
+        -require webevolve_cluster_server_ops_total,webevolve_cluster_server_op_seconds,webevolve_wal_appends_total \
+        <"$tmp/k2.metrics"
+    echo "cluster-smoke: mid-crawl /metrics scrape is well-formed with live wire+WAL counters"
     kill -9 "$k1_pid"
     killed=1
     echo "cluster-smoke: SIGKILLed shardd on $b1 mid-crawl (size $size); restarting from its WAL"

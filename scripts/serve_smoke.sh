@@ -22,7 +22,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$tmp" ./cmd/webcrawl ./cmd/webservd ./cmd/storerd ./scripts/smokesite
+go build -o "$tmp" ./cmd/webcrawl ./cmd/webservd ./cmd/storerd ./scripts/smokesite ./internal/tools/promcheck
 
 wait_addr() {
     for _ in $(seq 1 100); do
@@ -71,15 +71,49 @@ wait_addr "$tmp/site.addr"
 site="$(cat "$tmp/site.addr")"
 echo "serve-smoke: static site on $site"
 
-"$tmp/webcrawl" -seeds "http://$site/" -pages 10 -delay 20ms -workers 1 \
-    -dir "$tmp/crawl" >"$tmp/crawl.out"
+# The crawl runs in the background with its own debug listener and a
+# JSONL trace file: the per-host delay keeps it alive long enough to
+# scrape /metrics mid-crawl, the well-formedness gate that fails
+# `make ci` on malformed exposition.
+"$tmp/webcrawl" -seeds "http://$site/" -pages 10 -delay 150ms -workers 1 \
+    -dir "$tmp/crawl" -metrics-listen 127.0.0.1:0 -metrics-addr-file "$tmp/c.maddr" \
+    -trace "$tmp/crawl.trace" >"$tmp/crawl.out" &
+crawl_pid=$!
+wait_addr "$tmp/c.maddr"
+cm="$(cat "$tmp/c.maddr")"
+scraped=""
+for _ in $(seq 1 100); do
+    if curl -s "http://$cm/metrics" >"$tmp/c.metrics" 2>/dev/null &&
+        "$tmp/promcheck" -require webevolve_dispatch_jobs_total,webevolve_dispatch_groups_total \
+            <"$tmp/c.metrics" >/dev/null 2>&1; then
+        scraped=1
+        break
+    fi
+    sleep 0.05
+done
+wait "$crawl_pid"
+if [ -z "$scraped" ]; then
+    echo "serve-smoke: never scraped live dispatch metrics from webcrawl" >&2
+    cat "$tmp/c.metrics" >&2 || true
+    exit 1
+fi
+echo "serve-smoke: scraped webcrawl /metrics mid-crawl (dispatch counters live)"
+if ! grep -q '"name":"fetch_url"' "$tmp/crawl.trace"; then
+    echo "serve-smoke: crawl trace file has no fetch spans" >&2
+    head "$tmp/crawl.trace" >&2 || true
+    exit 1
+fi
+echo "serve-smoke: JSONL trace file carries fetch spans"
 
 # ---- Phase 1: webservd over the crawl directory ----------------------
 
-"$tmp/webservd" -dir "$tmp/crawl" -listen 127.0.0.1:0 -addr-file "$tmp/w.addr" &
+"$tmp/webservd" -dir "$tmp/crawl" -listen 127.0.0.1:0 -addr-file "$tmp/w.addr" \
+    -metrics-listen 127.0.0.1:0 -metrics-addr-file "$tmp/w.maddr" &
 wait_addr "$tmp/w.addr"
+wait_addr "$tmp/w.maddr"
 ws="$(cat "$tmp/w.addr")"
-echo "serve-smoke: webservd on $ws"
+wm="$(cat "$tmp/w.maddr")"
+echo "serve-smoke: webservd on $ws (metrics on $wm)"
 
 # Every crawled page must be served byte-identical to the site file.
 for p in a.html b.html c.html; do
@@ -137,12 +171,23 @@ expect_status 200 stats
 grep -q '"pages":5' "$tmp/body"
 echo "serve-smoke: estimates, freshness, stats and healthz respond"
 
+# The debug listener mirrors the request counters /v1/stats reports,
+# plus the repository gauge; promcheck gates the exposition format.
+curl -sS "http://$wm/metrics" >"$tmp/w.metrics"
+"$tmp/promcheck" \
+    -require webevolve_serve_requests_total,webevolve_serve_responses_total,webevolve_serve_pages \
+    <"$tmp/w.metrics"
+http "http://$wm/debug/trace"
+expect_status 200 "webservd /debug/trace"
+echo "serve-smoke: webservd /metrics is well-formed with live serve counters"
+
 kill %2 && wait %2 2>/dev/null || true   # webservd
 
 # ---- Phase 2: storerd -serve (embedded HTTP API, live collection) ----
 
 "$tmp/storerd" -listen 127.0.0.1:0 -addr-file "$tmp/s.addr" -dir "$tmp/storedata" \
-    -serve 127.0.0.1:0 -serve-addr-file "$tmp/sh.addr" &
+    -serve 127.0.0.1:0 -serve-addr-file "$tmp/sh.addr" \
+    -metrics-listen 127.0.0.1:0 -metrics-addr-file "$tmp/s.maddr" &
 wait_addr "$tmp/s.addr"
 wait_addr "$tmp/sh.addr"
 store="$(cat "$tmp/s.addr")"
@@ -164,6 +209,17 @@ expect_status 304 "storerd conditional GET"
 http "http://$shttp/v1/estimates/http://$site/"
 expect_status 501 "storerd estimate"
 echo "serve-smoke: storerd-embedded API serves the crawled collection (304s included)"
+
+# One scrape shows all three planes of the store daemon at work: the
+# wire ops the crawl sent, the disk puts they became, and the HTTP
+# requests the embedded API answered.
+wait_addr "$tmp/s.maddr"
+sm="$(cat "$tmp/s.maddr")"
+curl -sS "http://$sm/metrics" >"$tmp/s.metrics"
+"$tmp/promcheck" \
+    -require webevolve_cluster_server_ops_total,webevolve_store_puts_total,webevolve_serve_requests_total \
+    <"$tmp/s.metrics"
+echo "serve-smoke: storerd /metrics spans wire, store and serve families"
 
 # ---- Phase 3: webservd fronting storerd over the wire ----------------
 
