@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fmt vet smoke-cluster smoke-store smoke-serve ci
+.PHONY: build test race bench bench-smoke fmt vet smoke-cluster smoke-store smoke-serve smoke-tools ci
 
 build:
 	$(GO) build ./...
@@ -71,4 +71,13 @@ smoke-store:
 smoke-serve:
 	./scripts/serve_smoke.sh
 
-ci: build vet fmt race bench-smoke bench smoke-cluster smoke-store smoke-serve
+# Flag-wiring sanity for the analytic binaries: freshsim and webevo
+# build in CI but had no run coverage, so a refactor of the shared
+# packages could break their wiring silently. A reduced workload and a
+# zero exit is all this asserts — their numeric output is covered by
+# the internal/freshness and internal/experiment tests.
+smoke-tools:
+	$(GO) run ./cmd/freshsim >/dev/null
+	$(GO) run ./cmd/webevo -pages 60 -days 30 >/dev/null
+
+ci: build vet fmt race bench-smoke bench smoke-cluster smoke-store smoke-serve smoke-tools

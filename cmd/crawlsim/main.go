@@ -9,6 +9,7 @@
 //
 //	crawlsim [-seed N] [-days N] [-size N] [-matrix]
 //	crawlsim -shard-servers 127.0.0.1:7070,127.0.0.1:7071   # frontier on shardd daemons
+//	crawlsim -registry 127.0.0.1:7060                       # discover the cluster from registryd
 package main
 
 import (
@@ -16,13 +17,14 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"webevolve/internal/cluster"
 	"webevolve/internal/core"
+	"webevolve/internal/daemon"
 	"webevolve/internal/fetch"
 	"webevolve/internal/obs"
 	"webevolve/internal/profiles"
+	"webevolve/internal/registry"
 	"webevolve/internal/report"
 	"webevolve/internal/simweb"
 )
@@ -37,10 +39,22 @@ func main() {
 	shards := flag.Int("shards", 16, "per-site frontier shards")
 	shardServers := flag.String("shard-servers", "", "comma-separated shardd endpoints hosting the frontier (results are identical to local shards)")
 	storeServer := flag.String("store-server", "", "storerd endpoint hosting the incremental crawlers' collections (results are identical to local stores; the periodic baseline stays local, like its frontier)")
+	registryAddr := flag.String("registry", "", "registryd endpoint; shard and store servers are discovered from it and followed live (alternative to the static lists)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "append JSONL trace events (engine round/phase spans) to this file")
+	metricsListen := flag.String("metrics-listen", "", "host:port for the debug listener serving /metrics, /debug/pprof and /debug/trace (empty disables)")
+	metricsAddrFile := flag.String("metrics-addr-file", "", "write the debug listener's bound address to this file (with -metrics-listen :0)")
 	flag.Parse()
+	// The membership epoch gauge and migration counters live in this
+	// process (the crawl client drives migrations), so the cluster smoke
+	// scrapes crawlsim's /metrics mid-crawl to watch a join land.
+	stopDebug, err := daemon.ServeDebug("crawlsim", *metricsListen, *metricsAddrFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawlsim:", err)
+		os.Exit(1)
+	}
+	defer stopDebug()
 	stopProfiles, err := profiles.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crawlsim:", err)
@@ -60,8 +74,17 @@ func main() {
 		obs.DefaultTrace.SetWriter(tf)
 	}
 	eng := engine{workers: *workers, shards: *shards, storeServer: *storeServer}
-	if *shardServers != "" {
-		eng.shardServers = strings.Split(*shardServers, ",")
+	eng.shardServers, err = daemon.ParseEndpoints(*shardServers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawlsim: -shard-servers:", err)
+		os.Exit(1)
+	}
+	if *registryAddr != "" {
+		eng.registry, err = daemon.ParseEndpoint(*registryAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crawlsim: -registry:", err)
+			os.Exit(1)
+		}
 	}
 	if *curves {
 		err = runCurves(*seed, *days, *size, &eng)
@@ -83,6 +106,7 @@ type engine struct {
 	workers, shards int
 	shardServers    []string
 	storeServer     string
+	registry        string
 
 	active *cluster.RemoteShards // the contender currently holding the cluster
 }
@@ -90,6 +114,26 @@ type engine struct {
 func (e *engine) apply(cfg core.Config) (core.Config, error) {
 	cfg.Workers = e.workers
 	cfg.Shards = e.shards
+	if e.registry != "" {
+		rs, err := cluster.DialRegistry(e.registry, cluster.Options{
+			PolitenessDays: cfg.ShardPolitenessDays,
+		})
+		if err != nil {
+			return cfg, fmt.Errorf("dialing registry cluster: %w", err)
+		}
+		if err := rs.Reset(); err != nil {
+			return cfg, err
+		}
+		e.active = rs
+		cfg.Frontier = rs
+		// The store side rides the registry too: wipe any registered
+		// store members, then let core.New discover them via the config.
+		if err := resetRegistryStores(e.registry); err != nil {
+			return cfg, err
+		}
+		cfg.Registry = e.registry
+		return cfg, nil
+	}
 	if len(e.shardServers) > 0 {
 		rs, err := cluster.DialTCP(e.shardServers, cluster.Options{
 			PolitenessDays: cfg.ShardPolitenessDays,
@@ -123,6 +167,25 @@ func resetStore(addr string) error {
 	rs, err := cluster.DialStoreTCP(addr, cluster.Options{})
 	if err != nil {
 		return fmt.Errorf("dialing store server: %w", err)
+	}
+	defer rs.Close()
+	return rs.Reset()
+}
+
+// resetRegistryStores wipes every collection on every store member the
+// registry knows; a cluster without store members is fine (collections
+// then live in memory).
+func resetRegistryStores(registryAddr string) error {
+	ms, err := registry.NewClient(registryAddr).Membership()
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	if len(ms.Store()) == 0 {
+		return nil
+	}
+	rs, err := cluster.DialStoreRegistry(registryAddr, cluster.Options{})
+	if err != nil {
+		return fmt.Errorf("dialing store members: %w", err)
 	}
 	defer rs.Close()
 	return rs.Reset()

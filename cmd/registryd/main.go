@@ -1,0 +1,92 @@
+// Command registryd is the cluster membership registry daemon: shardd
+// and storerd processes register themselves here and heartbeat their
+// liveness, and crawl clients discover the member set — plus its
+// monotonically increasing epoch — instead of being handed static
+// -shard-servers/-store-server lists. A shard server joining or
+// leaving a live cluster parks the change as a *pending* membership;
+// the crawl client drives the partition migration at its next
+// quiescent round boundary and then completes the epoch flip here, so
+// crawls stay bit-identical across membership changes.
+//
+// Usage:
+//
+//	registryd -listen 127.0.0.1:7060 -ttl 10s
+//	shardd  -listen :0 -registry 127.0.0.1:7060
+//	storerd -listen :0 -registry 127.0.0.1:7060
+//	crawlsim -registry 127.0.0.1:7060 ...
+//
+// A member that misses its heartbeat TTL is expired lazily: for shard
+// members this drops queued frontier entries the ring mapped to it
+// (run shardd with -wal and rejoin to recover them); graceful leaves
+// (SIGTERM) migrate entries out first and lose nothing.
+//
+// The registry itself holds only soft state — members re-register
+// within one TTL after a registryd restart, and clients keep crawling
+// on their last-known epoch while the registry is unreachable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"webevolve/internal/daemon"
+	"webevolve/internal/obs"
+	"webevolve/internal/registry"
+)
+
+func main() {
+	common := daemon.New("127.0.0.1:7060")
+	ttl := flag.Duration("ttl", registry.DefaultTTL, "heartbeat lease; a member silent for this long is expired")
+	flag.Parse()
+
+	if err := run(common, *ttl); err != nil {
+		daemon.Fatal("registryd", err)
+	}
+}
+
+func run(common *daemon.Flags, ttl time.Duration) error {
+	srv := registry.NewServer(ttl)
+	ln, err := net.Listen("tcp", common.Listen)
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	fmt.Printf("registryd: serving on %s (ttl %v)\n", addr, ttl)
+	cleanup, err := common.Publish(addr)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer cleanup()
+
+	obs.Default.GaugeFunc("webevolve_registry_epoch",
+		"membership epoch installed at this registry",
+		func() float64 { return float64(srv.Membership().Epoch) })
+	obs.Default.GaugeFunc("webevolve_registry_members",
+		"live members (shard and store) registered here",
+		func() float64 { return float64(len(srv.Membership().Members)) })
+	stopDebug, err := common.ServeDebug("registryd")
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer stopDebug()
+
+	hs := &http.Server{Handler: srv.Handler()}
+	stopSig := daemon.OnShutdown(func(s os.Signal) {
+		fmt.Printf("registryd: %v, shutting down\n", s)
+		hs.Close()
+	})
+	defer stopSig()
+	stopStats := common.EveryStats("registryd")
+	defer stopStats()
+
+	if err := hs.Serve(ln); err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -34,6 +34,7 @@ import (
 	"webevolve/internal/daemon"
 	"webevolve/internal/frontier"
 	"webevolve/internal/obs"
+	"webevolve/internal/registry"
 )
 
 func main() {
@@ -42,14 +43,15 @@ func main() {
 	politeness := flag.Float64("politeness", 0, "default per-shard politeness gap in days (clients usually override at connect)")
 	walDir := flag.String("wal", "", "directory for the frontier write-ahead log; queued entries survive restarts (empty disables persistence)")
 	walCompactEvery := flag.Duration("wal-compact-every", time.Minute, "interval between WAL compactions (snapshot + log truncation; 0 disables periodic compaction)")
+	registryAddr := flag.String("registry", "", "registryd endpoint to register with (host:port); joins the dynamic cluster instead of being listed statically")
 	flag.Parse()
 
-	if err := run(common, *shards, *politeness, *walDir, *walCompactEvery); err != nil {
+	if err := run(common, *shards, *politeness, *walDir, *walCompactEvery, *registryAddr); err != nil {
 		daemon.Fatal("shardd", err)
 	}
 }
 
-func run(common *daemon.Flags, shards int, politeness float64, walDir string, walCompactEvery time.Duration) error {
+func run(common *daemon.Flags, shards int, politeness float64, walDir string, walCompactEvery time.Duration, registryAddr string) error {
 	q := frontier.NewShardedPolite(shards, politeness)
 	srv := cluster.NewShardServer(q)
 	if walDir != "" {
@@ -83,7 +85,34 @@ func run(common *daemon.Flags, shards int, politeness float64, walDir string, wa
 	}
 	defer stopDebug()
 
+	// Joining the registry makes this server discoverable; the crawl
+	// client migrates partitions onto it at its next round boundary.
+	var session *registry.Session
+	if registryAddr != "" {
+		ep, err := daemon.ParseEndpoint(registryAddr)
+		if err != nil {
+			return fmt.Errorf("-registry: %v", err)
+		}
+		session, err = registry.StartSession(registry.NewClient(ep), registry.Member{
+			Kind: registry.KindShard, Addr: addr, Shards: shards,
+		})
+		if err != nil {
+			return fmt.Errorf("registering at %s: %w", ep, err)
+		}
+		fmt.Printf("shardd: registered at %s as %s\n", ep, addr)
+	}
+
 	stopSig := daemon.OnShutdown(func(s os.Signal) {
+		if session != nil {
+			// Graceful leave: announce, then keep serving the wire
+			// protocol until the migrating client has exported our
+			// partitions (or the drain times out — entries then recover
+			// from the WAL when we rejoin).
+			fmt.Printf("shardd: %v, leaving cluster (draining %d queued entries)\n", s, q.Len())
+			if err := session.CloseWait(30 * time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "shardd: leave:", err)
+			}
+		}
 		if walDir != "" {
 			fmt.Printf("shardd: %v, shutting down (persisting %d queued entries)\n", s, q.Len())
 		} else {
@@ -105,6 +134,9 @@ func run(common *daemon.Flags, shards int, politeness float64, walDir string, wa
 	}
 
 	err = srv.Serve()
+	if session != nil {
+		session.Close() // no-op after a graceful CloseWait
+	}
 	if walDir != "" {
 		stopCompact()
 		// The graceful-shutdown flush: every queued entry lands in the

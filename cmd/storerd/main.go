@@ -50,6 +50,7 @@ import (
 	"webevolve/internal/cluster"
 	"webevolve/internal/daemon"
 	"webevolve/internal/obs"
+	"webevolve/internal/registry"
 	"webevolve/internal/serve"
 	"webevolve/internal/store"
 )
@@ -60,14 +61,15 @@ func main() {
 	serveAddr := flag.String("serve", "", "host:port for the HTTP read API over one collection (empty disables; :0 for an assigned port)")
 	serveColl := flag.String("serve-collection", "pages", "collection the HTTP read API serves")
 	serveAddrFile := flag.String("serve-addr-file", "", "write the HTTP read API's bound address to this file (removed on shutdown)")
+	registryAddr := flag.String("registry", "", "registryd endpoint to register with (host:port); store clients then discover this server instead of being pointed at it")
 	flag.Parse()
 
-	if err := run(common, *dir, *serveAddr, *serveColl, *serveAddrFile); err != nil {
+	if err := run(common, *dir, *serveAddr, *serveColl, *serveAddrFile, *registryAddr); err != nil {
 		daemon.Fatal("storerd", err)
 	}
 }
 
-func run(common *daemon.Flags, dir, serveAddr, serveColl, serveAddrFile string) error {
+func run(common *daemon.Flags, dir, serveAddr, serveColl, serveAddrFile, registryAddr string) error {
 	var srv *cluster.StoreServer
 	if dir != "" {
 		srv = cluster.NewDiskStoreServer(dir)
@@ -130,7 +132,27 @@ func run(common *daemon.Flags, dir, serveAddr, serveColl, serveAddrFile string) 
 		}()
 	}
 
+	// Store members register immediately (no migration protocol: store
+	// data stays put, clients pin collections to members at dial time).
+	var session *registry.Session
+	if registryAddr != "" {
+		ep, err := daemon.ParseEndpoint(registryAddr)
+		if err != nil {
+			return fmt.Errorf("-registry: %v", err)
+		}
+		session, err = registry.StartSession(registry.NewClient(ep), registry.Member{
+			Kind: registry.KindStore, Addr: addr,
+		})
+		if err != nil {
+			return fmt.Errorf("registering at %s: %w", ep, err)
+		}
+		fmt.Printf("storerd: registered at %s as %s\n", ep, addr)
+	}
+
 	stopSig := daemon.OnShutdown(func(s os.Signal) {
+		if session != nil {
+			session.Close()
+		}
 		fmt.Printf("storerd: %v, shutting down\n", s)
 		srv.Close()
 	})
@@ -139,6 +161,9 @@ func run(common *daemon.Flags, dir, serveAddr, serveColl, serveAddrFile string) 
 	defer stopStats()
 
 	err = srv.Serve()
+	if session != nil {
+		session.Close()
+	}
 	// Serve only returns once Close ran, and Close flushes and closes
 	// every collection — the disk stores' durable shutdown. The HTTP
 	// side stops with it; a read landing in the window reports the

@@ -42,6 +42,7 @@ import (
 	"webevolve/internal/htmlparse"
 	"webevolve/internal/obs"
 	"webevolve/internal/profiles"
+	"webevolve/internal/registry"
 	"webevolve/internal/robots"
 	"webevolve/internal/store"
 )
@@ -58,6 +59,7 @@ func main() {
 	shards := flag.Int("shards", 16, "per-site frontier shards")
 	shardServers := flag.String("shard-servers", "", "comma-separated shardd endpoints hosting the frontier (replaces in-process shards)")
 	storeServer := flag.String("store-server", "", "storerd endpoint hosting the page collection (replaces the local disk store in -dir)")
+	registryAddr := flag.String("registry", "", "registryd endpoint; shard and store servers are discovered from it at startup (alternative to the static lists)")
 	content := flag.Bool("content", true, "store page bodies in the collection (they feed the serving plane); disable to keep only metadata")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -102,8 +104,17 @@ func main() {
 		shards:   *shards,
 		content:  *content,
 	}
-	if *shardServers != "" {
-		o.shardServers = strings.Split(*shardServers, ",")
+	o.shardServers, err = daemon.ParseEndpoints(*shardServers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webcrawl: -shard-servers:", err)
+		os.Exit(1)
+	}
+	if *registryAddr != "" {
+		o.registry, err = daemon.ParseEndpoint(*registryAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webcrawl: -registry:", err)
+			os.Exit(1)
+		}
 	}
 	o.storeServer = *storeServer
 	err = run(o)
@@ -137,6 +148,13 @@ type crawlOpts struct {
 	// The collection is named "pages" on the server and persists there
 	// across runs, like the -dir store does locally.
 	storeServer string
+	// registry, when set, discovers the shard and store servers from a
+	// registryd daemon at startup instead of static lists. Discovery is
+	// dial-time only here: webcrawl's dispatcher holds politeness claims
+	// for its whole (short, -pages bounded) run, so there is no
+	// quiescent boundary to migrate at — the simulation engines follow
+	// membership live, webcrawl picks it up on the next run.
+	registry string
 	// content stores fetched page bodies alongside the metadata, so the
 	// serving plane (webservd, storerd -serve) can return them.
 	content bool
@@ -150,6 +168,14 @@ func run(o crawlOpts) error {
 		storeRemote, err = cluster.DialStoreTCP(o.storeServer, cluster.Options{})
 		if err != nil {
 			return fmt.Errorf("dialing store server: %w", err)
+		}
+		defer storeRemote.Close()
+		coll = storeRemote.Collection("pages")
+	} else if o.registry != "" && registryHasStores(o.registry) {
+		var err error
+		storeRemote, err = cluster.DialStoreRegistry(o.registry, cluster.Options{})
+		if err != nil {
+			return fmt.Errorf("dialing store members: %w", err)
 		}
 		defer storeRemote.Close()
 		coll = storeRemote.Collection("pages")
@@ -184,7 +210,16 @@ func run(o crawlOpts) error {
 	}
 	var q frontier.ShardSet
 	var remote *cluster.RemoteShards
-	if len(o.shardServers) > 0 {
+	if o.registry != "" {
+		remote, err = cluster.DialRegistry(o.registry, cluster.Options{
+			PolitenessDays: clock.Days(o.delay),
+		})
+		if err != nil {
+			return fmt.Errorf("dialing registry cluster: %w", err)
+		}
+		defer remote.Close()
+		q = remote
+	} else if len(o.shardServers) > 0 {
 		remote, err = cluster.DialTCP(o.shardServers, cluster.Options{
 			PolitenessDays: clock.Days(o.delay),
 		})
@@ -241,6 +276,13 @@ func run(o crawlOpts) error {
 		}
 	}
 	return crawlstate.Save(filepath.Join(o.dir, "state.json"), st)
+}
+
+// registryHasStores reports whether the registry lists any store
+// members; without one, the collection stays on local disk (-dir).
+func registryHasStores(registryAddr string) bool {
+	ms, err := registry.NewClient(registryAddr).Membership()
+	return err == nil && len(ms.Store()) > 0
 }
 
 // crawl is one webcrawl run: core's unified dispatcher claiming due

@@ -61,6 +61,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *storeServer != "" {
+		ep, err := daemon.ParseEndpoint(*storeServer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webservd: -store-server:", err)
+			os.Exit(2)
+		}
+		*storeServer = ep
+	}
 	if err := run(common, *dir, *storeServer, *collection, *cacheEntries, *cacheBytes); err != nil {
 		daemon.Fatal("webservd", err)
 	}

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"webevolve/internal/frontier"
+)
+
+// TestStickyErrIdentifiesServerAndOp: a transport failure's sticky
+// error must say which server and which op failed — "connection reset"
+// alone is undebuggable on a multi-member cluster.
+func TestStickyErrIdentifiesServerAndOp(t *testing.T) {
+	srv := NewShardServer(frontier.NewSharded(4))
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve() //nolint:errcheck — exits with ErrServerClosed on Close
+	addr := srv.Addr().String()
+	rs, err := DialTCP([]string{addr}, Options{MaxRetries: -1})
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rs.Push("https://a.com/x", 0, 1)
+
+	// Kill the server; the next op exhausts its (zero) retries and the
+	// error goes sticky.
+	srv.Close()
+	rs.Push("https://a.com/y", 0, 1)
+
+	serr := rs.Err()
+	if serr == nil {
+		t.Fatal("no sticky error after ops against a dead server")
+	}
+	msg := serr.Error()
+	if !strings.Contains(msg, addr) {
+		t.Errorf("sticky error %q does not name the server address %s", msg, addr)
+	}
+	if !strings.Contains(msg, "push") {
+		t.Errorf("sticky error %q does not name the failed op", msg)
+	}
+}

@@ -48,6 +48,21 @@ var (
 		"WAL op frames replayed at startup")
 	walCompactions = obs.Default.Counter("webevolve_wal_compactions_total",
 		"WAL snapshot compactions")
+
+	// Membership / live-migration families. The entry counters tick in
+	// the shared apply path, so a WAL replay of a migration re-counts
+	// its entries — the counters measure handoff work performed by this
+	// process, not distinct migrations (that is migrationsTotal, which
+	// only the migrating client increments).
+	migrationExportEntries = obs.Default.Counter("webevolve_membership_export_entries_total",
+		"frontier entries extracted by shard-export ops on this server")
+	migrationImportEntries = obs.Default.Counter("webevolve_membership_import_entries_total",
+		"frontier entries installed by shard-import ops on this server")
+	migrationHandoffBytes = obs.Default.HistogramVec("webevolve_membership_handoff_bytes",
+		"encoded body bytes per migration export response / import request",
+		obs.BytesBuckets, "dir")
+	migrationsTotal = obs.Default.Counter("webevolve_membership_migrations_total",
+		"shard migrations this client completed (epoch flips it drove)")
 )
 
 // frameWireSize is the on-wire size of a frame with the given body:
@@ -91,6 +106,10 @@ func opName(op byte) string {
 		return "push_batch"
 	case opRound:
 		return "round"
+	case opShardExport:
+		return "shard_export"
+	case opShardImport:
+		return "shard_import"
 	case opStoreHello:
 		return "store_hello"
 	case opStorePutBatch:

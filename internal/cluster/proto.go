@@ -34,8 +34,10 @@ import (
 // Version 3 added the batched dispatch-round op (opRound), which folds
 // a round's pops, drops and reschedules plus the next candidate peek
 // into one frame per server. Version 4 added the repository-store op
-// family (opStore*), served by StoreServer/storerd.
-const ProtoVersion = 4
+// family (opStore*), served by StoreServer/storerd. Version 5 added
+// the live-migration pair (opShardExport/opShardImport) that moves
+// ring partitions between shard servers on a membership change.
+const ProtoVersion = 5
 
 // minProtoVersion is the oldest version readFrame still accepts.
 // Versions 3 and 4 only added opcodes — every v2 frame body decodes
@@ -77,6 +79,15 @@ const (
 	// pushes — and returns the server's next pop candidates, all in a
 	// single round trip (frontier.Sharded.ApplyRound on the wire).
 	opRound
+	// opShardExport (version 5) extracts and returns every queued entry
+	// whose site falls in the requested ring partitions, plus a capped
+	// tail of the server's request-dedup cache — the source half of a
+	// live shard migration. opShardImport installs exported entries and
+	// dedup pairs on the new owner. Both are mutating (WAL-logged,
+	// request-ID memoized), so a migration survives server restarts and
+	// client retries like any other frontier mutation.
+	opShardExport
+	opShardImport
 )
 
 // The repository-store op family (version 4), served by StoreServer
@@ -132,7 +143,7 @@ func storeMutatingOp(op byte) bool {
 func mutatingOp(op byte) bool {
 	switch op {
 	case opPush, opPushBatch, opPopDue, opClaimDue, opPopDueMatch,
-		opRelease, opRemove, opReset, opRound:
+		opRelease, opRemove, opReset, opRound, opShardExport, opShardImport:
 		return true
 	}
 	return false

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"webevolve/internal/frontier"
+	"webevolve/internal/registry"
 	"webevolve/internal/webgraph"
 )
 
@@ -63,6 +64,11 @@ type Options struct {
 	// DialTimeout bounds each TCP connect attempt (DialTCP and
 	// DialStoreTCP; custom Dialers enforce their own). Default 5s.
 	DialTimeout time.Duration
+	// RebalancePoll rate-limits membership polls from Rebalance, which
+	// engines call at every round boundary. 0 means the default
+	// (100ms); negative polls on every call (tests want deterministic
+	// pickup of registry changes). Ignored without a registry.
+	RebalancePoll time.Duration
 }
 
 // dialTimeout resolves the configured timeout against the default.
@@ -92,12 +98,26 @@ func (o Options) dialTimeout() time.Duration {
 // client at a time; connecting clears stale claims a vanished previous
 // client may have held.
 type RemoteShards struct {
-	servers []*serverConns
-	// offsets[i] is the global index of server i's local shard 0;
-	// counts[i] its local shard count.
-	offsets []int
-	counts  []int
-	total   int
+	// topo is the routing topology of the current membership epoch: the
+	// consistent-hash ring plus the per-member connection pools, swapped
+	// atomically when a migration completes. Every operation snapshots
+	// it once at entry, so one op runs against one coherent epoch even
+	// while Rebalance installs the next.
+	topo atomic.Pointer[shardTopology]
+
+	// Membership plane; src == nil is a static cluster pinned at Dial
+	// (a fixed one-epoch ring), and Rebalance is a no-op.
+	src      MembershipSource
+	dialFor  func(m registry.Member) Dialer
+	opts     Options
+	rebalMu  sync.Mutex // serializes Rebalance; guards lastPoll
+	lastPoll time.Time
+
+	// all tracks every server pool ever dialed, across topology swaps,
+	// so wire accounting survives migrations and Close closes pools a
+	// swap retired.
+	allMu sync.Mutex
+	all   []*serverConns
 
 	// reqBase ^ a per-client counter generates request IDs unique
 	// across clients of one cluster with overwhelming probability.
@@ -112,6 +132,52 @@ type RemoteShards struct {
 
 	failMu sync.Mutex
 	failed error
+}
+
+// shardTopology is one membership epoch's immutable routing state.
+// servers is index-aligned with ring.Members().
+type shardTopology struct {
+	epoch   uint64
+	ring    *Ring
+	servers []*serverConns
+	// offsets[i] is the global index of server i's local shard 0;
+	// counts[i] its local shard count.
+	offsets []int
+	counts  []int
+	total   int
+}
+
+// serverOf routes a URL's host to the index of its owning server.
+func (t *shardTopology) serverOf(url string) int {
+	return t.ring.Owner(t.ring.PartOf(url))
+}
+
+// t snapshots the current topology.
+func (rs *RemoteShards) t() *shardTopology { return rs.topo.Load() }
+
+// track registers a pool in the lifetime accounting list.
+func (rs *RemoteShards) track(sc *serverConns) {
+	rs.allMu.Lock()
+	rs.all = append(rs.all, sc)
+	rs.allMu.Unlock()
+}
+
+func (rs *RemoteShards) allServers() []*serverConns {
+	rs.allMu.Lock()
+	defer rs.allMu.Unlock()
+	return append([]*serverConns(nil), rs.all...)
+}
+
+// installTopology swaps in a new epoch's routing. servers must be
+// aligned with ring.Members().
+func (rs *RemoteShards) installTopology(epoch uint64, ring *Ring, servers []*serverConns) {
+	t := &shardTopology{epoch: epoch, ring: ring, servers: servers}
+	for _, sc := range servers {
+		t.offsets = append(t.offsets, t.total)
+		t.counts = append(t.counts, sc.wantShards)
+		t.total += sc.wantShards
+	}
+	rs.topo.Store(t)
 }
 
 var _ frontier.ShardSet = (*RemoteShards)(nil)
@@ -309,12 +375,12 @@ func (sc *serverConns) roundTrip(op byte, body []byte) ([]byte, error) {
 		m.clientOps.Inc()
 		m.clientSeconds.Observe(time.Since(start).Seconds())
 		if status != statusOK {
-			return nil, fmt.Errorf("cluster: %s: server error: %s", sc.name, resp)
+			return nil, fmt.Errorf("cluster: %s: %s: server error: %s", sc.name, opName(op), resp)
 		}
 		return resp, nil
 	}
 	sc.pool <- cc // nil: the next op on this slot redials
-	return nil, fmt.Errorf("cluster: %s (after %d attempts): %w", sc.name, attempts, lastErr)
+	return nil, fmt.Errorf("cluster: %s: %s (after %d attempts): %w", sc.name, opName(op), attempts, lastErr)
 }
 
 // backoffFor is the capped exponential redial delay before retry n.
@@ -418,18 +484,25 @@ func helloBody(politenessDays float64, clearClaims bool) []byte {
 	return e.b
 }
 
-// Dial connects to a cluster of shard servers, one Dialer per server.
-// The order of dialers is the cluster topology: it determines URL
-// routing, so every client of one cluster must list the servers in the
-// same order.
+// Dial connects to a static cluster of shard servers, one Dialer per
+// server. The set of dialers is the cluster topology — it is built
+// into a fixed one-epoch consistent-hash ring (member names are the
+// list positions), so every client of one cluster must list the
+// servers in the same order. For registry-driven membership use
+// DialMembership or DialRegistry instead.
 func Dial(dialers []Dialer, opts Options) (*RemoteShards, error) {
 	if len(dialers) == 0 {
 		return nil, errors.New("cluster: no shard servers")
 	}
-	rs := &RemoteShards{reqBase: randomReqBase(), politeness: opts.PolitenessDays}
+	rs := &RemoteShards{reqBase: randomReqBase(), politeness: opts.PolitenessDays, opts: opts}
 	helloInit := helloBody(opts.PolitenessDays, true)
 	helloRe := helloBody(opts.PolitenessDays, false)
+	names := make([]string, len(dialers))
+	servers := make([]*serverConns, len(dialers))
 	for i, dial := range dialers {
+		// Zero-padded position names sort in list order, so the ring's
+		// member indices are exactly the flag-list positions.
+		names[i] = fmt.Sprintf("%04d", i)
 		sc := newServerConns(fmt.Sprintf("server %d", i), dial, opts, &rs.closed)
 		sc.hello = helloRe
 		sc.helloOp = opHello
@@ -440,11 +513,10 @@ func Dial(dialers []Dialer, opts Options) (*RemoteShards, error) {
 			rs.closeAll()
 			return nil, fmt.Errorf("cluster: server %d: %w", i, err)
 		}
-		rs.servers = append(rs.servers, sc)
-		rs.offsets = append(rs.offsets, rs.total)
-		rs.counts = append(rs.counts, sc.wantShards)
-		rs.total += sc.wantShards
+		servers[i] = sc
+		rs.track(sc)
 	}
+	rs.installTopology(0, NewRing(names, 0), servers)
 	return rs, nil
 }
 
@@ -517,7 +589,7 @@ func (rs *RemoteShards) Err() error {
 // measured in.
 func (rs *RemoteShards) RoundTrips() int64 {
 	var n int64
-	for _, sc := range rs.servers {
+	for _, sc := range rs.allServers() {
 		n += sc.trips.Load()
 	}
 	return n
@@ -528,7 +600,7 @@ func (rs *RemoteShards) RoundTrips() int64 {
 // ROADMAP's "shrink the wire" item is measured in; the remote engine
 // benchmarks report it per crawled page.
 func (rs *RemoteShards) WireBytes() (in, out int64) {
-	for _, sc := range rs.servers {
+	for _, sc := range rs.allServers() {
 		in += sc.bytesIn.Load()
 		out += sc.bytesOut.Load()
 	}
@@ -537,7 +609,7 @@ func (rs *RemoteShards) WireBytes() (in, out int64) {
 
 func (rs *RemoteShards) closeAll() {
 	rs.closed.Store(true)
-	for _, sc := range rs.servers {
+	for _, sc := range rs.allServers() {
 		sc.drainClose()
 	}
 }
@@ -548,30 +620,31 @@ func (rs *RemoteShards) Close() error {
 	return nil
 }
 
-// NumServers returns the cluster size.
-func (rs *RemoteShards) NumServers() int { return len(rs.servers) }
+// NumServers returns the current epoch's cluster size.
+func (rs *RemoteShards) NumServers() int { return len(rs.t().servers) }
 
-// NumShards returns the total shard count across all servers.
-func (rs *RemoteShards) NumShards() int { return rs.total }
+// NumShards returns the total shard count across the current epoch's
+// servers.
+func (rs *RemoteShards) NumShards() int { return rs.t().total }
 
-// serverOf routes a URL's host to its owning server.
-func (rs *RemoteShards) serverOf(url string) int {
-	return frontier.HostShard(webgraph.SiteOf(url), len(rs.servers))
-}
+// Epoch returns the membership epoch of the installed topology (0 for
+// a static cluster).
+func (rs *RemoteShards) Epoch() uint64 { return rs.t().epoch }
 
 // ShardOf returns the global shard index url hashes to: the owning
 // server's offset plus the server's own local shard for the host.
 func (rs *RemoteShards) ShardOf(url string) int {
+	t := rs.t()
 	host := webgraph.SiteOf(url)
-	si := frontier.HostShard(host, len(rs.servers))
-	return rs.offsets[si] + frontier.HostShard(host, rs.counts[si])
+	si := t.ring.Owner(frontier.HostShard(host, t.ring.Parts()))
+	return t.offsets[si] + frontier.HostShard(host, t.counts[si])
 }
 
 // serverOfShard inverts the global shard index to (server, local).
-func (rs *RemoteShards) serverOfShard(shard int) (int, int) {
-	for i := len(rs.offsets) - 1; i >= 0; i-- {
-		if shard >= rs.offsets[i] {
-			return i, shard - rs.offsets[i]
+func (t *shardTopology) serverOfShard(shard int) (int, int) {
+	for i := len(t.offsets) - 1; i >= 0; i-- {
+		if shard >= t.offsets[i] {
+			return i, shard - t.offsets[i]
 		}
 	}
 	return 0, shard
@@ -582,9 +655,10 @@ func (rs *RemoteShards) Push(url string, due, priority float64) {
 	if rs.broken() {
 		return
 	}
+	t := rs.t()
 	var e enc
 	e.u64(rs.nextReq()).str(url).f64(due).f64(priority)
-	if _, err := rs.servers[rs.serverOf(url)].roundTrip(opPush, e.b); err != nil {
+	if _, err := t.servers[t.serverOf(url)].roundTrip(opPush, e.b); err != nil {
 		rs.fail(err)
 	}
 }
@@ -604,17 +678,18 @@ func (rs *RemoteShards) PushBatch(entries []frontier.Entry) {
 	if rs.broken() || len(entries) == 0 {
 		return
 	}
-	groups := make([][]frontier.Entry, len(rs.servers))
-	if len(rs.servers) == 1 {
+	t := rs.t()
+	groups := make([][]frontier.Entry, len(t.servers))
+	if len(t.servers) == 1 {
 		groups[0] = entries
 	} else {
 		for _, ent := range entries {
-			si := rs.serverOf(ent.URL)
+			si := t.serverOf(ent.URL)
 			groups[si] = append(groups[si], ent)
 		}
 	}
 	var wg sync.WaitGroup
-	errs := make([]error, len(rs.servers))
+	errs := make([]error, len(t.servers))
 	for si, group := range groups {
 		if len(group) == 0 {
 			continue
@@ -627,7 +702,7 @@ func (rs *RemoteShards) PushBatch(entries []frontier.Entry) {
 				var e enc
 				e.u64(rs.nextReq())
 				encodeEntries(&e, chunk)
-				if _, err := rs.servers[si].roundTrip(opPushBatch, e.b); err != nil {
+				if _, err := t.servers[si].roundTrip(opPushBatch, e.b); err != nil {
 					errs[si] = err
 					return
 				}
@@ -665,7 +740,8 @@ func (rs *RemoteShards) ApplyRound(pops, removes []string, pushes []frontier.Ent
 	if rs.broken() {
 		return nil, frontier.Entry{}, false, true
 	}
-	n := len(rs.servers)
+	t := rs.t()
+	n := len(t.servers)
 	type svrRound struct {
 		pops, removes []string
 		pushes        []frontier.Entry
@@ -675,15 +751,15 @@ func (rs *RemoteShards) ApplyRound(pops, removes []string, pushes []frontier.Ent
 		reqs[0] = svrRound{pops: pops, removes: removes, pushes: pushes}
 	} else {
 		for _, u := range pops {
-			si := rs.serverOf(u)
+			si := t.serverOf(u)
 			reqs[si].pops = append(reqs[si].pops, u)
 		}
 		for _, u := range removes {
-			si := rs.serverOf(u)
+			si := t.serverOf(u)
 			reqs[si].removes = append(reqs[si].removes, u)
 		}
 		for _, ent := range pushes {
-			si := rs.serverOf(ent.URL)
+			si := t.serverOf(ent.URL)
 			reqs[si].pushes = append(reqs[si].pushes, ent)
 		}
 	}
@@ -717,7 +793,7 @@ func (rs *RemoteShards) ApplyRound(pops, removes []string, pushes []frontier.Ent
 			}
 			encodeEntries(&e, r.pushes)
 			e.u32(uint32(peekMax))
-			resp, err := rs.servers[si].roundTrip(opRound, e.b)
+			resp, err := t.servers[si].roundTrip(opRound, e.b)
 			if err != nil {
 				resps[si].err = err
 				return
@@ -726,7 +802,7 @@ func (rs *RemoteShards) ApplyRound(pops, removes []string, pushes []frontier.Ent
 			list := decodeEntries(d)
 			complete := d.bool()
 			if d.finish() != nil {
-				resps[si].err = fmt.Errorf("cluster: %s: bad round response", rs.servers[si].name)
+				resps[si].err = fmt.Errorf("cluster: %s: bad round response", t.servers[si].name)
 				return
 			}
 			resps[si].cands, resps[si].complete = list, complete
@@ -760,17 +836,17 @@ func (rs *RemoteShards) ApplyRound(pops, removes []string, pushes []frontier.Ent
 	return cands, bound, boundOK, true
 }
 
-// fan sends one request to every server concurrently and collects the
-// responses indexed by server.
-func (rs *RemoteShards) fan(op byte, bodies func(i int) []byte) ([][]byte, error) {
-	results := make([][]byte, len(rs.servers))
-	errs := make([]error, len(rs.servers))
+// fan sends one request to every server of the topology concurrently
+// and collects the responses indexed by server.
+func fan(servers []*serverConns, op byte, bodies func(i int) []byte) ([][]byte, error) {
+	results := make([][]byte, len(servers))
+	errs := make([]error, len(servers))
 	var wg sync.WaitGroup
-	for i := range rs.servers {
+	for i := range servers {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = rs.servers[i].roundTrip(op, bodies(i))
+			results[i], errs[i] = servers[i].roundTrip(op, bodies(i))
 		}(i)
 	}
 	wg.Wait()
@@ -783,8 +859,8 @@ func (rs *RemoteShards) fan(op byte, bodies func(i int) []byte) ([][]byte, error
 }
 
 // fanSame is fan with one shared request body (read-only ops).
-func (rs *RemoteShards) fanSame(op byte, body []byte) ([][]byte, error) {
-	return rs.fan(op, func(int) []byte { return body })
+func fanSame(servers []*serverConns, op byte, body []byte) ([][]byte, error) {
+	return fan(servers, op, func(int) []byte { return body })
 }
 
 // popDue is the distributed form of Sharded.popDue: peek every server's
@@ -796,7 +872,8 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 	if rs.broken() {
 		return frontier.Entry{}, -1, false
 	}
-	if len(rs.servers) == 1 {
+	t := rs.t()
+	if len(t.servers) == 1 {
 		// One server: its global pop is the cluster's, in one round trip.
 		op := opPopDue
 		if claim {
@@ -804,7 +881,7 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 		}
 		var e enc
 		e.u64(rs.nextReq()).f64(now)
-		resp, err := rs.servers[0].roundTrip(op, e.b)
+		resp, err := t.servers[0].roundTrip(op, e.b)
 		if err != nil {
 			rs.fail(err)
 			return frontier.Entry{}, -1, false
@@ -828,7 +905,7 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 	var peek enc
 	peek.f64(now).bool(claim)
 	for {
-		heads, err := rs.fanSame(opHeadDue, peek.b)
+		heads, err := fanSame(t.servers, opHeadDue, peek.b)
 		if err != nil {
 			rs.fail(err)
 			return frontier.Entry{}, -1, false
@@ -847,7 +924,7 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 		}
 		var commit enc
 		commit.u64(rs.nextReq()).f64(now).str(bestE.URL).bool(claim)
-		resp, err := rs.servers[best].roundTrip(opPopDueMatch, commit.b)
+		resp, err := t.servers[best].roundTrip(opPopDueMatch, commit.b)
 		if err != nil {
 			rs.fail(err)
 			return frontier.Entry{}, -1, false
@@ -859,7 +936,7 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 				rs.fail(fmt.Errorf("cluster: bad pop response"))
 				return frontier.Entry{}, -1, false
 			}
-			return ent, rs.offsets[best] + local, true
+			return ent, t.offsets[best] + local, true
 		}
 		// The winner's head moved between peek and commit; rescan.
 	}
@@ -881,10 +958,11 @@ func (rs *RemoteShards) Release(shard int, nextReady float64) {
 	if rs.broken() {
 		return
 	}
-	si, local := rs.serverOfShard(shard)
+	t := rs.t()
+	si, local := t.serverOfShard(shard)
 	var e enc
 	e.u64(rs.nextReq()).u32(uint32(local)).f64(nextReady)
-	if _, err := rs.servers[si].roundTrip(opRelease, e.b); err != nil {
+	if _, err := t.servers[si].roundTrip(opRelease, e.b); err != nil {
 		rs.fail(err)
 	}
 }
@@ -894,9 +972,10 @@ func (rs *RemoteShards) Remove(url string) bool {
 	if rs.broken() {
 		return false
 	}
+	t := rs.t()
 	var e enc
 	e.u64(rs.nextReq()).str(url)
-	resp, err := rs.servers[rs.serverOf(url)].roundTrip(opRemove, e.b)
+	resp, err := t.servers[t.serverOf(url)].roundTrip(opRemove, e.b)
 	if err != nil {
 		rs.fail(err)
 		return false
@@ -910,9 +989,10 @@ func (rs *RemoteShards) Contains(url string) bool {
 	if rs.broken() {
 		return false
 	}
+	t := rs.t()
 	var e enc
 	e.str(url)
-	resp, err := rs.servers[rs.serverOf(url)].roundTrip(opContains, e.b)
+	resp, err := t.servers[t.serverOf(url)].roundTrip(opContains, e.b)
 	if err != nil {
 		rs.fail(err)
 		return false
@@ -926,7 +1006,7 @@ func (rs *RemoteShards) Len() int {
 	if rs.broken() {
 		return 0
 	}
-	resps, err := rs.fanSame(opLen, nil)
+	resps, err := fanSame(rs.t().servers, opLen, nil)
 	if err != nil {
 		rs.fail(err)
 		return 0
@@ -944,7 +1024,7 @@ func (rs *RemoteShards) URLs() []string {
 	if rs.broken() {
 		return nil
 	}
-	resps, err := rs.fanSame(opURLs, nil)
+	resps, err := fanSame(rs.t().servers, opURLs, nil)
 	if err != nil {
 		rs.fail(err)
 		return nil
@@ -970,7 +1050,7 @@ func (rs *RemoteShards) Peek() (frontier.Entry, bool) {
 	if rs.broken() {
 		return frontier.Entry{}, false
 	}
-	resps, err := rs.fanSame(opPeek, nil)
+	resps, err := fanSame(rs.t().servers, opPeek, nil)
 	if err != nil {
 		rs.fail(err)
 		return frontier.Entry{}, false
@@ -992,7 +1072,7 @@ func (rs *RemoteShards) NextEvent() (float64, bool) {
 	if rs.broken() {
 		return 0, false
 	}
-	resps, err := rs.fanSame(opNextEvent, nil)
+	resps, err := fanSame(rs.t().servers, opNextEvent, nil)
 	if err != nil {
 		rs.fail(err)
 		return 0, false
@@ -1017,7 +1097,7 @@ func (rs *RemoteShards) Reset() error {
 	if err := rs.Err(); err != nil {
 		return err
 	}
-	if _, err := rs.fan(opReset, func(int) []byte {
+	if _, err := fan(rs.t().servers, opReset, func(int) []byte {
 		var e enc
 		e.u64(rs.nextReq())
 		return e.b
@@ -1034,7 +1114,7 @@ func (rs *RemoteShards) ShardLens() []int {
 	if rs.broken() {
 		return nil
 	}
-	resps, err := rs.fanSame(opStats, nil)
+	resps, err := fanSame(rs.t().servers, opStats, nil)
 	if err != nil {
 		rs.fail(err)
 		return nil

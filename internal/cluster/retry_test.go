@@ -19,7 +19,7 @@ var fastRetry = Options{RetryBackoff: time.Millisecond, MaxRetryBackoff: 4 * tim
 // discovers mid-operation.
 func dropPooledConns(rs *RemoteShards) int {
 	dropped := 0
-	for _, sc := range rs.servers {
+	for _, sc := range rs.t().servers {
 		for i := 0; i < cap(sc.pool); i++ {
 			select {
 			case cc := <-sc.pool:

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("10.0.0.%d:7070", i+1)
+	}
+	return m
+}
+
+// TestRingBalance bounds the load skew: across 1..16 members the
+// busiest member owns at most twice the partitions of the idlest.
+func TestRingBalance(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		r := NewRing(ringMembers(n), 0)
+		counts := make([]int, n)
+		for p := 0; p < r.Parts(); p++ {
+			o := r.Owner(p)
+			if o < 0 || o >= n {
+				t.Fatalf("n=%d: partition %d has owner %d", n, p, o)
+			}
+			counts[o]++
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts[1:] {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if min == 0 {
+			t.Fatalf("n=%d: a member owns zero partitions: %v", n, counts)
+		}
+		if ratio := float64(max) / float64(min); ratio > 2.0 {
+			t.Errorf("n=%d: max/min partition load ratio %.2f > 2.0 (%v)", n, ratio, counts)
+		}
+	}
+}
+
+// TestRingDeterminism: same members (any order) at the same partition
+// count produce identical ownership.
+func TestRingDeterminism(t *testing.T) {
+	members := ringMembers(5)
+	a := NewRing(members, 0)
+	shuffled := []string{members[3], members[0], members[4], members[2], members[1]}
+	b := NewRing(shuffled, 0)
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("member order leaked into ring: %v vs %v", a.Members(), b.Members())
+	}
+	for p := 0; p < a.Parts(); p++ {
+		if a.OwnerName(p) != b.OwnerName(p) {
+			t.Fatalf("partition %d: owner %q vs %q", p, a.OwnerName(p), b.OwnerName(p))
+		}
+	}
+	// Rebuilding from scratch agrees too (no hidden per-process state).
+	c := NewRing(members, 0)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("rebuilding the ring from the same members differs")
+	}
+}
+
+// TestRingMinimalMovement: a join steals partitions only (every moved
+// partition lands on the joiner) and moves roughly 1/(n+1) of them; a
+// leave moves exactly the leaver's partitions.
+func TestRingMinimalMovement(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		old := NewRing(ringMembers(n), 0)
+		joined := append(ringMembers(n), fmt.Sprintf("10.0.1.%d:7070", n))
+		next := NewRing(joined, 0)
+		moved := old.Moved(next)
+		for _, p := range moved {
+			if got := next.OwnerName(p); got != joined[n] {
+				t.Fatalf("n=%d: moved partition %d went to %q, not the joiner", n, p, got)
+			}
+		}
+		// Expect ~parts/(n+1) moved; allow 2x slack for hash skew.
+		want := old.Parts() / (n + 1)
+		if len(moved) > 2*want {
+			t.Errorf("n=%d: join moved %d partitions, want ≤ %d", n, len(moved), 2*want)
+		}
+		if len(moved) == 0 {
+			t.Errorf("n=%d: join moved nothing", n)
+		}
+
+		// Leaving the joiner again moves exactly what it owned.
+		back := next.Moved(old)
+		if !reflect.DeepEqual(back, moved) {
+			t.Fatalf("n=%d: leave moved %v, join moved %v", n, back, moved)
+		}
+		for _, p := range back {
+			if next.OwnerName(p) != joined[n] {
+				t.Fatalf("n=%d: leave moved partition %d that the leaver did not own", n, p)
+			}
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate rings the static
+// fallback and a drained registry produce.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if empty.Owner(0) != -1 || empty.OwnerName(0) != "" {
+		t.Fatal("empty ring should own nothing")
+	}
+	one := NewRing([]string{"a:1"}, 0)
+	for p := 0; p < one.Parts(); p++ {
+		if one.OwnerName(p) != "a:1" {
+			t.Fatal("single-member ring must own every partition")
+		}
+	}
+	if moved := empty.Moved(one); len(moved) != one.Parts() {
+		t.Fatalf("empty→single should move every partition, moved %d", len(moved))
+	}
+	// Duplicate member names collapse.
+	dup := NewRing([]string{"a:1", "a:1", "b:2"}, 0)
+	if len(dup.Members()) != 2 {
+		t.Fatalf("duplicates not collapsed: %v", dup.Members())
+	}
+}
+
+// TestRingPartOf: URL → partition respects site affinity and stays in
+// range.
+func TestRingPartOf(t *testing.T) {
+	r := NewRing(ringMembers(3), 0)
+	a := r.PartOf("http://site0.com/page1")
+	b := r.PartOf("http://site0.com/page2")
+	if a != b {
+		t.Fatalf("same site hashed to partitions %d and %d", a, b)
+	}
+	if a < 0 || a >= r.Parts() {
+		t.Fatalf("partition %d out of range", a)
+	}
+}

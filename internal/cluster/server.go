@@ -442,6 +442,58 @@ func (s *ShardServer) applyMutating(op byte, d *dec) (status byte, resp []byte, 
 			e.bool(!bounded) // complete: cands are the whole queue
 			mutated = len(pops)+len(removes)+len(pushes) > 0
 		}
+	case opShardExport:
+		// Extract every queued entry in the requested ring partitions,
+		// plus a capped tail of the dedup cache so in-flight retries of
+		// migrated work still dedup on the new owner. Extraction order
+		// is URL-sorted, so a WAL replay reproduces the entry section
+		// bit-for-bit (the dedup tail may differ on replay — harmless,
+		// since genuine retries are answered from the memoized original
+		// via the dedup-get path, never re-extracted).
+		parts := int(d.u32())
+		n := int(d.u32())
+		set := make(map[int]bool, min(n, 1<<16))
+		for i := 0; i < n && d.finish() == nil; i++ {
+			set[int(d.u32())] = true
+		}
+		if d.finish() == nil {
+			if parts <= 0 || parts > 1<<20 {
+				return statusError, []byte(fmt.Sprintf("export with bad partition count %d", parts)), false
+			}
+			entries := s.shards.ExtractPartitions(parts, set)
+			encodeEntries(&e, entries)
+			tail := s.dedup.tail(exportDedupEntries, exportDedupBytes)
+			e.u32(uint32(len(tail)))
+			for _, de := range tail {
+				e.u64(de.id).u8(de.status).bytes(de.resp)
+			}
+			migrationExportEntries.Add(int64(len(entries)))
+			migrationHandoffBytes.With("export").Observe(float64(len(e.b)))
+			mutated = len(entries) > 0
+		}
+	case opShardImport:
+		// Decode fully before applying: a malformed frame must not
+		// half-install a migration.
+		reqLen := len(d.b)
+		entries := decodeEntries(d)
+		dn := int(d.u32())
+		pairs := make([]dedupEntry, 0, min(dn, 1<<16))
+		for i := 0; i < dn && d.finish() == nil; i++ {
+			id, st, resp := d.u64(), d.u8(), d.bytes()
+			if d.finish() == nil {
+				pairs = append(pairs, dedupEntry{id: id, status: st, resp: append([]byte(nil), resp...)})
+			}
+		}
+		if d.finish() == nil {
+			s.shards.PushBatch(entries)
+			for _, p := range pairs {
+				s.dedup.put(p.id, p.status, p.resp)
+			}
+			e.u32(uint32(len(entries)))
+			migrationImportEntries.Add(int64(len(entries)))
+			migrationHandoffBytes.With("import").Observe(float64(reqLen))
+			mutated = len(entries) > 0 || len(pairs) > 0
+		}
 	default:
 		return statusError, []byte(fmt.Sprintf("unknown mutating opcode %d", op)), false
 	}
@@ -540,6 +592,33 @@ func (c *respCache) snapshotEntries() []dedupEntry {
 		}
 	}
 	return out
+}
+
+// exportDedupEntries / exportDedupBytes cap the dedup tail shipped in
+// a shard-export response. Shipping the whole cache is unsafe — 128k
+// memoized opRound responses can exceed maxFrame — and unnecessary:
+// only requests still awaiting a retry can arrive at the new owner,
+// and those are the most recent ones.
+const (
+	exportDedupEntries = 1024
+	exportDedupBytes   = 1 << 20
+)
+
+// tail returns the newest cached responses, bounded by maxEntries and
+// a total response-byte budget, oldest-first.
+func (c *respCache) tail(maxEntries, maxBytes int) []dedupEntry {
+	all := c.snapshotEntries()
+	total := 0
+	i := len(all)
+	for i > 0 && len(all)-i < maxEntries {
+		sz := len(all[i-1].resp) + 16
+		if total+sz > maxBytes {
+			break
+		}
+		total += sz
+		i--
+	}
+	return all[i:]
 }
 
 // dedupEntry is one memoized response as persisted in a snapshot.

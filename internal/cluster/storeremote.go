@@ -4,25 +4,38 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"webevolve/internal/registry"
 	"webevolve/internal/store"
 )
 
-// RemoteStore is the client for one store server (StoreServer /
-// storerd): it hands out store.Collection implementations whose every
-// operation is a wire round trip, reusing the shard client's pooled
-// connections and redial/retry/backoff machinery. Mutating ops carry
-// request IDs the server dedups, so a retry after a broken connection
-// is applied exactly once.
+// RemoteStore is the client for one or more store servers (StoreServer
+// / storerd): it hands out store.Collection implementations whose
+// every operation is a wire round trip, reusing the shard client's
+// pooled connections and redial/retry/backoff machinery. Mutating ops
+// carry request IDs the server dedups, so a retry after a broken
+// connection is applied exactly once.
+//
+// With several members (DialStores / DialStoreRegistry), each
+// collection is pinned to one member — the consistent-hash owner of
+// its *name* — when it is first opened, and every op on that
+// collection goes to the pinned member for the collection's lifetime.
+// Store data is NOT migrated on membership change: a collection
+// created under one member set may be unreachable under another
+// (documented limitation; the store is a cache of the web, and a miss
+// re-fetches). Admin ops (ListCollections, Reset, DropCollection) fan
+// out to every member.
 //
 // Unlike the frontier's error-free ShardSet, store.Collection returns
 // errors, so transport failures surface directly from each call; the
 // first one is also recorded and available from Err for the two
 // methods (Len, URLs) whose signatures cannot carry it.
 type RemoteStore struct {
-	sc *serverConns
+	members []*serverConns
+	ring    *Ring
 
 	reqBase uint64
 	reqSeq  atomic.Uint64
@@ -33,18 +46,33 @@ type RemoteStore struct {
 	failed error
 }
 
-// DialStore connects to a store server.
+// DialStore connects to a single store server.
 func DialStore(dial Dialer, opts Options) (*RemoteStore, error) {
-	rs := &RemoteStore{reqBase: randomReqBase()}
-	sc := newServerConns("store server", dial, opts, &rs.closed)
-	sc.hello = nil
-	sc.helloOp = opStoreHello
-	sc.checkHello = sc.checkStoreHello
-	if err := sc.dialEager(sc.hello, "store server (%v)"); err != nil {
-		rs.closed.Store(true)
-		return nil, fmt.Errorf("cluster: store server: %w", err)
+	return DialStores([]string{"store server"}, func(string) Dialer { return dial }, opts)
+}
+
+// DialStores connects to the named store servers; collection names are
+// consistent-hashed across them (see the RemoteStore doc). Names must
+// be unique and sort-stable across clients (addresses are).
+func DialStores(names []string, dialFor func(name string) Dialer, opts Options) (*RemoteStore, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: no store servers")
 	}
-	rs.sc = sc
+	rs := &RemoteStore{reqBase: randomReqBase(), ring: NewRing(names, 0)}
+	for _, name := range rs.ring.Members() {
+		sc := newServerConns(name, dialFor(name), opts, &rs.closed)
+		sc.hello = nil
+		sc.helloOp = opStoreHello
+		sc.checkHello = sc.checkStoreHello
+		if err := sc.dialEager(sc.hello, name+" (%v)"); err != nil {
+			rs.closed.Store(true)
+			for _, prev := range rs.members {
+				prev.drainClose()
+			}
+			return nil, fmt.Errorf("cluster: %s: %w", name, err)
+		}
+		rs.members = append(rs.members, sc)
+	}
 	return rs, nil
 }
 
@@ -53,6 +81,31 @@ func DialStoreTCP(addr string, opts Options) (*RemoteStore, error) {
 	return DialStore(func() (net.Conn, error) {
 		return net.DialTimeout("tcp", addr, opts.dialTimeout())
 	}, opts)
+}
+
+// DialStoreRegistry connects to every store server registered at the
+// given registry address, over TCP. The member set is fixed at dial
+// time: stores are not migrated, so a client keeps the pinning it
+// resolved (re-dial to pick up joins).
+func DialStoreRegistry(registryAddr string, opts Options) (*RemoteStore, error) {
+	ms, err := registry.NewClient(registryAddr).Membership()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: membership: %w", err)
+	}
+	stores := ms.Store()
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("cluster: no store servers registered (epoch %d)", ms.Epoch)
+	}
+	return DialStores(memberAddrs(stores), func(addr string) Dialer {
+		return func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, opts.dialTimeout())
+		}
+	}, opts)
+}
+
+// scFor returns the member a collection name is pinned to.
+func (rs *RemoteStore) scFor(name string) *serverConns {
+	return rs.members[rs.ring.Owner(rs.ring.PartOfKey(name))]
 }
 
 // LoopbackStore connects to an in-process store server over net.Pipe —
@@ -89,13 +142,24 @@ func (rs *RemoteStore) Err() error {
 	return rs.failed
 }
 
-// RoundTrips returns the request frames sent (retries included).
-func (rs *RemoteStore) RoundTrips() int64 { return rs.sc.trips.Load() }
+// RoundTrips returns the request frames sent (retries included),
+// summed across members.
+func (rs *RemoteStore) RoundTrips() int64 {
+	var n int64
+	for _, sc := range rs.members {
+		n += sc.trips.Load()
+	}
+	return n
+}
 
 // WireBytes returns the total bytes sent to and received from the
-// store server (frame overhead included) — see RemoteShards.WireBytes.
+// store servers (frame overhead included) — see RemoteShards.WireBytes.
 func (rs *RemoteStore) WireBytes() (in, out int64) {
-	return rs.sc.bytesIn.Load(), rs.sc.bytesOut.Load()
+	for _, sc := range rs.members {
+		in += sc.bytesIn.Load()
+		out += sc.bytesOut.Load()
+	}
+	return in, out
 }
 
 // Close closes the pooled connections. Server-side collections stay
@@ -103,72 +167,89 @@ func (rs *RemoteStore) WireBytes() (in, out int64) {
 // persistent store must not destroy the store.
 func (rs *RemoteStore) Close() error {
 	rs.closed.Store(true)
-	rs.sc.drainClose()
+	for _, sc := range rs.members {
+		sc.drainClose()
+	}
 	return nil
 }
 
-// ListCollections returns the names of every collection on the server
-// (open or on disk), sorted.
+// ListCollections returns the names of every collection on every
+// member (open or on disk), merged and sorted.
 func (rs *RemoteStore) ListCollections() ([]string, error) {
-	resp, err := rs.sc.roundTrip(opStoreList, nil)
-	if err != nil {
-		return nil, rs.fail(err)
+	seen := map[string]bool{}
+	var out []string
+	for _, sc := range rs.members {
+		resp, err := sc.roundTrip(opStoreList, nil)
+		if err != nil {
+			return nil, rs.fail(err)
+		}
+		d := &dec{b: resp}
+		n := int(d.u32())
+		for i := 0; i < n && d.finish() == nil; i++ {
+			if name := d.str(); !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+		if err := d.finish(); err != nil {
+			return nil, rs.fail(fmt.Errorf("cluster: bad list response: %w", err))
+		}
 	}
-	d := &dec{b: resp}
-	n := int(d.u32())
-	out := make([]string, 0, min(n, 1<<16))
-	for i := 0; i < n && d.finish() == nil; i++ {
-		out = append(out, d.str())
-	}
-	if err := d.finish(); err != nil {
-		return nil, rs.fail(fmt.Errorf("cluster: bad list response: %w", err))
-	}
+	sort.Strings(out)
 	return out, nil
 }
 
 // DropCollection closes a named collection server-side and removes its
 // backing data — explicit reclamation for collections a vanished
-// client left behind.
+// client left behind. It fans out to every member: after a membership
+// change the collection may live on a member the current ring no
+// longer pins it to.
 func (rs *RemoteStore) DropCollection(name string) error {
-	var e enc
-	e.u64(rs.nextReq()).str(name)
-	if _, err := rs.sc.roundTrip(opStoreDrop, e.b); err != nil {
-		return rs.fail(err)
+	for _, sc := range rs.members {
+		var e enc
+		e.u64(rs.nextReq()).str(name)
+		if _, err := sc.roundTrip(opStoreDrop, e.b); err != nil {
+			return rs.fail(err)
+		}
 	}
 	return nil
 }
 
-// Reset drops every collection on the server, so sequential experiments
-// over one store server each start from empty. Never called on a store
-// being used incrementally (it deletes the data).
+// Reset drops every collection on every member, so sequential
+// experiments over one store cluster each start from empty. Never
+// called on a store being used incrementally (it deletes the data).
 func (rs *RemoteStore) Reset() error {
-	var e enc
-	e.u64(rs.nextReq())
-	_, err := rs.sc.roundTrip(opStoreReset, e.b)
-	if err != nil {
-		return rs.fail(err)
+	for _, sc := range rs.members {
+		var e enc
+		e.u64(rs.nextReq())
+		if _, err := sc.roundTrip(opStoreReset, e.b); err != nil {
+			return rs.fail(err)
+		}
 	}
 	return nil
 }
 
-// Collection returns the named collection on the server, created empty
-// on first use. Its Close is a client-side no-op: the collection
+// Collection returns the named collection, created empty on first use
+// on the member the name hashes to; the pinning holds for the returned
+// handle's lifetime. Its Close is a client-side no-op: the collection
 // belongs to the server and survives for the next run (webcrawl's
 // incremental contract).
 func (rs *RemoteStore) Collection(name string) store.Collection {
-	return &remoteColl{rs: rs, name: name}
+	return &remoteColl{rs: rs, sc: rs.scFor(name), name: name}
 }
 
 // EphemeralCollection is Collection, except Close drops the collection
 // server-side (data included) — the lifecycle of a retired shadow
 // generation.
 func (rs *RemoteStore) EphemeralCollection(name string) store.Collection {
-	return &remoteColl{rs: rs, name: name, dropOnClose: true}
+	return &remoteColl{rs: rs, sc: rs.scFor(name), name: name, dropOnClose: true}
 }
 
-// remoteColl implements store.Collection over the wire.
+// remoteColl implements store.Collection over the wire, pinned to one
+// member.
 type remoteColl struct {
 	rs          *RemoteStore
+	sc          *serverConns
 	name        string
 	dropOnClose bool
 }
@@ -214,7 +295,7 @@ func (c *remoteColl) PutBatch(recs []store.PageRecord) error {
 		for _, rec := range chunk {
 			encodeRecord(&e, rec)
 		}
-		if _, err := c.rs.sc.roundTrip(opStorePutBatch, e.b); err != nil {
+		if _, err := c.sc.roundTrip(opStorePutBatch, e.b); err != nil {
 			return c.rs.fail(err)
 		}
 	}
@@ -225,7 +306,7 @@ func (c *remoteColl) PutBatch(recs []store.PageRecord) error {
 func (c *remoteColl) Get(url string) (store.PageRecord, bool, error) {
 	var e enc
 	e.str(c.name).str(url)
-	resp, err := c.rs.sc.roundTrip(opStoreGet, e.b)
+	resp, err := c.sc.roundTrip(opStoreGet, e.b)
 	if err != nil {
 		return store.PageRecord{}, false, c.rs.fail(err)
 	}
@@ -244,7 +325,7 @@ func (c *remoteColl) Get(url string) (store.PageRecord, bool, error) {
 func (c *remoteColl) Delete(url string) error {
 	var e enc
 	e.u64(c.rs.nextReq()).str(c.name).str(url)
-	if _, err := c.rs.sc.roundTrip(opStoreDelete, e.b); err != nil {
+	if _, err := c.sc.roundTrip(opStoreDelete, e.b); err != nil {
 		return c.rs.fail(err)
 	}
 	return nil
@@ -255,7 +336,7 @@ func (c *remoteColl) Delete(url string) error {
 func (c *remoteColl) Len() int {
 	var e enc
 	e.str(c.name)
-	resp, err := c.rs.sc.roundTrip(opStoreLen, e.b)
+	resp, err := c.sc.roundTrip(opStoreLen, e.b)
 	if err != nil {
 		c.rs.fail(err)
 		return 0
@@ -273,7 +354,7 @@ func (c *remoteColl) URLs() []string {
 	for {
 		var e enc
 		e.str(c.name).str(after).u32(storeURLsChunk)
-		resp, err := c.rs.sc.roundTrip(opStoreURLs, e.b)
+		resp, err := c.sc.roundTrip(opStoreURLs, e.b)
 		if err != nil {
 			c.rs.fail(err)
 			return nil
@@ -311,7 +392,7 @@ func (c *remoteColl) ScanFrom(after string, fn func(store.PageRecord) bool) erro
 	for {
 		var e enc
 		e.str(c.name).str(after).u32(storeScanChunk)
-		resp, err := c.rs.sc.roundTrip(opStoreScan, e.b)
+		resp, err := c.sc.roundTrip(opStoreScan, e.b)
 		if err != nil {
 			return c.rs.fail(err)
 		}
@@ -346,7 +427,7 @@ func (c *remoteColl) Close() error {
 	}
 	var e enc
 	e.u64(c.rs.nextReq()).str(c.name)
-	if _, err := c.rs.sc.roundTrip(opStoreDrop, e.b); err != nil {
+	if _, err := c.sc.roundTrip(opStoreDrop, e.b); err != nil {
 		return c.rs.fail(err)
 	}
 	return nil

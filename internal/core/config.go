@@ -184,9 +184,19 @@ type Config struct {
 	// crawler of one cluster must list the servers in the same order
 	// (the order is the URL routing).
 	ShardServers []string
+	// Registry is a cluster registry endpoint (host:port or http:// URL,
+	// the cmd/registryd daemon). When non-empty, the shard and store
+	// servers are discovered from the registry instead of listed
+	// statically, and the crawler follows membership changes live:
+	// at quiescent round boundaries it polls the registry and, when a
+	// shard joins or leaves, drives the partition migration itself
+	// before continuing (cluster.RemoteShards.Rebalance). Overrides
+	// ShardServers; StoreServer still wins for the store side.
+	Registry string
 	// Frontier injects a prebuilt shard set — e.g. a cluster.RemoteShards
-	// over an in-process loopback transport in tests. It overrides
-	// ShardServers and Shards; the caller owns its lifecycle.
+	// over an in-process loopback transport in tests. For the frontier
+	// side it overrides Registry, ShardServers, and Shards; the caller
+	// owns its lifecycle. Registry-based *store* discovery still applies.
 	Frontier frontier.ShardSet
 	// StoreServer is a repository store-server endpoint (host:port, the
 	// cmd/storerd daemon). When non-empty, New builds the crawler's

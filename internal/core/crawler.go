@@ -10,6 +10,7 @@ import (
 	"webevolve/internal/cluster"
 	"webevolve/internal/fetch"
 	"webevolve/internal/frontier"
+	"webevolve/internal/registry"
 	"webevolve/internal/scheduler"
 	"webevolve/internal/store"
 	"webevolve/internal/webgraph"
@@ -95,10 +96,26 @@ type Crawler struct {
 // server-side collections ("gen-1", "gen-2", ...), each dropped once
 // retired, and the crawler owns (and Close closes) the connection.
 func New(cfg Config, f fetch.Fetcher) (*Crawler, error) {
-	if cfg.StoreServer == "" {
+	var rs *cluster.RemoteStore
+	var err error
+	switch {
+	case cfg.StoreServer != "":
+		rs, err = cluster.DialStoreTCP(cfg.StoreServer, cluster.Options{})
+	case cfg.Registry != "":
+		// Discover store servers from the registry; a cluster without
+		// any registered store members keeps the in-memory collection
+		// (the shard plane is independent of the store plane).
+		ms, merr := registry.NewClient(cfg.Registry).Membership()
+		if merr != nil {
+			return nil, fmt.Errorf("core: registry: %w", merr)
+		}
+		if len(ms.Store()) == 0 {
+			return NewWithStore(cfg, f, store.NewShadowedMem())
+		}
+		rs, err = cluster.DialStoreRegistry(cfg.Registry, cluster.Options{})
+	default:
 		return NewWithStore(cfg, f, store.NewShadowedMem())
 	}
-	rs, err := cluster.DialStoreTCP(cfg.StoreServer, cluster.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("core: dialing store server: %w", err)
 	}
@@ -215,6 +232,15 @@ func buildFrontier(cfg Config) (frontier.ShardSet, bool, error) {
 	if cfg.Frontier != nil {
 		return cfg.Frontier, false, nil
 	}
+	if cfg.Registry != "" {
+		rs, err := cluster.DialRegistry(cfg.Registry, cluster.Options{
+			PolitenessDays: cfg.ShardPolitenessDays,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return rs, true, nil
+	}
 	if len(cfg.ShardServers) > 0 {
 		rs, err := cluster.DialTCP(cfg.ShardServers, cluster.Options{
 			PolitenessDays: cfg.ShardPolitenessDays,
@@ -248,6 +274,37 @@ func (c *Crawler) Close() error {
 		}
 	}
 	return err
+}
+
+// maybeRebalance lets a registry-backed remote frontier adopt a new
+// membership epoch — driving a live shard migration when one is
+// pending — and is a no-op for every other frontier. It runs only at
+// quiescent round boundaries: no dispatch rounds in flight and no pops
+// buffered in the round adapter, so every frontier entry is either on
+// a shard server (and migrates intact) or already consumed. The call
+// is rate-limited inside the client, so the engines invoke it every
+// loop iteration.
+func (c *Crawler) maybeRebalance() error {
+	rb, ok := c.coll.(interface{ Rebalance() error })
+	if !ok {
+		return nil
+	}
+	type epocher interface{ Epoch() uint64 }
+	var before uint64
+	if ep, ok := c.coll.(epocher); ok {
+		before = ep.Epoch()
+	}
+	if err := rb.Rebalance(); err != nil {
+		return fmt.Errorf("core: frontier: %w", err)
+	}
+	if ep, ok := c.coll.(epocher); ok && ep.Epoch() != before {
+		// The topology moved: invalidate the candidate cache so the next
+		// round re-peeks through the new routing. The entries themselves
+		// migrated intact — this is only cache hygiene, and it costs one
+		// extra fan-out per membership change.
+		c.rounds.flush()
+	}
+	return nil
 }
 
 // shardSetErr surfaces a remote frontier's sticky transport error: the
@@ -337,6 +394,9 @@ func (c *Crawler) RunUntil(until float64) error {
 func (c *Crawler) runSteady(until float64) error {
 	perFetch := 1 / c.cfg.PagesPerDay
 	for c.day < until {
+		if err := c.maybeRebalance(); err != nil {
+			return err
+		}
 		if c.day >= c.nextRank {
 			c.rounds.flush()
 			if err := c.rankingPass(); err != nil {
@@ -392,6 +452,9 @@ func (c *Crawler) runSteady(until float64) error {
 // with the shadow swap happening only when the crawl truly completes.
 func (c *Crawler) runBatch(until float64) error {
 	for c.day < until {
+		if err := c.maybeRebalance(); err != nil {
+			return err
+		}
 		if len(c.batchQueue) == 0 {
 			if c.day < c.nextCycle {
 				// Idle between the end of a crawl and the next cycle.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -44,7 +45,9 @@ func ServeDebug(name, listen, addrFile string) (stop func(), err error) {
 	}
 	srv := &http.Server{Handler: DebugMux(obs.Default, obs.DefaultTrace), ReadHeaderTimeout: 10 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
-	fmt.Printf("%s: metrics on http://%s/metrics\n", name, ln.Addr())
+	// Stderr, not stdout: tools like crawlsim diff their stdout
+	// byte-for-byte against runs without a debug listener.
+	fmt.Fprintf(os.Stderr, "%s: metrics on http://%s/metrics\n", name, ln.Addr())
 	var once bool
 	return func() {
 		if !once {

@@ -1,0 +1,54 @@
+package daemon
+
+import (
+	"fmt"
+	"net"
+	"strings"
+)
+
+// ParseEndpoints parses a comma-separated endpoint list as daemons and
+// tools accept it on their flags (-shard-servers, -store-server,
+// -registry): elements are trimmed, must be host:port, and duplicates
+// are rejected (a doubled shard server would silently skew routing).
+// Order is preserved — for a static shard cluster the list order IS
+// the URL routing, so every client must pass the same order. An empty
+// string parses to nil (the flag was not set).
+func ParseEndpoints(list string) ([]string, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(list, ",")
+	out := make([]string, 0, len(parts))
+	seen := make(map[string]bool, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty endpoint in %q", list)
+		}
+		host, port, err := net.SplitHostPort(p)
+		if err != nil {
+			return nil, fmt.Errorf("endpoint %q: %v", p, err)
+		}
+		if host == "" || port == "" {
+			return nil, fmt.Errorf("endpoint %q: missing host or port", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("duplicate endpoint %q", p)
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ParseEndpoint parses a single host:port endpoint (one-element list).
+func ParseEndpoint(s string) (string, error) {
+	eps, err := ParseEndpoints(s)
+	if err != nil {
+		return "", err
+	}
+	if len(eps) != 1 {
+		return "", fmt.Errorf("want one endpoint, got %d in %q", len(eps), s)
+	}
+	return eps[0], nil
+}

@@ -1,0 +1,47 @@
+package daemon
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseEndpoints(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+		ok   bool
+	}{
+		{"", nil, true},
+		{"   ", nil, true},
+		{"127.0.0.1:7070", []string{"127.0.0.1:7070"}, true},
+		{"a:1,b:2 , c:3", []string{"a:1", "b:2", "c:3"}, true},
+		{"[::1]:7070", []string{"[::1]:7070"}, true},
+		{"b:2,a:1", []string{"b:2", "a:1"}, true}, // order preserved
+		{"a:1,,b:2", nil, false},                  // empty element
+		{"a:1,a:1", nil, false},                   // duplicate
+		{"no-port", nil, false},
+		{"host:", nil, false},
+		{":7070", nil, false},
+	} {
+		got, err := ParseEndpoints(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseEndpoints(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseEndpoints(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseEndpoint(t *testing.T) {
+	if got, err := ParseEndpoint("h:1"); err != nil || got != "h:1" {
+		t.Fatalf("ParseEndpoint(h:1) = %q, %v", got, err)
+	}
+	if _, err := ParseEndpoint("h:1,h:2"); err == nil {
+		t.Fatal("ParseEndpoint accepted a two-element list")
+	}
+	if _, err := ParseEndpoint(""); err == nil {
+		t.Fatal("ParseEndpoint accepted an empty string")
+	}
+}

@@ -531,6 +531,35 @@ func (q *Sharded) Restore(st State) {
 	}
 }
 
+// ExtractPartitions removes and returns every queued entry whose site
+// hashes into one of the given ring partitions (HostShard over parts
+// buckets — the cluster ring's key fold, which is independent of this
+// queue's shard count). The result is sorted by URL, so the extraction
+// bytes are deterministic for a given queue state: the shard server
+// WAL-logs the operation and must re-produce it identically on replay.
+// Entries not in the partition set are untouched, as are politeness
+// deadlines and claims.
+func (q *Sharded) ExtractPartitions(parts int, set map[int]bool) []Entry {
+	var out []Entry
+	for _, s := range q.shards {
+		s.mu.Lock()
+		var doomed []*Entry
+		for url, e := range s.byURL {
+			if set[HostShard(webgraph.SiteOf(url), parts)] {
+				doomed = append(doomed, e)
+			}
+		}
+		for _, e := range doomed {
+			out = append(out, Entry{URL: e.URL, Due: e.Due, Priority: e.Priority})
+			heap.Remove(&s.h, e.index)
+			delete(s.byURL, e.URL)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
 // Remove deletes url from its shard, reporting whether it was present.
 func (q *Sharded) Remove(url string) bool {
 	s := q.shardFor(url)

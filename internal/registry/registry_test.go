@@ -1,0 +1,271 @@
+package registry
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func addrs(members []Member) []string {
+	var out []string
+	for _, m := range members {
+		out = append(out, m.Addr)
+	}
+	return out
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRegisterFlow exercises the core shard-join state machine: first
+// join applies directly, later joins pend until Complete.
+func TestRegisterFlow(t *testing.T) {
+	s := NewServer(time.Minute)
+	ms, err := s.Register(Member{Kind: KindShard, Addr: "a:1", Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Migrating || !eq(addrs(ms.Shard()), []string{"a:1"}) {
+		t.Fatalf("first join should apply directly: %+v", ms)
+	}
+	e1 := ms.Epoch
+
+	ms, err = s.Register(Member{Kind: KindShard, Addr: "b:2", Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Migrating {
+		t.Fatalf("second join should pend: %+v", ms)
+	}
+	if ms.Epoch != e1 || !eq(addrs(ms.Shard()), []string{"a:1"}) {
+		t.Fatalf("active set changed before Complete: %+v", ms)
+	}
+	if !eq(addrs(ms.Pending), []string{"a:1", "b:2"}) {
+		t.Fatalf("pending set wrong: %+v", ms)
+	}
+
+	// Re-registering the same member is a no-op on versions.
+	ms2, _ := s.Register(Member{Kind: KindShard, Addr: "b:2", Shards: 8})
+	if ms2.PendingEpoch != ms.PendingEpoch || ms2.Epoch != ms.Epoch {
+		t.Fatalf("idempotent re-register bumped versions: %+v vs %+v", ms2, ms)
+	}
+
+	got, err := s.Complete(ms.PendingEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Migrating || got.Epoch <= e1 || !eq(addrs(got.Shard()), []string{"a:1", "b:2"}) {
+		t.Fatalf("complete did not flip: %+v", got)
+	}
+	// Completing again is stale.
+	if _, err := s.Complete(ms.PendingEpoch); err != ErrStaleEpoch {
+		t.Fatalf("second Complete: got %v, want ErrStaleEpoch", err)
+	}
+}
+
+// TestStaleComplete: any pending-set change invalidates an outstanding
+// pending epoch.
+func TestStaleComplete(t *testing.T) {
+	s := NewServer(time.Minute)
+	s.Register(Member{Kind: KindShard, Addr: "a:1"})
+	ms, _ := s.Register(Member{Kind: KindShard, Addr: "b:2"})
+	pe := ms.PendingEpoch
+	// A third join changes the pending set.
+	ms, _ = s.Register(Member{Kind: KindShard, Addr: "c:3"})
+	if ms.PendingEpoch == pe {
+		t.Fatal("pending epoch did not move on pending change")
+	}
+	if _, err := s.Complete(pe); err != ErrStaleEpoch {
+		t.Fatalf("stale Complete: got %v", err)
+	}
+	if ms, err := s.Complete(ms.PendingEpoch); err != nil || !eq(addrs(ms.Shard()), []string{"a:1", "b:2", "c:3"}) {
+		t.Fatalf("fresh Complete failed: %v %+v", err, ms)
+	}
+}
+
+// TestLeave: store members leave immediately; active shard members
+// drain through the pending set; a withdrawn pending join cancels the
+// migration outright.
+func TestLeave(t *testing.T) {
+	s := NewServer(time.Minute)
+	s.Register(Member{Kind: KindStore, Addr: "st:1"})
+	ms := s.Leave("st:1")
+	if len(ms.Store()) != 0 || ms.Migrating {
+		t.Fatalf("store leave should apply directly: %+v", ms)
+	}
+
+	s.Register(Member{Kind: KindShard, Addr: "a:1"})
+	ms, _ = s.Register(Member{Kind: KindShard, Addr: "b:2"})
+	s.Complete(ms.PendingEpoch)
+
+	ms = s.Leave("a:1")
+	if !ms.Migrating || !ms.HasAddr("a:1") {
+		t.Fatalf("active shard leave must pend and keep serving: %+v", ms)
+	}
+	if !eq(addrs(ms.Pending), []string{"b:2"}) {
+		t.Fatalf("pending after leave: %+v", ms)
+	}
+	if ms, err := s.Complete(ms.PendingEpoch); err != nil || ms.HasAddr("a:1") {
+		t.Fatalf("drain complete: %v %+v", err, ms)
+	}
+	// The leaver's lease is dropped on flip: its heartbeat now answers
+	// unknown, which tells the session it may stop.
+	if _, err := s.Heartbeat("a:1"); err != ErrUnknownMember {
+		t.Fatalf("leaver heartbeat after flip: %v", err)
+	}
+
+	// A pending joiner that leaves before Complete cancels the pend.
+	ms, _ = s.Register(Member{Kind: KindShard, Addr: "c:3"})
+	if !ms.Migrating {
+		t.Fatal("join should pend")
+	}
+	ms = s.Leave("c:3")
+	if ms.Migrating {
+		t.Fatalf("withdrawn join should cancel migration: %+v", ms)
+	}
+}
+
+// TestExpiry: an expired lease force-removes the member from active
+// and pending sets and bumps the epoch.
+func TestExpiry(t *testing.T) {
+	s := NewServer(time.Minute)
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+	s.Register(Member{Kind: KindShard, Addr: "a:1"})
+	ms, _ := s.Register(Member{Kind: KindShard, Addr: "b:2"})
+	s.Complete(ms.PendingEpoch)
+	ms = s.Membership()
+	e := ms.Epoch
+
+	now = now.Add(30 * time.Second)
+	if _, err := s.Heartbeat("b:2"); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(45 * time.Second) // a:1's lease (never renewed) lapses
+	ms = s.Membership()
+	if ms.HasAddr("a:1") || !ms.HasAddr("b:2") {
+		t.Fatalf("expiry did not remove a:1: %+v", ms)
+	}
+	if ms.Epoch <= e {
+		t.Fatal("expiry did not bump epoch")
+	}
+	if ms.Migrating {
+		t.Fatalf("expiry removal must not leave a no-op pend: %+v", ms)
+	}
+	if _, err := s.Heartbeat("a:1"); err != ErrUnknownMember {
+		t.Fatalf("expired heartbeat: %v", err)
+	}
+}
+
+// TestHTTPRoundTrip drives the full client/server HTTP path.
+func TestHTTPRoundTrip(t *testing.T) {
+	srv := NewServer(time.Minute)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL)
+
+	ms, ttl, err := c.Register(Member{Kind: KindShard, Addr: "a:1", BootID: 7, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttl != time.Minute {
+		t.Fatalf("ttl: %v", ttl)
+	}
+	if !eq(addrs(ms.Shard()), []string{"a:1"}) || ms.Shard()[0].BootID != 7 {
+		t.Fatalf("membership: %+v", ms)
+	}
+	if _, err := c.Heartbeat("a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Heartbeat("ghost:9"); err != ErrUnknownMember {
+		t.Fatalf("ghost heartbeat: %v", err)
+	}
+	ms, _, err = c.Register(Member{Kind: KindShard, Addr: "b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(ms.PendingEpoch + 999); err != ErrStaleEpoch {
+		t.Fatalf("stale complete over HTTP: %v", err)
+	}
+	if err := c.Complete(ms.PendingEpoch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Membership()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq(addrs(got.Shard()), []string{"a:1", "b:2"}) {
+		t.Fatalf("membership after complete: %+v", got)
+	}
+	if _, err := c.Leave("b:2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Register(Member{Kind: "bogus", Addr: "x:1"}); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+// TestSessionLifecycle: StartSession registers, CloseWait drains once
+// a migrating client completes the flip.
+func TestSessionLifecycle(t *testing.T) {
+	srv := NewServer(200 * time.Millisecond) // fast heartbeats for the test
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL)
+
+	s1, err := StartSession(c, Member{Kind: KindShard, Addr: "a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := StartSession(c, Member{Kind: KindShard, Addr: "b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := srv.Membership()
+	if !ms.Migrating {
+		t.Fatalf("second session should pend: %+v", ms)
+	}
+	srv.Complete(ms.PendingEpoch)
+
+	// Sessions outlive several TTLs via heartbeats.
+	time.Sleep(500 * time.Millisecond)
+	if ms := srv.Membership(); !ms.HasAddr("a:1") || !ms.HasAddr("b:2") {
+		t.Fatalf("sessions expired despite heartbeats: %+v", ms)
+	}
+
+	// CloseWait drains once a "client" completes the pending flip.
+	done := make(chan error, 1)
+	go func() { done <- s1.CloseWait(5 * time.Second) }()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		ms := srv.Membership()
+		if ms.Migrating {
+			if _, err := srv.Complete(ms.PendingEpoch); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leave never pended")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if ms := srv.Membership(); ms.HasAddr("a:1") || !ms.HasAddr("b:2") {
+		t.Fatalf("after drain: %+v", ms)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

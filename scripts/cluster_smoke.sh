@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Multi-process cluster smoke (run by `make ci` / the CI workflow), in
-# two phases:
+# three phases:
 #
 #  1. Determinism: launch two shardd daemons on loopback, run the same
 #     simulated crawl once with in-process shards and once with
@@ -13,6 +13,14 @@
 #     same address, and require the crawl to complete with output
 #     byte-identical to the uninterrupted run — the reconnect/retry +
 #     frontier-persistence contract under a real process kill.
+#
+#  3. Dynamic membership: launch registryd plus one shardd, start a
+#     crawl that discovers the cluster with -registry, join a second
+#     shardd mid-crawl, gracefully retire the first after its
+#     partitions migrate, and require output byte-identical to the
+#     local run — the live-migration invariance contract over real
+#     processes, with promcheck gating the membership metric families
+#     on a mid-crawl scrape.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,7 +34,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$tmp" ./cmd/shardd ./cmd/crawlsim ./internal/tools/promcheck
+go build -o "$tmp" ./cmd/shardd ./cmd/crawlsim ./cmd/registryd ./internal/tools/promcheck
 
 wait_addr() {
     for _ in $(seq 1 100); do
@@ -112,3 +120,114 @@ if ! wait "$crawl_pid"; then
 fi
 diff "$tmp/ref.out" "$tmp/kill.out"
 echo "cluster-smoke: kill+restart crawl output is byte-identical to the uninterrupted run"
+
+# ---- Phase 3: dynamic membership (join + graceful leave) -------------
+
+# Poll a /metrics endpoint until family $2 reports at least $3. Returns
+# 2 if the crawl pid $4 exits first — the workload finished before the
+# membership change could land, and the caller escalates it.
+await_counter() {
+    for _ in $(seq 1 300); do
+        if ! kill -0 "$4" 2>/dev/null; then return 2; fi
+        v="$(curl -sS "http://$1/metrics" 2>/dev/null |
+            awk -v f="$2" '$1 == f { print int($2); exit }')"
+        if [ -n "$v" ] && [ "$v" -ge "$3" ]; then return 0; fi
+        sleep 0.1
+    done
+    echo "cluster-smoke: $2 never reached $3 on http://$1/metrics" >&2
+    exit 1
+}
+
+# Tear down one escalation attempt: the crawl must still have exited
+# cleanly (it ran a legitimate, just too-small, workload), then the
+# attempt's daemons go away hard — no drain semantics to respect on a
+# discarded cluster.
+escalate() {
+    if ! wait "$crawl3_pid"; then
+        echo "cluster-smoke: dynamic crawl failed (size $size)" >&2
+        cat "$tmp/dyn.out" >&2
+        exit 1
+    fi
+    echo "cluster-smoke: size $size finished before the $1; escalating"
+    kill -9 "$reg_pid" "$d1_pid" $d2_pid 2>/dev/null || true
+    wait "$reg_pid" "$d1_pid" $d2_pid 2>/dev/null || true
+}
+
+migrated=""
+for size in 2000 8000 32000; do
+    rm -f "$tmp"/reg.addr "$tmp"/d1.addr "$tmp"/d1.maddr "$tmp"/d2.addr "$tmp"/d2.maddr "$tmp"/c3.maddr
+    "$tmp/registryd" -listen 127.0.0.1:0 -addr-file "$tmp/reg.addr" &
+    reg_pid=$!
+    wait_addr "$tmp/reg.addr"
+    reg="$(cat "$tmp/reg.addr")"
+    "$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -registry "$reg" -addr-file "$tmp/d1.addr" \
+        -metrics-listen 127.0.0.1:0 -metrics-addr-file "$tmp/d1.maddr" &
+    d1_pid=$!
+    d2_pid=""
+    wait_addr "$tmp/d1.addr"
+    wait_addr "$tmp/d1.maddr"
+    echo "cluster-smoke: registryd on $reg, first shardd on $(cat "$tmp/d1.addr")"
+
+    days=40
+    "$tmp/crawlsim" -days $days -size $size >"$tmp/dyn-ref.out"
+    "$tmp/crawlsim" -days $days -size $size -registry "$reg" \
+        -metrics-listen 127.0.0.1:0 -metrics-addr-file "$tmp/c3.maddr" >"$tmp/dyn.out" &
+    crawl3_pid=$!
+    wait_addr "$tmp/c3.maddr"
+    cm="$(cat "$tmp/c3.maddr")"
+    sleep 0.35
+    if ! kill -0 "$crawl3_pid" 2>/dev/null; then escalate "join"; continue; fi
+
+    # Join: a second shardd registers mid-crawl; the crawl client must
+    # notice at a round boundary and complete one migration onto it.
+    "$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -registry "$reg" -addr-file "$tmp/d2.addr" \
+        -metrics-listen 127.0.0.1:0 -metrics-addr-file "$tmp/d2.maddr" &
+    d2_pid=$!
+    if ! await_counter "$cm" webevolve_membership_migrations_total 1 "$crawl3_pid"; then
+        escalate "join migration"; continue
+    fi
+    wait_addr "$tmp/d2.maddr"
+    echo "cluster-smoke: second shardd joined mid-crawl; partitions migrated"
+
+    # Mid-crawl observability across all three parties of the handoff:
+    # the crawl client drives migrations (epoch gauge + migration
+    # counter on crawlsim's /metrics), the old member serialized the
+    # moved partitions (export counter + handoff bytes on the first
+    # shardd), and the joiner absorbed them (import counter on the
+    # second). promcheck requires each family present and non-zero.
+    if ! curl -sS "http://$cm/metrics" >"$tmp/c3.metrics"; then
+        escalate "metrics scrape"; continue
+    fi
+    "$tmp/promcheck" \
+        -require webevolve_membership_epoch,webevolve_membership_migrations_total \
+        <"$tmp/c3.metrics"
+    curl -sS "http://$(cat "$tmp/d1.maddr")/metrics" | "$tmp/promcheck" \
+        -require webevolve_membership_export_entries_total,webevolve_membership_handoff_bytes
+    curl -sS "http://$(cat "$tmp/d2.maddr")/metrics" | "$tmp/promcheck" \
+        -require webevolve_membership_import_entries_total,webevolve_membership_handoff_bytes
+    echo "cluster-smoke: mid-crawl scrapes gate the membership metric families"
+
+    # Graceful leave: SIGTERM the first shardd. It announces the leave,
+    # keeps serving while the crawl client exports its partitions to
+    # the survivor, and only then exits — queued entries lose nothing.
+    kill "$d1_pid"
+    if ! await_counter "$cm" webevolve_membership_migrations_total 2 "$crawl3_pid"; then
+        escalate "leave migration"; continue
+    fi
+    wait "$d1_pid" 2>/dev/null || true
+    echo "cluster-smoke: first shardd retired mid-crawl after migrating its partitions"
+    migrated=1
+    break
+done
+if [ -z "$migrated" ]; then
+    echo "cluster-smoke: crawl outran every workload; could not test membership changes" >&2
+    exit 1
+fi
+
+if ! wait "$crawl3_pid"; then
+    echo "cluster-smoke: crawl failed across join + leave" >&2
+    cat "$tmp/dyn.out" >&2
+    exit 1
+fi
+diff "$tmp/dyn-ref.out" "$tmp/dyn.out"
+echo "cluster-smoke: join+leave crawl output is byte-identical to the local run"
