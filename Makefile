@@ -23,7 +23,7 @@ bench:
 	$(GO) test -bench 'BenchmarkEngine|BenchmarkCrawlEngine' -benchtime 5x \
 		-benchmem -run '^$$' ./internal/core/ > bench_engine.txt || \
 		{ cat bench_engine.txt; rm -f bench_engine.txt; exit 1; }
-	$(GO) test -bench 'BenchmarkStore' -benchtime 5x \
+	$(GO) test -bench 'BenchmarkStore|BenchmarkEncodeEntries' -benchtime 5x \
 		-benchmem -run '^$$' ./internal/cluster/ >> bench_engine.txt || \
 		{ cat bench_engine.txt; rm -f bench_engine.txt; exit 1; }
 	$(GO) test -bench 'BenchmarkServeQPS' -benchtime 5x \

@@ -11,24 +11,63 @@ import (
 )
 
 func TestFrameRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	body := []byte("hello shard world")
-	if err := writeFrame(&buf, opPush, body); err != nil {
-		t.Fatal(err)
+	for _, ver := range []byte{helloProto, ProtoVersion} {
+		var buf bytes.Buffer
+		body := []byte("hello shard world")
+		wrote, err := writeFrame(&buf, ver, opPush, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrote != buf.Len() {
+			t.Fatalf("v%d: writeFrame reported %d bytes, wrote %d", ver, wrote, buf.Len())
+		}
+		gotVer, kind, got, wire, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotVer != ver || kind != opPush || !bytes.Equal(got, body) {
+			t.Fatalf("frame mangled: ver=%d kind=%d body=%q", gotVer, kind, got)
+		}
+		if wire != wrote {
+			t.Fatalf("v%d: readFrame consumed %d bytes, writeFrame wrote %d", ver, wire, wrote)
+		}
 	}
-	kind, got, err := readFrame(&buf)
+}
+
+// TestFrameCompression pins the v6 compression flag: a large repetitive
+// body ships smaller than raw under v6 and still round-trips, while the
+// same body under v5 stays raw.
+func TestFrameCompression(t *testing.T) {
+	body := bytes.Repeat([]byte("http://site000.com/page "), 200)
+	var v6 bytes.Buffer
+	n6, err := writeFrame(&v6, ProtoVersion, opPushBatch, body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind != opPush || !bytes.Equal(got, body) {
-		t.Fatalf("frame mangled: kind=%d body=%q", kind, got)
+	if n6 >= len(body) {
+		t.Fatalf("v6 frame (%dB) did not compress a %dB repetitive body", n6, len(body))
+	}
+	_, _, got, _, err := readFrame(&v6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("compressed body did not round-trip")
+	}
+	var v5 bytes.Buffer
+	n5, err := writeFrame(&v5, helloProto, opPushBatch, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n5 < len(body) {
+		t.Fatalf("v5 frame compressed (%dB < %dB body): pre-v6 peers cannot inflate", n5, len(body))
 	}
 }
 
 func TestFrameRejectsCorruption(t *testing.T) {
 	frame := func() []byte {
 		var buf bytes.Buffer
-		if err := writeFrame(&buf, opPush, []byte("payload")); err != nil {
+		if _, err := writeFrame(&buf, helloProto, opPush, []byte("payload")); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()
@@ -36,7 +75,7 @@ func TestFrameRejectsCorruption(t *testing.T) {
 	// Flipped payload byte: CRC must catch it.
 	b := frame()
 	b[len(b)-1] ^= 0xff
-	if _, _, err := readFrame(bytes.NewReader(b)); err == nil {
+	if _, _, _, _, err := readFrame(bytes.NewReader(b)); err == nil {
 		t.Fatal("corrupt payload accepted")
 	}
 	// Wrong protocol version.
@@ -48,13 +87,13 @@ func TestFrameRejectsCorruption(t *testing.T) {
 	crc := crc32IEEE(b[8:])
 	rewritten.Write(crc)
 	rewritten.Write(b[8:])
-	_, _, err := readFrame(&rewritten)
+	_, _, _, _, err := readFrame(&rewritten)
 	if err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("version mismatch not rejected: %v", err)
 	}
 	// Truncated frame.
 	b = frame()
-	if _, _, err := readFrame(bytes.NewReader(b[:len(b)-3])); err == nil {
+	if _, _, _, _, err := readFrame(bytes.NewReader(b[:len(b)-3])); err == nil {
 		t.Fatal("truncated frame accepted")
 	}
 }

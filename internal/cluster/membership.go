@@ -71,7 +71,7 @@ func DialMembership(src MembershipSource, dialFor func(m registry.Member) Dialer
 		src:        src,
 		dialFor:    dialFor,
 	}
-	helloInit := helloBody(opts.PolitenessDays, true)
+	helloInit := helloBody(opts.PolitenessDays, true, opts.maxProto())
 	names := make([]string, len(shard))
 	servers := make([]*serverConns, len(shard))
 	sort.Slice(shard, func(i, j int) bool { return shard[i].Addr < shard[j].Addr })
@@ -113,7 +113,7 @@ func DialRegistry(registryAddr string, opts Options) (*RemoteShards, error) {
 // newShardMember builds the (undialed) pool for one registry member.
 func (rs *RemoteShards) newShardMember(m registry.Member) *serverConns {
 	sc := newServerConns("member "+m.Addr, rs.dialFor(m), rs.opts, &rs.closed)
-	sc.hello = helloBody(rs.politeness, false)
+	sc.hello = helloBody(rs.politeness, false, rs.opts.maxProto())
 	sc.helloOp = opHello
 	sc.checkHello = sc.checkShardHello
 	return sc
@@ -212,34 +212,36 @@ func (rs *RemoteShards) migrateLocked(t *shardTopology, ms registry.Membership) 
 	if len(moved) > 0 {
 		// Export the moved partitions from every member of the union —
 		// see the package comment for why not just the computed owners.
-		var exportBody enc
-		exportBody.u32(uint32(nextRing.Parts())).u32(uint32(len(moved)))
-		for _, p := range moved {
-			exportBody.u32(uint32(p))
-		}
+		// The body is rebuilt per member: each pool may have negotiated a
+		// different protocol version, so one shared encoding is unsound.
 		var entries []frontier.Entry
 		var dedups []dedupEntry
 		union := sortedKeys(pools)
 		for _, addr := range union {
-			var e enc
-			e.u64(rs.nextReq())
-			e.b = append(e.b, exportBody.b...)
-			resp, err := pools[addr].roundTrip(opShardExport, e.b)
+			sc := pools[addr]
+			ver := sc.wireVer()
+			e := newEnc(ver)
+			e.fix64(rs.nextReq())
+			e.u32(uint32(nextRing.Parts())).u32(uint32(len(moved)))
+			for _, p := range moved {
+				e.u32(uint32(p))
+			}
+			resp, err := sc.roundTrip(ver, opShardExport, e.b)
 			if err != nil {
 				rs.fail(err)
 				return err
 			}
-			d := &dec{b: resp}
+			d := newDec(ver, resp)
 			entries = append(entries, decodeEntries(d)...)
 			dn := int(d.u32())
 			for i := 0; i < dn && d.finish() == nil; i++ {
-				id, st, b := d.u64(), d.u8(), d.bytes()
+				id, st, b := d.fix64(), d.u8(), d.bytes()
 				if d.finish() == nil {
 					dedups = append(dedups, dedupEntry{id: id, status: st, resp: append([]byte(nil), b...)})
 				}
 			}
 			if d.finish() != nil {
-				err := fmt.Errorf("cluster: %s: bad export response", pools[addr].name)
+				err := fmt.Errorf("cluster: %s: bad export response", sc.name)
 				rs.fail(err)
 				return err
 			}
@@ -263,18 +265,19 @@ func (rs *RemoteShards) migrateLocked(t *shardTopology, ms registry.Membership) 
 			}
 			for off := 0; off < len(group); off += pushBatchChunk {
 				chunk := group[off:min(off+pushBatchChunk, len(group))]
-				var e enc
-				e.u64(rs.nextReq())
+				ver := sc.wireVer()
+				e := newEnc(ver)
+				e.fix64(rs.nextReq())
 				encodeEntries(&e, chunk)
 				if off == 0 {
 					e.u32(uint32(len(dedups)))
 					for _, de := range dedups {
-						e.u64(de.id).u8(de.status).bytes(de.resp)
+						e.fix64(de.id).u8(de.status).bytes(de.resp)
 					}
 				} else {
 					e.u32(0)
 				}
-				if _, err := sc.roundTrip(opShardImport, e.b); err != nil {
+				if _, err := sc.roundTrip(ver, opShardImport, e.b); err != nil {
 					rs.fail(err)
 					return err
 				}

@@ -18,12 +18,15 @@
 package cluster
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
+	"strings"
 	"sync"
 )
 
@@ -37,27 +40,53 @@ import (
 // family (opStore*), served by StoreServer/storerd. Version 5 added
 // the live-migration pair (opShardExport/opShardImport) that moves
 // ring partitions between shard servers on a membership change.
-const ProtoVersion = 5
+// Version 6 changed the body encoding — varint u32/u64 fields,
+// front-coded string lists, a per-frame flags byte with an optional
+// deflate-compressed body — and is negotiated at hello, so v5 peers
+// interoperate unchanged (see helloProto).
+const ProtoVersion = 6
+
+// protoV6 marks the first version with varint fields, front-coded
+// string lists and the compression flag. Frames tagged below it carry
+// the legacy fixed-width encoding and no flags byte.
+const protoV6 = 6
+
+// helloProto is the version every hello frame (request and response) is
+// tagged with, regardless of what the peers end up speaking: the
+// handshake must be decodable before any version has been negotiated.
+// A v6-capable client appends its preferred version as a trailing byte
+// to the hello body (v5 servers ignore trailing hello bytes); a
+// v6-capable server answers with the negotiated version appended to the
+// hello response. Every later frame is tagged with the negotiated
+// version and is self-describing — the server decodes each request per
+// its frame version and answers in kind, so clients pinned to
+// different versions can share one server.
+const helloProto = 5
 
 // minProtoVersion is the oldest version readFrame still accepts.
 // Versions 3 and 4 only added opcodes — every v2 frame body decodes
 // unchanged — and WAL files and snapshots written by a v2 shardd must
 // replay after an upgrade: rejecting them at the frame level would
 // make recovery mistake the whole log for a torn tail and truncate it
-// away.
+// away. Version 6 frames carry their own encoding, so v2–v6 frames can
+// interleave in one WAL and each decodes by its own tag.
 const minProtoVersion = 2
 
 // maxFrame bounds a frame payload; anything larger is treated as a
-// corrupt or hostile stream.
+// corrupt or hostile stream. A compressed body must also declare an
+// inflated size within this bound.
 const maxFrame = 64 << 20
 
 // Frame layout (little endian):
 //
 //	payloadLen uint32 | crc32(payload) uint32 | payload
-//	payload := version uint8 | kind uint8 | body
+//	payload := version uint8 | kind uint8 | body             (v2–v5)
+//	payload := version uint8 | kind uint8 | flags uint8 | body  (v6+)
 //
 // For requests, kind is the opcode; for responses it is a status
 // (statusOK with an op-specific body, or statusError with a message).
+// flags bit 0 set means the body is deflate-compressed, prefixed with
+// its inflated length as a uvarint; all other flag bits must be zero.
 const (
 	opHello byte = iota + 1
 	opPush
@@ -134,12 +163,13 @@ func storeMutatingOp(op byte) bool {
 }
 
 // mutatingOp reports whether op changes frontier state. Mutating ops
-// carry a leading client-generated request ID (u64): the server logs
-// them to its WAL (when enabled) and memoizes their responses in a
-// bounded cache keyed by that ID, so a client retrying after a broken
-// connection gets the original response instead of a second
-// application — exactly-once semantics over an at-least-once
-// transport. Read-only ops carry no ID and are never logged.
+// carry a leading client-generated request ID (a fixed 8-byte field,
+// see enc.fix64): the server logs them to its WAL (when enabled) and
+// memoizes their responses in a bounded cache keyed by that ID, so a
+// client retrying after a broken connection gets the original response
+// instead of a second application — exactly-once semantics over an
+// at-least-once transport. Read-only ops carry no ID and are never
+// logged.
 func mutatingOp(op byte) bool {
 	switch op {
 	case opPush, opPushBatch, opPopDue, opClaimDue, opPopDueMatch,
@@ -159,6 +189,19 @@ var (
 	errShort    = errors.New("cluster: truncated body")
 )
 
+// negotiateVer resolves a client's wanted version against a server's
+// ceiling. 0 means "no negotiation": either side predates v6, and the
+// connection stays on the legacy encoding.
+func negotiateVer(want, max byte) byte {
+	if want < protoV6 || max < protoV6 {
+		return 0
+	}
+	if want < max {
+		return want
+	}
+	return max
+}
+
 // frameBufPool recycles writeFrame's assembly buffers: the hot paths
 // (engine apply rounds, WAL appends, worker claims) write a frame per
 // operation, and the buffer never escapes the write call. Oversized
@@ -170,12 +213,114 @@ var frameBufPool = sync.Pool{New: func() any { return new([]byte) }}
 // frameBufPoolMax caps the capacity of buffers returned to the pool.
 const frameBufPoolMax = 64 << 10
 
-// writeFrame assembles and writes one frame as a single Write call, so
-// synchronous transports (net.Pipe) cannot interleave partial frames.
-func writeFrame(w io.Writer, kind byte, body []byte) error {
-	payload := len(body) + 2
+// compressMin is the body size below which writeFrame does not attempt
+// compression: small frames are dominated by syscall and header cost,
+// and deflate rarely wins on them anyway.
+const compressMin = 1 << 9
+
+// flateWriterPool / flateReaderPool recycle deflate state, which is
+// expensive to allocate (32KiB windows) relative to the frames it
+// compresses. compressBufPool holds the intermediate compressed-body
+// buffers; like frameBufPool, oversized ones are dropped.
+var (
+	flateWriterPool = sync.Pool{New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	}}
+	flateReaderPool sync.Pool
+	compressBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+const compressBufPoolMax = 1 << 20
+
+func putCompressBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= compressBufPoolMax {
+		compressBufPool.Put(buf)
+	}
+}
+
+// deflateBody compresses body into buf as uvarint(len(body)) followed
+// by the deflate stream, reporting success.
+func deflateBody(buf *bytes.Buffer, body []byte) bool {
+	var hdr [binary.MaxVarintLen64]byte
+	buf.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(body)))])
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(buf)
+	_, werr := fw.Write(body)
+	cerr := fw.Close()
+	flateWriterPool.Put(fw)
+	return werr == nil && cerr == nil
+}
+
+// inflateBody decodes a compressed frame body: a uvarint declaring the
+// inflated size (validated against maxFrame before any allocation)
+// followed by the deflate stream, which must inflate to exactly that
+// size.
+func inflateBody(comp []byte) ([]byte, error) {
+	rawLen, n := binary.Uvarint(comp)
+	if n <= 0 || rawLen > maxFrame {
+		return nil, errBadFrame
+	}
+	br := bytes.NewReader(comp[n:])
+	var fr io.ReadCloser
+	if v := flateReaderPool.Get(); v != nil {
+		fr = v.(io.ReadCloser)
+		if err := fr.(flate.Resetter).Reset(br, nil); err != nil {
+			return nil, err
+		}
+	} else {
+		fr = flate.NewReader(br)
+	}
+	out := make([]byte, rawLen)
+	_, err := io.ReadFull(fr, out)
+	if err == nil {
+		var extra [1]byte
+		if k, _ := fr.Read(extra[:]); k != 0 {
+			err = errBadFrame // inflates past its declared size
+		}
+	}
+	fr.Close()
+	flateReaderPool.Put(fr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: corrupt compressed frame: %w", err)
+	}
+	return out, nil
+}
+
+// flagCompressed marks a deflate-compressed v6 frame body.
+const flagCompressed = 0x01
+
+// writeFrame assembles and writes one frame tagged with ver as a single
+// Write call, so synchronous transports (net.Pipe) cannot interleave
+// partial frames. Bodies of v6+ frames at least compressMin long are
+// deflated when that shrinks them. It returns the bytes written to w —
+// the true wire size, which differs from the body length whenever the
+// body compressed.
+func writeFrame(w io.Writer, ver, kind byte, body []byte) (int, error) {
+	flags := byte(0)
+	wireBody := body
+	var cbuf *bytes.Buffer
+	if ver >= protoV6 && len(body) >= compressMin {
+		cbuf = compressBufPool.Get().(*bytes.Buffer)
+		cbuf.Reset()
+		if deflateBody(cbuf, body) && cbuf.Len() < len(body) {
+			flags = flagCompressed
+			wireBody = cbuf.Bytes()
+			framesCompressed.Inc()
+			frameRawBytes.Observe(float64(len(body)))
+			frameCompressedBytes.Observe(float64(len(wireBody)))
+		}
+	}
+	hdrLen := 2
+	if ver >= protoV6 {
+		hdrLen = 3
+	}
+	payload := len(wireBody) + hdrLen
 	if payload > maxFrame {
-		return fmt.Errorf("cluster: frame too large (%d bytes)", payload)
+		if cbuf != nil {
+			putCompressBuf(cbuf)
+		}
+		return 0, fmt.Errorf("cluster: frame too large (%d bytes)", payload)
 	}
 	bp := frameBufPool.Get().(*[]byte)
 	buf := *bp
@@ -185,45 +330,96 @@ func writeFrame(w io.Writer, kind byte, body []byte) error {
 		buf = buf[:8+payload]
 	}
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(payload))
-	buf[8] = ProtoVersion
+	buf[8] = ver
 	buf[9] = kind
-	copy(buf[10:], body)
+	if ver >= protoV6 {
+		buf[10] = flags
+		copy(buf[11:], wireBody)
+	} else {
+		copy(buf[10:], wireBody)
+	}
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
-	_, err := w.Write(buf)
+	n, err := w.Write(buf)
 	if cap(buf) <= frameBufPoolMax {
 		*bp = buf
 		frameBufPool.Put(bp)
 	}
-	return err
+	if cbuf != nil {
+		putCompressBuf(cbuf)
+	}
+	return n, err
 }
 
-// readFrame reads one frame, verifying length, CRC and version.
-func readFrame(r io.Reader) (kind byte, body []byte, err error) {
+// readFrame reads one frame, verifying length, CRC and version, and
+// inflating a compressed body. It returns the frame's version tag (the
+// body must be decoded with a dec of the same version) and the bytes
+// consumed from r — the wire size, which differs from len(body) for
+// compressed frames.
+func readFrame(r io.Reader) (ver, kind byte, body []byte, wire int, err error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, 0, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	if n < 2 || n > maxFrame {
-		return 0, nil, errBadFrame
+		return 0, 0, nil, 0, errBadFrame
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("cluster: truncated frame: %w", err)
+		return 0, 0, nil, 0, fmt.Errorf("cluster: truncated frame: %w", err)
 	}
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
-		return 0, nil, errBadFrame
+		return 0, 0, nil, 0, errBadFrame
 	}
-	if payload[0] < minProtoVersion || payload[0] > ProtoVersion {
-		return 0, nil, fmt.Errorf("cluster: protocol version %d, want %d..%d", payload[0], minProtoVersion, ProtoVersion)
+	ver = payload[0]
+	if ver < minProtoVersion || ver > ProtoVersion {
+		return 0, 0, nil, 0, fmt.Errorf("cluster: protocol version %d, want %d..%d", ver, minProtoVersion, ProtoVersion)
 	}
-	return payload[1], payload[2:], nil
+	kind = payload[1]
+	wire = 8 + int(n)
+	if ver < protoV6 {
+		return ver, kind, payload[2:], wire, nil
+	}
+	if n < 3 {
+		return 0, 0, nil, 0, errBadFrame
+	}
+	flags := payload[2]
+	if flags&^flagCompressed != 0 {
+		return 0, 0, nil, 0, errBadFrame
+	}
+	body = payload[3:]
+	if flags&flagCompressed != 0 {
+		body, err = inflateBody(body)
+		if err != nil {
+			return 0, 0, nil, 0, err
+		}
+	}
+	return ver, kind, body, wire, nil
 }
 
-// enc is an append-only body encoder.
-type enc struct{ b []byte }
+// enc is an append-only body encoder. Its version selects the field
+// encoding: the zero value (and anything below protoV6) writes the
+// legacy fixed-width format; v6 writes uvarint u32/u64 fields and
+// front-coded string lists. fix64, u8, f64, bool and the raw length
+// prefixes inside str/bytes are identical across versions.
+type enc struct {
+	b []byte
+	v byte
+}
+
+// newEnc returns an encoder producing bodies for frames tagged ver.
+func newEnc(ver byte) enc { return enc{v: ver} }
+
+func (e *enc) uvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	e.b = append(e.b, b[:binary.PutUvarint(b[:], v)]...)
+}
 
 func (e *enc) u32(v uint32) *enc {
+	if e.v >= protoV6 {
+		e.uvarint(uint64(v))
+		return e
+	}
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
 	e.b = append(e.b, b[:]...)
@@ -231,6 +427,19 @@ func (e *enc) u32(v uint32) *enc {
 }
 
 func (e *enc) u64(v uint64) *enc {
+	if e.v >= protoV6 {
+		e.uvarint(v)
+		return e
+	}
+	return e.fix64(v)
+}
+
+// fix64 writes a fixed 8-byte little-endian value in every version.
+// Request IDs and page checksums are uniformly random 64-bit values, so
+// a uvarint would *grow* them (9.2 bytes on average); keeping them
+// fixed also lets pre-v6 WAL snapshots and dedup tails decode under
+// either version.
+func (e *enc) fix64(v uint64) *enc {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
 	e.b = append(e.b, b[:]...)
@@ -243,10 +452,7 @@ func (e *enc) u8(v byte) *enc {
 }
 
 func (e *enc) f64(v float64) *enc {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-	e.b = append(e.b, b[:]...)
-	return e
+	return e.fix64(math.Float64bits(v))
 }
 
 func (e *enc) bool(v bool) *enc {
@@ -264,6 +470,23 @@ func (e *enc) str(s string) *enc {
 	return e
 }
 
+// strDelta appends s front-coded against prev: the length of the shared
+// prefix, the suffix length, then the suffix bytes. URL lists travel
+// sorted (per shard, per scan chunk), so consecutive entries share long
+// prefixes and the shared part costs one or two bytes instead of being
+// resent. Legacy encoders fall back to plain str, which keeps the
+// pre-v6 byte streams identical.
+func (e *enc) strDelta(prev, s string) *enc {
+	if e.v < protoV6 {
+		return e.str(s)
+	}
+	shared := commonPrefixLen(prev, s)
+	e.uvarint(uint64(shared))
+	e.uvarint(uint64(len(s) - shared))
+	e.b = append(e.b, s[shared:]...)
+	return e
+}
+
 // bytes appends a length-prefixed byte slice without an intermediate
 // string copy (page bodies ride the hot put/get/scan paths).
 func (e *enc) bytes(b []byte) *enc {
@@ -272,13 +495,27 @@ func (e *enc) bytes(b []byte) *enc {
 	return e
 }
 
+func commonPrefixLen(a, b string) int {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
 // dec is a cursor-based body decoder; the first malformed field poisons
-// it and every later read returns the zero value.
+// it and every later read returns the zero value. Its version must
+// match the enc (i.e. the frame tag) that produced the body.
 type dec struct {
 	b   []byte
 	off int
 	err error
+	v   byte
 }
+
+// newDec returns a decoder for a body from a frame tagged ver.
+func newDec(ver byte, body []byte) *dec { return &dec{b: body, v: ver} }
 
 func (d *dec) take(n int) []byte {
 	if d.err != nil {
@@ -293,7 +530,28 @@ func (d *dec) take(n int) []byte {
 	return v
 }
 
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = errShort
+		return 0
+	}
+	d.off += n
+	return v
+}
+
 func (d *dec) u32() uint32 {
+	if d.v >= protoV6 {
+		v := d.uvarint()
+		if v > math.MaxUint32 {
+			d.err = errBadFrame
+			return 0
+		}
+		return uint32(v)
+	}
 	b := d.take(4)
 	if b == nil {
 		return 0
@@ -302,6 +560,15 @@ func (d *dec) u32() uint32 {
 }
 
 func (d *dec) u64() uint64 {
+	if d.v >= protoV6 {
+		return d.uvarint()
+	}
+	return d.fix64()
+}
+
+// fix64 reads a fixed 8-byte value in every version (enc.fix64's
+// inverse).
+func (d *dec) fix64() uint64 {
 	b := d.take(8)
 	if b == nil {
 		return 0
@@ -318,11 +585,7 @@ func (d *dec) u8() byte {
 }
 
 func (d *dec) f64() float64 {
-	b := d.take(8)
-	if b == nil {
-		return 0
-	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	return math.Float64frombits(d.fix64())
 }
 
 func (d *dec) bool() bool {
@@ -337,6 +600,34 @@ func (d *dec) str() string {
 		return ""
 	}
 	return string(d.take(int(n)))
+}
+
+// strDelta decodes a front-coded string against prev (enc.strDelta's
+// inverse). A prefix length exceeding len(prev) poisons the decoder: it
+// can only come from a corrupt or hostile frame.
+func (d *dec) strDelta(prev string) string {
+	if d.v < protoV6 {
+		return d.str()
+	}
+	shared := d.uvarint()
+	if d.err != nil || shared > uint64(len(prev)) {
+		d.err = errBadFrame
+		return ""
+	}
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.b)-d.off) {
+		d.err = errShort
+		return ""
+	}
+	suffix := d.take(int(n))
+	if shared == 0 {
+		return string(suffix)
+	}
+	var sb strings.Builder
+	sb.Grow(int(shared) + len(suffix))
+	sb.WriteString(prev[:shared])
+	sb.Write(suffix)
+	return sb.String()
 }
 
 // bytes decodes a length-prefixed byte slice with exactly one copy
@@ -358,3 +649,35 @@ func (d *dec) bytes() []byte {
 
 // finish reports a decoding error, if any.
 func (d *dec) finish() error { return d.err }
+
+// encodeStrings appends a counted string list, front-coding each
+// element against its predecessor (v6) or writing plain strings
+// (legacy). prev seeds the first element's front-coding — both sides
+// must agree on it (the empty string, or a resume cursor both already
+// know).
+func encodeStrings(e *enc, prev string, list []string) {
+	e.u32(uint32(len(list)))
+	for _, s := range list {
+		e.strDelta(prev, s)
+		prev = s
+	}
+}
+
+// decodeStrings decodes a counted string list (encodeStrings's
+// inverse). An empty list decodes as nil, so record link lists
+// round-trip to the same value the local stores produce.
+func decodeStrings(d *dec, prev string) []string {
+	n := int(d.u32())
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, min(n, 1<<16))
+	for i := 0; i < n && d.finish() == nil; i++ {
+		s := d.strDelta(prev)
+		if d.finish() == nil {
+			out = append(out, s)
+			prev = s
+		}
+	}
+	return out
+}

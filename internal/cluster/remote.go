@@ -69,6 +69,24 @@ type Options struct {
 	// (100ms); negative polls on every call (tests want deterministic
 	// pickup of registry changes). Ignored without a registry.
 	RebalancePoll time.Duration
+	// MaxProtoVersion caps the wire protocol version this client offers
+	// at hello. 0 means the newest this build speaks (ProtoVersion);
+	// setting it to 5 forces the pre-varint framing, which mixed-version
+	// tests use to stand in for an old client. Values are clamped to
+	// [helloProto, ProtoVersion].
+	MaxProtoVersion int
+}
+
+// maxProto resolves the configured protocol ceiling.
+func (o Options) maxProto() byte {
+	v := o.MaxProtoVersion
+	if v <= 0 || v > ProtoVersion {
+		return ProtoVersion
+	}
+	if v < helloProto {
+		return helloProto
+	}
+	return byte(v)
 }
 
 // dialTimeout resolves the configured timeout against the default.
@@ -218,6 +236,14 @@ type serverConns struct {
 	// (checkStoreHello).
 	storeBoot    uint64
 	storeBootSet bool
+	// maxProto is the highest protocol version this client offers the
+	// server (Options.MaxProtoVersion); proto pins the negotiated
+	// version after the first hello (0 = not yet negotiated, speak
+	// helloProto). A reconnect negotiating a different version means
+	// the server changed builds mid-session — refuse, like a shard
+	// count change.
+	maxProto byte
+	proto    atomic.Uint32
 
 	pool chan *clientConn
 
@@ -235,21 +261,32 @@ type serverConns struct {
 	bytesIn  atomic.Int64
 }
 
+// wireVer returns the protocol version this pool's frames speak: the
+// hello-negotiated version once pinned, else helloProto — safe before
+// (and during) the first handshake, since every server understands it.
+func (sc *serverConns) wireVer() byte {
+	if v := sc.proto.Load(); v != 0 {
+		return byte(v)
+	}
+	return helloProto
+}
+
 // exchange sends one request frame and reads its response, accounting
-// the wire bytes both ways.
-func (sc *serverConns) exchange(cc *clientConn, op byte, body []byte) (byte, []byte, error) {
+// the real wire bytes both ways (post-compression — the unit WireBytes
+// and the bytes-per-page benchmark report). ver must be the version
+// body was encoded under.
+func (sc *serverConns) exchange(cc *clientConn, ver, op byte, body []byte) (byte, []byte, error) {
 	sc.trips.Add(1)
 	m := metricsFor(op)
-	out := frameWireSize(body)
-	sc.bytesOut.Add(out)
-	m.clientReqBytes.Observe(float64(out))
-	if err := writeFrame(cc.conn, op, body); err != nil {
+	out, err := writeFrame(cc.conn, ver, op, body)
+	if err != nil {
 		return 0, nil, err
 	}
-	status, resp, err := readFrame(cc.r)
+	sc.bytesOut.Add(int64(out))
+	m.clientReqBytes.Observe(float64(out))
+	_, status, resp, in, err := readFrame(cc.r)
 	if err == nil {
-		in := frameWireSize(resp)
-		sc.bytesIn.Add(in)
+		sc.bytesIn.Add(int64(in))
 		m.clientRespBytes.Observe(float64(in))
 	}
 	return status, resp, err
@@ -267,7 +304,9 @@ func (sc *serverConns) connect(helloBody []byte) (*clientConn, error) {
 		return nil, err
 	}
 	cc := &clientConn{conn: conn, r: bufio.NewReader(conn)}
-	status, resp, err := sc.exchange(cc, sc.helloOp, helloBody)
+	// Hello frames are always tagged helloProto — both sides must be
+	// able to decode them before any version has been negotiated.
+	status, resp, err := sc.exchange(cc, helloProto, sc.helloOp, helloBody)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -288,10 +327,14 @@ func (sc *serverConns) connect(helloBody []byte) (*clientConn, error) {
 // server restarted with a different layout, which silently reroutes
 // URLs — refuse.
 func (sc *serverConns) checkShardHello(resp []byte) error {
-	d := &dec{b: resp}
+	d := newDec(helloProto, resp)
 	n := int(d.u32())
 	if d.finish() != nil || n < 1 {
 		return errors.New("bad hello response")
+	}
+	neg, err := sc.negotiated(d)
+	if err != nil {
+		return err
 	}
 	sc.pinMu.Lock()
 	defer sc.pinMu.Unlock()
@@ -299,6 +342,39 @@ func (sc *serverConns) checkShardHello(resp []byte) error {
 		sc.wantShards = n
 	} else if n != sc.wantShards {
 		return fmt.Errorf("shard count changed across reconnect: %d, want %d", n, sc.wantShards)
+	}
+	return sc.pinProtoLocked(neg)
+}
+
+// negotiated parses the optional negotiated-version byte a v6-aware
+// server appends to its hello response. A v5 server leaves nothing
+// trailing (neg 0: speak helloProto for the connection's lifetime),
+// as does a client capped at v5 — it never offered, so it must not
+// read a trailing byte that isn't there.
+func (sc *serverConns) negotiated(d *dec) (byte, error) {
+	if sc.maxProto < protoV6 || d.off >= len(d.b) {
+		return 0, nil
+	}
+	v := d.u8()
+	if d.err != nil || v < helloProto || v > sc.maxProto {
+		return 0, fmt.Errorf("bad negotiated protocol version %d", v)
+	}
+	return v, nil
+}
+
+// pinProtoLocked records the hello's negotiated version, refusing a
+// change across reconnect (the server swapped builds mid-session —
+// frames already encoded under the old pin would silently misparse).
+// Caller holds pinMu.
+func (sc *serverConns) pinProtoLocked(neg byte) error {
+	v := uint32(neg)
+	if v == 0 {
+		v = helloProto
+	}
+	if prev := sc.proto.Load(); prev == 0 {
+		sc.proto.Store(v)
+	} else if prev != v {
+		return fmt.Errorf("protocol version changed across reconnect: %d, want %d", v, prev)
 	}
 	return nil
 }
@@ -312,15 +388,22 @@ func (sc *serverConns) checkShardHello(resp []byte) error {
 // against it would corrupt the crawl — refuse and let the error go
 // sticky instead.
 func (sc *serverConns) checkStoreHello(resp []byte) error {
-	d := &dec{b: resp}
+	d := newDec(helloProto, resp)
 	magic := d.u32()
 	durable := d.bool()
 	boot := d.u64()
 	if d.finish() != nil || magic != storeHelloMagic {
 		return errors.New("not a store server (bad hello magic)")
 	}
+	neg, err := sc.negotiated(d)
+	if err != nil {
+		return err
+	}
 	sc.pinMu.Lock()
 	defer sc.pinMu.Unlock()
+	if err := sc.pinProtoLocked(neg); err != nil {
+		return err
+	}
 	if !sc.storeBootSet {
 		sc.storeBoot, sc.storeBootSet = boot, true
 		return nil
@@ -339,7 +422,7 @@ func (sc *serverConns) checkStoreHello(resp []byte) error {
 // slot is always returned — holding the live connection on success,
 // nil after a failure — so concurrent ops never block on a drained
 // pool.
-func (sc *serverConns) roundTrip(op byte, body []byte) ([]byte, error) {
+func (sc *serverConns) roundTrip(ver, op byte, body []byte) ([]byte, error) {
 	m := metricsFor(op)
 	start := time.Now()
 	cc := <-sc.pool
@@ -364,7 +447,7 @@ func (sc *serverConns) roundTrip(op byte, body []byte) ([]byte, error) {
 				continue
 			}
 		}
-		status, resp, err := sc.exchange(cc, op, body)
+		status, resp, err := sc.exchange(cc, ver, op, body)
 		if err != nil {
 			cc.conn.Close()
 			cc = nil
@@ -420,6 +503,7 @@ func newServerConns(name string, dial Dialer, opts Options, closed *atomic.Bool)
 	return &serverConns{
 		name:       name,
 		dial:       dial,
+		maxProto:   opts.maxProto(),
 		pool:       make(chan *clientConn, conns),
 		maxRetries: retries,
 		backoff:    backoff,
@@ -470,17 +554,24 @@ func (sc *serverConns) drainClose() {
 	}
 }
 
-// helloBody encodes the handshake: politeness handover and whether to
+// helloBody encodes the handshake: politeness handover, whether to
 // clear stale shard claims (a fresh client session does; a reconnect
-// must not, its own workers hold claims).
-func helloBody(politenessDays float64, clearClaims bool) []byte {
-	var e enc
+// must not, its own workers hold claims), and — from a v6-capable
+// client — the highest protocol version it wants. Pre-v6 servers
+// tolerate the trailing byte (their hello decode ignores extra body)
+// and answer without a negotiated version, so both sides fall back to
+// helloProto.
+func helloBody(politenessDays float64, clearClaims bool, maxProto byte) []byte {
+	e := newEnc(helloProto)
 	if politenessDays >= 0 {
 		e.bool(true).f64(politenessDays)
 	} else {
 		e.bool(false)
 	}
 	e.bool(clearClaims)
+	if maxProto >= protoV6 {
+		e.u8(maxProto)
+	}
 	return e.b
 }
 
@@ -495,8 +586,8 @@ func Dial(dialers []Dialer, opts Options) (*RemoteShards, error) {
 		return nil, errors.New("cluster: no shard servers")
 	}
 	rs := &RemoteShards{reqBase: randomReqBase(), politeness: opts.PolitenessDays, opts: opts}
-	helloInit := helloBody(opts.PolitenessDays, true)
-	helloRe := helloBody(opts.PolitenessDays, false)
+	helloInit := helloBody(opts.PolitenessDays, true, opts.maxProto())
+	helloRe := helloBody(opts.PolitenessDays, false, opts.maxProto())
 	names := make([]string, len(dialers))
 	servers := make([]*serverConns, len(dialers))
 	for i, dial := range dialers {
@@ -607,6 +698,19 @@ func (rs *RemoteShards) WireBytes() (in, out int64) {
 	return in, out
 }
 
+// WireVersions returns the negotiated protocol version per server of
+// the current topology (0 for a server whose pool has not completed a
+// hello yet). Mixed-version tests use it to assert which encoding a
+// crawl actually ran over.
+func (rs *RemoteShards) WireVersions() []int {
+	t := rs.t()
+	out := make([]int, len(t.servers))
+	for i, sc := range t.servers {
+		out[i] = int(sc.proto.Load())
+	}
+	return out
+}
+
 func (rs *RemoteShards) closeAll() {
 	rs.closed.Store(true)
 	for _, sc := range rs.allServers() {
@@ -656,9 +760,11 @@ func (rs *RemoteShards) Push(url string, due, priority float64) {
 		return
 	}
 	t := rs.t()
-	var e enc
-	e.u64(rs.nextReq()).str(url).f64(due).f64(priority)
-	if _, err := t.servers[t.serverOf(url)].roundTrip(opPush, e.b); err != nil {
+	sc := t.servers[t.serverOf(url)]
+	ver := sc.wireVer()
+	e := newEnc(ver)
+	e.fix64(rs.nextReq()).str(url).f64(due).f64(priority)
+	if _, err := sc.roundTrip(ver, opPush, e.b); err != nil {
 		rs.fail(err)
 	}
 }
@@ -697,12 +803,14 @@ func (rs *RemoteShards) PushBatch(entries []frontier.Entry) {
 		wg.Add(1)
 		go func(si int, group []frontier.Entry) {
 			defer wg.Done()
+			sc := t.servers[si]
 			for off := 0; off < len(group); off += pushBatchChunk {
 				chunk := group[off:min(off+pushBatchChunk, len(group))]
-				var e enc
-				e.u64(rs.nextReq())
+				ver := sc.wireVer()
+				e := newEnc(ver)
+				e.fix64(rs.nextReq())
 				encodeEntries(&e, chunk)
-				if _, err := t.servers[si].roundTrip(opPushBatch, e.b); err != nil {
+				if _, err := sc.roundTrip(ver, opPushBatch, e.b); err != nil {
 					errs[si] = err
 					return
 				}
@@ -781,28 +889,24 @@ func (rs *RemoteShards) ApplyRound(pops, removes []string, pushes []frontier.Ent
 		wg.Add(1)
 		go func(si int, r *svrRound) {
 			defer wg.Done()
-			var e enc
-			e.u64(rs.nextReq())
-			e.u32(uint32(len(r.pops)))
-			for _, u := range r.pops {
-				e.str(u)
-			}
-			e.u32(uint32(len(r.removes)))
-			for _, u := range r.removes {
-				e.str(u)
-			}
+			sc := t.servers[si]
+			ver := sc.wireVer()
+			e := newEnc(ver)
+			e.fix64(rs.nextReq())
+			encodeStrings(&e, "", r.pops)
+			encodeStrings(&e, "", r.removes)
 			encodeEntries(&e, r.pushes)
 			e.u32(uint32(peekMax))
-			resp, err := t.servers[si].roundTrip(opRound, e.b)
+			resp, err := sc.roundTrip(ver, opRound, e.b)
 			if err != nil {
 				resps[si].err = err
 				return
 			}
-			d := &dec{b: resp}
+			d := newDec(ver, resp)
 			list := decodeEntries(d)
 			complete := d.bool()
 			if d.finish() != nil {
-				resps[si].err = fmt.Errorf("cluster: %s: bad round response", t.servers[si].name)
+				resps[si].err = fmt.Errorf("cluster: %s: bad round response", sc.name)
 				return
 			}
 			resps[si].cands, resps[si].complete = list, complete
@@ -837,29 +941,38 @@ func (rs *RemoteShards) ApplyRound(pops, removes []string, pushes []frontier.Ent
 }
 
 // fan sends one request to every server of the topology concurrently
-// and collects the responses indexed by server.
-func fan(servers []*serverConns, op byte, bodies func(i int) []byte) ([][]byte, error) {
+// and collects the responses indexed by server, along with the
+// protocol version each response is encoded under (the server echoes
+// the request frame's version, captured here before the trip — a
+// lazily-dialed pool may negotiate a newer version mid-call, so
+// re-reading wireVer afterwards could misparse the response). Bodies
+// must be version-neutral (f64/bool/fix64/empty encode identically
+// under every protocol version) because each server may have
+// negotiated a different one.
+func fan(servers []*serverConns, op byte, bodies func(i int) []byte) ([][]byte, []byte, error) {
 	results := make([][]byte, len(servers))
+	vers := make([]byte, len(servers))
 	errs := make([]error, len(servers))
 	var wg sync.WaitGroup
 	for i := range servers {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = servers[i].roundTrip(op, bodies(i))
+			vers[i] = servers[i].wireVer()
+			results[i], errs[i] = servers[i].roundTrip(vers[i], op, bodies(i))
 		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return results, nil
+	return results, vers, nil
 }
 
 // fanSame is fan with one shared request body (read-only ops).
-func fanSame(servers []*serverConns, op byte, body []byte) ([][]byte, error) {
+func fanSame(servers []*serverConns, op byte, body []byte) ([][]byte, []byte, error) {
 	return fan(servers, op, func(int) []byte { return body })
 }
 
@@ -879,14 +992,16 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 		if claim {
 			op = opClaimDue
 		}
-		var e enc
-		e.u64(rs.nextReq()).f64(now)
-		resp, err := t.servers[0].roundTrip(op, e.b)
+		sc := t.servers[0]
+		ver := sc.wireVer()
+		e := newEnc(ver)
+		e.fix64(rs.nextReq()).f64(now)
+		resp, err := sc.roundTrip(ver, op, e.b)
 		if err != nil {
 			rs.fail(err)
 			return frontier.Entry{}, -1, false
 		}
-		d := &dec{b: resp}
+		d := newDec(ver, resp)
 		ent, ok := decodeEntry(d)
 		if !ok {
 			return frontier.Entry{}, -1, false
@@ -903,9 +1018,9 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 	}
 
 	var peek enc
-	peek.f64(now).bool(claim)
+	peek.f64(now).bool(claim) // version-neutral body, shared across servers
 	for {
-		heads, err := fanSame(t.servers, opHeadDue, peek.b)
+		heads, vers, err := fanSame(t.servers, opHeadDue, peek.b)
 		if err != nil {
 			rs.fail(err)
 			return frontier.Entry{}, -1, false
@@ -913,7 +1028,7 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 		best := -1
 		var bestE frontier.Entry
 		for i, resp := range heads {
-			d := &dec{b: resp}
+			d := newDec(vers[i], resp)
 			if ent, ok := decodeEntry(d); ok && d.finish() == nil &&
 				(best < 0 || frontier.EntryBefore(ent, bestE)) {
 				best, bestE = i, ent
@@ -922,14 +1037,16 @@ func (rs *RemoteShards) popDue(now float64, claim bool) (frontier.Entry, int, bo
 		if best < 0 {
 			return frontier.Entry{}, -1, false
 		}
-		var commit enc
-		commit.u64(rs.nextReq()).f64(now).str(bestE.URL).bool(claim)
-		resp, err := t.servers[best].roundTrip(opPopDueMatch, commit.b)
+		sc := t.servers[best]
+		ver := sc.wireVer()
+		commit := newEnc(ver)
+		commit.fix64(rs.nextReq()).f64(now).str(bestE.URL).bool(claim)
+		resp, err := sc.roundTrip(ver, opPopDueMatch, commit.b)
 		if err != nil {
 			rs.fail(err)
 			return frontier.Entry{}, -1, false
 		}
-		d := &dec{b: resp}
+		d := newDec(ver, resp)
 		if ent, ok := decodeEntry(d); ok {
 			local := int(d.u32())
 			if d.finish() != nil {
@@ -960,9 +1077,11 @@ func (rs *RemoteShards) Release(shard int, nextReady float64) {
 	}
 	t := rs.t()
 	si, local := t.serverOfShard(shard)
-	var e enc
-	e.u64(rs.nextReq()).u32(uint32(local)).f64(nextReady)
-	if _, err := t.servers[si].roundTrip(opRelease, e.b); err != nil {
+	sc := t.servers[si]
+	ver := sc.wireVer()
+	e := newEnc(ver)
+	e.fix64(rs.nextReq()).u32(uint32(local)).f64(nextReady)
+	if _, err := sc.roundTrip(ver, opRelease, e.b); err != nil {
 		rs.fail(err)
 	}
 }
@@ -973,14 +1092,16 @@ func (rs *RemoteShards) Remove(url string) bool {
 		return false
 	}
 	t := rs.t()
-	var e enc
-	e.u64(rs.nextReq()).str(url)
-	resp, err := t.servers[t.serverOf(url)].roundTrip(opRemove, e.b)
+	sc := t.servers[t.serverOf(url)]
+	ver := sc.wireVer()
+	e := newEnc(ver)
+	e.fix64(rs.nextReq()).str(url)
+	resp, err := sc.roundTrip(ver, opRemove, e.b)
 	if err != nil {
 		rs.fail(err)
 		return false
 	}
-	d := &dec{b: resp}
+	d := newDec(ver, resp)
 	return d.bool() && d.finish() == nil
 }
 
@@ -990,14 +1111,16 @@ func (rs *RemoteShards) Contains(url string) bool {
 		return false
 	}
 	t := rs.t()
-	var e enc
+	sc := t.servers[t.serverOf(url)]
+	ver := sc.wireVer()
+	e := newEnc(ver)
 	e.str(url)
-	resp, err := t.servers[t.serverOf(url)].roundTrip(opContains, e.b)
+	resp, err := sc.roundTrip(ver, opContains, e.b)
 	if err != nil {
 		rs.fail(err)
 		return false
 	}
-	d := &dec{b: resp}
+	d := newDec(ver, resp)
 	return d.bool() && d.finish() == nil
 }
 
@@ -1006,14 +1129,14 @@ func (rs *RemoteShards) Len() int {
 	if rs.broken() {
 		return 0
 	}
-	resps, err := fanSame(rs.t().servers, opLen, nil)
+	resps, vers, err := fanSame(rs.t().servers, opLen, nil)
 	if err != nil {
 		rs.fail(err)
 		return 0
 	}
 	n := 0
-	for _, resp := range resps {
-		d := &dec{b: resp}
+	for i, resp := range resps {
+		d := newDec(vers[i], resp)
 		n += int(d.u32())
 	}
 	return n
@@ -1024,18 +1147,15 @@ func (rs *RemoteShards) URLs() []string {
 	if rs.broken() {
 		return nil
 	}
-	resps, err := fanSame(rs.t().servers, opURLs, nil)
+	resps, vers, err := fanSame(rs.t().servers, opURLs, nil)
 	if err != nil {
 		rs.fail(err)
 		return nil
 	}
 	var out []string
-	for _, resp := range resps {
-		d := &dec{b: resp}
-		n := int(d.u32())
-		for i := 0; i < n && d.finish() == nil; i++ {
-			out = append(out, d.str())
-		}
+	for i, resp := range resps {
+		d := newDec(vers[i], resp)
+		out = append(out, decodeStrings(d, "")...)
 		if d.finish() != nil {
 			rs.fail(fmt.Errorf("cluster: bad URLs response"))
 			return nil
@@ -1050,15 +1170,15 @@ func (rs *RemoteShards) Peek() (frontier.Entry, bool) {
 	if rs.broken() {
 		return frontier.Entry{}, false
 	}
-	resps, err := fanSame(rs.t().servers, opPeek, nil)
+	resps, vers, err := fanSame(rs.t().servers, opPeek, nil)
 	if err != nil {
 		rs.fail(err)
 		return frontier.Entry{}, false
 	}
 	found := false
 	var bestE frontier.Entry
-	for _, resp := range resps {
-		d := &dec{b: resp}
+	for i, resp := range resps {
+		d := newDec(vers[i], resp)
 		if ent, ok := decodeEntry(d); ok && d.finish() == nil &&
 			(!found || frontier.EntryBefore(ent, bestE)) {
 			found, bestE = true, ent
@@ -1072,15 +1192,15 @@ func (rs *RemoteShards) NextEvent() (float64, bool) {
 	if rs.broken() {
 		return 0, false
 	}
-	resps, err := fanSame(rs.t().servers, opNextEvent, nil)
+	resps, vers, err := fanSame(rs.t().servers, opNextEvent, nil)
 	if err != nil {
 		rs.fail(err)
 		return 0, false
 	}
 	found := false
 	var next float64
-	for _, resp := range resps {
-		d := &dec{b: resp}
+	for i, resp := range resps {
+		d := newDec(vers[i], resp)
 		ok, t := d.bool(), d.f64()
 		if d.finish() == nil && ok && (!found || t < next) {
 			found, next = true, t
@@ -1097,9 +1217,9 @@ func (rs *RemoteShards) Reset() error {
 	if err := rs.Err(); err != nil {
 		return err
 	}
-	if _, err := fan(rs.t().servers, opReset, func(int) []byte {
+	if _, _, err := fan(rs.t().servers, opReset, func(int) []byte {
 		var e enc
-		e.u64(rs.nextReq())
+		e.fix64(rs.nextReq())
 		return e.b
 	}); err != nil {
 		rs.fail(err)
@@ -1114,16 +1234,16 @@ func (rs *RemoteShards) ShardLens() []int {
 	if rs.broken() {
 		return nil
 	}
-	resps, err := fanSame(rs.t().servers, opStats, nil)
+	resps, vers, err := fanSame(rs.t().servers, opStats, nil)
 	if err != nil {
 		rs.fail(err)
 		return nil
 	}
 	var out []int
-	for _, resp := range resps {
-		d := &dec{b: resp}
+	for i, resp := range resps {
+		d := newDec(vers[i], resp)
 		n := int(d.u32())
-		for i := 0; i < n && d.finish() == nil; i++ {
+		for j := 0; j < n && d.finish() == nil; j++ {
 			out = append(out, int(d.u32()))
 		}
 	}

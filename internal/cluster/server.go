@@ -17,15 +17,46 @@ var ErrServerClosed = errors.New("cluster: server closed")
 // connCore is the accept/serve machinery shared by ShardServer and
 // StoreServer: a listener, one synchronous request/response loop per
 // accepted connection over the frame protocol, net.Pipe loopback for
-// tests, and graceful close. The embedding server supplies handle.
+// tests, and graceful close. The embedding server supplies handle,
+// which receives each request frame's protocol version alongside the
+// opcode — bodies are decoded per that version, and the response is
+// encoded and tagged to match, so clients negotiated to different
+// versions can share one server.
 type connCore struct {
-	handle func(op byte, body []byte) (status byte, resp []byte)
+	handle func(ver, op byte, body []byte) (status byte, resp []byte)
+
+	// maxProto caps the protocol version this server negotiates and
+	// accepts; 0 means ProtoVersion. See LimitProto.
+	maxProto byte
 
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// maxVer is the highest frame version this server speaks.
+func (s *connCore) maxVer() byte {
+	if s.maxProto != 0 {
+		return s.maxProto
+	}
+	return ProtoVersion
+}
+
+// LimitProto caps the protocol version the server negotiates at hello
+// and accepts on the wire — an operational escape hatch for
+// mixed-version rollouts (and the test seam emulating an old server).
+// Values are clamped to [helloProto, ProtoVersion]. Call before
+// serving.
+func (s *connCore) LimitProto(v int) {
+	if v < helloProto {
+		v = helloProto
+	}
+	if v > ProtoVersion {
+		v = ProtoVersion
+	}
+	s.maxProto = byte(v)
 }
 
 // Listen binds addr without serving; Addr is valid afterwards. It lets
@@ -162,23 +193,28 @@ func (s *connCore) serveConn(conn net.Conn) {
 	defer serverConnsGauge.Add(-1)
 	r := bufio.NewReader(conn)
 	for {
-		op, body, err := readFrame(r)
-		if err != nil {
-			return // EOF, closed conn, or a corrupt stream: drop it
+		ver, op, body, wire, err := readFrame(r)
+		if err != nil || ver > s.maxVer() {
+			return // EOF, closed conn, a corrupt stream, or a version
+			// above this server's cap: drop it
 		}
 		m := metricsFor(op)
-		m.serverReqBytes.Observe(float64(frameWireSize(body)))
+		m.serverReqBytes.Observe(float64(wire))
 		start := time.Now()
-		status, resp := s.handle(op, body)
+		status, resp := s.handle(ver, op, body)
 		m.serverSeconds.Observe(time.Since(start).Seconds())
 		m.serverOps.Inc()
 		if status != statusOK {
 			m.serverErrors.Inc()
 		}
-		m.serverRespBytes.Observe(float64(frameWireSize(resp)))
-		if err := writeFrame(conn, status, resp); err != nil {
+		// Responses ride the request frame's version: the client decodes
+		// with the version it encoded with, and the server stays
+		// stateless per connection.
+		n, err := writeFrame(conn, ver, status, resp)
+		if err != nil {
 			return
 		}
+		m.serverRespBytes.Observe(float64(n))
 	}
 }
 
@@ -219,13 +255,15 @@ func NewShardServer(shards *frontier.Sharded) *ShardServer {
 // caveat about concurrent local use).
 func (s *ShardServer) Shards() *frontier.Sharded { return s.shards }
 
-// handle executes one request against the shards.
-func (s *ShardServer) handle(op byte, body []byte) (status byte, resp []byte) {
+// handle executes one request against the shards. ver is the request
+// frame's protocol version; the body is decoded and the response
+// encoded per it.
+func (s *ShardServer) handle(ver, op byte, body []byte) (status byte, resp []byte) {
 	if mutatingOp(op) {
-		return s.handleMutating(op, body)
+		return s.handleMutating(ver, op, body)
 	}
-	d := &dec{b: body}
-	var e enc
+	d := newDec(ver, body)
+	e := newEnc(ver)
 	switch op {
 	case opHello:
 		apply := d.bool()
@@ -237,6 +275,13 @@ func (s *ShardServer) handle(op byte, body []byte) (status byte, resp []byte) {
 		if err := d.finish(); err != nil {
 			return statusError, []byte(err.Error())
 		}
+		// A v6-capable client appends its wanted version; a pre-v6
+		// client's hello simply ends here (trailing bytes were always
+		// tolerated, which is what makes the negotiation downgrade-safe).
+		want := byte(0)
+		if d.off < len(d.b) {
+			want = d.u8()
+		}
 		if apply || clearClaims {
 			// Hello mutates frontier state, so its effects must be
 			// logged too: replayed pops recompute politeness deadlines
@@ -245,15 +290,15 @@ func (s *ShardServer) handle(op byte, body []byte) (status byte, resp []byte) {
 			s.walMu.Lock()
 			if s.wal != nil {
 				if apply {
-					var we enc
+					we := newEnc(ver)
 					we.f64(gap)
-					if err := s.wal.append(walSetPoliteness, we.b); err != nil {
+					if err := s.wal.append(ver, walSetPoliteness, we.b); err != nil {
 						s.walMu.Unlock()
 						return statusError, []byte(fmt.Sprintf("wal append: %v", err))
 					}
 				}
 				if clearClaims {
-					if err := s.wal.append(walClearClaims, nil); err != nil {
+					if err := s.wal.append(ver, walClearClaims, nil); err != nil {
 						s.walMu.Unlock()
 						return statusError, []byte(fmt.Sprintf("wal append: %v", err))
 					}
@@ -271,6 +316,12 @@ func (s *ShardServer) handle(op byte, body []byte) (status byte, resp []byte) {
 			s.walMu.Unlock()
 		}
 		e.u32(uint32(s.shards.NumShards()))
+		if neg := negotiateVer(want, s.maxVer()); neg != 0 {
+			// Appended only when both sides speak v6+: a pre-v6 client
+			// never sent a want byte and reads a response of the old
+			// shape.
+			e.u8(neg)
+		}
 	case opHeadDue:
 		now, skipClaimed := d.f64(), d.bool()
 		if d.finish() == nil {
@@ -285,11 +336,7 @@ func (s *ShardServer) handle(op byte, body []byte) (status byte, resp []byte) {
 	case opLen:
 		e.u32(uint32(s.shards.Len()))
 	case opURLs:
-		urls := s.shards.URLs()
-		e.u32(uint32(len(urls)))
-		for _, u := range urls {
-			e.str(u)
-		}
+		encodeStrings(&e, "", s.shards.URLs())
 	case opPeek:
 		ent, ok := s.shards.Peek()
 		encodeEntry(&e, ent, ok)
@@ -326,9 +373,9 @@ func (s *ShardServer) handle(op byte, body []byte) (status byte, resp []byte) {
 // between apply and append loses only an op that was never
 // acknowledged, which the client retries against the recovered state
 // (where it re-executes deterministically).
-func (s *ShardServer) handleMutating(op byte, body []byte) (status byte, resp []byte) {
-	d := &dec{b: body}
-	reqID := d.u64()
+func (s *ShardServer) handleMutating(ver, op byte, body []byte) (status byte, resp []byte) {
+	d := newDec(ver, body)
+	reqID := d.fix64()
 	if d.finish() != nil {
 		return statusError, []byte("missing request id")
 	}
@@ -345,7 +392,10 @@ func (s *ShardServer) handleMutating(op byte, body []byte) (status byte, resp []
 	}
 	status, resp, mutated := s.applyMutating(op, d)
 	if mutated && s.wal != nil {
-		if err := s.wal.append(op, body); err != nil {
+		// The log record keeps the request's frame version, so replay
+		// decodes each frame by its own tag — v5 and v6 records can
+		// interleave in one log across an upgrade.
+		if err := s.wal.append(ver, op, body); err != nil {
 			// Applied but not durable: refuse the ack rather than let
 			// the client trust a write a replay would lose.
 			return statusError, []byte(fmt.Sprintf("wal append: %v", err))
@@ -361,7 +411,7 @@ func (s *ShardServer) handleMutating(op byte, body []byte) (status byte, resp []
 // which is what makes replay reconstruct the exact served state and
 // responses.
 func (s *ShardServer) applyMutating(op byte, d *dec) (status byte, resp []byte, mutated bool) {
-	var e enc
+	e := newEnc(d.v) // respond in the request frame's encoding
 	switch op {
 	case opPush:
 		url, due, prio := d.str(), d.f64(), d.f64()
@@ -429,8 +479,8 @@ func (s *ShardServer) applyMutating(op byte, d *dec) (status byte, resp []byte, 
 		// client's engine already consumed), drops, reschedules, and
 		// the next candidate peek — decoded fully before applying so a
 		// malformed frame cannot half-apply.
-		pops := decodeStrings(d)
-		removes := decodeStrings(d)
+		pops := decodeStrings(d, "")
+		removes := decodeStrings(d, "")
 		pushes := decodeEntries(d)
 		peekMax := int(d.u32())
 		if d.finish() == nil {
@@ -465,7 +515,7 @@ func (s *ShardServer) applyMutating(op byte, d *dec) (status byte, resp []byte, 
 			tail := s.dedup.tail(exportDedupEntries, exportDedupBytes)
 			e.u32(uint32(len(tail)))
 			for _, de := range tail {
-				e.u64(de.id).u8(de.status).bytes(de.resp)
+				e.fix64(de.id).u8(de.status).bytes(de.resp)
 			}
 			migrationExportEntries.Add(int64(len(entries)))
 			migrationHandoffBytes.With("export").Observe(float64(len(e.b)))
@@ -479,7 +529,7 @@ func (s *ShardServer) applyMutating(op byte, d *dec) (status byte, resp []byte, 
 		dn := int(d.u32())
 		pairs := make([]dedupEntry, 0, min(dn, 1<<16))
 		for i := 0; i < dn && d.finish() == nil; i++ {
-			id, st, resp := d.u64(), d.u8(), d.bytes()
+			id, st, resp := d.fix64(), d.u8(), d.bytes()
 			if d.finish() == nil {
 				pairs = append(pairs, dedupEntry{id: id, status: st, resp: append([]byte(nil), resp...)})
 			}
@@ -503,27 +553,17 @@ func (s *ShardServer) applyMutating(op byte, d *dec) (status byte, resp []byte, 
 	return statusOK, e.b, mutated
 }
 
-// decodeEntries decodes a u32-counted frontier.Entry list.
+// decodeEntries decodes a counted frontier.Entry list, front-coded
+// URLs included (encodeEntries's inverse).
 func decodeEntries(d *dec) []frontier.Entry {
 	n := int(d.u32())
 	out := make([]frontier.Entry, 0, min(n, 1<<16))
+	prev := ""
 	for i := 0; i < n && d.finish() == nil; i++ {
-		ent := frontier.Entry{URL: d.str(), Due: d.f64(), Priority: d.f64()}
+		ent := frontier.Entry{URL: d.strDelta(prev), Due: d.f64(), Priority: d.f64()}
 		if d.finish() == nil {
 			out = append(out, ent)
-		}
-	}
-	return out
-}
-
-// decodeStrings decodes a u32-counted string list.
-func decodeStrings(d *dec) []string {
-	n := int(d.u32())
-	out := make([]string, 0, min(n, 1<<16))
-	for i := 0; i < n && d.finish() == nil; i++ {
-		s := d.str()
-		if d.finish() == nil {
-			out = append(out, s)
+			prev = ent.URL
 		}
 	}
 	return out
@@ -628,12 +668,16 @@ type dedupEntry struct {
 	resp   []byte
 }
 
-// encodeEntries appends a u32-counted frontier.Entry list
-// (decodeEntries's inverse).
+// encodeEntries appends a counted frontier.Entry list. Entry lists
+// travel sorted (per shard, per batch group), so v6 front-codes each
+// URL against the previous entry's; Due/Priority stay fixed f64s.
 func encodeEntries(e *enc, list []frontier.Entry) {
 	e.u32(uint32(len(list)))
+	prev := ""
 	for _, ent := range list {
-		e.str(ent.URL).f64(ent.Due).f64(ent.Priority)
+		e.strDelta(prev, ent.URL)
+		e.f64(ent.Due).f64(ent.Priority)
+		prev = ent.URL
 	}
 }
 

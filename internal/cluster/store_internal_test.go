@@ -34,7 +34,7 @@ func TestStoreURLsChunking(t *testing.T) {
 		}
 		var e enc
 		e.str("c").str(after).u32(5)
-		status, resp := srv.handle(opStoreURLs, e.b)
+		status, resp := srv.handle(helloProto, opStoreURLs, e.b)
 		if status != statusOK {
 			t.Fatalf("chunk after %q: %s", after, resp)
 		}

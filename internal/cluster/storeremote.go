@@ -61,7 +61,12 @@ func DialStores(names []string, dialFor func(name string) Dialer, opts Options) 
 	rs := &RemoteStore{reqBase: randomReqBase(), ring: NewRing(names, 0)}
 	for _, name := range rs.ring.Members() {
 		sc := newServerConns(name, dialFor(name), opts, &rs.closed)
+		// The store hello body is empty pre-v6; a v6-capable client's
+		// offer is the single trailing byte (pre-v6 servers ignore it).
 		sc.hello = nil
+		if mp := opts.maxProto(); mp >= protoV6 {
+			sc.hello = []byte{mp}
+		}
 		sc.helloOp = opStoreHello
 		sc.checkHello = sc.checkStoreHello
 		if err := sc.dialEager(sc.hello, name+" (%v)"); err != nil {
@@ -179,14 +184,14 @@ func (rs *RemoteStore) ListCollections() ([]string, error) {
 	seen := map[string]bool{}
 	var out []string
 	for _, sc := range rs.members {
-		resp, err := sc.roundTrip(opStoreList, nil)
+		ver := sc.wireVer()
+		resp, err := sc.roundTrip(ver, opStoreList, nil)
 		if err != nil {
 			return nil, rs.fail(err)
 		}
-		d := &dec{b: resp}
-		n := int(d.u32())
-		for i := 0; i < n && d.finish() == nil; i++ {
-			if name := d.str(); !seen[name] {
+		d := newDec(ver, resp)
+		for _, name := range decodeStrings(d, "") {
+			if !seen[name] {
 				seen[name] = true
 				out = append(out, name)
 			}
@@ -206,9 +211,10 @@ func (rs *RemoteStore) ListCollections() ([]string, error) {
 // longer pins it to.
 func (rs *RemoteStore) DropCollection(name string) error {
 	for _, sc := range rs.members {
-		var e enc
-		e.u64(rs.nextReq()).str(name)
-		if _, err := sc.roundTrip(opStoreDrop, e.b); err != nil {
+		ver := sc.wireVer()
+		e := newEnc(ver)
+		e.fix64(rs.nextReq()).str(name)
+		if _, err := sc.roundTrip(ver, opStoreDrop, e.b); err != nil {
 			return rs.fail(err)
 		}
 	}
@@ -220,13 +226,24 @@ func (rs *RemoteStore) DropCollection(name string) error {
 // called on a store being used incrementally (it deletes the data).
 func (rs *RemoteStore) Reset() error {
 	for _, sc := range rs.members {
-		var e enc
-		e.u64(rs.nextReq())
-		if _, err := sc.roundTrip(opStoreReset, e.b); err != nil {
+		ver := sc.wireVer()
+		e := newEnc(ver)
+		e.fix64(rs.nextReq())
+		if _, err := sc.roundTrip(ver, opStoreReset, e.b); err != nil {
 			return rs.fail(err)
 		}
 	}
 	return nil
+}
+
+// WireVersions returns the negotiated protocol version per member (0
+// for a member whose pool has not completed a hello yet).
+func (rs *RemoteStore) WireVersions() []int {
+	out := make([]int, len(rs.members))
+	for i, sc := range rs.members {
+		out[i] = int(sc.proto.Load())
+	}
+	return out
 }
 
 // Collection returns the named collection, created empty on first use
@@ -288,14 +305,17 @@ func (c *remoteColl) PutBatch(recs []store.PageRecord) error {
 		}
 		chunk := recs[off:end]
 		off = end
-		var e enc
-		e.u64(c.rs.nextReq())
+		ver := c.sc.wireVer()
+		e := newEnc(ver)
+		e.fix64(c.rs.nextReq())
 		e.str(c.name)
 		e.u32(uint32(len(chunk)))
+		prev := ""
 		for _, rec := range chunk {
-			encodeRecord(&e, rec)
+			encodeRecord(&e, prev, rec)
+			prev = rec.URL
 		}
-		if _, err := c.sc.roundTrip(opStorePutBatch, e.b); err != nil {
+		if _, err := c.sc.roundTrip(ver, opStorePutBatch, e.b); err != nil {
 			return c.rs.fail(err)
 		}
 	}
@@ -304,17 +324,18 @@ func (c *remoteColl) PutBatch(recs []store.PageRecord) error {
 
 // Get implements store.Collection.
 func (c *remoteColl) Get(url string) (store.PageRecord, bool, error) {
-	var e enc
+	ver := c.sc.wireVer()
+	e := newEnc(ver)
 	e.str(c.name).str(url)
-	resp, err := c.sc.roundTrip(opStoreGet, e.b)
+	resp, err := c.sc.roundTrip(ver, opStoreGet, e.b)
 	if err != nil {
 		return store.PageRecord{}, false, c.rs.fail(err)
 	}
-	d := &dec{b: resp}
+	d := newDec(ver, resp)
 	if !d.bool() {
 		return store.PageRecord{}, false, d.finish()
 	}
-	rec := decodeRecord(d)
+	rec := decodeRecord(d, "")
 	if err := d.finish(); err != nil {
 		return store.PageRecord{}, false, c.rs.fail(fmt.Errorf("cluster: bad get response: %w", err))
 	}
@@ -323,9 +344,10 @@ func (c *remoteColl) Get(url string) (store.PageRecord, bool, error) {
 
 // Delete implements store.Collection.
 func (c *remoteColl) Delete(url string) error {
-	var e enc
-	e.u64(c.rs.nextReq()).str(c.name).str(url)
-	if _, err := c.sc.roundTrip(opStoreDelete, e.b); err != nil {
+	ver := c.sc.wireVer()
+	e := newEnc(ver)
+	e.fix64(c.rs.nextReq()).str(c.name).str(url)
+	if _, err := c.sc.roundTrip(ver, opStoreDelete, e.b); err != nil {
 		return c.rs.fail(err)
 	}
 	return nil
@@ -334,14 +356,15 @@ func (c *remoteColl) Delete(url string) error {
 // Len implements store.Collection; transport failures are recorded in
 // Err and read as empty.
 func (c *remoteColl) Len() int {
-	var e enc
+	ver := c.sc.wireVer()
+	e := newEnc(ver)
 	e.str(c.name)
-	resp, err := c.sc.roundTrip(opStoreLen, e.b)
+	resp, err := c.sc.roundTrip(ver, opStoreLen, e.b)
 	if err != nil {
 		c.rs.fail(err)
 		return 0
 	}
-	d := &dec{b: resp}
+	d := newDec(ver, resp)
 	return int(d.u32())
 }
 
@@ -352,24 +375,23 @@ func (c *remoteColl) URLs() []string {
 	var out []string
 	after := ""
 	for {
-		var e enc
+		ver := c.sc.wireVer()
+		e := newEnc(ver)
 		e.str(c.name).str(after).u32(storeURLsChunk)
-		resp, err := c.sc.roundTrip(opStoreURLs, e.b)
+		resp, err := c.sc.roundTrip(ver, opStoreURLs, e.b)
 		if err != nil {
 			c.rs.fail(err)
 			return nil
 		}
-		d := &dec{b: resp}
-		n := int(d.u32())
-		for i := 0; i < n && d.finish() == nil; i++ {
-			out = append(out, d.str())
-		}
+		d := newDec(ver, resp)
+		chunk := decodeStrings(d, after)
 		done := d.bool()
 		if d.finish() != nil {
 			c.rs.fail(errors.New("cluster: bad URLs response"))
 			return nil
 		}
-		if done || n == 0 {
+		out = append(out, chunk...)
+		if done || len(chunk) == 0 {
 			return out
 		}
 		after = out[len(out)-1]
@@ -390,16 +412,17 @@ func (c *remoteColl) Scan(fn func(store.PageRecord) bool) error {
 // simply seeds the first chunk's cursor.
 func (c *remoteColl) ScanFrom(after string, fn func(store.PageRecord) bool) error {
 	for {
-		var e enc
+		ver := c.sc.wireVer()
+		e := newEnc(ver)
 		e.str(c.name).str(after).u32(storeScanChunk)
-		resp, err := c.sc.roundTrip(opStoreScan, e.b)
+		resp, err := c.sc.roundTrip(ver, opStoreScan, e.b)
 		if err != nil {
 			return c.rs.fail(err)
 		}
-		d := &dec{b: resp}
+		d := newDec(ver, resp)
 		n := int(d.u32())
 		for i := 0; i < n; i++ {
-			rec := decodeRecord(d)
+			rec := decodeRecord(d, after)
 			if err := d.finish(); err != nil {
 				return c.rs.fail(fmt.Errorf("cluster: bad scan response: %w", err))
 			}
@@ -425,9 +448,10 @@ func (c *remoteColl) Close() error {
 	if !c.dropOnClose {
 		return nil
 	}
-	var e enc
-	e.u64(c.rs.nextReq()).str(c.name)
-	if _, err := c.sc.roundTrip(opStoreDrop, e.b); err != nil {
+	ver := c.sc.wireVer()
+	e := newEnc(ver)
+	e.fix64(c.rs.nextReq()).str(c.name)
+	if _, err := c.sc.roundTrip(ver, opStoreDrop, e.b); err != nil {
 		return c.rs.fail(err)
 	}
 	return nil

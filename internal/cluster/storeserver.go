@@ -253,16 +253,29 @@ func approxRecordSize(r store.PageRecord) int {
 	return n
 }
 
-// handle executes one request against the hosted collections.
-func (s *StoreServer) handle(op byte, body []byte) (status byte, resp []byte) {
+// handle executes one request against the hosted collections. ver is
+// the request frame's protocol version; the response body is encoded
+// under the same version (the client decodes with the version it
+// sent).
+func (s *StoreServer) handle(ver, op byte, body []byte) (status byte, resp []byte) {
 	if storeMutatingOp(op) {
-		return s.handleMutating(op, body)
+		return s.handleMutating(ver, op, body)
 	}
-	d := &dec{b: body}
-	var e enc
+	d := newDec(ver, body)
+	e := newEnc(ver)
 	switch op {
 	case opStoreHello:
+		// A v6-capable client appends the highest version it wants; the
+		// hello body is otherwise empty, so any trailing byte is the
+		// offer (a pre-v6 client sends none and gets no answer).
+		want := byte(0)
+		if d.off < len(d.b) {
+			want = d.u8()
+		}
 		e.u32(storeHelloMagic).bool(s.durable).u64(s.boot)
+		if neg := negotiateVer(want, s.maxVer()); neg != 0 {
+			e.u8(neg)
+		}
 	case opStoreList:
 		if err := d.finish(); err != nil {
 			return statusError, []byte(err.Error())
@@ -271,10 +284,7 @@ func (s *StoreServer) handle(op byte, body []byte) (status byte, resp []byte) {
 		if err != nil {
 			return statusError, []byte(err.Error())
 		}
-		e.u32(uint32(len(names)))
-		for _, n := range names {
-			e.str(n)
-		}
+		encodeStrings(&e, "", names)
 	case opStoreGet:
 		name, url := d.str(), d.str()
 		if err := d.finish(); err != nil {
@@ -290,7 +300,7 @@ func (s *StoreServer) handle(op byte, body []byte) (status byte, resp []byte) {
 		}
 		e.bool(ok)
 		if ok {
-			encodeRecord(&e, rec)
+			encodeRecord(&e, "", rec)
 		}
 	case opStoreLen:
 		name := d.str()
@@ -351,10 +361,9 @@ func (s *StoreServer) handle(op byte, body []byte) (status byte, resp []byte) {
 				}
 			}
 		}
-		e.u32(uint32(len(chunk)))
-		for _, u := range chunk {
-			e.str(u)
-		}
+		// Front-code against the resume cursor: both sides know `after`,
+		// and the chunk's sorted URLs usually share its site prefix.
+		encodeStrings(&e, after, chunk)
 		e.bool(done)
 	case opStoreScan:
 		// One chunk of the sorted scan, resuming strictly after `after`
@@ -392,8 +401,10 @@ func (s *StoreServer) handle(op byte, body []byte) (status byte, resp []byte) {
 			return statusError, []byte(err.Error())
 		}
 		e.u32(uint32(len(recs)))
+		prev := after
 		for _, r := range recs {
-			encodeRecord(&e, r)
+			encodeRecord(&e, prev, r)
+			prev = r.URL
 		}
 		e.bool(done)
 	default:
@@ -405,9 +416,9 @@ func (s *StoreServer) handle(op byte, body []byte) (status byte, resp []byte) {
 // handleMutating runs one state-mutating store request under reqMu with
 // request-ID dedup, mirroring the frontier server's exactly-once retry
 // contract.
-func (s *StoreServer) handleMutating(op byte, body []byte) (status byte, resp []byte) {
-	d := &dec{b: body}
-	reqID := d.u64()
+func (s *StoreServer) handleMutating(ver, op byte, body []byte) (status byte, resp []byte) {
+	d := newDec(ver, body)
+	reqID := d.fix64()
 	if d.finish() != nil {
 		return statusError, []byte("missing request id")
 	}
@@ -424,7 +435,7 @@ func (s *StoreServer) handleMutating(op byte, body []byte) (status byte, resp []
 // applyMutating applies one mutating store op whose request ID has
 // already been consumed from d.
 func (s *StoreServer) applyMutating(op byte, d *dec) (status byte, resp []byte) {
-	var e enc
+	e := newEnc(d.v)
 	switch op {
 	case opStorePutBatch:
 		name := d.str()
@@ -529,35 +540,31 @@ func (s *StoreServer) reset() error {
 	return err
 }
 
-// encodeRecord appends one store.PageRecord to the body.
-func encodeRecord(e *enc, r store.PageRecord) {
-	e.str(r.URL)
-	e.u64(r.Checksum)
+// encodeRecord appends one store.PageRecord to the body. prev is the
+// previous record's URL in the frame (the resume cursor for the first
+// record of a chunk; "" when the record stands alone) — under v6 the
+// URL is front-coded against it, and the links against the record's
+// own URL, which same-site links usually extend. The checksum is a
+// uniform 64-bit hash, so it stays fixed-width.
+func encodeRecord(e *enc, prev string, r store.PageRecord) {
+	e.strDelta(prev, r.URL)
+	e.fix64(r.Checksum)
 	e.f64(r.FetchedAt)
 	e.u64(uint64(int64(r.Version)))
-	e.u32(uint32(len(r.Links)))
-	for _, l := range r.Links {
-		e.str(l)
-	}
+	encodeStrings(e, r.URL, r.Links)
 	e.bytes(r.Content)
 	e.f64(r.Importance)
 }
 
 // decodeRecord is encodeRecord's inverse.
-func decodeRecord(d *dec) store.PageRecord {
+func decodeRecord(d *dec, prev string) store.PageRecord {
 	r := store.PageRecord{
-		URL:       d.str(),
-		Checksum:  d.u64(),
+		URL:       d.strDelta(prev),
+		Checksum:  d.fix64(),
 		FetchedAt: d.f64(),
 		Version:   int(int64(d.u64())),
 	}
-	n := int(d.u32())
-	if n > 0 && d.finish() == nil {
-		r.Links = make([]string, 0, min(n, 1<<16))
-		for i := 0; i < n && d.finish() == nil; i++ {
-			r.Links = append(r.Links, d.str())
-		}
-	}
+	r.Links = decodeStrings(d, r.URL)
 	// Empty decodes as nil, so a record round-trips to the same JSON
 	// the local disk store would have framed.
 	r.Content = d.bytes()
@@ -565,14 +572,17 @@ func decodeRecord(d *dec) store.PageRecord {
 	return r
 }
 
-// decodeRecords decodes a u32-counted record list.
+// decodeRecords decodes a u32-counted record list, front-coded from an
+// empty previous URL.
 func decodeRecords(d *dec) []store.PageRecord {
 	n := int(d.u32())
 	out := make([]store.PageRecord, 0, min(n, 1<<16))
+	prev := ""
 	for i := 0; i < n && d.finish() == nil; i++ {
-		r := decodeRecord(d)
+		r := decodeRecord(d, prev)
 		if d.finish() == nil {
 			out = append(out, r)
+			prev = r.URL
 		}
 	}
 	return out

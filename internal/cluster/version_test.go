@@ -1,0 +1,127 @@
+package cluster_test
+
+import (
+	"strings"
+	"testing"
+
+	"webevolve/internal/cluster"
+	"webevolve/internal/core"
+	"webevolve/internal/frontier"
+)
+
+// TestMixedVersionInterop pins the rolling-upgrade contract: a v6
+// client against a v5-capped server, and a v5-capped client against a
+// v6 server, must both negotiate down at hello and produce a crawl
+// bit-identical to in-process shards — the wire encoding is allowed to
+// change the bytes, never the results.
+func TestMixedVersionInterop(t *testing.T) {
+	run := func(fr frontier.ShardSet) (core.Metrics, []string) {
+		w, f := testWeb(t, 27)
+		cfg := baseConfig(w)
+		cfg.Workers = 4
+		cfg.Frontier = fr
+		c, err := core.New(cfg, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunUntil(12); err != nil {
+			t.Fatal(err)
+		}
+		return c.Metrics(), c.Collection().URLs()
+	}
+	refM, refU := run(nil)
+
+	for _, tc := range []struct {
+		name      string
+		capServer bool // old server: refuses v6 frames, ignores the want byte
+		capClient bool // old client: never offers v6 at hello
+		wantVer   int
+	}{
+		{"v6 client, v6 server", false, false, cluster.ProtoVersion},
+		{"v6 client, v5 server", true, false, 5},
+		{"v5 client, v6 server", false, true, 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			servers := make([]*cluster.ShardServer, 2)
+			for i := range servers {
+				servers[i] = cluster.NewShardServer(frontier.NewSharded(8))
+				if tc.capServer {
+					servers[i].LimitProto(5)
+				}
+			}
+			opts := cluster.Options{PolitenessDays: 0}
+			if tc.capClient {
+				opts.MaxProtoVersion = 5
+			}
+			rs, err := cluster.Loopback(servers, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				rs.Close()
+				for _, s := range servers {
+					s.Close()
+				}
+			}()
+
+			gotM, gotU := run(rs)
+			if err := rs.Err(); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range rs.WireVersions() {
+				if v != tc.wantVer {
+					t.Errorf("server %d negotiated v%d, want v%d", i, v, tc.wantVer)
+				}
+			}
+			if gotM != refM {
+				t.Fatalf("metrics diverge from local crawl:\nmixed: %+v\nlocal: %+v", gotM, refM)
+			}
+			if len(gotU) != len(refU) {
+				t.Fatalf("collections diverge: %d vs %d URLs", len(gotU), len(refU))
+			}
+			for i := range gotU {
+				if gotU[i] != refU[i] {
+					t.Fatalf("collection diverges at %d: %s vs %s", i, gotU[i], refU[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMixedVersionStickyError: downgrading the wire version must not
+// cost error attribution — a sticky error against a v5-capped server
+// still names the address and the op.
+func TestMixedVersionStickyError(t *testing.T) {
+	srv := cluster.NewShardServer(frontier.NewSharded(4))
+	srv.LimitProto(5)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve() //nolint:errcheck — exits with ErrServerClosed on Close
+	addr := srv.Addr().String()
+	rs, err := cluster.DialTCP([]string{addr}, cluster.Options{MaxRetries: -1})
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rs.Push("https://a.com/x", 0, 1)
+	if vs := rs.WireVersions(); len(vs) != 1 || vs[0] != 5 {
+		t.Fatalf("WireVersions = %v, want [5] against a capped server", vs)
+	}
+
+	srv.Close()
+	rs.Push("https://a.com/y", 0, 1)
+
+	serr := rs.Err()
+	if serr == nil {
+		t.Fatal("no sticky error after ops against a dead server")
+	}
+	msg := serr.Error()
+	if !strings.Contains(msg, addr) {
+		t.Errorf("sticky error %q does not name the server address %s", msg, addr)
+	}
+	if !strings.Contains(msg, "push") {
+		t.Errorf("sticky error %q does not name the failed op", msg)
+	}
+}

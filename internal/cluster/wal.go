@@ -93,20 +93,23 @@ func walFileSeqs(dir string) ([]uint64, error) {
 	return seqs, nil
 }
 
-// append logs one mutating op. Caller holds walMu. The frame is
-// written with a single write call before the client's acknowledgement
-// is sent (the hello records before, the request path just after, the
-// apply), so an acknowledged op is always replayable.
-func (w *wal) append(op byte, body []byte) error {
+// append logs one mutating op, framed with the version the client's
+// request carried so replay decodes it identically. Caller holds
+// walMu. The frame is written with a single write call before the
+// client's acknowledgement is sent (the hello records before, the
+// request path just after, the apply), so an acknowledged op is always
+// replayable.
+func (w *wal) append(ver, op byte, body []byte) error {
 	if w.broken != nil {
 		return fmt.Errorf("wal poisoned by earlier failure: %w", w.broken)
 	}
-	if err := writeFrame(w.f, op, body); err != nil {
+	n, err := writeFrame(w.f, ver, op, body)
+	if err != nil {
 		w.broken = err
 		return err
 	}
 	walAppends.Inc()
-	walAppendBytes.Add(frameWireSize(body))
+	walAppendBytes.Add(int64(n))
 	return nil
 }
 
@@ -175,7 +178,7 @@ func (s *ShardServer) replayWALFileLocked(path string) error {
 	r := bufio.NewReader(f)
 	var good int64
 	for {
-		op, body, err := readFrame(r)
+		ver, op, body, wire, err := readFrame(r)
 		if err == io.EOF {
 			return nil
 		}
@@ -188,7 +191,7 @@ func (s *ShardServer) replayWALFileLocked(path string) error {
 		}
 		switch {
 		case op == walSetPoliteness:
-			d := &dec{b: body}
+			d := newDec(ver, body)
 			gap := d.f64()
 			if d.finish() == nil {
 				s.shards.SetPoliteness(gap)
@@ -196,8 +199,8 @@ func (s *ShardServer) replayWALFileLocked(path string) error {
 		case op == walClearClaims:
 			s.shards.ClearClaims()
 		case mutatingOp(op):
-			d := &dec{b: body}
-			reqID := d.u64()
+			d := newDec(ver, body)
+			reqID := d.fix64()
 			if d.finish() == nil {
 				if _, _, ok := s.dedup.get(reqID); !ok {
 					status, resp, _ := s.applyMutating(op, d)
@@ -206,7 +209,7 @@ func (s *ShardServer) replayWALFileLocked(path string) error {
 			}
 		}
 		walReplayedFrames.Inc()
-		good += 8 + 2 + int64(len(body))
+		good += int64(wire)
 	}
 }
 
@@ -230,14 +233,14 @@ func (s *ShardServer) loadSnapshotLocked(path string) (uint64, error) {
 		return 0, fmt.Errorf("cluster: wal: corrupt snapshot %s", path)
 	}
 	r := bufio.NewReader(f)
-	kind, body, err := readFrame(r)
+	ver, kind, body, _, err := readFrame(r)
 	if err != nil {
 		return corrupt(err)
 	}
 	if kind != walSnapHeader {
 		return 0, fmt.Errorf("cluster: wal: %s is not a snapshot (kind %d)", path, kind)
 	}
-	d := &dec{b: body}
+	d := newDec(ver, body)
 	seq := d.u64()
 	st := frontier.State{Politeness: d.f64()}
 	nshards := int(d.u32())
@@ -253,11 +256,11 @@ func (s *ShardServer) loadSnapshotLocked(path string) (uint64, error) {
 	var dedups []dedupEntry
 	done := false
 	for !done {
-		kind, body, err := readFrame(r)
+		ver, kind, body, _, err := readFrame(r)
 		if err != nil {
 			return corrupt(err)
 		}
-		d := &dec{b: body}
+		d := newDec(ver, body)
 		switch kind {
 		case walSnapEntries:
 			st.Entries = append(st.Entries, decodeEntries(d)...)
@@ -267,7 +270,7 @@ func (s *ShardServer) loadSnapshotLocked(path string) (uint64, error) {
 				return corrupt(nil)
 			}
 			for i := 0; i < n && d.finish() == nil; i++ {
-				dedups = append(dedups, dedupEntry{id: d.u64(), status: d.u8(), resp: []byte(d.str())})
+				dedups = append(dedups, dedupEntry{id: d.fix64(), status: d.u8(), resp: []byte(d.str())})
 			}
 		case walSnapEnd:
 			done = true
@@ -305,37 +308,37 @@ func (s *ShardServer) writeSnapshotLocked(seq uint64) error {
 	}
 	w := bufio.NewWriter(f)
 
-	var hdr enc
+	hdr := newEnc(ProtoVersion)
 	hdr.u64(seq)
 	hdr.f64(st.Politeness)
 	hdr.u32(uint32(len(st.Shards)))
 	for _, ss := range st.Shards {
 		hdr.f64(ss.NextReady).bool(ss.Claimed)
 	}
-	if err := writeFrame(w, walSnapHeader, hdr.b); err != nil {
+	if _, err := writeFrame(w, ProtoVersion, walSnapHeader, hdr.b); err != nil {
 		return fail(err)
 	}
 	for off := 0; off < len(st.Entries); off += walSnapChunk {
 		chunk := st.Entries[off:min(off+walSnapChunk, len(st.Entries))]
-		var e enc
+		e := newEnc(ProtoVersion)
 		encodeEntries(&e, chunk)
-		if err := writeFrame(w, walSnapEntries, e.b); err != nil {
+		if _, err := writeFrame(w, ProtoVersion, walSnapEntries, e.b); err != nil {
 			return fail(err)
 		}
 	}
 	dedups := s.dedup.snapshotEntries()
 	for off := 0; off < len(dedups); off += walSnapChunk {
 		chunk := dedups[off:min(off+walSnapChunk, len(dedups))]
-		var e enc
+		e := newEnc(ProtoVersion)
 		e.u32(uint32(len(chunk)))
 		for _, de := range chunk {
-			e.u64(de.id).u8(de.status).str(string(de.resp))
+			e.fix64(de.id).u8(de.status).str(string(de.resp))
 		}
-		if err := writeFrame(w, walSnapDedup, e.b); err != nil {
+		if _, err := writeFrame(w, ProtoVersion, walSnapDedup, e.b); err != nil {
 			return fail(err)
 		}
 	}
-	if err := writeFrame(w, walSnapEnd, nil); err != nil {
+	if _, err := writeFrame(w, ProtoVersion, walSnapEnd, nil); err != nil {
 		return fail(err)
 	}
 	if err := w.Flush(); err != nil {

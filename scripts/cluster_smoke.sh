@@ -92,14 +92,16 @@ for size in 2000 8000 32000; do
         continue
     fi
     # Mid-crawl observability: scrape the surviving shardd's /metrics
-    # and require well-formed exposition with the wire and WAL families
-    # actually moving (promcheck exits non-zero on malformed output or
-    # zero counters, failing `make ci`).
+    # and require well-formed exposition with the wire, WAL and frame-
+    # compression families actually moving (promcheck exits non-zero on
+    # malformed output or zero counters, failing `make ci`). The
+    # compression families prove v6 negotiation happened and response
+    # frames big enough to deflate actually rode the flag.
     curl -sS "http://$m2/metrics" >"$tmp/k2.metrics"
     "$tmp/promcheck" \
-        -require webevolve_cluster_server_ops_total,webevolve_cluster_server_op_seconds,webevolve_wal_appends_total \
+        -require webevolve_cluster_server_ops_total,webevolve_cluster_server_op_seconds,webevolve_wal_appends_total,webevolve_cluster_frames_compressed_total,webevolve_cluster_frame_raw_bytes,webevolve_cluster_frame_compressed_bytes \
         <"$tmp/k2.metrics"
-    echo "cluster-smoke: mid-crawl /metrics scrape is well-formed with live wire+WAL counters"
+    echo "cluster-smoke: mid-crawl /metrics scrape is well-formed with live wire+WAL+compression counters"
     kill -9 "$k1_pid"
     killed=1
     echo "cluster-smoke: SIGKILLed shardd on $b1 mid-crawl (size $size); restarting from its WAL"
