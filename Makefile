@@ -32,15 +32,19 @@ bench:
 	$(GO) test -bench 'BenchmarkServeHotGet' -benchtime 2000x \
 		-benchmem -run '^$$' ./internal/serve/ >> bench_engine.txt || \
 		{ cat bench_engine.txt; rm -f bench_engine.txt; exit 1; }
+	$(GO) test -bench 'BenchmarkFrontierScale' -benchtime 1x \
+		-benchmem -run '^$$' ./internal/frontier/ >> bench_engine.txt || \
+		{ cat bench_engine.txt; rm -f bench_engine.txt; exit 1; }
 	@cat bench_engine.txt
 	$(GO) run ./internal/tools/benchjson < bench_engine.txt > BENCH_engine.json
 	@rm -f bench_engine.txt
 	@echo wrote BENCH_engine.json
 
 # One iteration per benchmark: a compile-and-run smoke pass over every
-# benchmark in the repo, not a measurement.
+# benchmark in the repo, not a measurement. -short skips the minute-long
+# 10M frontier-scale case, which `bench` measures for real.
 bench-smoke:
-	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+	$(GO) test -short -bench . -benchtime=1x -run '^$$' ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; \

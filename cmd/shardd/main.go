@@ -22,6 +22,14 @@
 // shutdown, and a restarted shardd replays snapshot + log — including
 // after a SIGKILL, where a torn final frame is truncated away (it was
 // never acknowledged, so the client retries it).
+//
+// With -frontier-dir, entries spill to per-shard record logs on disk
+// and only the due-soon head of each shard (bounded by
+// -frontier-resident across the server) stays in RAM, so the crawl
+// horizon is capped by disk instead of memory. Pop order is
+// bit-identical to the in-memory tier. Combine with -wal for
+// durability: on restart the WAL is authoritative and rebuilds the
+// spill logs.
 package main
 
 import (
@@ -44,15 +52,29 @@ func main() {
 	walDir := flag.String("wal", "", "directory for the frontier write-ahead log; queued entries survive restarts (empty disables persistence)")
 	walCompactEvery := flag.Duration("wal-compact-every", time.Minute, "interval between WAL compactions (snapshot + log truncation; 0 disables periodic compaction)")
 	registryAddr := flag.String("registry", "", "registryd endpoint to register with (host:port); joins the dynamic cluster instead of being listed statically")
+	frontierDir := flag.String("frontier-dir", "", "directory for the disk-backed frontier tier: entries spill to per-shard record logs and only the due-soon head stays in RAM (empty keeps the frontier fully in memory)")
+	frontierResident := flag.Int("frontier-resident", frontier.DefaultResidentBudget, "resident-entry budget for -frontier-dir: approximate cap on entries materialized in RAM across all shards")
 	flag.Parse()
 
-	if err := run(common, *shards, *politeness, *walDir, *walCompactEvery, *registryAddr); err != nil {
+	if err := run(common, *shards, *politeness, *walDir, *walCompactEvery, *registryAddr, *frontierDir, *frontierResident); err != nil {
 		daemon.Fatal("shardd", err)
 	}
 }
 
-func run(common *daemon.Flags, shards int, politeness float64, walDir string, walCompactEvery time.Duration, registryAddr string) error {
-	q := frontier.NewShardedPolite(shards, politeness)
+func run(common *daemon.Flags, shards int, politeness float64, walDir string, walCompactEvery time.Duration, registryAddr, frontierDir string, frontierResident int) error {
+	q, err := frontier.OpenSharded(frontier.StoreConfig{
+		Shards:         shards,
+		Politeness:     politeness,
+		SpillDir:       frontierDir,
+		ResidentBudget: frontierResident,
+	})
+	if err != nil {
+		return err
+	}
+	defer q.Close()
+	if frontierDir != "" {
+		fmt.Printf("shardd: disk frontier tier in %s (resident budget %d entries)\n", frontierDir, frontierResident)
+	}
 	srv := cluster.NewShardServer(q)
 	if walDir != "" {
 		if err := srv.OpenWAL(walDir); err != nil {
@@ -79,6 +101,19 @@ func run(common *daemon.Flags, shards int, politeness float64, walDir string, wa
 	obs.Default.GaugeFunc("webevolve_frontier_shards",
 		"frontier shards hosted by this server",
 		func() float64 { return float64(q.NumShards()) })
+	// Residency split of the storage tier: with -frontier-dir these show
+	// the due-soon head in RAM versus the entries spilled to the record
+	// logs; with the in-memory tier everything is resident and the spill
+	// gauges stay zero.
+	obs.Default.GaugeFunc("webevolve_frontier_resident_entries",
+		"frontier entries materialized in RAM (the due-soon head with -frontier-dir)",
+		func() float64 { return float64(q.Tier().Resident) })
+	obs.Default.GaugeFunc("webevolve_frontier_spilled_entries",
+		"frontier entries living only in the spill record logs",
+		func() float64 { return float64(q.Tier().Spilled) })
+	obs.Default.GaugeFunc("webevolve_frontier_spill_bytes",
+		"bytes occupied by the frontier spill record logs",
+		func() float64 { return float64(q.Tier().SpillBytes) })
 	stopDebug, err := common.ServeDebug("shardd")
 	if err != nil {
 		return err

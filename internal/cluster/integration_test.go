@@ -1,6 +1,8 @@
 package cluster_test
 
 import (
+	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -49,6 +51,35 @@ func loopbackCluster(t testing.TB, n, shardsEach int) *cluster.RemoteShards {
 	servers := make([]*cluster.ShardServer, n)
 	for i := range servers {
 		servers[i] = cluster.NewShardServer(frontier.NewSharded(shardsEach))
+	}
+	rs, err := cluster.Loopback(servers, cluster.Options{PolitenessDays: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		rs.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	return rs
+}
+
+// loopbackDiskCluster is loopbackCluster with disk-backed frontiers
+// squeezed by a small resident budget, so the wire protocol runs over
+// the spill tier.
+func loopbackDiskCluster(t testing.TB, n, shardsEach, budget int) *cluster.RemoteShards {
+	t.Helper()
+	servers := make([]*cluster.ShardServer, n)
+	for i := range servers {
+		fr, err := frontier.OpenSharded(frontier.StoreConfig{
+			Shards: shardsEach, SpillDir: t.TempDir(), ResidentBudget: budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fr.Close() })
+		servers[i] = cluster.NewShardServer(fr)
 	}
 	rs, err := cluster.Loopback(servers, cluster.Options{PolitenessDays: 0})
 	if err != nil {
@@ -117,6 +148,29 @@ func TestDistributedWorkerCountInvariance(t *testing.T) {
 			}
 		}
 	}
+
+	// The same contract with the servers' frontiers on the disk tier: a
+	// resident budget far below the queue depth keeps the crawl running
+	// through the spill logs, and the results must still be bit-identical.
+	rsDisk := loopbackDiskCluster(t, 2, 8, 48)
+	got := run(4, rsDisk)
+	if err := rsDisk.Err(); err != nil {
+		t.Fatalf("disk tier: %v", err)
+	}
+	if got.m != ref.m {
+		t.Fatalf("disk tier: metrics diverge\nremote: %+v\nlocal:  %+v", got.m, ref.m)
+	}
+	if got.all != ref.all {
+		t.Fatalf("disk tier: AllUrls %d vs %d", got.all, ref.all)
+	}
+	if len(got.urls) != len(ref.urls) {
+		t.Fatalf("disk tier: collection %d vs %d", len(got.urls), len(ref.urls))
+	}
+	for i := range got.urls {
+		if got.urls[i] != ref.urls[i] {
+			t.Fatalf("disk tier: collection diverges at %d: %s vs %s", i, got.urls[i], ref.urls[i])
+		}
+	}
 }
 
 // crashingFetcher triggers a one-shot crash hook at the nth fetch —
@@ -144,12 +198,39 @@ func (c *crashingFetcher) Fetch(url string, day float64) (fetch.Result, error) {
 // bit-identical to the same crawl against an uninterrupted local
 // frontier. scripts/cluster_smoke.sh repeats this across real shardd
 // processes with a literal SIGKILL.
+// The disk subtest runs the same crash with the server's frontier on
+// the spill tier under a tiny resident budget — the disk-tier
+// crash-safety coverage.
 func TestKillRestartInvariance(t *testing.T) {
+	t.Run("mem", func(t *testing.T) { testKillRestartInvariance(t, false) })
+	t.Run("disk", func(t *testing.T) { testKillRestartInvariance(t, true) })
+}
+
+func testKillRestartInvariance(t *testing.T, diskTier bool) {
 	dir := t.TempDir()
+	spillRoot := t.TempDir()
+	starts := 0
 	// start returns its error: the crash hook runs it on a crawl worker
 	// goroutine, where t.Fatal is not allowed.
 	start := func(addr string) (*cluster.ShardServer, error) {
-		srv := cluster.NewShardServer(frontier.NewSharded(8))
+		fr := frontier.NewSharded(8)
+		if diskTier {
+			// Each incarnation gets a fresh spill dir: the WAL is the
+			// durability plane and rebuilds the spill logs through Reset on
+			// replay, so a replacement never depends on the crashed
+			// process's logs (which may be torn, or on a lost disk).
+			starts++
+			var err error
+			fr, err = frontier.OpenSharded(frontier.StoreConfig{
+				Shards:         8,
+				SpillDir:       filepath.Join(spillRoot, fmt.Sprintf("gen%d", starts)),
+				ResidentBudget: 24,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		srv := cluster.NewShardServer(fr)
 		if err := srv.OpenWAL(dir); err != nil {
 			return nil, err
 		}

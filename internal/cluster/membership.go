@@ -212,72 +212,99 @@ func (rs *RemoteShards) migrateLocked(t *shardTopology, ms registry.Membership) 
 	if len(moved) > 0 {
 		// Export the moved partitions from every member of the union —
 		// see the package comment for why not just the computed owners.
-		// The body is rebuilt per member: each pool may have negotiated a
-		// different protocol version, so one shared encoding is unsound.
-		var entries []frontier.Entry
+		// Exports are pulled in bounded chunks (the server walks its
+		// frontier with a URL cursor and hands back at most
+		// pushBatchChunk entries per round trip), and each chunk is
+		// grouped by new owner and imported before the next is pulled —
+		// so migrating a spilled frontier never materializes it whole on
+		// either side of the wire. An older server ignores the cursor
+		// and returns everything as one (large) first chunk. The body is
+		// rebuilt per request: each pool may have negotiated a different
+		// protocol version, so one shared encoding is unsound.
 		var dedups []dedupEntry
-		union := sortedKeys(pools)
-		for _, addr := range union {
-			sc := pools[addr]
+		// dedupSent tracks how much of the exporters' dedup tails each
+		// importer has received: a retry of migrated work may route
+		// anywhere on the new ring, so every importer must end up with
+		// the full union even though it grows as later members export.
+		dedupSent := map[string]int{}
+		imp := func(addr string, entries []frontier.Entry) error {
+			sc, ok := pools[addr]
+			if !ok {
+				return fmt.Errorf("cluster: migration: no pool for new owner %s", addr)
+			}
+			pending := dedups[dedupSent[addr]:]
 			ver := sc.wireVer()
 			e := newEnc(ver)
 			e.fix64(rs.nextReq())
-			e.u32(uint32(nextRing.Parts())).u32(uint32(len(moved)))
-			for _, p := range moved {
-				e.u32(uint32(p))
+			encodeEntries(&e, entries)
+			e.u32(uint32(len(pending)))
+			for _, de := range pending {
+				e.fix64(de.id).u8(de.status).bytes(de.resp)
 			}
-			resp, err := sc.roundTrip(ver, opShardExport, e.b)
-			if err != nil {
-				rs.fail(err)
+			if _, err := sc.roundTrip(ver, opShardImport, e.b); err != nil {
 				return err
 			}
-			d := newDec(ver, resp)
-			entries = append(entries, decodeEntries(d)...)
-			dn := int(d.u32())
-			for i := 0; i < dn && d.finish() == nil; i++ {
-				id, st, b := d.fix64(), d.u8(), d.bytes()
-				if d.finish() == nil {
-					dedups = append(dedups, dedupEntry{id: id, status: st, resp: append([]byte(nil), b...)})
-				}
-			}
-			if d.finish() != nil {
-				err := fmt.Errorf("cluster: %s: bad export response", sc.name)
-				rs.fail(err)
-				return err
-			}
+			dedupSent[addr] = len(dedups)
+			return nil
 		}
-
-		// Group by new owner and import. The exporters' dedup tails ride
-		// along with each importer's first chunk, so a retry of migrated
-		// work still dedups wherever the new ring routes it.
-		groups := map[string][]frontier.Entry{}
-		for _, ent := range entries {
-			groups[nextRing.OwnerName(nextRing.PartOf(ent.URL))] = append(
-				groups[nextRing.OwnerName(nextRing.PartOf(ent.URL))], ent)
-		}
-		for _, addr := range sortedKeys(groups) {
-			group := groups[addr]
-			sc, ok := pools[addr]
-			if !ok {
-				err := fmt.Errorf("cluster: migration: no pool for new owner %s", addr)
-				rs.fail(err)
-				return err
-			}
-			for off := 0; off < len(group); off += pushBatchChunk {
-				chunk := group[off:min(off+pushBatchChunk, len(group))]
+		union := sortedKeys(pools)
+		for _, addr := range union {
+			sc := pools[addr]
+			after := ""
+			for {
 				ver := sc.wireVer()
 				e := newEnc(ver)
 				e.fix64(rs.nextReq())
-				encodeEntries(&e, chunk)
-				if off == 0 {
-					e.u32(uint32(len(dedups)))
-					for _, de := range dedups {
-						e.fix64(de.id).u8(de.status).bytes(de.resp)
-					}
-				} else {
-					e.u32(0)
+				e.u32(uint32(nextRing.Parts())).u32(uint32(len(moved)))
+				for _, p := range moved {
+					e.u32(uint32(p))
 				}
-				if _, err := sc.roundTrip(ver, opShardImport, e.b); err != nil {
+				e.str(after).u32(uint32(pushBatchChunk))
+				resp, err := sc.roundTrip(ver, opShardExport, e.b)
+				if err != nil {
+					rs.fail(err)
+					return err
+				}
+				d := newDec(ver, resp)
+				entries := decodeEntries(d)
+				dn := int(d.u32())
+				for i := 0; i < dn && d.finish() == nil; i++ {
+					id, st, b := d.fix64(), d.u8(), d.bytes()
+					if d.finish() == nil {
+						dedups = append(dedups, dedupEntry{id: id, status: st, resp: append([]byte(nil), b...)})
+					}
+				}
+				more := false
+				if d.finish() == nil && d.off < len(d.b) {
+					more = d.bool()
+				}
+				if d.finish() != nil {
+					err := fmt.Errorf("cluster: %s: bad export response", sc.name)
+					rs.fail(err)
+					return err
+				}
+				groups := map[string][]frontier.Entry{}
+				for _, ent := range entries {
+					owner := nextRing.OwnerName(nextRing.PartOf(ent.URL))
+					groups[owner] = append(groups[owner], ent)
+				}
+				for _, gaddr := range sortedKeys(groups) {
+					if err := imp(gaddr, groups[gaddr]); err != nil {
+						rs.fail(err)
+						return err
+					}
+				}
+				if !more || len(entries) == 0 {
+					break
+				}
+				after = entries[len(entries)-1].URL
+			}
+		}
+		// Importers that received entries before later exporters' dedup
+		// tails were known get topped up with the remainder.
+		for _, addr := range sortedKeys(dedupSent) {
+			if dedupSent[addr] < len(dedups) {
+				if err := imp(addr, nil); err != nil {
 					rs.fail(err)
 					return err
 				}

@@ -2,6 +2,8 @@ package cluster_test
 
 import (
 	"net/http/httptest"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"webevolve/internal/cluster"
@@ -19,6 +21,9 @@ type memCluster struct {
 	reg     *registry.Server
 	client  *registry.Client
 	servers map[string]*cluster.ShardServer
+	// spillRoot, when set, puts every member's frontier on the disk
+	// tier (one spill dir per address) with a tiny resident budget.
+	spillRoot string
 }
 
 func newMemCluster(t testing.TB) *memCluster {
@@ -37,7 +42,19 @@ func newMemCluster(t testing.TB) *memCluster {
 // address and registers it. Registration against a non-empty active
 // set parks the join as pending — the crawl client completes it.
 func (mc *memCluster) addServer(t testing.TB, addr string, shards int) {
-	srv := cluster.NewShardServer(frontier.NewSharded(shards))
+	fr := frontier.NewSharded(shards)
+	if mc.spillRoot != "" {
+		var err error
+		fr, err = frontier.OpenSharded(frontier.StoreConfig{
+			Shards:         shards,
+			SpillDir:       filepath.Join(mc.spillRoot, strings.ReplaceAll(addr, ":", "_")),
+			ResidentBudget: 32,
+		})
+		if err != nil {
+			panic(err) // callable from crawl worker goroutines, no t.Fatal
+		}
+	}
+	srv := cluster.NewShardServer(fr)
 	mc.servers[addr] = srv
 	if t != nil {
 		t.Cleanup(func() { srv.Close() })
@@ -165,4 +182,31 @@ func TestLeaveMidCrawlInvariance(t *testing.T) {
 	if len(ms.Shard()) != 1 || ms.Shard()[0].Addr != "shard-2:7070" {
 		t.Fatalf("leaver still active after crawl: %+v", ms)
 	}
+}
+
+// TestJoinMidCrawlInvarianceDiskTier repeats the join while every
+// member's frontier sits on the disk tier: the chunked partition
+// export streams the joiner's entries out of the spill logs without
+// materializing the queues, and the crawl must stay bit-identical.
+func TestJoinMidCrawlInvarianceDiskTier(t *testing.T) {
+	mc := newMemCluster(t)
+	mc.spillRoot = t.TempDir()
+	mc.addServer(t, "shard-1:7070", 8)
+	runInvariance(t, mc, 150, func() {
+		mc.addServer(nil, "shard-2:7070", 8)
+	})
+}
+
+// TestLeaveMidCrawlInvarianceDiskTier repeats the graceful leave on
+// disk-backed members.
+func TestLeaveMidCrawlInvarianceDiskTier(t *testing.T) {
+	mc := newMemCluster(t)
+	mc.spillRoot = t.TempDir()
+	mc.addServer(t, "shard-1:7070", 8)
+	mc.addServer(t, "shard-2:7070", 8) // parked pending; adopted at dial
+	runInvariance(t, mc, 150, func() {
+		if _, err := mc.client.Leave("shard-1:7070"); err != nil {
+			panic(err)
+		}
+	})
 }

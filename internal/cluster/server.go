@@ -493,29 +493,49 @@ func (s *ShardServer) applyMutating(op byte, d *dec) (status byte, resp []byte, 
 			mutated = len(pops)+len(removes)+len(pushes) > 0
 		}
 	case opShardExport:
-		// Extract every queued entry in the requested ring partitions,
+		// Extract the queued entries in the requested ring partitions,
 		// plus a capped tail of the dedup cache so in-flight retries of
 		// migrated work still dedup on the new owner. Extraction order
 		// is URL-sorted, so a WAL replay reproduces the entry section
 		// bit-for-bit (the dedup tail may differ on replay — harmless,
 		// since genuine retries are answered from the memoized original
 		// via the dedup-get path, never re-extracted).
+		//
+		// A client may append a (cursor, max) pair to bound the chunk:
+		// the response then carries only the first max matching entries
+		// in URL order strictly after the cursor, a dedup tail on the
+		// first chunk only, and a trailing more flag. Requests without
+		// the pair (older clients) extract everything at once, and older
+		// servers ignore the pair — the client then simply receives the
+		// full extraction as its first and only chunk.
 		parts := int(d.u32())
 		n := int(d.u32())
 		set := make(map[int]bool, min(n, 1<<16))
 		for i := 0; i < n && d.finish() == nil; i++ {
 			set[int(d.u32())] = true
 		}
+		after, maxN, chunked := "", 0, false
+		if d.finish() == nil && d.off < len(d.b) {
+			after, maxN = d.str(), int(d.u32())
+			chunked = true
+		}
 		if d.finish() == nil {
 			if parts <= 0 || parts > 1<<20 {
 				return statusError, []byte(fmt.Sprintf("export with bad partition count %d", parts)), false
 			}
-			entries := s.shards.ExtractPartitions(parts, set)
+			entries, more := s.shards.ExtractPartitionsLimit(parts, set, after, maxN)
 			encodeEntries(&e, entries)
-			tail := s.dedup.tail(exportDedupEntries, exportDedupBytes)
-			e.u32(uint32(len(tail)))
-			for _, de := range tail {
-				e.fix64(de.id).u8(de.status).bytes(de.resp)
+			if after == "" {
+				tail := s.dedup.tail(exportDedupEntries, exportDedupBytes)
+				e.u32(uint32(len(tail)))
+				for _, de := range tail {
+					e.fix64(de.id).u8(de.status).bytes(de.resp)
+				}
+			} else {
+				e.u32(0)
+			}
+			if chunked {
+				e.bool(more)
 			}
 			migrationExportEntries.Add(int64(len(entries)))
 			migrationHandoffBytes.With("export").Observe(float64(len(e.b)))

@@ -242,17 +242,26 @@ func (s *ShardServer) loadSnapshotLocked(path string) (uint64, error) {
 	}
 	d := newDec(ver, body)
 	seq := d.u64()
-	st := frontier.State{Politeness: d.f64()}
+	politeness := d.f64()
 	nshards := int(d.u32())
 	if d.finish() != nil || nshards > walMaxShards {
 		return corrupt(d.finish())
 	}
+	shardStates := make([]frontier.ShardState, 0, nshards)
 	for i := 0; i < nshards && d.finish() == nil; i++ {
-		st.Shards = append(st.Shards, frontier.ShardState{NextReady: d.f64(), Claimed: d.bool()})
+		shardStates = append(shardStates, frontier.ShardState{NextReady: d.f64(), Claimed: d.bool()})
 	}
 	if err := d.finish(); err != nil {
 		return corrupt(err)
 	}
+	// Apply the snapshot incrementally: entry chunks are pushed as they
+	// are read instead of accumulating into one giant State, so a
+	// restart of a spilled frontier never holds it whole in RAM. The
+	// frontier is reset first (dropping any pre-existing spill logs); a
+	// snapshot that then turns out corrupt fails OpenWAL, so the partial
+	// state is never served.
+	s.shards.Reset()
+	s.shards.SetPoliteness(politeness)
 	var dedups []dedupEntry
 	done := false
 	for !done {
@@ -263,7 +272,10 @@ func (s *ShardServer) loadSnapshotLocked(path string) (uint64, error) {
 		d := newDec(ver, body)
 		switch kind {
 		case walSnapEntries:
-			st.Entries = append(st.Entries, decodeEntries(d)...)
+			chunk := decodeEntries(d)
+			if d.finish() == nil {
+				s.shards.PushBatch(chunk)
+			}
 		case walSnapDedup:
 			n := int(d.u32())
 			if n > walMaxDedup {
@@ -281,7 +293,7 @@ func (s *ShardServer) loadSnapshotLocked(path string) (uint64, error) {
 			return corrupt(err)
 		}
 	}
-	s.shards.Restore(st)
+	s.shards.SetShardStates(shardStates)
 	for _, de := range dedups {
 		s.dedup.put(de.id, de.status, de.resp)
 	}
@@ -290,11 +302,13 @@ func (s *ShardServer) loadSnapshotLocked(path string) (uint64, error) {
 
 // writeSnapshotLocked persists the current state (and dedup cache) as
 // a snapshot covering every log file with sequence < seq. Entries are
-// chunked across frames, so the snapshot has no size ceiling. Written
-// to a temp file, fsynced, then renamed, so a crash never leaves a
-// partial snapshot in place.
+// streamed out of the frontier one chunk frame at a time — never
+// materialized whole — so compacting a spilled multi-gigabyte frontier
+// neither doubles RSS nor hits a size ceiling. Written to a temp file,
+// fsynced, then renamed, so a crash never leaves a partial snapshot in
+// place.
 func (s *ShardServer) writeSnapshotLocked(seq uint64) error {
-	st := s.shards.Snapshot()
+	politeness, shardStates := s.shards.SnapshotMeta()
 
 	path := filepath.Join(s.wal.dir, walSnapName)
 	tmp := path + ".tmp"
@@ -310,21 +324,21 @@ func (s *ShardServer) writeSnapshotLocked(seq uint64) error {
 
 	hdr := newEnc(ProtoVersion)
 	hdr.u64(seq)
-	hdr.f64(st.Politeness)
-	hdr.u32(uint32(len(st.Shards)))
-	for _, ss := range st.Shards {
+	hdr.f64(politeness)
+	hdr.u32(uint32(len(shardStates)))
+	for _, ss := range shardStates {
 		hdr.f64(ss.NextReady).bool(ss.Claimed)
 	}
 	if _, err := writeFrame(w, ProtoVersion, walSnapHeader, hdr.b); err != nil {
 		return fail(err)
 	}
-	for off := 0; off < len(st.Entries); off += walSnapChunk {
-		chunk := st.Entries[off:min(off+walSnapChunk, len(st.Entries))]
+	if err := s.shards.StreamEntries(walSnapChunk, func(chunk []frontier.Entry) error {
 		e := newEnc(ProtoVersion)
 		encodeEntries(&e, chunk)
-		if _, err := writeFrame(w, ProtoVersion, walSnapEntries, e.b); err != nil {
-			return fail(err)
-		}
+		_, err := writeFrame(w, ProtoVersion, walSnapEntries, e.b)
+		return err
+	}); err != nil {
+		return fail(err)
 	}
 	dedups := s.dedup.snapshotEntries()
 	for off := 0; off < len(dedups); off += walSnapChunk {

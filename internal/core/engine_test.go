@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"webevolve/internal/fetch"
+	"webevolve/internal/frontier"
 )
 
 // TestWorkerCountInvariance is the engine's core contract: because jobs
@@ -55,6 +56,51 @@ func TestWorkerCountInvariance(t *testing.T) {
 					v.workers, i, got.urls[i], ref.urls[i])
 			}
 		}
+	}
+}
+
+// TestWorkerCountInvarianceDiskTier repeats the invariance check with a
+// disk-backed frontier squeezed by a tiny resident budget: the spill
+// tier must not perturb the crawl by a single byte.
+func TestWorkerCountInvarianceDiskTier(t *testing.T) {
+	run := func(fr frontier.ShardSet) (Metrics, []string) {
+		w, f := testWeb(t, 21)
+		cfg := baseConfig(w)
+		cfg.Workers = 4
+		cfg.Shards = 8
+		cfg.DispatchBatch = 16
+		cfg.Frontier = fr
+		c, err := New(cfg, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunUntil(15); err != nil {
+			t.Fatal(err)
+		}
+		return c.Metrics(), c.Collection().URLs()
+	}
+	rm, ru := run(nil)
+	fr, err := frontier.OpenSharded(frontier.StoreConfig{
+		Shards: 8, SpillDir: t.TempDir(), ResidentBudget: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	dm, du := run(fr)
+	if dm != rm {
+		t.Fatalf("disk-tier metrics diverge:\n%+v\n%+v", dm, rm)
+	}
+	if len(du) != len(ru) {
+		t.Fatalf("disk-tier collections diverge: %d vs %d", len(du), len(ru))
+	}
+	for i := range ru {
+		if du[i] != ru[i] {
+			t.Fatalf("disk-tier collection diverges at %d: %s vs %s", i, du[i], ru[i])
+		}
+	}
+	if fr.Tier().SpillBytes == 0 {
+		t.Fatal("disk tier never spilled — the test exercised nothing")
 	}
 }
 

@@ -1,0 +1,488 @@
+package frontier
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"webevolve/internal/webgraph"
+)
+
+// openDiskSharded opens a disk-backed queue in a fresh temp dir with a
+// deliberately tiny resident budget, so tests exercise the spill path
+// hard.
+func openDiskSharded(t testing.TB, shards, budget int) *Sharded {
+	t.Helper()
+	q, err := OpenSharded(StoreConfig{Shards: shards, SpillDir: t.TempDir(), ResidentBudget: budget})
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	t.Cleanup(func() { q.Close() })
+	return q
+}
+
+func eqEnt(a, b Entry) bool {
+	return a.URL == b.URL && a.Due == b.Due && a.Priority == b.Priority
+}
+
+// TestDiskTierMatchesMemTier drives an in-memory and a disk-backed
+// queue through the same randomized operation mix — pushes with heavy
+// (due, priority) ties and reschedules, removes, pops, claims, peeks —
+// and requires bit-identical results throughout. This is the disk
+// tier's core contract: pop order identical to the in-memory tier.
+func TestDiskTierMatchesMemTier(t *testing.T) {
+	mem := NewSharded(4)
+	disk := openDiskSharded(t, 4, 8) // 2 resident entries per shard
+
+	rng := rand.New(rand.NewSource(7))
+	urls := make([]string, 400)
+	for i := range urls {
+		urls[i] = urlOn(i%37, i)
+	}
+	var claimed []int
+	release := func() {
+		sid := claimed[len(claimed)-1]
+		claimed = claimed[:len(claimed)-1]
+		next := float64(rng.Intn(5))
+		mem.Release(sid, next)
+		disk.Release(sid, next)
+	}
+	for step := 0; step < 4000; step++ {
+		switch op := rng.Intn(12); {
+		case op < 4: // push / reschedule with frequent exact ties
+			u := urls[rng.Intn(len(urls))]
+			due, prio := float64(rng.Intn(8)), float64(rng.Intn(3))
+			mem.Push(u, due, prio)
+			disk.Push(u, due, prio)
+		case op == 4:
+			u := urls[rng.Intn(len(urls))]
+			if mem.Remove(u) != disk.Remove(u) {
+				t.Fatalf("step %d: Remove(%s) diverged", step, u)
+			}
+		case op < 7:
+			now := float64(rng.Intn(10))
+			me, mok := mem.PopDue(now)
+			de, dok := disk.PopDue(now)
+			if mok != dok || (mok && !eqEnt(me, de)) {
+				t.Fatalf("step %d: PopDue(%g): mem=%+v,%v disk=%+v,%v", step, now, me, mok, de, dok)
+			}
+		case op == 7:
+			now := float64(rng.Intn(10))
+			me, msid, mok := mem.ClaimDue(now)
+			de, dsid, dok := disk.ClaimDue(now)
+			if mok != dok || (mok && (!eqEnt(me, de) || msid != dsid)) {
+				t.Fatalf("step %d: ClaimDue(%g): mem=%+v,%d,%v disk=%+v,%d,%v", step, now, me, msid, mok, de, dsid, dok)
+			}
+			if mok {
+				claimed = append(claimed, msid)
+			}
+			if len(claimed) > 2 {
+				release()
+			}
+		case op == 8:
+			me, merr := mem.Pop()
+			de, derr := disk.Pop()
+			if (merr != nil) != (derr != nil) || (merr == nil && !eqEnt(me, de)) {
+				t.Fatalf("step %d: Pop: mem=%+v,%v disk=%+v,%v", step, me, merr, de, derr)
+			}
+		case op == 9:
+			n := rng.Intn(25)
+			mp, mc := mem.PeekN(n)
+			dp, dc := disk.PeekN(n)
+			if mc != dc || len(mp) != len(dp) {
+				t.Fatalf("step %d: PeekN(%d): mem %d,%v disk %d,%v", step, n, len(mp), mc, len(dp), dc)
+			}
+			for i := range mp {
+				if !eqEnt(mp[i], dp[i]) {
+					t.Fatalf("step %d: PeekN(%d)[%d]: mem=%+v disk=%+v", step, n, i, mp[i], dp[i])
+				}
+			}
+		case op == 10:
+			mt, mok := mem.NextEvent()
+			dt, dok := disk.NextEvent()
+			if mok != dok || mt != dt {
+				t.Fatalf("step %d: NextEvent: mem=%g,%v disk=%g,%v", step, mt, mok, dt, dok)
+			}
+		default:
+			if mem.Len() != disk.Len() {
+				t.Fatalf("step %d: Len: mem=%d disk=%d", step, mem.Len(), disk.Len())
+			}
+			u := urls[rng.Intn(len(urls))]
+			if mem.Contains(u) != disk.Contains(u) {
+				t.Fatalf("step %d: Contains(%s) diverged", step, u)
+			}
+		}
+	}
+	for len(claimed) > 0 {
+		release()
+	}
+	// Drain both completely; the full pop sequences must match.
+	for {
+		me, merr := mem.Pop()
+		de, derr := disk.Pop()
+		if (merr != nil) != (derr != nil) {
+			t.Fatalf("drain: mem err=%v disk err=%v", merr, derr)
+		}
+		if merr != nil {
+			break
+		}
+		if !eqEnt(me, de) {
+			t.Fatalf("drain: mem=%+v disk=%+v", me, de)
+		}
+	}
+}
+
+// TestDiskTierResidentBudget verifies the tentpole's memory bound: only
+// the due-soon head stays materialized while pushing and draining far
+// more entries than the budget.
+func TestDiskTierResidentBudget(t *testing.T) {
+	const budget = 40
+	q := openDiskSharded(t, 2, budget)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		// Distinct dues: exact tie groups may transiently exceed the
+		// budget by design, which is not what this test measures.
+		q.Push(urlOn(i%53, i), float64(i)*0.001, 0)
+	}
+	ts := q.Tier()
+	if ts.Resident > budget {
+		t.Fatalf("after push: %d resident entries, budget %d", ts.Resident, budget)
+	}
+	if ts.Spilled != n-ts.Resident {
+		t.Fatalf("tier stats don't add up: %+v with %d entries", ts, n)
+	}
+	if ts.SpillBytes == 0 {
+		t.Fatalf("no spill bytes after %d pushes", n)
+	}
+	var prev Entry
+	for i := 0; i < n; i++ {
+		e, err := q.Pop()
+		if err != nil {
+			t.Fatalf("pop %d: %v", i, err)
+		}
+		if i > 0 && entryBefore(e, prev) {
+			t.Fatalf("pop %d out of order: %+v after %+v", i, e, prev)
+		}
+		prev = e
+		if ts := q.Tier(); ts.Resident > budget {
+			t.Fatalf("pop %d: %d resident entries, budget %d", i, ts.Resident, budget)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after drain: %d", q.Len())
+	}
+}
+
+// TestDiskTierReopenRecoversEntries closes a disk-backed queue and
+// reopens its spill directory: the record logs alone must reconstruct
+// the surviving entries, including reschedules and removals.
+func TestDiskTierReopenRecoversEntries(t *testing.T) {
+	dir := t.TempDir()
+	cfg := StoreConfig{Shards: 4, SpillDir: dir, ResidentBudget: 8}
+	q, err := OpenSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		q.Push(urlOn(i%29, i), float64(i%10), float64(i%3))
+	}
+	for i := 0; i < 60; i++ { // reschedules
+		q.Push(urlOn(i%29, i), float64(10+i), 1)
+	}
+	for i := 100; i < 140; i++ { // removals
+		q.Remove(urlOn(i%29, i))
+	}
+	for i := 0; i < 50; i++ { // pops (tombstone the head)
+		if _, err := q.Pop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := q.Snapshot().Entries
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenSharded(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	got := r.Snapshot().Entries
+	if len(got) != len(want) {
+		t.Fatalf("reopen recovered %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !eqEnt(got[i], want[i]) {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	// Pop order after recovery must match the order the entries dictate.
+	sort.Slice(want, func(i, j int) bool { return entryBefore(want[i], want[j]) })
+	for i, w := range want {
+		e, err := r.Pop()
+		if err != nil {
+			t.Fatalf("pop %d after reopen: %v", i, err)
+		}
+		if !eqEnt(e, w) {
+			t.Fatalf("pop %d after reopen: got %+v want %+v", i, e, w)
+		}
+	}
+}
+
+// TestDiskTierTornTailSwept crashes mid-append, in effigy: garbage and
+// truncated frames after the last valid record must be swept away on
+// reopen, keeping every complete record.
+func TestDiskTierTornTailSwept(t *testing.T) {
+	dir := t.TempDir()
+	cfg := StoreConfig{Shards: 1, SpillDir: dir, ResidentBudget: 4}
+	q, err := OpenSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		q.Push(urlOn(0, i), float64(i), 0)
+	}
+	cleanSize := q.Tier().SpillBytes // one shard: the log's exact size
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "frontier-0000.log")
+	if st, err := os.Stat(path); err != nil || st.Size() != cleanSize {
+		t.Fatalf("log size %v (err %v), want %d", st, err, cleanSize)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn frame: a plausible header promising more payload than the
+	// file holds, followed by garbage.
+	if _, err := f.Write([]byte{40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := OpenSharded(cfg)
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if r.Len() != n {
+		t.Fatalf("recovered %d entries, want %d", r.Len(), n)
+	}
+	if got := r.Tier().SpillBytes; got != cleanSize {
+		t.Fatalf("torn tail not truncated: log at %d bytes, want %d", got, cleanSize)
+	}
+	r.Close()
+	if st, err := os.Stat(path); err != nil || st.Size() != cleanSize {
+		t.Fatalf("on-disk log %v (err %v), want %d bytes", st, err, cleanSize)
+	}
+}
+
+// TestDiskTierCorruptRecordTruncatesSuffix flips one CRC byte in the
+// middle of the log: recovery must keep every record before the bad
+// frame and drop it and everything after — the same discipline as the
+// cluster WAL.
+func TestDiskTierCorruptRecordTruncatesSuffix(t *testing.T) {
+	dir := t.TempDir()
+	cfg := StoreConfig{Shards: 1, SpillDir: dir, ResidentBudget: 4}
+	q, err := OpenSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keep, n = 30, 50
+	var keepSize int64
+	for i := 0; i < n; i++ {
+		q.Push(urlOn(0, i), float64(i), 0)
+		if i == keep-1 {
+			keepSize = q.Tier().SpillBytes
+		}
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "frontier-0000.log")
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the CRC of record keep+1 (it starts at keepSize; bytes
+	// 4..8 of the frame are the checksum).
+	if _, err := f.WriteAt([]byte{0xff}, keepSize+4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := OpenSharded(cfg)
+	if err != nil {
+		t.Fatalf("reopen over corrupt record: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != keep {
+		t.Fatalf("recovered %d entries, want %d", r.Len(), keep)
+	}
+	for i := 0; i < keep; i++ {
+		e, err := r.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := urlOn(0, i); e.URL != want || e.Due != float64(i) {
+			t.Fatalf("pop %d: got %+v, want %s due %d", i, e, want, i)
+		}
+	}
+}
+
+// TestDiskTierCompaction reschedules a working set until dead records
+// dominate the log, and verifies the log shrinks back to its live
+// records without disturbing entries, pop order, or recovery.
+func TestDiskTierCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := StoreConfig{Shards: 1, SpillDir: dir, ResidentBudget: 8}
+	q, err := OpenSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 3<<10)
+	const live, writes = 1000, 3000
+	url := func(i int) string {
+		return fmt.Sprintf("http://site000.com/%s/p%04d", pad, i%live)
+	}
+	var peak int64
+	for i := 0; i < writes; i++ {
+		q.Push(url(i), float64(i), 0)
+		if sb := q.Tier().SpillBytes; sb > peak {
+			peak = sb
+		}
+	}
+	ts := q.Tier()
+	if ts.SpillBytes >= peak {
+		t.Fatalf("log never compacted: %d bytes, peak %d", ts.SpillBytes, peak)
+	}
+	// Reschedules after the compaction keep appending, so the log is
+	// live records plus a sub-threshold tail — well under what an
+	// uncompacted log would hold.
+	full := int64(writes) * int64(recHeader+1+2+len(url(0))+16)
+	if ts.SpillBytes > full*2/3 {
+		t.Fatalf("compacted log still %d bytes of %d written", ts.SpillBytes, full)
+	}
+	if q.Len() != live {
+		t.Fatalf("entries after compaction: %d, want %d", q.Len(), live)
+	}
+	// Reads go through the rewritten offsets.
+	for i := 0; i < 10; i++ {
+		e, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := url(writes - live + i); e.URL != want || e.Due != float64(writes-live+i) {
+			t.Fatalf("pop %d after compaction: got %+v, want %s", i, e, want)
+		}
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenSharded(cfg)
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != live-10 {
+		t.Fatalf("recovered %d entries after compaction, want %d", r.Len(), live-10)
+	}
+}
+
+// TestExtractPartitionsLimitChunks verifies the chunked migration
+// export: looping ExtractPartitionsLimit with a cursor must hand over
+// exactly what one unbounded ExtractPartitions call does, on both
+// storage tiers.
+func TestExtractPartitionsLimitChunks(t *testing.T) {
+	const parts = 64
+	fill := func(q *Sharded) {
+		for i := 0; i < 300; i++ {
+			q.Push(urlOn(i%31, i), float64(i%7), float64(i%2))
+		}
+	}
+	set := map[int]bool{}
+	for p := 0; p < parts; p += 3 {
+		set[p] = true
+	}
+	whole := NewSharded(4)
+	fill(whole)
+	want := whole.ExtractPartitions(parts, set)
+
+	for _, tier := range []string{"mem", "disk"} {
+		q := NewSharded(4)
+		if tier == "disk" {
+			q = openDiskSharded(t, 4, 8)
+		}
+		fill(q)
+		wantLeft := q.Len() - len(want)
+		var got []Entry
+		after := ""
+		for {
+			chunk, more := q.ExtractPartitionsLimit(parts, set, after, 37)
+			if !sort.SliceIsSorted(chunk, func(i, j int) bool { return chunk[i].URL < chunk[j].URL }) {
+				t.Fatalf("%s: chunk not URL-sorted", tier)
+			}
+			got = append(got, chunk...)
+			if !more || len(chunk) == 0 {
+				break
+			}
+			after = chunk[len(chunk)-1].URL
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: chunked export got %d entries, want %d", tier, len(got), len(want))
+		}
+		for i := range want {
+			if !eqEnt(got[i], want[i]) {
+				t.Fatalf("%s: entry %d: got %+v want %+v", tier, i, got[i], want[i])
+			}
+		}
+		if q.Len() != wantLeft {
+			t.Fatalf("%s: %d entries left after export, want %d", tier, q.Len(), wantLeft)
+		}
+		for _, e := range got {
+			if sid := HostShard(webgraph.SiteOf(e.URL), parts); !set[sid] {
+				t.Fatalf("%s: exported %s from partition %d outside the set", tier, e.URL, sid)
+			}
+		}
+	}
+}
+
+// TestStreamEntriesCoversQueue verifies the streamed snapshot body:
+// chunks collected from StreamEntries must contain exactly the queue's
+// entries, on both tiers, with the buffer reused between emits.
+func TestStreamEntriesCoversQueue(t *testing.T) {
+	for _, tier := range []string{"mem", "disk"} {
+		q := NewSharded(4)
+		if tier == "disk" {
+			q = openDiskSharded(t, 4, 8)
+		}
+		for i := 0; i < 200; i++ {
+			q.Push(urlOn(i%23, i), float64(i%9), float64(i%3))
+		}
+		var got []Entry
+		err := q.StreamEntries(7, func(chunk []Entry) error {
+			got = append(got, append([]Entry(nil), chunk...)...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: StreamEntries: %v", tier, err)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].URL < got[j].URL })
+		want := q.Snapshot().Entries
+		if len(got) != len(want) {
+			t.Fatalf("%s: streamed %d entries, want %d", tier, len(got), len(want))
+		}
+		for i := range want {
+			if !eqEnt(got[i], want[i]) {
+				t.Fatalf("%s: entry %d: got %+v want %+v", tier, i, got[i], want[i])
+			}
+		}
+	}
+}

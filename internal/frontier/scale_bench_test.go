@@ -1,0 +1,91 @@
+package frontier
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// BenchmarkFrontierScale pushes crawl-scale URL volumes through a
+// disk-backed queue under a 100k resident budget, then runs a
+// claim/reschedule/release mix over the due head — the shape of a real
+// incremental crawl round. It reports the tentpole's two numbers:
+// resident_entries (the in-RAM peak, which must stay under budget no
+// matter the frontier size) and rss_proxy_bytes (heap growth — the
+// fingerprint index and spill heap, the per-entry cost that remains
+// after the full entries spill). spill_bytes is the on-disk log size.
+func BenchmarkFrontierScale(b *testing.B) {
+	for _, size := range []int{1_000_000, 10_000_000} {
+		b.Run(fmt.Sprintf("%dM", size/1_000_000), func(b *testing.B) {
+			if size > 1_000_000 && testing.Short() {
+				b.Skip("10M case takes over a minute; run without -short")
+			}
+			benchFrontierScale(b, size)
+		})
+	}
+}
+
+func benchFrontierScale(b *testing.B, n int) {
+	const budget = 100_000
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.StartTimer()
+
+		q, err := OpenSharded(StoreConfig{
+			Shards: 64, SpillDir: b.TempDir(), ResidentBudget: budget,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 0, 64)
+		url := func(i int) string {
+			buf = append(buf[:0], "http://site"...)
+			buf = strconv.AppendInt(buf, int64(i%100_000), 10)
+			buf = append(buf, ".com/p"...)
+			buf = strconv.AppendInt(buf, int64(i), 10)
+			return string(buf)
+		}
+		for j := 0; j < n; j++ {
+			q.Push(url(j), float64(j%1024)+float64(j)*1e-9, float64(j%3))
+		}
+		maxResident := q.Tier().Resident
+
+		// The crawl mix: claim the due head, fetch (elided), reschedule
+		// it past the horizon, release the site shard.
+		const now = 2000.0
+		for j := 0; j < n/100; j++ {
+			e, sid, ok := q.ClaimDue(now)
+			if !ok {
+				b.Fatal("queue unexpectedly empty")
+			}
+			q.Push(e.URL, e.Due+3000, e.Priority)
+			q.Release(sid, 0)
+			if j%1024 == 0 {
+				if r := q.Tier().Resident; r > maxResident {
+					maxResident = r
+				}
+			}
+		}
+		if r := q.Tier().Resident; r > maxResident {
+			maxResident = r
+		}
+		if maxResident > budget {
+			b.Fatalf("resident entries peaked at %d, budget %d", maxResident, budget)
+		}
+		ts := q.Tier()
+
+		runtime.GC()
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		b.ReportMetric(float64(maxResident), "resident_entries")
+		b.ReportMetric(float64(ts.SpillBytes), "spill_bytes")
+		b.ReportMetric(float64(m1.HeapAlloc)-float64(m0.HeapAlloc), "rss_proxy_bytes")
+		if err := q.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

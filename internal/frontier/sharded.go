@@ -2,7 +2,10 @@ package frontier
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -26,6 +29,11 @@ import (
 //     gap the pop sequence is identical to a single CollUrls regardless
 //     of the shard count, which keeps simulated experiments reproducible.
 //
+// Each shard's entries live behind a shardStore: fully in RAM by
+// default (NewSharded), or spilled to an append-only record log with
+// only the due-soon head resident (OpenSharded with a SpillDir) — the
+// pop order is bit-identical either way.
+//
 // All methods are safe for concurrent use.
 type Sharded struct {
 	shards []*shard
@@ -37,9 +45,8 @@ type Sharded struct {
 }
 
 type shard struct {
-	mu    sync.Mutex
-	h     entryHeap
-	byURL map[string]*Entry
+	mu sync.Mutex
+	st shardStore
 	// nextReady is the earliest time another entry may be popped from
 	// this shard (politeness).
 	nextReady float64
@@ -57,15 +64,87 @@ func NewSharded(n int) *Sharded {
 // NewShardedPolite returns a sharded queue whose shards refuse to yield
 // two entries less than minGap time units apart.
 func NewShardedPolite(n int, minGap float64) *Sharded {
+	q, err := OpenSharded(StoreConfig{Shards: n, Politeness: minGap})
+	if err != nil {
+		// The in-memory tier cannot fail to open.
+		panic(err)
+	}
+	return q
+}
+
+// OpenSharded returns a sharded queue with the storage tier the config
+// selects: in-memory when SpillDir is empty, disk-backed otherwise. A
+// disk-backed queue reopening an existing spill directory recovers the
+// entries its logs hold (politeness deadlines, claims and the gap are
+// not in the logs — the shardd WAL is the full-state durability plane);
+// it should be Closed when done.
+func OpenSharded(cfg StoreConfig) (*Sharded, error) {
+	n := cfg.Shards
 	if n < 1 {
 		n = 1
 	}
-	s := &Sharded{shards: make([]*shard, n)}
-	s.SetPoliteness(minGap)
-	for i := range s.shards {
-		s.shards[i] = &shard{byURL: make(map[string]*Entry)}
+	q := &Sharded{shards: make([]*shard, n)}
+	q.SetPoliteness(cfg.Politeness)
+	if cfg.SpillDir == "" {
+		for i := range q.shards {
+			q.shards[i] = &shard{st: newMemStore()}
+		}
+		return q, nil
 	}
-	return s
+	if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+		return nil, fmt.Errorf("frontier: spill dir: %w", err)
+	}
+	budget := cfg.ResidentBudget
+	if budget <= 0 {
+		budget = DefaultResidentBudget
+	}
+	// A shard's resident set can exceed its fill budget by the one
+	// promoted head-competitor ensureHead pulls in (see diskStore), so
+	// reserve that slot per shard to keep the summed gauge under the
+	// configured budget.
+	per := budget/n - 1
+	if per < 1 {
+		per = 1
+	}
+	for i := range q.shards {
+		ds, err := openDiskStore(filepath.Join(cfg.SpillDir, fmt.Sprintf("frontier-%04d.log", i)), per)
+		if err != nil {
+			for _, s := range q.shards[:i] {
+				s.st.close()
+			}
+			return nil, err
+		}
+		q.shards[i] = &shard{st: ds}
+	}
+	return q, nil
+}
+
+// Close releases the storage tier (flushing and closing the spill logs
+// of a disk-backed queue). A no-op for the in-memory tier.
+func (q *Sharded) Close() error {
+	var first error
+	for _, s := range q.shards {
+		s.mu.Lock()
+		err := s.st.close()
+		s.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Tier reports the queue's residency split summed over shards: for the
+// in-memory tier everything is resident; for the disk tier it is the
+// materialized head versus the spilled log (the shardd gauges).
+func (q *Sharded) Tier() TierStats {
+	var t TierStats
+	for _, s := range q.shards {
+		s.mu.Lock()
+		t = t.add(s.st.tier())
+		s.mu.Unlock()
+	}
+	return t
 }
 
 // SetPoliteness changes the per-shard politeness gap. Negative gaps are
@@ -99,15 +178,7 @@ func (q *Sharded) Push(url string, due, priority float64) {
 	s := q.shardFor(url)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.byURL[url]; ok {
-		e.Due = due
-		e.Priority = priority
-		heap.Fix(&s.h, e.index)
-		return
-	}
-	e := &Entry{URL: url, Due: due, Priority: priority}
-	heap.Push(&s.h, e)
-	s.byURL[url] = e
+	s.st.put(Entry{URL: url, Due: due, Priority: priority})
 }
 
 // PushBatch inserts or reschedules every entry, equivalent to calling
@@ -132,20 +203,19 @@ func entryBefore(a, b Entry) bool {
 	return a.URL < b.URL
 }
 
-// popLocked removes and returns the shard's head. Caller holds s.mu.
-func (s *shard) popLocked() Entry {
-	e := heap.Pop(&s.h).(*Entry)
-	delete(s.byURL, e.URL)
-	return *e
-}
-
 // headDue reports the shard's head entry when it is poppable at now:
-// unclaimed (when skipClaimed), politeness-ready, and due.
+// unclaimed (when skipClaimed), politeness-ready, and due. The claim
+// and politeness gates run before the store is consulted, so blocked
+// shards never pay a disk-tier promotion.
 func (s *shard) headDue(now float64, skipClaimed bool) (Entry, bool) {
-	if (skipClaimed && s.claimed) || s.nextReady > now || len(s.h) == 0 || s.h[0].Due > now {
+	if (skipClaimed && s.claimed) || s.nextReady > now {
 		return Entry{}, false
 	}
-	return *s.h[0], true
+	e, ok := s.st.head()
+	if !ok || e.Due > now {
+		return Entry{}, false
+	}
+	return e, true
 }
 
 // popDue removes and returns the globally earliest due entry among
@@ -170,7 +240,7 @@ func (q *Sharded) popDue(now float64, claim bool) (Entry, int, bool) {
 		// Re-validate under the lock: another goroutine may have raced
 		// us to this shard's head. If so, rescan.
 		if e, ok := s.headDue(now, claim); ok && e.URL == bestE.URL {
-			got := s.popLocked()
+			got := s.st.popHead()
 			s.nextReady = now + q.Politeness()
 			if claim {
 				s.claimed = true
@@ -229,78 +299,12 @@ func (q *Sharded) PopDueMatch(now float64, url string, claim bool) (Entry, int, 
 	if !ok || e.URL != url {
 		return Entry{}, -1, false
 	}
-	got := s.popLocked()
+	got := s.st.popHead()
 	s.nextReady = now + q.Politeness()
 	if claim {
 		s.claimed = true
 	}
 	return got, sid, true
-}
-
-// topNLocked returns the shard's first n entries in pop order without
-// mutating the heap: a best-first walk over the heap array driven by a
-// small index heap (O(n log n), no per-entry allocation beyond the
-// result). Caller holds s.mu.
-func (s *shard) topNLocked(n int) []Entry {
-	if n <= 0 || len(s.h) == 0 {
-		return nil
-	}
-	if n > len(s.h) {
-		n = len(s.h)
-	}
-	// idxs is a min-heap of positions into s.h, ordered by the entry
-	// comparator; the heap-array children of a popped position are the
-	// only new candidates for the next-smallest entry.
-	idxs := make([]int, 1, 2*n+1)
-	idxs[0] = 0
-	less := func(a, b int) bool { return s.h.Less(idxs[a], idxs[b]) }
-	down := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			sm := i
-			if l < len(idxs) && less(l, sm) {
-				sm = l
-			}
-			if r < len(idxs) && less(r, sm) {
-				sm = r
-			}
-			if sm == i {
-				return
-			}
-			idxs[i], idxs[sm] = idxs[sm], idxs[i]
-			i = sm
-		}
-	}
-	up := func(i int) {
-		for i > 0 {
-			p := (i - 1) / 2
-			if !less(i, p) {
-				return
-			}
-			idxs[i], idxs[p] = idxs[p], idxs[i]
-			i = p
-		}
-	}
-	out := make([]Entry, 0, n)
-	for len(out) < n && len(idxs) > 0 {
-		head := idxs[0]
-		ent := *s.h[head]
-		ent.index = 0 // the heap position is meaningless in a copy
-		out = append(out, ent)
-		last := len(idxs) - 1
-		idxs[0] = idxs[last]
-		idxs = idxs[:last]
-		down(0)
-		if l := 2*head + 1; l < len(s.h) {
-			idxs = append(idxs, l)
-			up(len(idxs) - 1)
-		}
-		if r := 2*head + 2; r < len(s.h) {
-			idxs = append(idxs, r)
-			up(len(idxs) - 1)
-		}
-	}
-	return out
 }
 
 // PeekN returns the first n entries of the global pop order (due
@@ -314,8 +318,8 @@ func (q *Sharded) PeekN(n int) ([]Entry, bool) {
 	var out []Entry
 	for _, s := range q.shards {
 		s.mu.Lock()
-		total += len(s.h)
-		out = append(out, s.topNLocked(n)...)
+		total += s.st.size()
+		out = append(out, s.st.topN(n)...)
 		s.mu.Unlock()
 	}
 	// Per-shard top-n suffices: the global first n entries draw at most
@@ -386,10 +390,8 @@ func (q *Sharded) Pop() (Entry, error) {
 		var bestE Entry
 		for i, s := range q.shards {
 			s.mu.Lock()
-			if len(s.h) > 0 {
-				if e := *s.h[0]; best < 0 || entryBefore(e, bestE) {
-					best, bestE = i, e
-				}
+			if e, ok := s.st.head(); ok && (best < 0 || entryBefore(e, bestE)) {
+				best, bestE = i, e
 			}
 			s.mu.Unlock()
 		}
@@ -398,8 +400,8 @@ func (q *Sharded) Pop() (Entry, error) {
 		}
 		s := q.shards[best]
 		s.mu.Lock()
-		if len(s.h) > 0 && s.h[0].URL == bestE.URL {
-			got := s.popLocked()
+		if e, ok := s.st.head(); ok && e.URL == bestE.URL {
+			got := s.st.popHead()
 			s.mu.Unlock()
 			return got, nil
 		}
@@ -414,10 +416,8 @@ func (q *Sharded) Peek() (Entry, bool) {
 	var bestE Entry
 	for _, s := range q.shards {
 		s.mu.Lock()
-		if len(s.h) > 0 {
-			if e := *s.h[0]; !found || entryBefore(e, bestE) {
-				found, bestE = true, e
-			}
+		if e, ok := s.st.head(); ok && (!found || entryBefore(e, bestE)) {
+			found, bestE = true, e
 		}
 		s.mu.Unlock()
 	}
@@ -433,8 +433,8 @@ func (q *Sharded) NextEvent() (float64, bool) {
 	var next float64
 	for _, s := range q.shards {
 		s.mu.Lock()
-		if len(s.h) > 0 {
-			t := s.h[0].Due
+		if e, ok := s.st.head(); ok {
+			t := e.Due
 			if s.nextReady > t {
 				t = s.nextReady
 			}
@@ -447,14 +447,14 @@ func (q *Sharded) NextEvent() (float64, bool) {
 	return next, found
 }
 
-// Reset empties every shard and clears claims and politeness deadlines.
-// A shard server resets between experiments so sequential crawls over
-// one cluster start from a clean frontier.
+// Reset empties every shard (truncating a disk tier's spill logs) and
+// clears claims and politeness deadlines. A shard server resets between
+// experiments so sequential crawls over one cluster start from a clean
+// frontier.
 func (q *Sharded) Reset() {
 	for _, s := range q.shards {
 		s.mu.Lock()
-		s.h = nil
-		s.byURL = make(map[string]*Entry)
+		s.st.reset()
 		s.nextReady = 0
 		s.claimed = false
 		s.mu.Unlock()
@@ -490,22 +490,84 @@ type State struct {
 	Entries    []Entry
 }
 
-// Snapshot captures the queue's full state. Shards are locked one at a
-// time, so a caller that needs a consistent cut must pause mutations
-// (the shard server holds its WAL lock across Snapshot).
-func (q *Sharded) Snapshot() State {
-	st := State{
-		Politeness: q.Politeness(),
-		Shards:     make([]ShardState, len(q.shards)),
-	}
+// SnapshotMeta captures the queue's scheduling state — the politeness
+// gap and every shard's (NextReady, Claimed) — without touching the
+// entries. It is the header half of a streamed snapshot; StreamEntries
+// is the body.
+func (q *Sharded) SnapshotMeta() (politeness float64, shards []ShardState) {
+	shards = make([]ShardState, len(q.shards))
 	for i, s := range q.shards {
 		s.mu.Lock()
-		st.Shards[i] = ShardState{NextReady: s.nextReady, Claimed: s.claimed}
-		for _, e := range s.h {
-			st.Entries = append(st.Entries, Entry{URL: e.URL, Due: e.Due, Priority: e.Priority})
-		}
+		shards[i] = ShardState{NextReady: s.nextReady, Claimed: s.claimed}
 		s.mu.Unlock()
 	}
+	return q.Politeness(), shards
+}
+
+// SetShardStates applies per-shard scheduling state captured by
+// SnapshotMeta. It is a no-op when the shard count differs from the
+// capture's (politeness deadlines and claims are meaningless across a
+// re-shard).
+func (q *Sharded) SetShardStates(shards []ShardState) {
+	if len(shards) != len(q.shards) {
+		return
+	}
+	for i, ss := range shards {
+		s := q.shards[i]
+		s.mu.Lock()
+		s.nextReady = ss.NextReady
+		s.claimed = ss.Claimed
+		s.mu.Unlock()
+	}
+}
+
+// StreamEntries emits every queued entry in chunks of at most chunk
+// entries, holding at most one chunk in memory at a time — the WAL
+// writes multi-gigabyte snapshots through it without doubling RSS. The
+// chunk slice is reused between calls; emit must not retain it. Chunk
+// order is deterministic for a given operation history but not sorted;
+// consumers that need an order (Snapshot) sort what they collect.
+// Shards are locked one at a time, so a caller needing a consistent cut
+// must pause mutations, exactly as with Snapshot.
+func (q *Sharded) StreamEntries(chunk int, emit func([]Entry) error) error {
+	if chunk < 1 {
+		chunk = 1
+	}
+	buf := make([]Entry, 0, chunk)
+	for _, s := range q.shards {
+		s.mu.Lock()
+		err := s.st.each(func(e Entry) error {
+			buf = append(buf, e)
+			if len(buf) == chunk {
+				err := emit(buf)
+				buf = buf[:0]
+				return err
+			}
+			return nil
+		})
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if len(buf) > 0 {
+		return emit(buf)
+	}
+	return nil
+}
+
+// Snapshot captures the queue's full state in memory. Prefer
+// SnapshotMeta + StreamEntries for large frontiers: this materializes
+// every entry. Shards are locked one at a time, so a caller that needs
+// a consistent cut must pause mutations (the shard server holds its WAL
+// lock across Snapshot).
+func (q *Sharded) Snapshot() State {
+	pol, shards := q.SnapshotMeta()
+	st := State{Politeness: pol, Shards: shards}
+	q.StreamEntries(4096, func(chunk []Entry) error {
+		st.Entries = append(st.Entries, chunk...)
+		return nil
+	})
 	// Deterministic snapshot bytes regardless of shard layout.
 	sort.Slice(st.Entries, func(i, j int) bool { return st.Entries[i].URL < st.Entries[j].URL })
 	return st
@@ -513,22 +575,28 @@ func (q *Sharded) Snapshot() State {
 
 // Restore replaces the queue's state with a snapshot. Entries are
 // re-hashed into the current shard layout; the per-shard scheduling
-// state is applied only when the shard count matches the snapshot's
-// (politeness deadlines and claims are meaningless across a re-shard).
+// state is applied only when the shard count matches the snapshot's.
 func (q *Sharded) Restore(st State) {
 	q.Reset()
 	q.SetPoliteness(st.Politeness)
 	q.PushBatch(st.Entries)
-	if len(st.Shards) != len(q.shards) {
-		return
-	}
-	for i, ss := range st.Shards {
-		s := q.shards[i]
-		s.mu.Lock()
-		s.nextReady = ss.NextReady
-		s.claimed = ss.Claimed
-		s.mu.Unlock()
-	}
+	q.SetShardStates(st.Shards)
+}
+
+// urlMaxHeap is a max-heap of entries by URL — the top-k structure that
+// bounds ExtractPartitionsLimit's memory to the chunk it returns.
+type urlMaxHeap []Entry
+
+func (h urlMaxHeap) Len() int           { return len(h) }
+func (h urlMaxHeap) Less(i, j int) bool { return h[i].URL > h[j].URL }
+func (h urlMaxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *urlMaxHeap) Push(x any)        { *h = append(*h, x.(Entry)) }
+func (h *urlMaxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
 }
 
 // ExtractPartitions removes and returns every queued entry whose site
@@ -540,24 +608,47 @@ func (q *Sharded) Restore(st State) {
 // Entries not in the partition set are untouched, as are politeness
 // deadlines and claims.
 func (q *Sharded) ExtractPartitions(parts int, set map[int]bool) []Entry {
-	var out []Entry
+	out, _ := q.ExtractPartitionsLimit(parts, set, "", 0)
+	return out
+}
+
+// ExtractPartitionsLimit is ExtractPartitions bounded to the first
+// maxN matching entries in URL order strictly after the cursor (maxN
+// <= 0 means unbounded, empty cursor means from the start); more
+// reports that matching entries beyond the returned chunk remain. It
+// is the server half of the chunked migration export: a disk-tier
+// frontier hands off its partitions chunk by chunk, never holding more
+// than maxN full entries in memory, and the result depends only on the
+// queue state and arguments — never on shard iteration order — so a
+// WAL replay re-produces each chunk bit for bit.
+func (q *Sharded) ExtractPartitionsLimit(parts int, set map[int]bool, after string, maxN int) (out []Entry, more bool) {
+	var sel urlMaxHeap
 	for _, s := range q.shards {
 		s.mu.Lock()
-		var doomed []*Entry
-		for url, e := range s.byURL {
-			if set[HostShard(webgraph.SiteOf(url), parts)] {
-				doomed = append(doomed, e)
+		s.st.each(func(e Entry) error {
+			if (after != "" && e.URL <= after) || !set[HostShard(webgraph.SiteOf(e.URL), parts)] {
+				return nil
 			}
-		}
-		for _, e := range doomed {
-			out = append(out, Entry{URL: e.URL, Due: e.Due, Priority: e.Priority})
-			heap.Remove(&s.h, e.index)
-			delete(s.byURL, e.URL)
-		}
+			if maxN > 0 && len(sel) >= maxN {
+				more = true
+				if e.URL >= sel[0].URL {
+					return nil
+				}
+				heap.Pop(&sel)
+			}
+			heap.Push(&sel, e)
+			return nil
+		})
 		s.mu.Unlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
-	return out
+	out = make([]Entry, len(sel))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&sel).(Entry)
+	}
+	for _, e := range out {
+		q.Remove(e.URL)
+	}
+	return out, more
 }
 
 // Remove deletes url from its shard, reporting whether it was present.
@@ -565,13 +656,7 @@ func (q *Sharded) Remove(url string) bool {
 	s := q.shardFor(url)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.byURL[url]
-	if !ok {
-		return false
-	}
-	heap.Remove(&s.h, e.index)
-	delete(s.byURL, url)
-	return true
+	return s.st.remove(url)
 }
 
 // Contains reports whether url is queued.
@@ -579,8 +664,7 @@ func (q *Sharded) Contains(url string) bool {
 	s := q.shardFor(url)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.byURL[url]
-	return ok
+	return s.st.contains(url)
 }
 
 // Len returns the total number of queued entries.
@@ -588,7 +672,7 @@ func (q *Sharded) Len() int {
 	n := 0
 	for _, s := range q.shards {
 		s.mu.Lock()
-		n += len(s.h)
+		n += s.st.size()
 		s.mu.Unlock()
 	}
 	return n
@@ -599,9 +683,10 @@ func (q *Sharded) URLs() []string {
 	var out []string
 	for _, s := range q.shards {
 		s.mu.Lock()
-		for u := range s.byURL {
-			out = append(out, u)
-		}
+		s.st.each(func(e Entry) error {
+			out = append(out, e.URL)
+			return nil
+		})
 		s.mu.Unlock()
 	}
 	sort.Strings(out)
@@ -614,7 +699,7 @@ func (q *Sharded) ShardLens() []int {
 	out := make([]int, len(q.shards))
 	for i, s := range q.shards {
 		s.mu.Lock()
-		out[i] = len(s.h)
+		out[i] = s.st.size()
 		s.mu.Unlock()
 	}
 	return out

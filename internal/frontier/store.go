@@ -1,0 +1,226 @@
+package frontier
+
+import "container/heap"
+
+// shardStore is one shard's entry storage, behind which the queue keeps
+// either a plain in-memory map (memStore, the default) or a disk-backed
+// tier (diskStore) that materializes only the due-soon head in RAM.
+//
+// Every method is called with the owning shard's mutex held, so
+// implementations need no locking of their own. The contract that makes
+// the two tiers interchangeable is pop-order equivalence: head, popHead
+// and topN must return exactly what a single entryHeap over the same
+// entry set would — the invariance tests compare the tiers bit for bit.
+type shardStore interface {
+	// size returns the number of stored entries.
+	size() int
+	// contains reports whether url is stored.
+	contains(url string) bool
+	// put inserts or reschedules e.
+	put(e Entry)
+	// remove deletes url, reporting whether it was present.
+	remove(url string) bool
+	// head returns the first entry in pop order without removing it.
+	head() (Entry, bool)
+	// popHead removes and returns the first entry in pop order. It must
+	// only be called when head reported ok.
+	popHead() Entry
+	// topN returns the first n entries in pop order without mutating
+	// the store.
+	topN(n int) []Entry
+	// each calls fn for every stored entry, in a deterministic order of
+	// the implementation's choosing, stopping at the first error.
+	each(fn func(Entry) error) error
+	// reset drops every entry (and, for a disk tier, truncates its log).
+	reset()
+	// close releases any resources backing the store.
+	close() error
+	// tier reports the store's residency split for observability.
+	tier() TierStats
+}
+
+// TierStats is a frontier store's residency split: how many entries are
+// materialized in RAM, how many live only in the spill log, and how
+// many log bytes the spill occupies (0/0 bytes for the pure in-memory
+// tier).
+type TierStats struct {
+	Resident   int
+	Spilled    int
+	SpillBytes int64
+}
+
+func (t TierStats) add(o TierStats) TierStats {
+	return TierStats{
+		Resident:   t.Resident + o.Resident,
+		Spilled:    t.Spilled + o.Spilled,
+		SpillBytes: t.SpillBytes + o.SpillBytes,
+	}
+}
+
+// StoreConfig configures a sharded frontier's storage tier for
+// OpenSharded.
+type StoreConfig struct {
+	// Shards is the per-site shard count (minimum 1).
+	Shards int
+	// Politeness is the per-shard politeness gap (see NewShardedPolite).
+	Politeness float64
+	// SpillDir, when non-empty, selects the disk-backed tier: each
+	// shard appends its entries to a record log under this directory
+	// and keeps only a fingerprint index plus the due-soon head in RAM.
+	// Empty selects the in-memory tier.
+	SpillDir string
+	// ResidentBudget caps (approximately — see the package notes on tie
+	// groups) the number of entries the disk tier materializes in RAM
+	// across all shards. Zero or negative applies DefaultResidentBudget.
+	ResidentBudget int
+}
+
+// DefaultResidentBudget is the disk tier's resident-entry cap when the
+// config leaves it unset.
+const DefaultResidentBudget = 1 << 16
+
+// memQueue is the heap+map priority queue that stores a shard's
+// entries: the in-memory tier uses it directly, and the disk tier uses
+// one as the resident head of its log. Pop order is Due ascending, then
+// Priority descending, then URL — entryHeap's order.
+type memQueue struct {
+	h     entryHeap
+	byURL map[string]*Entry
+}
+
+func newMemQueue() *memQueue { return &memQueue{byURL: make(map[string]*Entry)} }
+
+func (m *memQueue) size() int { return len(m.h) }
+
+func (m *memQueue) contains(url string) bool {
+	_, ok := m.byURL[url]
+	return ok
+}
+
+func (m *memQueue) put(e Entry) {
+	if old, ok := m.byURL[e.URL]; ok {
+		old.Due = e.Due
+		old.Priority = e.Priority
+		heap.Fix(&m.h, old.index)
+		return
+	}
+	ne := &Entry{URL: e.URL, Due: e.Due, Priority: e.Priority}
+	heap.Push(&m.h, ne)
+	m.byURL[e.URL] = ne
+}
+
+func (m *memQueue) remove(url string) bool {
+	e, ok := m.byURL[url]
+	if !ok {
+		return false
+	}
+	heap.Remove(&m.h, e.index)
+	delete(m.byURL, url)
+	return true
+}
+
+func (m *memQueue) head() (Entry, bool) {
+	if len(m.h) == 0 {
+		return Entry{}, false
+	}
+	return *m.h[0], true
+}
+
+func (m *memQueue) popHead() Entry {
+	e := heap.Pop(&m.h).(*Entry)
+	delete(m.byURL, e.URL)
+	return *e
+}
+
+// topN returns the queue's first n entries in pop order without
+// mutating the heap: a best-first walk over the heap array driven by a
+// small index heap (O(n log n), no per-entry allocation beyond the
+// result).
+func (m *memQueue) topN(n int) []Entry {
+	if n <= 0 || len(m.h) == 0 {
+		return nil
+	}
+	if n > len(m.h) {
+		n = len(m.h)
+	}
+	// idxs is a min-heap of positions into m.h, ordered by the entry
+	// comparator; the heap-array children of a popped position are the
+	// only new candidates for the next-smallest entry.
+	idxs := make([]int, 1, 2*n+1)
+	idxs[0] = 0
+	less := func(a, b int) bool { return m.h.Less(idxs[a], idxs[b]) }
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			sm := i
+			if l < len(idxs) && less(l, sm) {
+				sm = l
+			}
+			if r < len(idxs) && less(r, sm) {
+				sm = r
+			}
+			if sm == i {
+				return
+			}
+			idxs[i], idxs[sm] = idxs[sm], idxs[i]
+			i = sm
+		}
+	}
+	up := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(i, p) {
+				return
+			}
+			idxs[i], idxs[p] = idxs[p], idxs[i]
+			i = p
+		}
+	}
+	out := make([]Entry, 0, n)
+	for len(out) < n && len(idxs) > 0 {
+		head := idxs[0]
+		ent := *m.h[head]
+		ent.index = 0 // the heap position is meaningless in a copy
+		out = append(out, ent)
+		last := len(idxs) - 1
+		idxs[0] = idxs[last]
+		idxs = idxs[:last]
+		down(0)
+		if l := 2*head + 1; l < len(m.h) {
+			idxs = append(idxs, l)
+			up(len(idxs) - 1)
+		}
+		if r := 2*head + 2; r < len(m.h) {
+			idxs = append(idxs, r)
+			up(len(idxs) - 1)
+		}
+	}
+	return out
+}
+
+// each visits every entry in heap-array order — deterministic for a
+// given operation history, which is all the callers need (they either
+// sort afterwards or don't care).
+func (m *memQueue) each(fn func(Entry) error) error {
+	for _, e := range m.h {
+		if err := fn(*e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *memQueue) reset() {
+	m.h = nil
+	m.byURL = make(map[string]*Entry)
+}
+
+// memStore is the default, fully in-memory shard store: a memQueue and
+// nothing else. Zero behavior change from the pre-tier frontier.
+type memStore struct{ memQueue }
+
+func newMemStore() *memStore { return &memStore{memQueue{byURL: make(map[string]*Entry)}} }
+
+func (m *memStore) close() error { return nil }
+
+func (m *memStore) tier() TierStats { return TierStats{Resident: m.size()} }

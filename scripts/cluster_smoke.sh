@@ -8,11 +8,14 @@
 #     distributed frontier's determinism contract, checked across real
 #     process and TCP boundaries.
 #
-#  2. Resilience: launch two WAL-backed shardd daemons, SIGKILL one of
-#     them mid-crawl, restart it from the same -wal directory on the
-#     same address, and require the crawl to complete with output
-#     byte-identical to the uninterrupted run — the reconnect/retry +
-#     frontier-persistence contract under a real process kill.
+#  2. Resilience: launch two WAL-backed shardd daemons running the
+#     disk-backed frontier tier under a tiny resident budget, SIGKILL
+#     one of them mid-crawl, restart it from the same -wal and
+#     -frontier-dir directories on the same address, and require the
+#     crawl to complete with output byte-identical to the
+#     uninterrupted run — the reconnect/retry + frontier-persistence
+#     contract under a real process kill, with the spill logs (and a
+#     possibly torn spill tail) in the recovery path.
 #
 #  3. Dynamic membership: launch registryd plus one shardd, start a
 #     crawl that discovers the cluster with -registry, join a second
@@ -64,9 +67,13 @@ echo "cluster-smoke: distributed crawl output is byte-identical to local"
 
 # ---- Phase 2: SIGKILL + WAL restart resilience -----------------------
 
-"$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/k1.addr" -wal "$tmp/wal1" &
+# -frontier-resident 64 squeezes both daemons onto the spill logs for
+# any non-trivial queue, so the kill lands with most entries on disk.
+"$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/k1.addr" -wal "$tmp/wal1" \
+    -frontier-dir "$tmp/fr1" -frontier-resident 64 &
 k1_pid=$!
 "$tmp/shardd" -listen 127.0.0.1:0 -shards 8 -addr-file "$tmp/k2.addr" -wal "$tmp/wal2" \
+    -frontier-dir "$tmp/fr2" -frontier-resident 64 \
     -metrics-listen 127.0.0.1:0 -metrics-addr-file "$tmp/k2.maddr" &
 wait_addr "$tmp/k1.addr"
 wait_addr "$tmp/k2.addr"
@@ -92,21 +99,24 @@ for size in 2000 8000 32000; do
         continue
     fi
     # Mid-crawl observability: scrape the surviving shardd's /metrics
-    # and require well-formed exposition with the wire, WAL and frame-
-    # compression families actually moving (promcheck exits non-zero on
-    # malformed output or zero counters, failing `make ci`). The
-    # compression families prove v6 negotiation happened and response
-    # frames big enough to deflate actually rode the flag.
+    # and require well-formed exposition with the wire, WAL, frame-
+    # compression and frontier-residency families actually moving
+    # (promcheck exits non-zero on malformed output or zero counters,
+    # failing `make ci`). The compression families prove v6 negotiation
+    # happened and response frames big enough to deflate actually rode
+    # the flag; the residency families prove the disk tier is live —
+    # entries resident, entries spilled, and bytes in the spill logs.
     curl -sS "http://$m2/metrics" >"$tmp/k2.metrics"
     "$tmp/promcheck" \
-        -require webevolve_cluster_server_ops_total,webevolve_cluster_server_op_seconds,webevolve_wal_appends_total,webevolve_cluster_frames_compressed_total,webevolve_cluster_frame_raw_bytes,webevolve_cluster_frame_compressed_bytes \
+        -require webevolve_cluster_server_ops_total,webevolve_cluster_server_op_seconds,webevolve_wal_appends_total,webevolve_cluster_frames_compressed_total,webevolve_cluster_frame_raw_bytes,webevolve_cluster_frame_compressed_bytes,webevolve_frontier_resident_entries,webevolve_frontier_spilled_entries,webevolve_frontier_spill_bytes \
         <"$tmp/k2.metrics"
-    echo "cluster-smoke: mid-crawl /metrics scrape is well-formed with live wire+WAL+compression counters"
+    echo "cluster-smoke: mid-crawl /metrics scrape is well-formed with live wire+WAL+compression+spill counters"
     kill -9 "$k1_pid"
     killed=1
     echo "cluster-smoke: SIGKILLed shardd on $b1 mid-crawl (size $size); restarting from its WAL"
     rm -f "$tmp/k1.addr"
-    "$tmp/shardd" -listen "$b1" -shards 8 -addr-file "$tmp/k1.addr" -wal "$tmp/wal1" &
+    "$tmp/shardd" -listen "$b1" -shards 8 -addr-file "$tmp/k1.addr" -wal "$tmp/wal1" \
+        -frontier-dir "$tmp/fr1" -frontier-resident 64 &
     wait_addr "$tmp/k1.addr"
     break
 done
